@@ -1,0 +1,152 @@
+//! Natural-loop detection.
+//!
+//! The paper's formal model unrolls bounded loops; the IR keeps them as
+//! CFG back edges. Region inference (in `ocelot-core`) widens any policy
+//! operation that sits inside a loop to the whole loop, which encloses
+//! every unrolled copy — loop membership is computed here.
+
+use crate::dom::DomTree;
+use ocelot_ir::cfg::Cfg;
+use ocelot_ir::{BlockId, Function};
+use std::collections::HashSet;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: HashSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// True when `b` is inside this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Finds the natural loop of every back edge of `f`. Back edges
+    /// sharing a header are merged into one loop.
+    pub fn new(_f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (latch, header) in cfg.back_edges() {
+            // A true natural loop requires the header to dominate the latch.
+            if !dom.dominates(header, latch) {
+                continue;
+            }
+            let mut body = HashSet::from([header]);
+            let mut stack = vec![latch];
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in cfg.preds(b) {
+                        stack.push(p);
+                    }
+                }
+            }
+            if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+                existing.body.extend(body);
+            } else {
+                loops.push(NaturalLoop { header, body });
+            }
+        }
+        LoopForest { loops }
+    }
+
+    /// All loops.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The loops containing block `b`, innermost-last by body size.
+    pub fn loops_containing(&self, b: BlockId) -> Vec<&NaturalLoop> {
+        let mut ls: Vec<&NaturalLoop> = self.loops.iter().filter(|l| l.contains(b)).collect();
+        ls.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
+        ls
+    }
+
+    /// The outermost loop containing `b`, if any.
+    pub fn outermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops_containing(b).into_iter().next()
+    }
+
+    /// True when `b` is inside any loop.
+    pub fn in_loop(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.contains(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_ir::lower::compile;
+
+    fn forest(src: &str) -> (ocelot_ir::Program, LoopForest) {
+        let p = compile(src).unwrap();
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let lf = LoopForest::new(f, &cfg, &dom);
+        (p, lf)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, lf) = forest("fn main() { let x = 1; }");
+        assert!(lf.loops().is_empty());
+    }
+
+    #[test]
+    fn repeat_yields_one_loop() {
+        let (p, lf) = forest("sensor s; fn main() { repeat 3 { let v = in(s); } }");
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        // Header + body + latch structure: at least 2 blocks.
+        assert!(l.body.len() >= 2);
+        let f = p.func(p.main);
+        assert!(!l.contains(f.entry), "entry precedes the loop");
+        assert!(!l.contains(f.exit), "exit follows the loop");
+    }
+
+    #[test]
+    fn nested_repeats_yield_nested_loops() {
+        let (_, lf) = forest(
+            "sensor s; fn main() { repeat 2 { repeat 3 { let v = in(s); } } }",
+        );
+        assert_eq!(lf.loops().len(), 2);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = lf.loops().iter().map(|l| l.body.len()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert!(sizes[0] < sizes[1], "inner loop strictly smaller");
+        // Inner loop body is inside the outer loop.
+        let inner = lf.loops().iter().min_by_key(|l| l.body.len()).unwrap();
+        let outer = lf.loops().iter().max_by_key(|l| l.body.len()).unwrap();
+        assert!(inner.body.iter().all(|b| outer.contains(*b)));
+        // Outermost query returns the big loop for an inner block.
+        let some_inner_block = *inner.body.iter().next().unwrap();
+        assert_eq!(
+            lf.outermost_containing(some_inner_block).unwrap().body.len(),
+            outer.body.len()
+        );
+    }
+
+    #[test]
+    fn if_inside_loop_is_in_loop_body() {
+        let (_, lf) = forest(
+            "sensor s; fn main() { repeat 3 { let v = in(s); if v > 0 { out(log, v); } } }",
+        );
+        assert_eq!(lf.loops().len(), 1);
+        // All non-entry/exit blocks of this program are inside the loop:
+        // header, branch blocks, join, latch.
+        assert!(lf.loops()[0].body.len() >= 4);
+    }
+}

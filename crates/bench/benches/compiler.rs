@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the compiler side of Ocelot: parsing and
+//! lowering, taint analysis, policy construction, region inference, and
+//! the end-to-end transform — per benchmark application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelot_analysis::taint::TaintAnalysis;
+use ocelot_core::{build_policies, ocelot_transform};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    for b in ocelot_apps::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bencher, b| {
+            bencher.iter(|| ocelot_ir::compile(b.annotated_src).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taint_analysis");
+    for b in ocelot_apps::all() {
+        let p = b.annotated();
+        g.bench_with_input(BenchmarkId::from_parameter(b.name), &p, |bencher, p| {
+            bencher.iter(|| TaintAnalysis::run(p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_policies");
+    for b in ocelot_apps::all() {
+        let p = b.annotated();
+        let t = TaintAnalysis::run(&p);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(b.name),
+            &(p, t),
+            |bencher, (p, t)| {
+                bencher.iter(|| build_policies(p, t));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocelot_transform");
+    for b in ocelot_apps::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bencher, b| {
+            bencher.iter(|| ocelot_transform(b.annotated()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_progress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("progress_analysis");
+    for b in ocelot_apps::all() {
+        let compiled = ocelot_transform(b.annotated()).unwrap();
+        let costs = ocelot_hw::energy::CostModel::default();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(b.name),
+            &(compiled, costs),
+            |bencher, (compiled, costs)| {
+                bencher.iter(|| {
+                    ocelot_progress::ProgressReport::analyze(
+                        &compiled.program,
+                        &compiled.regions,
+                        costs,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_taint, bench_policies, bench_transform, bench_progress
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the intermittent-execution simulator: one
+//! complete program run per iteration, on continuous and harvested
+//! power, across execution models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
+use ocelot_hw::power::ContinuousPower;
+use ocelot_runtime::machine::Machine;
+use ocelot_runtime::model::ExecModel;
+
+fn bench_continuous(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_continuous");
+    for b in ocelot_apps::all() {
+        for model in [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly] {
+            let built = build_for(&b, model);
+            let id = BenchmarkId::new(model.name(), b.name);
+            g.bench_function(id, |bencher| {
+                bencher.iter(|| {
+                    let mut m = Machine::new(
+                        &built.program,
+                        &built.regions,
+                        built.policies.clone(),
+                        b.environment(1),
+                        calibrated_costs(&b),
+                        Box::new(ContinuousPower),
+                    );
+                    m.run_once(MAX_STEPS)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_intermittent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_intermittent");
+    for b in ocelot_apps::all() {
+        let built = build_for(&b, ExecModel::Ocelot);
+        g.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bencher, b| {
+            bencher.iter(|| {
+                let mut m = Machine::new(
+                    &built.program,
+                    &built.regions,
+                    built.policies.clone(),
+                    b.environment(1),
+                    calibrated_costs(b),
+                    Box::new(bench_supply(1)),
+                );
+                m.run_once(MAX_STEPS)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_continuous, bench_intermittent
+}
+criterion_main!(benches);

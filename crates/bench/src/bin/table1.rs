@@ -1,0 +1,19 @@
+//! Table 1 — benchmark characteristics: origin, lines of code, sensors,
+//! and constraint kinds.
+
+use ocelot_bench::report::Table;
+
+fn main() {
+    let mut t = Table::new(&["Origin", "App", "LoC", "Sensors", "Constraints"]);
+    for b in ocelot_apps::all() {
+        t.row(vec![
+            b.origin.to_string(),
+            b.name.to_string(),
+            b.loc().to_string(),
+            b.sensors.join(", "),
+            b.constraints.to_string(),
+        ]);
+    }
+    println!("Table 1: Benchmark Characteristics (`*` = simulated sensor)");
+    println!("{}", t.render());
+}

@@ -1,0 +1,222 @@
+//! Shared benchmark harness: calibrated cost models and power supplies,
+//! plus runners for the three measurement modes of §7 — continuous
+//! power, harvested intermittent power, and pathological failure
+//! injection.
+
+use ocelot_apps::Benchmark;
+use ocelot_hw::energy::CostModel;
+use ocelot_hw::power::{ContinuousPower, HarvestedPower, PowerSupply};
+use ocelot_hw::{Capacitor, Harvester};
+use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
+use ocelot_runtime::model::{build, Built, ExecModel};
+use ocelot_runtime::stats::Stats;
+
+/// Step budget per program run — generous; runs are thousands of steps.
+pub const MAX_STEPS: u64 = 5_000_000;
+
+/// Per-benchmark cost model: sampling costs differ per sensor class
+/// (photoresistor integration is slow, a TPMS pressure cell is fast),
+/// which shapes both the runtime mix and the violation windows.
+pub fn calibrated_costs(bench: &Benchmark) -> CostModel {
+    let c = CostModel::default();
+    match bench.name {
+        "activity" => c.with_input_cost("accel", 5_000),
+        "greenhouse" => c
+            .with_input_cost("temp", 1_400)
+            .with_input_cost("hum", 1_400),
+        "cem" => c.with_input_cost("temp", 4_000),
+        "photo" => c.with_input_cost("photo", 3_500),
+        "send_photo" => c
+            .with_input_cost("photo", 3_500)
+            .with_input_cost("rssi", 7_000)
+            .with_input_cost("vcap", 7_000),
+        "tire" => c
+            .with_input_cost("tirepres", 200)
+            .with_input_cost("tiretemp", 200)
+            .with_input_cost("wheelacc", 200),
+        _ => c,
+    }
+}
+
+/// The evaluation's harvested supply: a small Capybara-style bank
+/// (≈26 µJ usable, ≈2.6 µJ checkpoint reserve) charged by a noisy
+/// PowerCast-at-10-inches RF source, with boot-voltage jitter so failure
+/// points drift across the program like they do on real hardware.
+pub fn bench_supply(seed: u64) -> HarvestedPower {
+    HarvestedPower::new(
+        Capacitor::new(26_000.0, 2_600.0),
+        Harvester::powercast_noisy(seed),
+    )
+    .with_boot_jitter(seed ^ 0x9E37, 0.4)
+}
+
+/// Builds `bench` for `model`, choosing the annotated or atomics-only
+/// source as appropriate.
+///
+/// # Panics
+///
+/// Panics if the benchmark fails to build — covered by `ocelot-apps`
+/// tests.
+pub fn build_for(bench: &Benchmark, model: ExecModel) -> Built {
+    let program = match model {
+        ExecModel::AtomicsOnly => bench.atomics_only(),
+        _ => bench.annotated(),
+    };
+    build(program, model).unwrap_or_else(|e| panic!("{} ({:?}): {e}", bench.name, model))
+}
+
+/// Wraps every statement of `main` in one region by rewriting the
+/// source — §5.3's trivially-correct placement
+/// (`startatom; FD(main); endatom`), used as the naive-programmer
+/// baseline in the region-size and forward-progress ablations.
+///
+/// # Panics
+///
+/// Panics if `src` has no `fn main()` or fails to compile after
+/// wrapping (the apps' uniform formatting guarantees both).
+pub fn whole_main_variant(src: &str) -> ocelot_ir::Program {
+    let marker = "fn main() {";
+    let start = src.rfind(marker).expect("main exists") + marker.len();
+    let end = src.trim_end().rfind('}').expect("closing brace");
+    let mut out = String::new();
+    out.push_str(&src[..start]);
+    out.push_str("\natomic {\n");
+    out.push_str(&src[start..end]);
+    out.push_str("}\n");
+    out.push_str(&src[end..]);
+    ocelot_ir::compile(&out).expect("wrapped source compiles")
+}
+
+fn machine<'a>(
+    bench: &Benchmark,
+    built: &'a Built,
+    supply: Box<dyn PowerSupply>,
+    seed: u64,
+) -> Machine<'a> {
+    Machine::new(
+        &built.program,
+        &built.regions,
+        built.policies.clone(),
+        bench.environment(seed),
+        calibrated_costs(bench),
+        supply,
+    )
+}
+
+/// Runs `runs` back-to-back executions on continuous power (Figure 7's
+/// configuration) and returns the accumulated stats.
+pub fn run_continuous(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
+    let mut m = machine(bench, built, Box::new(ContinuousPower), seed);
+    for _ in 0..runs {
+        let out = m.run_once(MAX_STEPS);
+        assert!(
+            matches!(out, RunOutcome::Completed { .. }),
+            "{} did not complete on continuous power",
+            bench.name
+        );
+    }
+    m.stats().clone()
+}
+
+/// Runs `runs` executions on harvested intermittent power (Figure 8's
+/// configuration).
+pub fn run_intermittent(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
+    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed);
+    for _ in 0..runs {
+        let out = m.run_once(MAX_STEPS);
+        assert!(
+            matches!(out, RunOutcome::Completed { .. }),
+            "{} did not complete on intermittent power",
+            bench.name
+        );
+    }
+    m.stats().clone()
+}
+
+/// Runs repeatedly for `sim_duration_us` of simulated wall-clock time on
+/// harvested power, the Table 2(b) methodology, returning the stats
+/// (runs completed, runs violating).
+pub fn run_for_duration(
+    bench: &Benchmark,
+    built: &Built,
+    sim_duration_us: u64,
+    seed: u64,
+) -> Stats {
+    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed);
+    m.run_for(sim_duration_us, MAX_STEPS);
+    m.stats().clone()
+}
+
+/// Runs `runs` executions with pathological failures injected at the
+/// policy-critical points (§7.3, Table 2(a)).
+pub fn run_pathological(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
+    let targets = pathological_targets(&built.policies);
+    let mut m =
+        machine(bench, built, Box::new(ContinuousPower), seed).with_injector(targets);
+    for _ in 0..runs {
+        let out = m.run_once(MAX_STEPS);
+        assert!(matches!(out, RunOutcome::Completed { .. }));
+    }
+    m.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_runs_complete_for_all_models() {
+        for b in ocelot_apps::all() {
+            for model in [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly] {
+                let built = build_for(&b, model);
+                let s = run_continuous(&b, &built, 2, 7);
+                assert_eq!(s.runs_completed, 2, "{} {:?}", b.name, model);
+                assert_eq!(s.reboots, 0, "continuous power never fails");
+            }
+        }
+    }
+
+    #[test]
+    fn ocelot_overhead_is_small_but_nonzero() {
+        let b = ocelot_apps::by_name("greenhouse").unwrap();
+        let jit = run_continuous(&b, &build_for(&b, ExecModel::Jit), 10, 7);
+        let oce = run_continuous(&b, &build_for(&b, ExecModel::Ocelot), 10, 7);
+        let ratio = oce.on_cycles as f64 / jit.on_cycles as f64;
+        assert!(ratio > 1.0, "regions cost something: {ratio}");
+        assert!(ratio < 1.3, "but not much: {ratio}");
+    }
+
+    #[test]
+    fn pathological_violates_jit_not_ocelot() {
+        for b in ocelot_apps::all() {
+            let jit = build_for(&b, ExecModel::Jit);
+            let s = run_pathological(&b, &jit, 3, 9);
+            assert!(
+                s.runs_with_violation > 0,
+                "{}: JIT must violate under targeted failures",
+                b.name
+            );
+            let oce = build_for(&b, ExecModel::Ocelot);
+            let s = run_pathological(&b, &oce, 3, 9);
+            assert_eq!(
+                s.runs_with_violation, 0,
+                "{}: Ocelot must survive targeted failures",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn intermittent_power_charges_most_of_the_time() {
+        let b = ocelot_apps::by_name("photo").unwrap();
+        let built = build_for(&b, ExecModel::Ocelot);
+        let s = run_intermittent(&b, &built, 5, 3);
+        assert!(s.reboots > 0, "harvested power must fail");
+        assert!(
+            s.off_time_us > s.on_time_us,
+            "charging dominates: on={} off={}",
+            s.on_time_us,
+            s.off_time_us
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # ocelot-bench
+//!
+//! The evaluation harness: everything needed to regenerate the paper's
+//! figures and tables. One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark characteristics |
+//! | `fig7` | Figure 7 — continuous-power runtimes (JIT / Atomics-only / Ocelot) |
+//! | `fig8` | Figure 8 — intermittent runtimes with charging time |
+//! | `table2a` | Table 2(a) — violations under pathological failures |
+//! | `table2b` | Table 2(b) — violations under harvested intermittent power |
+//! | `table3` | Table 3 — strategy / constructs comparison |
+//! | `table4` | Table 4 — LoC changes per benchmark per system |
+//! | `ablation_region_size` | §5.3/§8 — inferred vs whole-function regions |
+//! | `tics_expiry` | §2.3 — expiration windows vs the freshness definition |
+//! | `energy_breakdown` | per-category cycle accounting behind Figures 7/8 |
+//!
+//! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
+
+#![warn(missing_docs)]
+
+pub mod effort;
+pub mod harness;
+pub mod report;

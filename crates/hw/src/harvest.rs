@@ -1,0 +1,176 @@
+//! Energy harvester models.
+//!
+//! The paper's testbed harvests RF energy from a PowerCast transmitter
+//! placed 10 inches from the device (§7.2); off-time charging durations
+//! are "dictated by the physical environment". These models supply the
+//! charging power: a constant RF source parameterized by distance
+//! (far-field inverse-square), a noisy source for realistic jitter, and
+//! a duty-cycled source for on/off ambients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of harvested power.
+// The `Noisy` variant carries an `StdRng` (~136 bytes); a handful of
+// `Harvester` values exist per simulation, so boxing would only add
+// indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Harvester {
+    /// Constant harvesting power in nanowatts.
+    Constant {
+        /// Power in nW.
+        power_nw: f64,
+    },
+    /// RF far-field source: power falls off with the square of distance.
+    Rf {
+        /// Power at 1 inch, in nW.
+        power_at_1in_nw: f64,
+        /// Distance in inches.
+        distance_in: f64,
+    },
+    /// Log-uniform jitter around a base power (multiplicative noise in
+    /// `[1/(1+jitter), 1+jitter]`), resampled per charging interval.
+    Noisy {
+        /// Base power in nW.
+        base_nw: f64,
+        /// Relative jitter, e.g. `0.5` for ±50%.
+        jitter: f64,
+        /// Deterministic RNG.
+        rng: StdRng,
+    },
+    /// Alternating on/off ambient (e.g. rotating machinery or swept RF):
+    /// harvests only during the on fraction of each period.
+    DutyCycle {
+        /// Power while on, in nW.
+        on_power_nw: f64,
+        /// Fraction of time the source is on, in `(0, 1]`.
+        duty: f64,
+    },
+}
+
+impl Harvester {
+    /// The paper's setup: PowerCast transmitter at 10 inches. Calibrated
+    /// so a Capybara-scale bank (50 µJ) refills in roughly 50 ms —
+    /// charging dominates runtime, as in Figure 8.
+    pub fn powercast_at_10in() -> Self {
+        // 1 nJ/µs at 10in → power_at_1in = 100 nJ/µs = 100_000 nW... using
+        // nW: 1 nJ/µs = 1000 µW*? Keep units simple: nJ per µs.
+        Harvester::Rf {
+            power_at_1in_nw: 100.0, // nJ/µs at 1 inch
+            distance_in: 10.0,
+        }
+    }
+
+    /// A seeded noisy variant of the PowerCast setup.
+    pub fn powercast_noisy(seed: u64) -> Self {
+        Harvester::Noisy {
+            base_nw: 1.0,
+            jitter: 0.6,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Instantaneous harvesting power in nanojoules per microsecond for
+    /// the next charging interval.
+    pub fn sample_power(&mut self) -> f64 {
+        match self {
+            Harvester::Constant { power_nw } => *power_nw,
+            Harvester::Rf {
+                power_at_1in_nw,
+                distance_in,
+            } => *power_at_1in_nw / (*distance_in * *distance_in).max(1.0),
+            Harvester::Noisy {
+                base_nw,
+                jitter,
+                rng,
+            } => {
+                let lo = 1.0 / (1.0 + *jitter);
+                let hi = 1.0 + *jitter;
+                *base_nw * rng.gen_range(lo..=hi)
+            }
+            Harvester::DutyCycle { on_power_nw, duty } => *on_power_nw * duty.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Microseconds needed to harvest `needed_nj` of energy (at least
+    /// 1 µs; infinite-power sources still take a reboot instant).
+    pub fn charge_time_us(&mut self, needed_nj: f64) -> u64 {
+        if needed_nj <= 0.0 {
+            return 1;
+        }
+        let p = self.sample_power().max(1e-9);
+        (needed_nj / p).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_power_follows_inverse_square() {
+        let mut near = Harvester::Rf {
+            power_at_1in_nw: 100.0,
+            distance_in: 5.0,
+        };
+        let mut far = Harvester::Rf {
+            power_at_1in_nw: 100.0,
+            distance_in: 10.0,
+        };
+        let ratio = near.sample_power() / far.sample_power();
+        assert!((ratio - 4.0).abs() < 1e-9, "doubling distance quarters power");
+    }
+
+    #[test]
+    fn charge_time_is_proportional_to_deficit() {
+        let mut h = Harvester::Constant { power_nw: 2.0 };
+        assert_eq!(h.charge_time_us(100.0), 50);
+        assert_eq!(h.charge_time_us(200.0), 100);
+        assert_eq!(h.charge_time_us(0.0), 1, "no deficit still takes a beat");
+    }
+
+    #[test]
+    fn noisy_power_is_deterministic_per_seed() {
+        let mut a = Harvester::powercast_noisy(42);
+        let mut b = Harvester::powercast_noisy(42);
+        for _ in 0..10 {
+            assert_eq!(a.sample_power(), b.sample_power());
+        }
+        let mut c = Harvester::powercast_noisy(43);
+        let same = (0..10).all(|_| a.sample_power() == c.sample_power());
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn noisy_power_stays_in_bounds() {
+        let mut h = Harvester::Noisy {
+            base_nw: 10.0,
+            jitter: 0.5,
+            rng: StdRng::seed_from_u64(7),
+        };
+        for _ in 0..100 {
+            let p = h.sample_power();
+            assert!((10.0 / 1.5 - 1e-9..=15.0 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn duty_cycle_scales_power() {
+        let mut h = Harvester::DutyCycle {
+            on_power_nw: 10.0,
+            duty: 0.25,
+        };
+        assert!((h.sample_power() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powercast_recharges_capybara_in_tens_of_ms() {
+        let mut h = Harvester::powercast_at_10in();
+        let t = h.charge_time_us(50_000.0);
+        assert!(
+            (10_000..200_000).contains(&t),
+            "50 µJ should take tens of ms, got {t} µs"
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! The sensed environment: named, time-varying signals.
+//!
+//! Freshness and temporal-consistency violations are only *observable*
+//! when the world changes while power is off (Figure 2's weather front).
+//! An [`Environment`] maps sensor channels to deterministic signals
+//! sampled at the execution's wall-clock time; scenario constructors
+//! reproduce the situations the paper's benchmarks sense.
+
+use std::collections::BTreeMap;
+
+/// A deterministic time-varying signal. All signals are pure functions
+/// of time, so replaying an execution reproduces identical samples.
+#[derive(Debug, Clone)]
+pub enum Signal {
+    /// Always `value`.
+    Constant(i64),
+    /// `before` until `at_us`, then `after` — a front crossing.
+    Step {
+        /// Value before the step.
+        before: i64,
+        /// Value from `at_us` on.
+        after: i64,
+        /// Step time in microseconds.
+        at_us: u64,
+    },
+    /// Linear ramp from `(t0_us, start)` to `(t1_us, end)`, clamped
+    /// outside.
+    Ramp {
+        /// Value at and before `t0_us`.
+        start: i64,
+        /// Value at and after `t1_us`.
+        end: i64,
+        /// Ramp start time.
+        t0_us: u64,
+        /// Ramp end time.
+        t1_us: u64,
+    },
+    /// A square wave alternating `lo`/`hi` with the given period and
+    /// duty fraction (per-mille on-time) — motion episodes, blinking
+    /// light.
+    Square {
+        /// Value in the off phase.
+        lo: i64,
+        /// Value in the on phase.
+        hi: i64,
+        /// Period in microseconds.
+        period_us: u64,
+        /// On-time in per-mille of the period (0..=1000).
+        duty_pm: u32,
+    },
+    /// Piecewise-constant schedule: `(from_us, value)` pairs, sorted.
+    Piecewise(Vec<(u64, i64)>),
+    /// Base signal plus deterministic pseudo-random noise in
+    /// `[-amplitude, +amplitude]`, keyed by time and seed (no state, so
+    /// sampling is replayable).
+    Noisy {
+        /// The underlying signal.
+        base: Box<Signal>,
+        /// Maximum absolute noise.
+        amplitude: i64,
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+impl Signal {
+    /// Samples the signal at `t_us`.
+    pub fn sample(&self, t_us: u64) -> i64 {
+        match self {
+            Signal::Constant(v) => *v,
+            Signal::Step { before, after, at_us } => {
+                if t_us < *at_us {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Signal::Ramp {
+                start,
+                end,
+                t0_us,
+                t1_us,
+            } => {
+                if t_us <= *t0_us || t1_us <= t0_us {
+                    *start
+                } else if t_us >= *t1_us {
+                    *end
+                } else {
+                    let span = (t1_us - t0_us) as i128;
+                    let dt = (t_us - t0_us) as i128;
+                    let delta = (*end as i128 - *start as i128) * dt / span;
+                    (*start as i128 + delta) as i64
+                }
+            }
+            Signal::Square {
+                lo,
+                hi,
+                period_us,
+                duty_pm,
+            } => {
+                let period = (*period_us).max(1);
+                let phase = t_us % period;
+                let on = period as u128 * (*duty_pm).min(1000) as u128 / 1000;
+                if (phase as u128) < on {
+                    *hi
+                } else {
+                    *lo
+                }
+            }
+            Signal::Piecewise(steps) => {
+                let mut v = steps.first().map(|(_, v)| *v).unwrap_or(0);
+                for (from, value) in steps {
+                    if t_us >= *from {
+                        v = *value;
+                    } else {
+                        break;
+                    }
+                }
+                v
+            }
+            Signal::Noisy {
+                base,
+                amplitude,
+                seed,
+            } => {
+                let v = base.sample(t_us);
+                if *amplitude == 0 {
+                    return v;
+                }
+                let h = splitmix64(seed ^ t_us.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let span = (*amplitude as i128) * 2 + 1;
+                let noise = (h as i128 % span) - *amplitude as i128;
+                v + noise as i64
+            }
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A set of named sensor channels.
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    signals: BTreeMap<String, Signal>,
+}
+
+impl Environment {
+    /// An empty environment (all unknown sensors read 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds or replaces a channel.
+    pub fn with(mut self, sensor: &str, signal: Signal) -> Self {
+        self.signals.insert(sensor.to_string(), signal);
+        self
+    }
+
+    /// Samples `sensor` at `t_us`; undeclared channels read 0.
+    pub fn sample(&self, sensor: &str, t_us: u64) -> i64 {
+        self.signals
+            .get(sensor)
+            .map(|s| s.sample(t_us))
+            .unwrap_or(0)
+    }
+
+    /// The Figure 2 weather scenario: temperature spikes and a storm
+    /// front crosses at `front_us` — pressure falls as humidity rises.
+    /// Channels: `tmp`, `pres`, `hum`.
+    pub fn weather_front(front_us: u64) -> Self {
+        Environment::new()
+            .with(
+                "tmp",
+                Signal::Step {
+                    before: 2,
+                    after: 10,
+                    at_us: front_us,
+                },
+            )
+            .with(
+                "pres",
+                Signal::Step {
+                    before: 90,
+                    after: 40,
+                    at_us: front_us,
+                },
+            )
+            .with(
+                "hum",
+                Signal::Step {
+                    before: 20,
+                    after: 80,
+                    at_us: front_us,
+                },
+            )
+    }
+
+    /// Greenhouse scenario: slow temperature ramp, humidity steps when
+    /// misters fire. Channels: `temp`, `hum`.
+    pub fn greenhouse(seed: u64) -> Self {
+        Environment::new()
+            .with(
+                "temp",
+                Signal::Noisy {
+                    base: Box::new(Signal::Ramp {
+                        start: 18,
+                        end: 35,
+                        t0_us: 0,
+                        t1_us: 3_000_000,
+                    }),
+                    amplitude: 1,
+                    seed,
+                },
+            )
+            .with(
+                "hum",
+                Signal::Noisy {
+                    base: Box::new(Signal::Square {
+                        lo: 30,
+                        hi: 75,
+                        period_us: 700_000,
+                        duty_pm: 400,
+                    }),
+                    amplitude: 2,
+                    seed: seed ^ 0xDEAD,
+                },
+            )
+    }
+
+    /// Motion episodes for the activity-recognition benchmark: bursts of
+    /// acceleration alternating with stillness. Channel: `accel`.
+    pub fn motion_episodes(seed: u64) -> Self {
+        Environment::new().with(
+            "accel",
+            Signal::Noisy {
+                base: Box::new(Signal::Square {
+                    lo: 0,
+                    hi: 60,
+                    period_us: 400_000,
+                    duty_pm: 500,
+                }),
+                amplitude: 8,
+                seed,
+            },
+        )
+    }
+
+    /// Light steps for the photoresistor benchmarks: a lamp toggling,
+    /// bright about two-thirds of the time. Channel: `photo`.
+    pub fn light_steps(seed: u64) -> Self {
+        Environment::new().with(
+            "photo",
+            Signal::Noisy {
+                base: Box::new(Signal::Square {
+                    lo: 10,
+                    hi: 90,
+                    period_us: 250_000,
+                    duty_pm: 650,
+                }),
+                amplitude: 3,
+                seed,
+            },
+        )
+    }
+
+    /// Tire scenario: a *burst* — pressure collapses within ~150 ms of
+    /// the puncture while temperature climbs and the wheel keeps
+    /// spinning. Channels: `tirepres`, `tiretemp`, `wheelacc`.
+    pub fn tire_blowout(puncture_us: u64, seed: u64) -> Self {
+        Environment::new()
+            .with(
+                "tirepres",
+                Signal::Noisy {
+                    base: Box::new(Signal::Ramp {
+                        start: 100,
+                        end: 18,
+                        t0_us: puncture_us,
+                        t1_us: puncture_us + 150_000,
+                    }),
+                    amplitude: 2,
+                    seed,
+                },
+            )
+            .with(
+                "tiretemp",
+                Signal::Ramp {
+                    start: 25,
+                    end: 70,
+                    t0_us: puncture_us,
+                    t1_us: puncture_us + 1_000_000,
+                },
+            )
+            .with(
+                "wheelacc",
+                Signal::Noisy {
+                    base: Box::new(Signal::Square {
+                        lo: 5,
+                        hi: 40,
+                        period_us: 120_000,
+                        duty_pm: 700,
+                    }),
+                    amplitude: 5,
+                    seed: seed ^ 0xBEEF,
+                },
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_changes_exactly_at_front() {
+        let s = Signal::Step {
+            before: 1,
+            after: 9,
+            at_us: 100,
+        };
+        assert_eq!(s.sample(99), 1);
+        assert_eq!(s.sample(100), 9);
+    }
+
+    #[test]
+    fn ramp_interpolates_and_clamps() {
+        let s = Signal::Ramp {
+            start: 0,
+            end: 100,
+            t0_us: 0,
+            t1_us: 100,
+        };
+        assert_eq!(s.sample(0), 0);
+        assert_eq!(s.sample(50), 50);
+        assert_eq!(s.sample(1000), 100);
+    }
+
+    #[test]
+    fn square_respects_duty() {
+        let s = Signal::Square {
+            lo: 0,
+            hi: 1,
+            period_us: 100,
+            duty_pm: 250,
+        };
+        assert_eq!(s.sample(0), 1);
+        assert_eq!(s.sample(24), 1);
+        assert_eq!(s.sample(25), 0);
+        assert_eq!(s.sample(99), 0);
+        assert_eq!(s.sample(100), 1, "periodic");
+    }
+
+    #[test]
+    fn piecewise_takes_latest_step() {
+        let s = Signal::Piecewise(vec![(0, 5), (10, 7), (20, 9)]);
+        assert_eq!(s.sample(0), 5);
+        assert_eq!(s.sample(15), 7);
+        assert_eq!(s.sample(25), 9);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let s = Signal::Noisy {
+            base: Box::new(Signal::Constant(50)),
+            amplitude: 3,
+            seed: 99,
+        };
+        for t in 0..200 {
+            let v = s.sample(t);
+            assert!((47..=53).contains(&v));
+            assert_eq!(v, s.sample(t), "pure function of time");
+        }
+        // Noise actually varies.
+        let distinct: std::collections::BTreeSet<i64> = (0..200).map(|t| s.sample(t)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn environment_unknown_sensor_reads_zero() {
+        let env = Environment::new();
+        assert_eq!(env.sample("ghost", 123), 0);
+    }
+
+    #[test]
+    fn weather_front_is_consistent_before_and_after() {
+        let env = Environment::weather_front(1000);
+        // Before: fair — high pressure, low humidity.
+        assert!(env.sample("pres", 0) > 60);
+        assert!(env.sample("hum", 0) < 50);
+        // After: storm — low pressure, high humidity.
+        assert!(env.sample("pres", 2000) < 60);
+        assert!(env.sample("hum", 2000) > 50);
+        // Temperature spikes with the front.
+        assert!(env.sample("tmp", 2000) > env.sample("tmp", 0));
+    }
+
+    #[test]
+    fn scenarios_produce_named_channels() {
+        assert_ne!(Environment::greenhouse(1).sample("temp", 1_500_000), 0);
+        assert!(Environment::motion_episodes(1).sample("accel", 50_000) > 0);
+        assert!(Environment::light_steps(1).sample("photo", 10_000) > 0);
+        let tire = Environment::tire_blowout(0, 1);
+        assert!(tire.sample("tirepres", 0) > tire.sample("tirepres", 2_000_000));
+        assert!(tire.sample("wheelacc", 50_000) != 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types shared across the IR crate.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Result alias for fallible IR-crate operations.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors produced while lexing, parsing, lowering, or validating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The lexer encountered malformed input.
+    Lex {
+        /// Location of the offending text.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parser encountered an unexpected token.
+    Parse {
+        /// Location of the offending token.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+    /// AST-to-IR lowering failed (e.g. call to an undeclared function).
+    Lower {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The program violates a structural rule (recursion, mutable-alias
+    /// discipline, undeclared sensor, ...).
+    Validate {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl IrError {
+    /// Convenience constructor for lowering errors.
+    pub fn lower(message: impl Into<String>) -> Self {
+        IrError::Lower {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for validation errors.
+    pub fn validate(message: impl Into<String>) -> Self {
+        IrError::Validate {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            IrError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            IrError::Lower { message } => write!(f, "lowering error: {message}"),
+            IrError::Validate { message } => write!(f, "invalid program: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = IrError::validate("recursion is not supported");
+        assert!(e.to_string().contains("recursion is not supported"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

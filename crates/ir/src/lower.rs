@@ -1,0 +1,842 @@
+//! Lowering from the AST to the basic-block IR.
+//!
+//! Lowering performs:
+//!
+//! * **alpha-renaming** — every local binding gets a function-unique name
+//!   (`x`, `x$1`, `x$2`, ...), so the may-alias set of each location is a
+//!   singleton (the Rust-ownership simplification of §5.2);
+//! * **CFG construction** — `if` becomes a diamond, `repeat n` becomes a
+//!   counted loop with a back edge;
+//! * **return landing-pad** — every `return` funnels into one exit block
+//!   whose terminator is the function's only `Ret` (§6.2 relies on this
+//!   for post-dominance);
+//! * **region numbering** — manual `atomic { }` blocks get program-unique
+//!   [`RegionId`]s.
+
+use crate::ast::{self, Arg, AstProgram, Block as AstBlock, Expr, Ident, Stmt};
+use crate::error::{IrError, Result};
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Name of the synthetic return slot. User identifiers cannot contain `$`.
+pub const RET_SLOT: &str = "$ret";
+
+/// Lowers a parsed program to IR.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lower`] when the program references undeclared
+/// functions or has no `main`.
+pub fn lower(ast: &AstProgram) -> Result<Program> {
+    let mut name_to_id = HashMap::new();
+    for (i, f) in ast.funcs.iter().enumerate() {
+        if name_to_id
+            .insert(f.name.clone(), FuncId(i as u32))
+            .is_some()
+        {
+            return Err(IrError::lower(format!(
+                "function `{}` declared more than once",
+                f.name
+            )));
+        }
+    }
+    let main = *name_to_id
+        .get("main")
+        .ok_or_else(|| IrError::lower("program has no `main` function"))?;
+
+    let mut next_region = 0u32;
+    let mut funcs = Vec::with_capacity(ast.funcs.len());
+    for (i, f) in ast.funcs.iter().enumerate() {
+        let mut ctx = FnLower::new(FuncId(i as u32), f, &name_to_id, next_region);
+        let lowered = ctx.run()?;
+        next_region = ctx.next_region;
+        funcs.push(lowered);
+    }
+
+    let globals = ast
+        .globals
+        .iter()
+        .map(|g| IrGlobal {
+            name: g.name.clone(),
+            array_len: g.array_len,
+            init: g.init,
+        })
+        .collect();
+    let sensors = ast.sensors.iter().map(|s| s.name.clone()).collect();
+
+    Ok(Program::from_parts(
+        funcs,
+        globals,
+        sensors,
+        main,
+        next_region,
+    ))
+}
+
+/// Convenience: parse then lower.
+///
+/// # Errors
+///
+/// Propagates lexer, parser, and lowering errors.
+pub fn compile(src: &str) -> Result<Program> {
+    lower(&crate::parser::parse(src)?)
+}
+
+struct FnLower<'a> {
+    id: FuncId,
+    decl: &'a ast::FunDecl,
+    name_to_id: &'a HashMap<Ident, FuncId>,
+    next_region: u32,
+
+    blocks: Vec<Block>,
+    cur: Vec<Inst>,
+    cur_id: BlockId,
+    next_label: u32,
+
+    scopes: Vec<HashMap<Ident, Ident>>,
+    rename_counts: HashMap<Ident, u32>,
+    locals: Vec<Ident>,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(
+        id: FuncId,
+        decl: &'a ast::FunDecl,
+        name_to_id: &'a HashMap<Ident, FuncId>,
+        next_region: u32,
+    ) -> Self {
+        FnLower {
+            id,
+            decl,
+            name_to_id,
+            next_region,
+            blocks: Vec::new(),
+            cur: Vec::new(),
+            cur_id: BlockId(0),
+            next_label: 0,
+            scopes: vec![HashMap::new()],
+            rename_counts: HashMap::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn run(&mut self) -> Result<Function> {
+        // Block ids are allocated by a counter; `cur_id` starts at 0.
+        let mut alloc = BlockAlloc { next: 1 };
+
+        // Parameters are in scope under their own names.
+        for p in &self.decl.params {
+            self.scopes[0].insert(p.name.clone(), p.name.clone());
+            self.rename_counts.insert(p.name.clone(), 0);
+        }
+        // Synthetic return slot.
+        let ret_label = self.fresh_label();
+        self.cur.push(Inst {
+            label: ret_label,
+            op: Op::Bind {
+                var: RET_SLOT.into(),
+                src: Expr::Int(0),
+            },
+        });
+        self.locals.push(RET_SLOT.into());
+        self.scopes[0].insert(RET_SLOT.into(), RET_SLOT.into());
+
+        let exit = self.lower_block_into(&self.decl.body.clone(), &mut alloc)?;
+
+        let function = Function {
+            id: self.id,
+            name: self.decl.name.clone(),
+            params: self
+                .decl
+                .params
+                .iter()
+                .map(|p| IrParam {
+                    name: p.name.clone(),
+                    by_ref: p.by_ref,
+                })
+                .collect(),
+            blocks: std::mem::take(&mut self.blocks),
+            entry: BlockId(0),
+            exit,
+            locals: std::mem::take(&mut self.locals),
+            next_label: self.next_label,
+        };
+        Ok(prune_unreachable(function))
+    }
+
+    /// Lowers the whole function body, then seals with the landing pad.
+    /// Returns the exit block id.
+    fn lower_block_into(&mut self, body: &AstBlock, alloc: &mut BlockAlloc) -> Result<BlockId> {
+        let exit = alloc.fresh();
+        self.lower_stmts(&body.stmts, alloc, exit)?;
+        // Fall off the end: jump to the landing pad.
+        self.seal(Terminator::Jump(exit), alloc);
+        // Emit the landing pad itself.
+        self.cur_id = exit;
+        let term_label = self.fresh_label();
+        self.blocks.push(Block {
+            id: exit,
+            instrs: Vec::new(),
+            term: Terminator::Ret(Some(Expr::Var(RET_SLOT.into()))),
+            term_label,
+        });
+        Ok(exit)
+    }
+
+    /// Ends the current block with `term` and opens a new one.
+    fn seal(&mut self, term: Terminator, alloc: &mut BlockAlloc) {
+        let term_label = self.fresh_label();
+        self.blocks.push(Block {
+            id: self.cur_id,
+            instrs: std::mem::take(&mut self.cur),
+            term,
+            term_label,
+        });
+        self.cur_id = alloc.fresh();
+    }
+
+    fn push(&mut self, op: Op) {
+        let label = self.fresh_label();
+        self.cur.push(Inst { label, op });
+    }
+
+    // ---- naming --------------------------------------------------------
+
+    fn bind_name(&mut self, name: &Ident) -> Ident {
+        let n = self.rename_counts.entry(name.clone()).or_insert(0);
+        let unique = if *n == 0 {
+            name.clone()
+        } else {
+            format!("{name}${n}")
+        };
+        *n += 1;
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.clone(), unique.clone());
+        self.locals.push(unique.clone());
+        unique
+    }
+
+    fn resolve(&self, name: &Ident) -> Ident {
+        for scope in self.scopes.iter().rev() {
+            if let Some(u) = scope.get(name) {
+                return u.clone();
+            }
+        }
+        // Not a local: global, sensor, or channel — keep as-is
+        // (validation reports truly-unknown names).
+        name.clone()
+    }
+
+    fn rename_expr(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Int(_) | Expr::Bool(_) => e.clone(),
+            Expr::Var(x) => Expr::Var(self.resolve(x)),
+            Expr::Deref(x) => Expr::Deref(self.resolve(x)),
+            Expr::Ref(x) => Expr::Ref(self.resolve(x)),
+            Expr::Index(a, i) => Expr::Index(self.resolve(a), Box::new(self.rename_expr(i))),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(self.rename_expr(l)),
+                Box::new(self.rename_expr(r)),
+            ),
+            Expr::Unary(op, x) => Expr::Unary(*op, Box::new(self.rename_expr(x))),
+        }
+    }
+
+    fn rename_arg(&self, a: &Arg) -> Arg {
+        match a {
+            Arg::Value(e) => Arg::Value(self.rename_expr(e)),
+            Arg::Ref(x) => Arg::Ref(self.resolve(x)),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        alloc: &mut BlockAlloc,
+        exit: BlockId,
+    ) -> Result<()> {
+        for s in stmts {
+            self.lower_stmt(s, alloc, exit)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, alloc: &mut BlockAlloc, exit: BlockId) -> Result<()> {
+        match s {
+            Stmt::Skip(_) => self.push(Op::Skip),
+            Stmt::Let(x, e, _) => {
+                let src = self.rename_expr(e);
+                let var = self.bind_name(x);
+                self.push(Op::Bind { var, src });
+            }
+            Stmt::LetFresh(x, e, _) => {
+                let src = self.rename_expr(e);
+                let var = self.bind_name(x);
+                self.push(Op::Bind {
+                    var: var.clone(),
+                    src,
+                });
+                self.push(Op::Annot {
+                    kind: AnnotKind::Fresh,
+                    var,
+                });
+            }
+            Stmt::LetConsistent(id, x, e, _) => {
+                let src = self.rename_expr(e);
+                let var = self.bind_name(x);
+                self.push(Op::Bind {
+                    var: var.clone(),
+                    src,
+                });
+                self.push(Op::Annot {
+                    kind: AnnotKind::Consistent(*id),
+                    var,
+                });
+            }
+            Stmt::LetInput(x, chan, _) => {
+                let var = self.bind_name(x);
+                self.push(Op::Input {
+                    var,
+                    sensor: chan.clone(),
+                });
+            }
+            Stmt::LetCall(x, f, args, _) => {
+                let callee = self.lookup_fn(f)?;
+                let args = args.iter().map(|a| self.rename_arg(a)).collect();
+                let var = self.bind_name(x);
+                self.push(Op::Call {
+                    dst: Some(var),
+                    callee,
+                    args,
+                });
+            }
+            Stmt::CallStmt(f, args, _) => {
+                let callee = self.lookup_fn(f)?;
+                let args = args.iter().map(|a| self.rename_arg(a)).collect();
+                self.push(Op::Call {
+                    dst: None,
+                    callee,
+                    args,
+                });
+            }
+            Stmt::Assign(x, e, _) => {
+                let src = self.rename_expr(e);
+                let place = Place::Var(self.resolve(x));
+                self.push(Op::Assign { place, src });
+            }
+            Stmt::AssignIndex(a, i, e, _) => {
+                let idx = self.rename_expr(i);
+                let src = self.rename_expr(e);
+                self.push(Op::Assign {
+                    place: Place::Index(self.resolve(a), idx),
+                    src,
+                });
+            }
+            Stmt::AssignDeref(x, e, _) => {
+                let src = self.rename_expr(e);
+                self.push(Op::Assign {
+                    place: Place::Deref(self.resolve(x)),
+                    src,
+                });
+            }
+            Stmt::FreshAnnot(x, _) => {
+                self.push(Op::Annot {
+                    kind: AnnotKind::Fresh,
+                    var: self.resolve(x),
+                });
+            }
+            Stmt::ConsistentAnnot(x, id, _) => {
+                self.push(Op::Annot {
+                    kind: AnnotKind::Consistent(*id),
+                    var: self.resolve(x),
+                });
+            }
+            Stmt::Out(chan, args, _) => {
+                let args = args.iter().map(|e| self.rename_expr(e)).collect();
+                self.push(Op::Output {
+                    channel: chan.clone(),
+                    args,
+                });
+            }
+            Stmt::Return(e, _) => {
+                let src = match e {
+                    Some(e) => self.rename_expr(e),
+                    None => Expr::Int(0),
+                };
+                self.push(Op::Assign {
+                    place: Place::Var(RET_SLOT.into()),
+                    src,
+                });
+                self.seal(Terminator::Jump(exit), alloc);
+                // Statements after a return land in an unreachable block,
+                // pruned later.
+            }
+            Stmt::If(cond, then_b, else_b, _) => {
+                let cond = self.rename_expr(cond);
+                let then_id = alloc.fresh();
+                let else_id = alloc.fresh();
+                let join_id = alloc.fresh();
+                self.seal_to(
+                    Terminator::Branch {
+                        cond,
+                        then_bb: then_id,
+                        else_bb: if else_b.is_some() { else_id } else { join_id },
+                    },
+                    then_id,
+                );
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(&then_b.stmts, alloc, exit)?;
+                self.scopes.pop();
+                self.seal_to(Terminator::Jump(join_id), else_id);
+                if let Some(else_b) = else_b {
+                    self.scopes.push(HashMap::new());
+                    self.lower_stmts(&else_b.stmts, alloc, exit)?;
+                    self.scopes.pop();
+                    self.seal_to(Terminator::Jump(join_id), join_id);
+                } else {
+                    // `else_id` was never targeted; emit nothing for it and
+                    // continue in `join_id`. The reserved id stays unused and
+                    // is compacted by pruning.
+                    self.cur_id = join_id;
+                }
+            }
+            Stmt::Repeat(n, body, _) => {
+                // i = 0; head: if i < n { body; i = i + 1; jump head } after
+                let counter = self.bind_name(&format!("$rep{}", self.next_label));
+                self.push(Op::Bind {
+                    var: counter.clone(),
+                    src: Expr::Int(0),
+                });
+                let head = alloc.fresh();
+                let body_id = alloc.fresh();
+                let after = alloc.fresh();
+                self.seal_to(Terminator::Jump(head), head);
+                self.seal_to(
+                    Terminator::Branch {
+                        cond: Expr::Binary(
+                            ast::BinOp::Lt,
+                            Box::new(Expr::Var(counter.clone())),
+                            Box::new(Expr::Int(*n as i64)),
+                        ),
+                        then_bb: body_id,
+                        else_bb: after,
+                    },
+                    body_id,
+                );
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(&body.stmts, alloc, exit)?;
+                self.scopes.pop();
+                self.push(Op::Assign {
+                    place: Place::Var(counter.clone()),
+                    src: Expr::Binary(
+                        ast::BinOp::Add,
+                        Box::new(Expr::Var(counter)),
+                        Box::new(Expr::Int(1)),
+                    ),
+                });
+                self.seal_to(Terminator::Jump(head), after);
+            }
+            Stmt::While(cond, body, _) => {
+                // head: if cond { body; jump head } after — the condition
+                // re-evaluates every iteration (unbounded loop, §4.1).
+                let head = alloc.fresh();
+                let body_id = alloc.fresh();
+                let after = alloc.fresh();
+                self.seal_to(Terminator::Jump(head), head);
+                let cond = self.rename_expr(cond);
+                self.seal_to(
+                    Terminator::Branch {
+                        cond,
+                        then_bb: body_id,
+                        else_bb: after,
+                    },
+                    body_id,
+                );
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(&body.stmts, alloc, exit)?;
+                self.scopes.pop();
+                self.seal_to(Terminator::Jump(head), after);
+            }
+            Stmt::Atomic(body, _) => {
+                // Regions are instruction markers, not binding scopes:
+                // `atomic { let x = ...; } out(log, x);` is legal (the
+                // paper's `startatom; c; endatom` does not delimit
+                // scope).
+                let region = RegionId(self.next_region);
+                self.next_region += 1;
+                self.push(Op::AtomStart { region });
+                self.lower_stmts(&body.stmts, alloc, exit)?;
+                self.push(Op::AtomEnd { region });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the current block with `term`, continuing in `next`.
+    fn seal_to(&mut self, term: Terminator, next: BlockId) {
+        let term_label = self.fresh_label();
+        self.blocks.push(Block {
+            id: self.cur_id,
+            instrs: std::mem::take(&mut self.cur),
+            term,
+            term_label,
+        });
+        self.cur_id = next;
+    }
+
+    fn lookup_fn(&self, name: &str) -> Result<FuncId> {
+        self.name_to_id.get(name).copied().ok_or_else(|| {
+            IrError::lower(format!(
+                "call to undeclared function `{name}` in `{}`",
+                self.decl.name
+            ))
+        })
+    }
+}
+
+struct BlockAlloc {
+    next: u32,
+}
+
+impl BlockAlloc {
+    fn fresh(&mut self) -> BlockId {
+        let b = BlockId(self.next);
+        self.next += 1;
+        b
+    }
+}
+
+/// Removes blocks unreachable from the entry and renumbers the rest so
+/// that `blocks[i].id == BlockId(i)`.
+fn prune_unreachable(mut f: Function) -> Function {
+    use std::collections::{BTreeMap, VecDeque};
+
+    let by_id: BTreeMap<u32, Block> = f.blocks.drain(..).map(|b| (b.id.0, b)).collect();
+    let mut reachable = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = VecDeque::from([f.entry]);
+    // The exit landing pad is always kept so `Function::exit` stays valid
+    // even for bodies that loop forever (not expressible here, but cheap
+    // to be safe about).
+    queue.push_back(f.exit);
+    while let Some(b) = queue.pop_front() {
+        if !seen.insert(b) {
+            continue;
+        }
+        reachable.push(b);
+        if let Some(block) = by_id.get(&b.0) {
+            for s in block.term.successors() {
+                queue.push_back(s);
+            }
+        }
+    }
+    reachable.sort_by_key(|b| b.0);
+
+    let remap: HashMap<u32, u32> = reachable
+        .iter()
+        .enumerate()
+        .map(|(new, old)| (old.0, new as u32))
+        .collect();
+
+    let mut blocks = Vec::with_capacity(reachable.len());
+    for old in &reachable {
+        let mut b = by_id
+            .get(&old.0)
+            .expect("reachable block must exist")
+            .clone();
+        b.id = BlockId(remap[&old.0]);
+        b.term = match b.term {
+            Terminator::Jump(t) => Terminator::Jump(BlockId(remap[&t.0])),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond,
+                then_bb: BlockId(remap[&then_bb.0]),
+                else_bb: BlockId(remap[&else_bb.0]),
+            },
+            Terminator::Ret(e) => Terminator::Ret(e),
+        };
+        blocks.push(b);
+    }
+    f.entry = BlockId(remap[&f.entry.0]);
+    f.exit = BlockId(remap[&f.exit.0]);
+    f.blocks = blocks;
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_src(src: &str) -> Program {
+        compile(src).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowers_to_two_blocks() {
+        let p = lower_src("fn main() { let x = 1; let y = x + 1; }");
+        let f = p.func(p.main);
+        assert_eq!(f.blocks.len(), 2, "body + landing pad");
+        assert_eq!(f.entry, BlockId(0));
+        assert!(matches!(
+            f.block(f.exit).term,
+            Terminator::Ret(Some(Expr::Var(_)))
+        ));
+    }
+
+    #[test]
+    fn if_lowers_to_diamond() {
+        let p = lower_src("fn main() { let x = 1; if x > 0 { let y = 2; } else { let z = 3; } let w = 4; }");
+        let f = p.func(p.main);
+        // entry, then, else, join, exit
+        assert_eq!(f.blocks.len(), 5);
+        let entry = f.block(f.entry);
+        match &entry.term {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => assert_ne!(then_bb, else_bb),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else_branches_to_join() {
+        let p = lower_src("fn main() { let x = 1; if x > 0 { let y = 2; } let w = 4; }");
+        let f = p.func(p.main);
+        // entry, then, join, exit — unused reserved else block pruned.
+        assert_eq!(f.blocks.len(), 4);
+    }
+
+    #[test]
+    fn repeat_creates_back_edge() {
+        let p = lower_src("sensor s; fn main() { repeat 3 { let v = in(s); } }");
+        let f = p.func(p.main);
+        let mut has_back_edge = false;
+        for b in &f.blocks {
+            for succ in b.term.successors() {
+                if succ.0 <= b.id.0 {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge, "repeat must lower to a loop");
+    }
+
+    #[test]
+    fn while_creates_back_edge_with_live_condition() {
+        let p = lower_src("nv g = 3; fn main() { while g > 0 { g = g - 1; } out(log, g); }");
+        let f = p.func(p.main);
+        let mut has_back_edge = false;
+        let mut cond_on_g = false;
+        for b in &f.blocks {
+            for succ in b.term.successors() {
+                if succ.0 <= b.id.0 {
+                    has_back_edge = true;
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &b.term {
+                cond_on_g = cond_on_g
+                    || format!("{cond:?}").contains("\"g\"");
+            }
+        }
+        assert!(has_back_edge, "while must lower to a loop");
+        assert!(cond_on_g, "the condition re-evaluates `g` each iteration");
+    }
+
+    #[test]
+    fn while_body_scope_is_popped() {
+        // A binding inside the loop body is a different variable from a
+        // same-named binding after it.
+        let p = lower_src(
+            "nv g = 1; fn main() { while g > 0 { let t = 1; g = 0; } let t = 5; out(log, t); }",
+        );
+        let f = p.func(p.main);
+        let binds: Vec<String> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match &i.op {
+                Op::Bind { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .filter(|v| v.starts_with('t'))
+            .collect();
+        assert_eq!(binds.len(), 2);
+        assert_ne!(binds[0], binds[1], "loop-body binding must not leak");
+    }
+
+    #[test]
+    fn shadowed_lets_get_unique_names() {
+        let p = lower_src("fn main() { let x = 1; let x = 2; let y = x; }");
+        let f = p.func(p.main);
+        let binds: Vec<_> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match &i.op {
+                Op::Bind { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .collect();
+        // $ret, x, x$1, y
+        assert_eq!(binds.len(), 4);
+        assert!(binds.contains(&"x".to_string()));
+        assert!(binds.contains(&"x$1".to_string()));
+        // `y`'s initializer must reference the shadowing definition.
+        let y_src = f
+            .iter_insts()
+            .find_map(|(_, i)| match &i.op {
+                Op::Bind { var, src } if var == "y" => Some(src.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(y_src, Expr::Var("x$1".into()));
+    }
+
+    #[test]
+    fn scoped_shadowing_does_not_leak() {
+        let p = lower_src(
+            "fn main() { let x = 1; if x > 0 { let x = 2; let a = x; } let b = x; }",
+        );
+        let f = p.func(p.main);
+        let b_src = f
+            .iter_insts()
+            .find_map(|(_, i)| match &i.op {
+                Op::Bind { var, src } if var == "b" => Some(src.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(b_src, Expr::Var("x".into()), "outer x visible after if");
+        let a_src = f
+            .iter_insts()
+            .find_map(|(_, i)| match &i.op {
+                Op::Bind { var, src } if var == "a" => Some(src.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(a_src, Expr::Var("x$1".into()), "inner x shadows");
+    }
+
+    #[test]
+    fn return_routes_through_landing_pad() {
+        let p = lower_src("fn f() { return 7; } fn main() { let x = f(); }");
+        let f = p.func(p.func_by_name("f").unwrap());
+        let rets = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Ret(_)))
+            .count();
+        assert_eq!(rets, 1, "exactly one Ret (the landing pad)");
+        // The return value is staged through the $ret slot.
+        let has_ret_assign = f.iter_insts().any(|(_, i)| {
+            matches!(&i.op, Op::Assign { place: Place::Var(v), src } if v == RET_SLOT && *src == Expr::Int(7))
+        });
+        assert!(has_ret_assign);
+    }
+
+    #[test]
+    fn multiple_returns_share_landing_pad() {
+        let p = lower_src(
+            "fn f(v) { if v > 0 { return 1; } else { return 2; } } fn main() { let x = f(3); }",
+        );
+        let f = p.func(p.func_by_name("f").unwrap());
+        let rets = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Ret(_)))
+            .count();
+        assert_eq!(rets, 1);
+        // Exit must post-dominate: both return paths jump to it.
+        let jumps_to_exit = f
+            .blocks
+            .iter()
+            .filter(|b| b.term.successors().contains(&f.exit))
+            .count();
+        assert!(jumps_to_exit >= 2);
+    }
+
+    #[test]
+    fn code_after_return_is_pruned() {
+        let p = lower_src("fn main() { return 1; let x = 2; }");
+        let f = p.func(p.main);
+        let has_x = f
+            .iter_insts()
+            .any(|(_, i)| matches!(&i.op, Op::Bind { var, .. } if var == "x"));
+        assert!(!has_x, "unreachable bind must be pruned");
+    }
+
+    #[test]
+    fn atomic_emits_matched_start_end() {
+        let p = lower_src("fn main() { atomic { let x = 1; } atomic { let y = 2; } }");
+        let f = p.func(p.main);
+        let mut starts = vec![];
+        let mut ends = vec![];
+        for (_, i) in f.iter_insts() {
+            match &i.op {
+                Op::AtomStart { region } => starts.push(*region),
+                Op::AtomEnd { region } => ends.push(*region),
+                _ => {}
+            }
+        }
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts, ends);
+        assert_ne!(starts[0], starts[1], "regions get distinct ids");
+    }
+
+    #[test]
+    fn block_ids_are_dense_after_pruning() {
+        let p = lower_src(
+            "fn main() { let x = 1; if x > 0 { return 1; } else { return 2; } }",
+        );
+        let f = p.func(p.main);
+        for (i, b) in f.blocks.iter().enumerate() {
+            assert_eq!(b.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_within_function() {
+        let p = lower_src(
+            "sensor s; fn main() { let x = in(s); if x > 0 { out(log, x); } repeat 2 { let q = in(s); } }",
+        );
+        let f = p.func(p.main);
+        let mut labels: Vec<u32> = f
+            .blocks
+            .iter()
+            .flat_map(|b| {
+                b.instrs
+                    .iter()
+                    .map(|i| i.label.0)
+                    .chain(std::iter::once(b.term_label.0))
+            })
+            .collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        assert!(compile("fn main() { nope(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        assert!(compile("fn main() {} fn main() {}").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(compile("fn helper() {}").is_err());
+    }
+}

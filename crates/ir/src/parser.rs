@@ -1,0 +1,791 @@
+//! Recursive-descent parser for the Ocelot modeling language.
+//!
+//! Grammar (see [`crate::ast`] for node meanings):
+//!
+//! ```text
+//! program   := (sensor | global | function)*
+//! sensor    := "sensor" IDENT ";"
+//! global    := "nv" IDENT ("[" INT "]")? ("=" INT)? ";"
+//! function  := "fn" IDENT "(" params? ")" block
+//! params    := param ("," param)*       param := "&"? IDENT
+//! block     := "{" stmt* "}"
+//! stmt      := "skip" ";"
+//!            | "let" "fresh" IDENT "=" expr ";"
+//!            | "let" "consistent" "(" INT ")" IDENT "=" expr ";"
+//!            | "let" IDENT "=" "in" "(" IDENT ")" ";"
+//!            | "let" IDENT "=" IDENT "(" args? ")" ";"
+//!            | "let" IDENT "=" expr ";"
+//!            | "fresh" "(" IDENT ")" ";"
+//!            | "consistent" "(" IDENT "," INT ")" ";"
+//!            | "if" expr block ("else" block)?
+//!            | "repeat" INT block
+//!            | "while" expr block
+//!            | "atomic" block
+//!            | "out" "(" IDENT ("," expr)* ")" ";"
+//!            | "return" expr? ";"
+//!            | "*" IDENT "=" expr ";"
+//!            | IDENT "[" expr "]" "=" expr ";"
+//!            | IDENT "=" expr ";"
+//!            | IDENT "(" args? ")" ";"
+//! args      := arg ("," arg)*           arg := "&" IDENT | expr
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := cmp ("&&" cmp)*
+//! cmp       := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | primary
+//! primary   := INT | "true" | "false" | IDENT ("[" expr "]")?
+//!            | "*" IDENT | "&" IDENT | "(" expr ")"
+//! ```
+
+use crate::ast::*;
+use crate::error::{IrError, Result};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete source program.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] or [`IrError::Parse`] describing the first
+/// malformed construct.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     sensor temp;
+///     fn main() {
+///         let fresh x = 0;
+///         let t = in(temp);
+///     }
+/// "#;
+/// let ast = ocelot_ir::parse(src).unwrap();
+/// assert_eq!(ast.funcs.len(), 1);
+/// assert_eq!(ast.sensors.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<AstProgram> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(kind.describe()))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> IrError {
+        IrError::Parse {
+            span: self.span(),
+            message: format!("expected {wanted}, found {}", self.peek().describe()),
+        }
+    }
+
+    fn ident(&mut self) -> Result<Ident> {
+        match self.peek() {
+            TokenKind::Ident(_) => match self.bump().kind {
+                TokenKind::Ident(name) => Ok(name),
+                _ => unreachable!(),
+            },
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.peek() {
+            TokenKind::Int(_) => match self.bump().kind {
+                TokenKind::Int(n) => Ok(n),
+                _ => unreachable!(),
+            },
+            _ => Err(self.unexpected("integer literal")),
+        }
+    }
+
+    // ---- top level ----------------------------------------------------
+
+    fn program(&mut self) -> Result<AstProgram> {
+        let mut prog = AstProgram::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Sensor => {
+                    let start = self.span();
+                    self.bump();
+                    let name = self.ident()?;
+                    let end = self.span();
+                    self.expect(TokenKind::Semi)?;
+                    prog.sensors.push(SensorDecl {
+                        name,
+                        span: start.merge(end),
+                    });
+                }
+                TokenKind::Nv => {
+                    let start = self.span();
+                    self.bump();
+                    let name = self.ident()?;
+                    let array_len = if self.eat(&TokenKind::LBracket) {
+                        let n = self.int()?;
+                        self.expect(TokenKind::RBracket)?;
+                        if n < 0 {
+                            return Err(IrError::Parse {
+                                span: start,
+                                message: "array length must be non-negative".into(),
+                            });
+                        }
+                        Some(n as usize)
+                    } else {
+                        None
+                    };
+                    let init = if self.eat(&TokenKind::Eq) {
+                        let neg = self.eat(&TokenKind::Minus);
+                        let n = self.int()?;
+                        if neg {
+                            -n
+                        } else {
+                            n
+                        }
+                    } else {
+                        0
+                    };
+                    let end = self.span();
+                    self.expect(TokenKind::Semi)?;
+                    prog.globals.push(GlobalDecl {
+                        name,
+                        array_len,
+                        init,
+                        span: start.merge(end),
+                    });
+                }
+                TokenKind::Fn => prog.funcs.push(self.function()?),
+                _ => return Err(self.unexpected("`sensor`, `nv`, or `fn`")),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self) -> Result<FunDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Fn)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let by_ref = self.eat(&TokenKind::Amp);
+                let pname = self.ident()?;
+                params.push(Param {
+                    name: pname,
+                    by_ref,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let hdr_end = self.span();
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(FunDecl {
+            name,
+            params,
+            body,
+            span: start.merge(hdr_end),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block::new(stmts))
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Skip => {
+                self.bump();
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Skip(start.merge(end)))
+            }
+            TokenKind::Let => self.let_stmt(start),
+            TokenKind::Fresh => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let x = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::FreshAnnot(x, start.merge(end)))
+            }
+            TokenKind::Consistent => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let x = self.ident()?;
+                self.expect(TokenKind::Comma)?;
+                let id = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::ConsistentAnnot(x, id as u32, start.merge(end)))
+            }
+            TokenKind::If => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_b = self.block()?;
+                let else_b = if self.eat(&TokenKind::Else) {
+                    Some(self.block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then_b, else_b, start))
+            }
+            TokenKind::Repeat => {
+                self.bump();
+                let n = self.int()?;
+                if n < 0 {
+                    return Err(IrError::Parse {
+                        span: start,
+                        message: "repeat count must be non-negative".into(),
+                    });
+                }
+                let body = self.block()?;
+                Ok(Stmt::Repeat(n as u64, body, start))
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body, start))
+            }
+            TokenKind::Atomic => {
+                self.bump();
+                let body = self.block()?;
+                Ok(Stmt::Atomic(body, start))
+            }
+            TokenKind::Out => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let chan = self.ident()?;
+                let mut args = Vec::new();
+                while self.eat(&TokenKind::Comma) {
+                    // String payloads are modeled as their length: the
+                    // runtime only needs a value with an output cost.
+                    if let TokenKind::Str(_) = self.peek() {
+                        if let TokenKind::Str(s) = self.bump().kind {
+                            args.push(Expr::Int(s.len() as i64));
+                        }
+                    } else {
+                        args.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Out(chan, args, start.merge(end)))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return(value, start.merge(end)))
+            }
+            TokenKind::Star => {
+                self.bump();
+                let x = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let e = self.expr()?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::AssignDeref(x, e, start.merge(end)))
+            }
+            TokenKind::Ident(_) => self.ident_stmt(start),
+            _ => Err(self.unexpected("statement")),
+        }
+    }
+
+    fn let_stmt(&mut self, start: Span) -> Result<Stmt> {
+        self.expect(TokenKind::Let)?;
+        match self.peek().clone() {
+            TokenKind::Fresh => {
+                self.bump();
+                let x = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let e = self.expr()?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::LetFresh(x, e, start.merge(end)))
+            }
+            TokenKind::Consistent => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let id = self.int()?;
+                self.expect(TokenKind::RParen)?;
+                let x = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                let e = self.expr()?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::LetConsistent(id as u32, x, e, start.merge(end)))
+            }
+            TokenKind::Ident(_) => {
+                let x = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                match (self.peek().clone(), self.peek2().clone()) {
+                    (TokenKind::In, TokenKind::LParen) => {
+                        self.bump();
+                        self.bump();
+                        let chan = self.ident()?;
+                        self.expect(TokenKind::RParen)?;
+                        let end = self.span();
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::LetInput(x, chan, start.merge(end)))
+                    }
+                    (TokenKind::Ident(f), TokenKind::LParen) => {
+                        self.bump();
+                        self.bump();
+                        let args = self.args()?;
+                        self.expect(TokenKind::RParen)?;
+                        let end = self.span();
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::LetCall(x, f, args, start.merge(end)))
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        let end = self.span();
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Let(x, e, start.merge(end)))
+                    }
+                }
+            }
+            _ => Err(self.unexpected("`fresh`, `consistent`, or identifier after `let`")),
+        }
+    }
+
+    fn ident_stmt(&mut self, start: Span) -> Result<Stmt> {
+        let name = self.ident()?;
+        match self.peek().clone() {
+            TokenKind::Eq => {
+                self.bump();
+                let e = self.expr()?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign(name, e, start.merge(end)))
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                self.expect(TokenKind::Eq)?;
+                let e = self.expr()?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::AssignIndex(name, idx, e, start.merge(end)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let args = self.args()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.span();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::CallStmt(name, args, start.merge(end)))
+            }
+            _ => Err(self.unexpected("`=`, `[`, or `(` after identifier")),
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Arg>> {
+        let mut args = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            return Ok(args);
+        }
+        loop {
+            if self.peek() == &TokenKind::Amp {
+                self.bump();
+                let x = self.ident()?;
+                args.push(Arg::Ref(x));
+            } else {
+                args.push(Arg::Value(self.expr()?));
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(args)
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::PipePipe) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AmpAmp) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::Deref(self.ident()?))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                Ok(Expr::Ref(self.ident()?))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_program() {
+        // The motivating example from Figure 2 of the paper.
+        let src = r#"
+            sensor tmp;
+            sensor pres;
+            sensor hum;
+            fn main() {
+                let x = in(tmp);
+                fresh(x);
+                if x > 5 {
+                    out(alarm, x);
+                }
+                let y = in(pres);
+                consistent(y, 1);
+                let z = in(hum);
+                consistent(z, 1);
+                out(log, y, z);
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.sensors.len(), 3);
+        let main = ast.func("main").unwrap();
+        assert_eq!(main.body.stmts.len(), 8);
+        assert!(matches!(main.body.stmts[1], Stmt::FreshAnnot(..)));
+        assert!(matches!(
+            main.body.stmts[4],
+            Stmt::ConsistentAnnot(_, 1, _)
+        ));
+    }
+
+    #[test]
+    fn parses_let_forms() {
+        let src = r#"
+            sensor s;
+            fn main() {
+                let fresh a = 1;
+                let consistent(2) b = 2;
+                let c = in(s);
+                let d = helper(c, &b);
+                let e = c + d;
+            }
+            fn helper(v, &r) { return v; }
+        "#;
+        let ast = parse(src).unwrap();
+        let main = ast.func("main").unwrap();
+        assert!(matches!(main.body.stmts[0], Stmt::LetFresh(..)));
+        assert!(matches!(main.body.stmts[1], Stmt::LetConsistent(2, ..)));
+        assert!(matches!(main.body.stmts[2], Stmt::LetInput(..)));
+        match &main.body.stmts[3] {
+            Stmt::LetCall(x, f, args, _) => {
+                assert_eq!(x, "d");
+                assert_eq!(f, "helper");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(args[1], Arg::Ref(_)));
+            }
+            other => panic!("expected LetCall, got {other:?}"),
+        }
+        let helper = ast.func("helper").unwrap();
+        assert!(helper.params[1].by_ref);
+        assert!(!helper.params[0].by_ref);
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let src = "fn main() { let x = 1 + 2 * 3; }";
+        let ast = parse(src).unwrap();
+        match &ast.func("main").unwrap().body.stmts[0] {
+            Stmt::Let(_, Expr::Binary(BinOp::Add, l, r), _) => {
+                assert_eq!(**l, Expr::Int(1));
+                assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let src = "fn main() { let x = a || b && c; }";
+        let ast = parse(src).unwrap();
+        match &ast.func("main").unwrap().body.stmts[0] {
+            Stmt::Let(_, Expr::Binary(BinOp::Or, _, r), _) => {
+                assert!(matches!(**r, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repeat_and_atomic() {
+        let src = r#"
+            sensor photo;
+            fn main() {
+                repeat 5 {
+                    let v = in(photo);
+                }
+                atomic {
+                    skip;
+                }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let main = ast.func("main").unwrap();
+        assert!(matches!(main.body.stmts[0], Stmt::Repeat(5, ..)));
+        assert!(matches!(main.body.stmts[1], Stmt::Atomic(..)));
+    }
+
+    #[test]
+    fn parses_while_with_condition() {
+        let src = "nv g = 3; fn main() { while g > 0 { g = g - 1; } }";
+        let ast = parse(src).unwrap();
+        let main = ast.func("main").unwrap();
+        match &main.body.stmts[0] {
+            Stmt::While(cond, body, _) => {
+                assert!(matches!(cond, Expr::Binary(BinOp::Gt, _, _)));
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_requires_a_block() {
+        assert!(parse("fn main() { while 1 skip; }").is_err());
+    }
+
+    #[test]
+    fn parses_array_and_deref_stores() {
+        let src = r#"
+            nv buf[8];
+            fn main(&p) {
+                buf[2] = 7;
+                *p = buf[2] + *p;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        let main = ast.func("main").unwrap();
+        assert!(matches!(main.body.stmts[0], Stmt::AssignIndex(..)));
+        assert!(matches!(main.body.stmts[1], Stmt::AssignDeref(..)));
+    }
+
+    #[test]
+    fn parses_globals_with_init() {
+        let src = "nv count = 3; nv neg = -4; nv arr[16];";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.globals[0].init, 3);
+        assert_eq!(ast.globals[1].init, -4);
+        assert_eq!(ast.globals[2].array_len, Some(16));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("fn main() { let x = 1 }").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_at_top_level() {
+        assert!(parse("let x = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_block() {
+        assert!(parse("fn main() { skip;").is_err());
+    }
+
+    #[test]
+    fn rejects_negative_repeat() {
+        assert!(parse("fn main() { repeat -1 { skip; } }").is_err());
+    }
+
+    #[test]
+    fn string_payloads_become_lengths() {
+        let src = r#"fn main() { out(uart, "abc"); }"#;
+        let ast = parse(src).unwrap();
+        match &ast.func("main").unwrap().body.stmts[0] {
+            Stmt::Out(_, args, _) => assert_eq!(args[0], Expr::Int(3)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `a < b < c` should fail to parse a second comparison cleanly:
+        // the grammar permits only one comparison per level, so the
+        // trailing `< c` is a parse error.
+        assert!(parse("fn main() { let x = a < b < c; }").is_err());
+    }
+}

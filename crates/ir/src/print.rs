@@ -1,0 +1,194 @@
+//! Pretty-printing of lowered programs, for debugging and golden tests.
+
+use crate::ast::{Arg, Expr};
+use crate::ir::{Function, Op, Place, Program, Terminator};
+use std::fmt::Write as _;
+
+/// Renders an expression in surface syntax.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => n.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(x) => x.clone(),
+        Expr::Deref(x) => format!("*{x}"),
+        Expr::Ref(x) => format!("&{x}"),
+        Expr::Index(a, i) => format!("{a}[{}]", expr_to_string(i)),
+        Expr::Binary(op, l, r) => {
+            format!("({} {} {})", expr_to_string(l), op, expr_to_string(r))
+        }
+        Expr::Unary(op, x) => format!("{op}{}", expr_to_string(x)),
+    }
+}
+
+fn arg_to_string(a: &Arg) -> String {
+    match a {
+        Arg::Value(e) => expr_to_string(e),
+        Arg::Ref(x) => format!("&{x}"),
+    }
+}
+
+/// Renders one IR operation.
+pub fn op_to_string(p: &Program, op: &Op) -> String {
+    match op {
+        Op::Skip => "skip".into(),
+        Op::Bind { var, src } => format!("let {var} = {}", expr_to_string(src)),
+        Op::Assign { place, src } => {
+            let lhs = match place {
+                Place::Var(x) => x.clone(),
+                Place::Index(a, i) => format!("{a}[{}]", expr_to_string(i)),
+                Place::Deref(x) => format!("*{x}"),
+            };
+            format!("{lhs} = {}", expr_to_string(src))
+        }
+        Op::Input { var, sensor } => format!("let {var} = in({sensor})"),
+        Op::Call { dst, callee, args } => {
+            let args: Vec<_> = args.iter().map(arg_to_string).collect();
+            let call = format!("{}({})", p.func(*callee).name, args.join(", "));
+            match dst {
+                Some(d) => format!("let {d} = {call}"),
+                None => call,
+            }
+        }
+        Op::Output { channel, args } => {
+            let args: Vec<_> = args.iter().map(expr_to_string).collect();
+            if args.is_empty() {
+                format!("out({channel})")
+            } else {
+                format!("out({channel}, {})", args.join(", "))
+            }
+        }
+        Op::Annot { kind, var } => match kind {
+            crate::ir::AnnotKind::Fresh => format!("fresh({var})"),
+            crate::ir::AnnotKind::Consistent(id) => format!("consistent({var}, {id})"),
+        },
+        Op::AtomStart { region } => format!("startatom(r{})", region.0),
+        Op::AtomEnd { region } => format!("endatom(r{})", region.0),
+    }
+}
+
+/// Renders one function with block structure and labels.
+pub fn function_to_string(p: &Program, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<_> = f
+        .params
+        .iter()
+        .map(|q| {
+            if q.by_ref {
+                format!("&{}", q.name)
+            } else {
+                q.name.clone()
+            }
+        })
+        .collect();
+    let _ = writeln!(s, "fn {}({}) {{", f.name, params.join(", "));
+    for b in &f.blocks {
+        let marks = if b.id == f.entry && b.id == f.exit {
+            " (entry, exit)"
+        } else if b.id == f.entry {
+            " (entry)"
+        } else if b.id == f.exit {
+            " (exit)"
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "  bb{}:{marks}", b.id.0);
+        for inst in &b.instrs {
+            let _ = writeln!(s, "    l{}: {}", inst.label.0, op_to_string(p, &inst.op));
+        }
+        let term = match &b.term {
+            Terminator::Jump(t) => format!("jump bb{}", t.0),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!(
+                "br {} ? bb{} : bb{}",
+                expr_to_string(cond),
+                then_bb.0,
+                else_bb.0
+            ),
+            Terminator::Ret(Some(e)) => format!("ret {}", expr_to_string(e)),
+            Terminator::Ret(None) => "ret".into(),
+        };
+        let _ = writeln!(s, "    l{}: {term}", b.term_label.0);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders the whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for sensor in &p.sensors {
+        let _ = writeln!(s, "sensor {sensor};");
+    }
+    for g in &p.globals {
+        match g.array_len {
+            Some(n) => {
+                let _ = writeln!(s, "nv {}[{n}];", g.name);
+            }
+            None => {
+                let _ = writeln!(s, "nv {} = {};", g.name, g.init);
+            }
+        }
+    }
+    for f in &p.funcs {
+        s.push_str(&function_to_string(p, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile;
+
+    #[test]
+    fn prints_every_construct() {
+        let p = compile(
+            r#"
+            sensor temp;
+            nv hist[4];
+            nv n = 0;
+            fn norm(v, &o) { *o = v; return v + 1; }
+            fn main() {
+                let fresh x = 0;
+                let t = in(temp);
+                let y = norm(t, &x);
+                consistent(y, 1);
+                if y > 5 { out(alarm, y); }
+                hist[n] = y;
+                atomic { skip; }
+            }
+            "#,
+        )
+        .unwrap();
+        let text = program_to_string(&p);
+        for needle in [
+            "sensor temp;",
+            "nv hist[4];",
+            "nv n = 0;",
+            "let t = in(temp)",
+            "norm(t, &x)",
+            "consistent(y, 1)",
+            "fresh(x)",
+            "out(alarm, y)",
+            "hist[",
+            "startatom(r0)",
+            "endatom(r0)",
+            "br (y > 5)",
+            "(entry)",
+            "(exit)",
+            "ret",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn expr_rendering_parenthesizes() {
+        let p = compile("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let text = program_to_string(&p);
+        assert!(text.contains("(1 + (2 * 3))"), "{text}");
+    }
+}

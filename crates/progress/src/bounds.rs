@@ -1,0 +1,113 @@
+//! Static trip-count recovery for lowered `repeat` loops.
+//!
+//! The surface language's only loop form is `repeat n { .. }` with a
+//! static count; lowering turns it into
+//!
+//! ```text
+//! $rep := 0; head: if $rep < n { body; $rep := $rep + 1; jump head } after
+//! ```
+//!
+//! so the trip count can be read back off the header's branch condition.
+//! Hand-built IR with other loop shapes is reported as unbounded — the
+//! analysis refuses to guess.
+
+use ocelot_analysis::loops::NaturalLoop;
+use ocelot_ir::ast::{BinOp, Expr};
+use ocelot_ir::{Function, Terminator};
+
+/// The recovered bound of one natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopBound {
+    /// The loop body executes exactly `n` times (and the header check
+    /// `n + 1` times).
+    Exact(u64),
+    /// No bound could be recovered; the reason is diagnostic text.
+    Unknown(String),
+}
+
+/// Recovers the trip count of `l` from its header branch.
+///
+/// The pattern matched is exactly what [`ocelot_ir::lower()`] emits for
+/// `repeat n`: a header whose terminator is `if $rep.. < K` with the
+/// then-edge entering the loop and the else-edge leaving it.
+pub fn loop_bound(f: &Function, l: &NaturalLoop) -> LoopBound {
+    let header = f.block(l.header);
+    let Terminator::Branch {
+        cond,
+        then_bb,
+        else_bb,
+    } = &header.term
+    else {
+        return LoopBound::Unknown("loop header does not end in a branch".into());
+    };
+    if !l.contains(*then_bb) || l.contains(*else_bb) {
+        return LoopBound::Unknown(
+            "loop header branch does not have the then-edge in, else-edge out shape".into(),
+        );
+    }
+    match cond {
+        Expr::Binary(BinOp::Lt, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Var(c), Expr::Int(k)) if c.starts_with("$rep") && *k >= 0 => {
+                LoopBound::Exact(*k as u64)
+            }
+            _ => LoopBound::Unknown(format!(
+                "header condition is not a `$rep < const` counter check: {cond:?}"
+            )),
+        },
+        _ => LoopBound::Unknown(format!(
+            "header condition is not a `<` comparison: {cond:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_analysis::dom::DomTree;
+    use ocelot_analysis::loops::LoopForest;
+    use ocelot_ir::cfg::Cfg;
+    use ocelot_ir::lower::compile;
+
+    fn main_loops(src: &str) -> (ocelot_ir::Program, LoopForest) {
+        let p = compile(src).unwrap();
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let lf = LoopForest::new(f, &cfg, &dom);
+        (p, lf)
+    }
+
+    #[test]
+    fn repeat_bound_is_recovered_exactly() {
+        let (p, lf) = main_loops("sensor s; fn main() { repeat 7 { let v = in(s); } }");
+        assert_eq!(lf.loops().len(), 1);
+        let f = p.func(p.main);
+        assert_eq!(loop_bound(f, &lf.loops()[0]), LoopBound::Exact(7));
+    }
+
+    #[test]
+    fn zero_trip_repeat_is_exact_zero() {
+        let (p, lf) = main_loops("fn main() { repeat 0 { skip; } }");
+        assert_eq!(lf.loops().len(), 1);
+        let f = p.func(p.main);
+        assert_eq!(loop_bound(f, &lf.loops()[0]), LoopBound::Exact(0));
+    }
+
+    #[test]
+    fn nested_repeats_each_have_bounds() {
+        let (p, lf) =
+            main_loops("sensor s; fn main() { repeat 2 { repeat 3 { let v = in(s); } } }");
+        assert_eq!(lf.loops().len(), 2);
+        let f = p.func(p.main);
+        let mut bounds: Vec<u64> = lf
+            .loops()
+            .iter()
+            .map(|l| match loop_bound(f, l) {
+                LoopBound::Exact(n) => n,
+                LoopBound::Unknown(why) => panic!("expected bound: {why}"),
+            })
+            .collect();
+        bounds.sort_unstable();
+        assert_eq!(bounds, vec![2, 3]);
+    }
+}

@@ -1,0 +1,1509 @@
+//! The intermittent execution machine: the paper's JIT + Atomics
+//! operational semantics (Appendix H) with the taint augmentation of
+//! Appendix B, driven by a simulated power supply and sensor
+//! environment.
+//!
+//! One [`Machine`] executes a lowered program instruction by
+//! instruction, charging energy per operation. When the supply reports
+//! low power the machine follows the paper's rules:
+//!
+//! * `JIT-LowPower` — checkpoint volatile state into the context, shut
+//!   down, recharge, `JIT-Reboot` restore and continue;
+//! * `Atom-LowPower` — shut down immediately; `Atom-Reboot` applies the
+//!   undo log (`N ◁ L`), restores the region-entry snapshot, and
+//!   re-executes the region from its start;
+//! * `Atom-Start-Outer/Inner`, `Atom-End-Outer/Inner` — nested regions
+//!   flatten via the `natom` counter.
+
+use crate::detect::{BitVector, DetectorConfig, ViolationKind};
+use crate::memory::{Frame, NvLoc, NvMem, RefTarget, Tainted, UndoLog, VolState};
+use crate::obs::{Obs, ObsLog};
+use crate::stats::Stats;
+use ocelot_core::{PolicyKind, PolicySet, RegionInfo};
+use ocelot_hw::energy::{CostModel, PowerEvent};
+use ocelot_hw::power::PowerSupply;
+use ocelot_hw::sensors::Environment;
+use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
+use ocelot_ir::{FuncId, InstrRef, Op, Place, Program, RegionId, Terminator};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Saved execution context `κ` (non-volatile).
+#[derive(Debug, Clone)]
+enum Ctx {
+    /// JIT mode; `None` until the first checkpoint (boot context points
+    /// at the program start).
+    Jit(Option<Box<VolState>>),
+    /// Atomic mode: region-entry snapshot, undo log, nesting counter.
+    Atom {
+        snap: Box<VolState>,
+        log: UndoLog,
+        natom: u32,
+        region: RegionId,
+    },
+}
+
+/// Result of driving one complete program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `main` returned. `violated` reports whether the detector fired
+    /// during this run.
+    Completed {
+        /// True when at least one policy violation was detected.
+        violated: bool,
+    },
+    /// The step budget ran out before completion.
+    StepLimit,
+    /// An atomic region rolled back more times in a row than the
+    /// configured [`Machine::with_reexec_limit`] allows: its worst-case
+    /// attempt does not fit in the energy buffer, so the program can
+    /// make no forward progress (§5.3). Samoyed-style scaling rules key
+    /// off this outcome.
+    Livelock {
+        /// The region that never committed.
+        region: RegionId,
+    },
+}
+
+/// Instructions the pathological injector fails at, derived from
+/// policies per §7.3: immediately before each use of a fresh variable,
+/// and *between* the collections of a consistent set — concretely, at
+/// the point where each collection's provenance chain diverges from the
+/// previous one (the first call site or input op unique to it), so the
+/// failure lands after one collection and before the next.
+pub fn pathological_targets(policies: &PolicySet) -> BTreeSet<InstrRef> {
+    let mut targets = BTreeSet::new();
+    for pol in policies.iter() {
+        if pol.is_vacuous() {
+            continue;
+        }
+        match pol.kind {
+            PolicyKind::Fresh => targets.extend(pol.uses.iter().copied()),
+            PolicyKind::Consistent(_) => {
+                let chains: Vec<&ocelot_analysis::taint::Prov> =
+                    pol.inputs.iter().collect();
+                for w in chains.windows(2) {
+                    let (prev, cur) = (w[0], w[1]);
+                    let diverge = cur
+                        .iter()
+                        .zip(prev.iter())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| prev.len().min(cur.len()).saturating_sub(1));
+                    if let Some(t) = cur.get(diverge).or_else(|| cur.last()) {
+                        targets.insert(*t);
+                    }
+                }
+            }
+        }
+    }
+    targets
+}
+
+/// The unit of work for one step.
+enum WorkItem {
+    Inst(Op),
+    Term(Terminator),
+}
+
+/// The intermittent execution machine.
+pub struct Machine<'p> {
+    p: &'p Program,
+    policies: PolicySet,
+    det_cfg: DetectorConfig,
+    region_omega: BTreeMap<RegionId, Vec<NvLoc>>,
+    env: Environment,
+    costs: CostModel,
+    supply: Box<dyn PowerSupply>,
+    injector_targets: BTreeSet<InstrRef>,
+    injector_fired: BTreeSet<InstrRef>,
+
+    nv: NvMem,
+    vol: VolState,
+    ctx: Ctx,
+    bitvec: BitVector,
+    obs: ObsLog,
+    tau: u64,
+    now_us: u64,
+    era: u64,
+    stats: Stats,
+    /// Maps fresh-policy check sites to the variable whose deps to log.
+    fresh_use_vars: BTreeMap<InstrRef, Vec<String>>,
+    /// Consecutive same-region rollbacks after which a run reports
+    /// [`RunOutcome::Livelock`] (`None` = roll back forever, the
+    /// paper's baseline semantics).
+    reexec_limit: Option<u64>,
+    consecutive_reexecs: u64,
+    livelocked: Option<RegionId>,
+    /// TICS mode: expiration window in µs checked at fresh-use sites
+    /// against an RTC that keeps time across power failures.
+    expiry_window: Option<u64>,
+    /// Collection wall-clock time per input provenance chain (the NV
+    /// timestamps TICS's timekeeping hardware provides). Only populated
+    /// in TICS mode.
+    chain_times: BTreeMap<ocelot_analysis::taint::Prov, u64>,
+    expiry_restarts_this_run: u32,
+}
+
+/// Mitigation restarts one run may spend before giving up and using the
+/// stale value — models a TICS deployment whose charging gaps always
+/// exceed the window (the handler would otherwise thrash forever).
+const EXPIRY_RESTART_CAP: u32 = 25;
+
+impl<'p> Machine<'p> {
+    /// Creates a machine over a compiled program.
+    ///
+    /// `regions` supplies each region's checkpoint set `ω` (from
+    /// [`ocelot_core::collect_regions`]); `policies` configures the
+    /// violation detectors (pass an empty set to disable detection).
+    pub fn new(
+        p: &'p Program,
+        regions: &[RegionInfo],
+        policies: PolicySet,
+        env: Environment,
+        costs: CostModel,
+        supply: Box<dyn PowerSupply>,
+    ) -> Self {
+        let det_cfg = DetectorConfig::from_policies(&policies);
+        // Eagerly-logged set at region entry: the WAR locations, whose
+        // pre-region values must be snapshotted before any read-then-
+        // write corrupts them. EMW locations (written but never read
+        // first) are logged dynamically on first write — the same split
+        // prior work uses, and what keeps a write-only large structure
+        // (cem's log table) off the eager checkpoint path.
+        let mut region_omega = BTreeMap::new();
+        for r in regions {
+            let mut locs = Vec::new();
+            for g in &r.effects.war {
+                match p.global(g).and_then(|gl| gl.array_len) {
+                    Some(n) => {
+                        for i in 0..n {
+                            locs.push(NvLoc::Cell(g.clone(), i));
+                        }
+                    }
+                    None => locs.push(NvLoc::Scalar(g.clone())),
+                }
+            }
+            region_omega.insert(r.id, locs);
+        }
+        let mut fresh_use_vars: BTreeMap<InstrRef, Vec<String>> = BTreeMap::new();
+        for pol in policies.iter() {
+            if pol.kind == PolicyKind::Fresh && !pol.is_vacuous() {
+                if let Some(d) = pol.decls.first() {
+                    for u in &pol.uses {
+                        fresh_use_vars.entry(*u).or_default().push(d.var.clone());
+                    }
+                }
+            }
+        }
+        let nv = NvMem::init(p);
+        Machine {
+            p,
+            policies,
+            det_cfg,
+            region_omega,
+            env,
+            costs,
+            supply,
+            injector_targets: BTreeSet::new(),
+            injector_fired: BTreeSet::new(),
+            nv,
+            vol: VolState::default(),
+            ctx: Ctx::Jit(None),
+            bitvec: BitVector::default(),
+            obs: ObsLog::with_capacity(200_000),
+            tau: 0,
+            now_us: 0,
+            era: 0,
+            stats: Stats::default(),
+            fresh_use_vars,
+            reexec_limit: None,
+            consecutive_reexecs: 0,
+            livelocked: None,
+            expiry_window: None,
+            chain_times: BTreeMap::new(),
+            expiry_restarts_this_run: 0,
+        }
+    }
+
+    /// Arms the pathological failure injector at `targets` (each fires
+    /// once per run).
+    pub fn with_injector(mut self, targets: BTreeSet<InstrRef>) -> Self {
+        self.injector_targets = targets;
+        self
+    }
+
+    /// Reports [`RunOutcome::Livelock`] once a region rolls back `limit`
+    /// times in a row without committing, instead of re-executing
+    /// forever.
+    pub fn with_reexec_limit(mut self, limit: u64) -> Self {
+        self.reexec_limit = Some(limit);
+        self
+    }
+
+    /// Enables the TICS-style execution model (§2.3): every fresh-use
+    /// site checks that the value's inputs are at most `window_us` old
+    /// on a clock that keeps time across power failures; expired values
+    /// trigger a mitigation handler that restarts the run to re-collect.
+    ///
+    /// Temporal-consistency constraints have no expiry expression and
+    /// remain unchecked by this mode — the paper's critique, measurable.
+    pub fn with_expiry_window(mut self, window_us: u64) -> Self {
+        self.expiry_window = Some(window_us);
+        self
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Current simulated wall-clock time in µs.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Takes the committed observation trace accumulated so far.
+    pub fn take_trace(&mut self) -> Vec<Obs> {
+        self.obs.take()
+    }
+
+    /// The policies this machine checks.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// Runs `main` once to completion (or until `max_steps`).
+    pub fn run_once(&mut self, max_steps: u64) -> RunOutcome {
+        self.vol = VolState {
+            frames: vec![Frame::at_entry(self.p, self.p.main)],
+        };
+        self.ctx = Ctx::Jit(None);
+        self.injector_fired.clear();
+        self.consecutive_reexecs = 0;
+        self.livelocked = None;
+        self.expiry_restarts_this_run = 0;
+        let violations_before = self.stats.violations;
+        let mut steps = 0u64;
+        loop {
+            steps += 1;
+            if steps > max_steps {
+                return RunOutcome::StepLimit;
+            }
+            if self.step() {
+                self.stats.runs_completed += 1;
+                let violated = self.stats.violations > violations_before;
+                if violated {
+                    self.stats.runs_with_violation += 1;
+                }
+                return RunOutcome::Completed { violated };
+            }
+            if let Some(region) = self.livelocked {
+                return RunOutcome::Livelock { region };
+            }
+        }
+    }
+
+    /// Runs the program back-to-back until `sim_duration_us` of
+    /// simulated time has elapsed (the paper's fixed-wall-clock
+    /// methodology for Table 2(b)). Returns the number of completed
+    /// runs.
+    pub fn run_for(&mut self, sim_duration_us: u64, max_steps_per_run: u64) -> u64 {
+        let deadline = self.now_us + sim_duration_us;
+        let mut runs = 0;
+        while self.now_us < deadline {
+            match self.run_once(max_steps_per_run) {
+                RunOutcome::Completed { .. } => runs += 1,
+                RunOutcome::StepLimit | RunOutcome::Livelock { .. } => break,
+            }
+        }
+        runs
+    }
+
+    // ------------------------------------------------------------------
+    // Stepping
+    // ------------------------------------------------------------------
+
+    /// Executes one instruction or terminator. Returns true when the
+    /// program run completed.
+    fn step(&mut self) -> bool {
+        let Some(top) = self.vol.top() else {
+            return true;
+        };
+        let (top_func, top_block, top_index) = (top.func, top.block, top.index);
+        let func = self.p.func(top_func);
+        let block = func.block(top_block);
+        let at_term = top_index >= block.instrs.len();
+        let label = if at_term {
+            block.term_label
+        } else {
+            block.instrs[top_index].label
+        };
+        let here = InstrRef {
+            func: func.id,
+            label,
+        };
+
+        // 1. Pathological injection: power fails immediately before the
+        //    targeted operation (once per run).
+        if self.injector_targets.contains(&here) && !self.injector_fired.contains(&here) {
+            self.injector_fired.insert(here);
+            self.power_fail();
+            return false;
+        }
+
+        // 2. Pay for the operation; energy exhaustion fails *before* the
+        //    operation takes effect.
+        let work = if at_term {
+            WorkItem::Term(block.term.clone())
+        } else {
+            WorkItem::Inst(block.instrs[top_index].op.clone())
+        };
+        let cycles = match &work {
+            WorkItem::Term(Terminator::Jump(_)) => self.costs.alu / 2 + 1,
+            WorkItem::Term(Terminator::Branch { .. }) => self.costs.alu,
+            WorkItem::Term(Terminator::Ret(_)) => self.costs.call / 2,
+            WorkItem::Inst(op) => self.op_cost(op),
+        };
+        match &work {
+            WorkItem::Inst(Op::Input { .. }) => self.stats.breakdown.input += cycles,
+            WorkItem::Inst(Op::Output { .. }) => self.stats.breakdown.output += cycles,
+            WorkItem::Inst(Op::AtomStart { .. }) => {
+                self.stats.breakdown.checkpoint += cycles;
+            }
+            _ => self.stats.breakdown.compute += cycles,
+        }
+        if self.charge(cycles) == PowerEvent::LowPower {
+            self.power_fail();
+            return false;
+        }
+
+        // 3. Detector checks at this site (§7.3): bits are inspected
+        //    before the operation executes. In TICS mode an expired
+        //    value triggers the mitigation handler instead of the use.
+        if self.run_checks(here) {
+            self.mitigation_restart();
+            return false;
+        }
+
+        // 4. Execute.
+        self.tau += 1;
+        self.stats.instructions += 1;
+        match work {
+            WorkItem::Term(term) => self.exec_terminator(&term),
+            WorkItem::Inst(op) => {
+                self.exec_op(here, &op);
+                false
+            }
+        }
+    }
+
+    fn op_cost(&self, op: &Op) -> u64 {
+        match op {
+            Op::Skip | Op::Annot { .. } => 1,
+            Op::Bind { .. } => self.costs.alu,
+            Op::Assign { place, .. } => match place {
+                Place::Var(x) if !self.is_local(x) => self.costs.nv_write,
+                Place::Index(..) => self.costs.nv_write,
+                Place::Deref(x) => match self.ref_target(x) {
+                    Some(RefTarget::Global(_)) => self.costs.nv_write,
+                    _ => self.costs.alu,
+                },
+                _ => self.costs.alu,
+            },
+            Op::Input { sensor, .. } => self.costs.input_cycles(sensor),
+            Op::Call { .. } => self.costs.call,
+            Op::Output { args, .. } => self.costs.output_word * (1 + args.len() as u64),
+            Op::AtomStart { region } => {
+                if matches!(self.ctx, Ctx::Atom { .. }) {
+                    // Atom-Start-Inner: just the nesting-counter bump.
+                    self.costs.alu
+                } else {
+                    let omega = self
+                        .region_omega
+                        .get(region)
+                        .map(|l| l.len())
+                        .unwrap_or(0);
+                    self.costs.checkpoint_cycles(self.vol.words())
+                        + self.costs.log_cycles(omega)
+                }
+            }
+            Op::AtomEnd { .. } => self.costs.alu,
+        }
+    }
+
+    fn charge(&mut self, cycles: u64) -> PowerEvent {
+        self.stats.on_cycles += cycles;
+        let us = self.costs.cycles_to_us(cycles);
+        self.now_us += us;
+        self.stats.on_time_us += us;
+        self.supply.consume(self.costs.cycles_to_nj(cycles))
+    }
+
+    /// Charges time/cycles for shutdown-path work (checkpoint) from the
+    /// comparator reserve: time passes but no further LowPower can fire.
+    fn charge_reserve(&mut self, cycles: u64) {
+        self.stats.on_cycles += cycles;
+        let us = self.costs.cycles_to_us(cycles);
+        self.now_us += us;
+        self.stats.on_time_us += us;
+    }
+
+    fn record_violations(&mut self, events: Vec<crate::detect::ViolationEvent>) {
+        for ev in events {
+            self.stats.violations += 1;
+            match ev.kind {
+                ViolationKind::Freshness => self.stats.fresh_violations += 1,
+                ViolationKind::Consistency => self.stats.consistency_violations += 1,
+            }
+            self.obs.push(Obs::Violation(ev));
+        }
+    }
+
+    /// Runs the per-site detectors. Returns true when a TICS expiry
+    /// check tripped and the mitigation handler should run *instead of*
+    /// this operation.
+    fn run_checks(&mut self, here: InstrRef) -> bool {
+        // TICS expiry check precedes the use: a tripped check prevents
+        // the stale use (no violation) at the cost of a handler run.
+        if self.expiry_check_trips(here) {
+            self.stats.expiry_trips += 1;
+            if self.expiry_restarts_this_run < EXPIRY_RESTART_CAP {
+                return true;
+            }
+            // The handler already thrashed this run: proceed with the
+            // stale value (a real deployment would drop the sample or
+            // hang; either way the constraint is not met).
+            self.stats.expiry_giveups += 1;
+        }
+        let events = self
+            .bitvec
+            .check_use_site(&self.det_cfg, here, self.tau, self.era);
+        self.record_violations(events);
+        // Record a Use observation (with dynamic taint) for the formal
+        // trace checker.
+        if let Some(vars) = self.fresh_use_vars.get(&here).cloned() {
+            for var in vars {
+                let deps = self.read_var(&var).deps;
+                self.obs.push(Obs::Use {
+                    at: here,
+                    tau: self.tau,
+                    time_us: self.now_us,
+                    era: self.era,
+                    deps,
+                });
+            }
+        }
+        false
+    }
+
+    /// True when TICS mode is on, `here` uses a fresh-annotated value,
+    /// and any input collection it depends on (by provenance chain) is
+    /// older than the window.
+    fn expiry_check_trips(&mut self, here: InstrRef) -> bool {
+        let Some(window) = self.expiry_window else {
+            return false;
+        };
+        let Some(checks) = self.det_cfg.use_checks.get(&here) else {
+            return false;
+        };
+        checks
+            .iter()
+            .filter(|c| c.kind == ViolationKind::Freshness)
+            .flat_map(|c| c.requires.iter())
+            .any(|chain| match self.chain_times.get(chain) {
+                Some(&collected) => self.now_us.saturating_sub(collected) > window,
+                // No surviving timestamp: treat as expired.
+                None => true,
+            })
+    }
+
+    /// The TICS mitigation handler: abandon the current run and restart
+    /// `main` so every input is re-collected. Aborts any open atomic
+    /// region first (its partial NV writes roll back).
+    fn mitigation_restart(&mut self) {
+        self.stats.expiry_restarts += 1;
+        self.expiry_restarts_this_run += 1;
+        if let Ctx::Atom { log, .. } = &mut self.ctx {
+            log.apply(&mut self.nv);
+            self.obs.abort_region();
+        }
+        self.ctx = Ctx::Jit(None);
+        self.vol = VolState {
+            frames: vec![Frame::at_entry(self.p, self.p.main)],
+        };
+    }
+
+    /// The dynamic provenance chain ending at `input_ref`: the call
+    /// sites of every frame above `main`, then the input instruction.
+    fn dynamic_chain(&self, input_ref: InstrRef) -> ocelot_analysis::taint::Prov {
+        let mut chain: Vec<InstrRef> = self
+            .vol
+            .frames
+            .iter()
+            .skip(1)
+            .filter_map(|f| f.call_site)
+            .collect();
+        chain.push(input_ref);
+        chain
+    }
+
+    // ------------------------------------------------------------------
+    // Power failure handling (Appendix H)
+    // ------------------------------------------------------------------
+
+    fn power_fail(&mut self) {
+        match &mut self.ctx {
+            Ctx::Jit(saved) => {
+                // JIT-LowPower: checkpoint volatile state from the
+                // comparator reserve, then shut down.
+                let words = self.vol.words();
+                *saved = Some(Box::new(self.vol.clone()));
+                self.stats.jit_checkpoints += 1;
+                self.stats.ckpt_words += words as u64;
+                let c = self.costs.checkpoint_cycles(words);
+                self.stats.breakdown.checkpoint += c;
+                self.charge_reserve(c);
+            }
+            Ctx::Atom { .. } => {
+                // Atom-LowPower: shut down immediately; the region-entry
+                // context is already saved.
+            }
+        }
+        // Off / charging.
+        let off = self.supply.recharge();
+        self.now_us += off;
+        self.stats.off_time_us += off;
+        self.stats.reboots += 1;
+        self.bitvec.clear();
+        self.obs.push_unbuffered(Obs::Reboot {
+            off_us: off,
+            ended_era: self.era,
+        });
+        self.era += 1;
+
+        // Reboot.
+        match &mut self.ctx {
+            Ctx::Jit(saved) => {
+                match saved {
+                    Some(snap) => {
+                        self.vol = (**snap).clone();
+                    }
+                    None => {
+                        // Boot context: restart the program run.
+                        self.vol = VolState {
+                            frames: vec![Frame::at_entry(self.p, self.p.main)],
+                        };
+                    }
+                }
+                let words = self.vol.words();
+                let c = self.costs.restore_cycles(words);
+                self.stats.breakdown.restore += c;
+                self.charge_reserve(c);
+            }
+            Ctx::Atom {
+                snap,
+                log,
+                natom,
+                region,
+            } => {
+                // Atom-Reboot: N ◁ L, restore snapshot, natom := 0.
+                log.apply(&mut self.nv);
+                *natom = 0;
+                self.vol = (**snap).clone();
+                self.obs.abort_region();
+                self.obs.begin_region();
+                self.stats.region_reexecs += 1;
+                self.consecutive_reexecs += 1;
+                if let Some(limit) = self.reexec_limit {
+                    if self.consecutive_reexecs >= limit {
+                        self.livelocked = Some(*region);
+                    }
+                }
+                let words = self.vol.words() + log.words();
+                let c = self.costs.restore_cycles(words);
+                self.stats.breakdown.restore += c;
+                self.charge_reserve(c);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operation execution
+    // ------------------------------------------------------------------
+
+    fn exec_op(&mut self, here: InstrRef, op: &Op) {
+        match op {
+            Op::Skip | Op::Annot { .. } => {
+                self.advance();
+            }
+            Op::Bind { var, src } => {
+                let v = self.eval(src);
+                self.vol
+                    .top_mut()
+                    .expect("frame exists")
+                    .locals
+                    .insert(var.clone(), v);
+                self.advance();
+            }
+            Op::Assign { place, src } => {
+                let v = self.eval(src);
+                self.write_place(place, v);
+                self.advance();
+            }
+            Op::Input { var, sensor } => {
+                let value = self.env.sample(sensor, self.now_us);
+                let t = Tainted::input(value, self.tau);
+                self.vol
+                    .top_mut()
+                    .expect("frame exists")
+                    .locals
+                    .insert(var.clone(), t);
+                let chain = self.dynamic_chain(here);
+                if self.expiry_window.is_some() {
+                    // TICS's timekeeping hardware: stamp the collection.
+                    self.chain_times.insert(chain.clone(), self.now_us);
+                }
+                // Consistency checks fire at the collection, before its
+                // own bit is set (§7.3).
+                let events =
+                    self.bitvec
+                        .check_input(&self.det_cfg, &chain, here, self.tau, self.era);
+                self.record_violations(events);
+                self.bitvec.set(&self.det_cfg, &chain);
+                self.obs.push(Obs::Input {
+                    at: here,
+                    tau: self.tau,
+                    time_us: self.now_us,
+                    era: self.era,
+                    sensor: sensor.clone(),
+                    value,
+                    chain,
+                });
+                self.advance();
+            }
+            Op::Call { dst, callee, args } => {
+                self.exec_call(here, dst.clone(), *callee, args);
+            }
+            Op::Output { channel, args } => {
+                let vals: Vec<Tainted> = args.iter().map(|e| self.eval(e)).collect();
+                let mut deps = BTreeSet::new();
+                for v in &vals {
+                    deps.extend(v.deps.iter().copied());
+                }
+                self.obs.push(Obs::Output {
+                    at: here,
+                    tau: self.tau,
+                    era: self.era,
+                    channel: channel.clone(),
+                    values: vals.iter().map(|v| v.value).collect(),
+                    deps,
+                });
+                self.stats.outputs += 1;
+                self.advance();
+            }
+            Op::AtomStart { region } => {
+                // Advance first: the saved continuation `c` resumes
+                // *after* `startatom` (Appendix H), so rollback re-runs
+                // the region body, not the marker.
+                self.advance();
+                self.atom_start(*region);
+            }
+            Op::AtomEnd { region } => {
+                self.atom_end(*region);
+                self.advance();
+            }
+        }
+    }
+
+    fn atom_start(&mut self, region: RegionId) {
+        match &mut self.ctx {
+            Ctx::Jit(_) => {
+                // Atom-Start-Outer: snapshot volatiles, eagerly log ω.
+                let mut log = UndoLog::default();
+                if let Some(locs) = self.region_omega.get(&region) {
+                    for loc in locs.clone() {
+                        let old = match &loc {
+                            NvLoc::Scalar(g) => self.nv.read(g),
+                            NvLoc::Cell(g, i) => self.nv.read_idx(g, *i as i64),
+                        };
+                        if log.save(loc, old) {
+                            self.stats.log_words += 1;
+                        }
+                    }
+                }
+                let snap = Box::new(self.vol.clone());
+                self.stats.region_entries += 1;
+                self.stats.ckpt_words += self.vol.words() as u64;
+                self.obs.begin_region();
+                self.ctx = Ctx::Atom {
+                    snap,
+                    log,
+                    natom: 0,
+                    region,
+                };
+            }
+            Ctx::Atom { natom, .. } => {
+                // Atom-Start-Inner.
+                *natom += 1;
+            }
+        }
+    }
+
+    fn atom_end(&mut self, _region: RegionId) {
+        match &mut self.ctx {
+            Ctx::Atom { natom, region, .. } => {
+                if *natom > 0 {
+                    // Atom-End-Inner.
+                    *natom -= 1;
+                } else {
+                    // Atom-End-Outer: commit.
+                    let rid = *region;
+                    self.obs.push(Obs::Commit {
+                        region: rid,
+                        tau: self.tau,
+                    });
+                    self.obs.commit_region();
+                    self.stats.region_commits += 1;
+                    self.consecutive_reexecs = 0;
+                    self.ctx = Ctx::Jit(None);
+                }
+            }
+            Ctx::Jit(_) => {
+                // endatom outside a region: no-op (can happen only in
+                // hand-built IR; validated programs pair regions).
+            }
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        here: InstrRef,
+        dst: Option<String>,
+        callee: FuncId,
+        args: &[Arg],
+    ) {
+        let callee_fn = self.p.func(callee);
+        let caller_idx = self.vol.frames.len() - 1;
+        let mut locals = BTreeMap::new();
+        let mut refs = BTreeMap::new();
+        for (a, param) in args.iter().zip(&callee_fn.params) {
+            match a {
+                Arg::Value(e) => {
+                    locals.insert(param.name.clone(), self.eval(e));
+                }
+                Arg::Ref(x) => {
+                    let target = self.resolve_ref(caller_idx, x);
+                    refs.insert(param.name.clone(), target);
+                }
+            }
+        }
+        // Resume point: after the call.
+        self.advance();
+        self.vol.frames.push(Frame {
+            func: callee,
+            block: callee_fn.entry,
+            index: 0,
+            locals,
+            refs,
+            ret_dst: dst,
+            call_site: Some(here),
+        });
+    }
+
+    fn exec_terminator(&mut self, term: &Terminator) -> bool {
+        match term {
+            Terminator::Jump(b) => {
+                let top = self.vol.top_mut().expect("frame exists");
+                top.block = *b;
+                top.index = 0;
+                false
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let v = self.eval(cond);
+                let top = self.vol.top_mut().expect("frame exists");
+                top.block = if v.value != 0 { *then_bb } else { *else_bb };
+                top.index = 0;
+                false
+            }
+            Terminator::Ret(e) => {
+                let v = e
+                    .as_ref()
+                    .map(|e| self.eval(e))
+                    .unwrap_or_else(|| Tainted::pure(0));
+                let done = self.vol.frames.pop().expect("frame exists");
+                match self.vol.top_mut() {
+                    Some(caller) => {
+                        if let Some(dst) = done.ret_dst {
+                            caller.locals.insert(dst, v);
+                        }
+                        false
+                    }
+                    None => true, // main returned
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        let top = self.vol.top_mut().expect("frame exists");
+        top.index += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Values and memory
+    // ------------------------------------------------------------------
+
+    fn is_local(&self, name: &str) -> bool {
+        self.vol
+            .top()
+            .map(|f| f.locals.contains_key(name) || f.refs.contains_key(name))
+            .unwrap_or(false)
+    }
+
+    fn ref_target(&self, name: &str) -> Option<RefTarget> {
+        self.vol.top().and_then(|f| f.refs.get(name).cloned())
+    }
+
+    fn resolve_ref(&self, caller_idx: usize, x: &str) -> RefTarget {
+        let caller = &self.vol.frames[caller_idx];
+        if let Some(t) = caller.refs.get(x) {
+            t.clone() // forwarding an incoming reference
+        } else if caller.locals.contains_key(x) {
+            RefTarget::Local {
+                frame: caller_idx,
+                var: x.to_string(),
+            }
+        } else {
+            RefTarget::Global(x.to_string())
+        }
+    }
+
+    fn read_var(&self, name: &str) -> Tainted {
+        if let Some(top) = self.vol.top() {
+            if let Some(v) = top.locals.get(name) {
+                return v.clone();
+            }
+            if let Some(t) = top.refs.get(name) {
+                return self.read_target(t);
+            }
+        }
+        self.nv.read(name)
+    }
+
+    fn read_target(&self, t: &RefTarget) -> Tainted {
+        match t {
+            RefTarget::Local { frame, var } => self.vol.frames[*frame]
+                .locals
+                .get(var)
+                .cloned()
+                .unwrap_or_default(),
+            RefTarget::Global(g) => self.nv.read(g),
+        }
+    }
+
+    fn write_target(&mut self, t: &RefTarget, v: Tainted) {
+        match t {
+            RefTarget::Local { frame, var } => {
+                self.vol.frames[*frame].locals.insert(var.clone(), v);
+            }
+            RefTarget::Global(g) => {
+                self.nv_write_scalar(g.clone(), v);
+            }
+        }
+    }
+
+    /// Writes a non-volatile scalar, undo-logging inside atomic regions.
+    fn nv_write_scalar(&mut self, name: String, v: Tainted) {
+        let old = self.nv.write(&name, v);
+        if let Ctx::Atom { log, .. } = &mut self.ctx {
+            if log.save(NvLoc::Scalar(name), old) {
+                self.stats.log_words += 1;
+                let c = self.costs.log_word;
+                // Dynamic log writes cost cycles too.
+                self.stats.on_cycles += c;
+                self.stats.breakdown.undo_log += c;
+                let us = self.costs.cycles_to_us(c);
+                self.now_us += us;
+                self.stats.on_time_us += us;
+            }
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, v: Tainted) {
+        match place {
+            Place::Var(x) => {
+                let top = self.vol.top_mut().expect("frame exists");
+                if top.locals.contains_key(x) {
+                    top.locals.insert(x.clone(), v);
+                } else if let Some(t) = top.refs.get(x).cloned() {
+                    self.write_target(&t, v);
+                } else {
+                    self.nv_write_scalar(x.clone(), v);
+                }
+            }
+            Place::Index(a, i) => {
+                let idx = self.eval(i);
+                let (cell, old) = self.nv.write_idx(a, idx.value, v);
+                if let Ctx::Atom { log, .. } = &mut self.ctx {
+                    if log.save(NvLoc::Cell(a.clone(), cell), old) {
+                        self.stats.log_words += 1;
+                    }
+                }
+            }
+            Place::Deref(x) => {
+                let t = self
+                    .ref_target(x)
+                    .unwrap_or(RefTarget::Global(x.to_string()));
+                self.write_target(&t, v);
+            }
+        }
+    }
+
+    fn eval(&self, e: &Expr) -> Tainted {
+        match e {
+            Expr::Int(n) => Tainted::pure(*n),
+            Expr::Bool(b) => Tainted::pure(*b as i64),
+            Expr::Var(x) => self.read_var(x),
+            Expr::Deref(x) => match self.ref_target(x) {
+                Some(t) => self.read_target(&t),
+                None => self.nv.read(x),
+            },
+            Expr::Ref(_) => Tainted::pure(0), // only valid in call args
+            Expr::Index(a, i) => {
+                let idx = self.eval(i);
+                let mut v = self.nv.read_idx(a, idx.value);
+                v.deps.extend(idx.deps);
+                v
+            }
+            Expr::Binary(op, l, r) => {
+                let a = self.eval(l);
+                let b = self.eval(r);
+                let value = eval_binop(*op, a.value, b.value);
+                Tainted::combine(value, &a, &b)
+            }
+            Expr::Unary(op, x) => {
+                let a = self.eval(x);
+                let value = match op {
+                    UnOp::Neg => a.value.wrapping_neg(),
+                    UnOp::Not => (a.value == 0) as i64,
+                };
+                Tainted {
+                    value,
+                    deps: a.deps,
+                }
+            }
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => (a != 0 && b != 0) as i64,
+        BinOp::Or => (a != 0 || b != 0) as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_hw::power::{ContinuousPower, ScriptedPower};
+    use ocelot_hw::sensors::Signal;
+    use ocelot_ir::compile;
+
+    fn machine_for<'p>(
+        p: &'p Program,
+        env: Environment,
+        supply: Box<dyn PowerSupply>,
+    ) -> Machine<'p> {
+        let regions = ocelot_core::collect_regions(p).unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(p);
+        let policies = ocelot_core::build_policies(p, &taint);
+        Machine::new(p, &regions, policies, env, CostModel::default(), supply)
+    }
+
+    fn outputs(trace: &[Obs]) -> Vec<(String, Vec<i64>)> {
+        trace
+            .iter()
+            .filter_map(|o| match o {
+                Obs::Output {
+                    channel, values, ..
+                } => Some((channel.clone(), values.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn computes_arithmetic_continuously() {
+        let p = compile(
+            "fn sq(v) { return v * v; } fn main() { let x = sq(6); out(log, x + 1); }",
+        )
+        .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        assert!(matches!(
+            m.run_once(100_000),
+            RunOutcome::Completed { violated: false }
+        ));
+        let t = m.take_trace();
+        assert_eq!(outputs(&t), vec![("log".to_string(), vec![37])]);
+    }
+
+    #[test]
+    fn samples_environment_at_wall_clock() {
+        let p = compile("sensor s; fn main() { let v = in(s); out(log, v); }").unwrap();
+        let env = Environment::new().with("s", Signal::Constant(42));
+        let mut m = machine_for(&p, env, Box::new(ContinuousPower));
+        m.run_once(100_000);
+        let t = m.take_trace();
+        assert_eq!(outputs(&t), vec![("log".to_string(), vec![42])]);
+    }
+
+    #[test]
+    fn by_ref_params_write_back() {
+        let p = compile(
+            r#"
+            fn put(&dst, v) { *dst = v + 1; }
+            fn main() { let x = 0; put(&x, 9); out(log, x); }
+            "#,
+        )
+        .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        m.run_once(100_000);
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![10])]);
+    }
+
+    #[test]
+    fn globals_persist_across_runs() {
+        let p = compile("nv count = 0; fn main() { count = count + 1; out(log, count); }")
+            .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        m.run_once(100_000);
+        m.run_once(100_000);
+        let t = m.take_trace();
+        assert_eq!(
+            outputs(&t),
+            vec![
+                ("log".to_string(), vec![1]),
+                ("log".to_string(), vec![2])
+            ]
+        );
+    }
+
+    #[test]
+    fn while_loop_runs_until_condition_fails() {
+        let p = compile(
+            "nv g = 5; fn main() { let sum = 0; while g > 0 { sum = sum + g; g = g - 1; } out(log, sum); }",
+        )
+        .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        m.run_once(100_000);
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![15])]);
+    }
+
+    #[test]
+    fn while_loop_survives_power_failures() {
+        // The loop decrements NV state; JIT checkpoints mid-loop must
+        // not double-count iterations.
+        let p = compile(
+            "nv g = 6; fn main() { let sum = 0; while g > 0 { sum = sum + 1; g = g - 1; } out(log, sum); }",
+        )
+        .unwrap();
+        let budgets = vec![40.0; 50];
+        let mut m = machine_for(
+            &p,
+            Environment::new(),
+            Box::new(ScriptedPower::new(budgets, 500)),
+        );
+        let out = m.run_once(1_000_000);
+        assert!(matches!(out, RunOutcome::Completed { .. }), "{out:?}");
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![6])]);
+        assert!(m.stats().reboots > 0, "failures really happened");
+    }
+
+    #[test]
+    fn while_true_hits_the_step_limit_not_a_hang() {
+        let p = compile("nv g = 0; fn main() { while true { g = g + 1; } }").unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        assert_eq!(m.run_once(5_000), RunOutcome::StepLimit);
+    }
+
+    #[test]
+    fn repeat_loop_executes_n_times() {
+        let p = compile(
+            "sensor s; fn main() { let sum = 0; repeat 4 { let v = in(s); sum = sum + v; } out(log, sum); }",
+        )
+        .unwrap();
+        let env = Environment::new().with("s", Signal::Constant(3));
+        let mut m = machine_for(&p, env, Box::new(ContinuousPower));
+        m.run_once(100_000);
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![12])]);
+    }
+
+    #[test]
+    fn jit_failure_resumes_in_place() {
+        // Fail once mid-run; JIT checkpoint + restore must produce the
+        // same output as continuous execution.
+        let p = compile(
+            "fn main() { let a = 1; let b = a + 1; let c = b * 3; out(log, c); }",
+        )
+        .unwrap();
+        // Budget: enough for ~2 instructions, then one failure, then ∞.
+        let mut m = machine_for(
+            &p,
+            Environment::new(),
+            Box::new(ScriptedPower::new(vec![12.0], 1000)),
+        );
+        let out = m.run_once(100_000);
+        assert!(matches!(out, RunOutcome::Completed { .. }));
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![6])]);
+        assert_eq!(m.stats().reboots, 1);
+        assert_eq!(m.stats().jit_checkpoints, 1);
+    }
+
+    #[test]
+    fn atomic_region_rolls_back_nv_writes() {
+        // The region increments g; power fails inside the region; after
+        // rollback and re-execution g must have been incremented exactly
+        // once.
+        let p = compile(
+            r#"
+            nv g = 0;
+            sensor s;
+            fn main() {
+                atomic {
+                    let v = in(s);
+                    g = g + 1;
+                }
+                out(log, g);
+            }
+            "#,
+        )
+        .unwrap();
+        // Fail while the region is sampling: region entry costs ~600
+        // cycles and the input 4000, so a 2000 nJ budget dies mid-input.
+        let env = Environment::new().with("s", Signal::Constant(1));
+        let mut m = machine_for(&p, env, Box::new(ScriptedPower::new(vec![2000.0], 1000)));
+        m.run_once(1_000_000);
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![1])]);
+        assert_eq!(m.stats().region_reexecs, 1);
+        assert_eq!(m.stats().region_commits, 1);
+    }
+
+    #[test]
+    fn nested_manual_regions_flatten() {
+        let p = compile(
+            r#"
+            nv g = 0;
+            fn main() {
+                atomic {
+                    g = g + 1;
+                    atomic { g = g + 10; }
+                    g = g + 100;
+                }
+                out(log, g);
+            }
+            "#,
+        )
+        .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        m.run_once(100_000);
+        assert_eq!(
+            outputs(&m.take_trace()),
+            vec![("log".to_string(), vec![111])]
+        );
+        assert_eq!(m.stats().region_entries, 1, "inner start is a counter bump");
+        assert_eq!(m.stats().region_commits, 1);
+    }
+
+    #[test]
+    fn detector_catches_jit_freshness_violation() {
+        // Classic Figure 2: sense, power fail (pathological), then use.
+        let p = compile(
+            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let targets = pathological_targets(&policies);
+        assert_eq!(targets.len(), 1);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new().with("s", Signal::Constant(5)),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        let mut m = m.with_injector(targets);
+        let out = m.run_once(1_000_000);
+        assert!(matches!(out, RunOutcome::Completed { violated: true }));
+        assert_eq!(m.stats().fresh_violations, 1);
+        // The formal trace checker agrees.
+        let trace = m.take_trace();
+        let formal = crate::detect::check_trace(m.policies(), &trace);
+        assert_eq!(formal.len(), 1);
+    }
+
+    #[test]
+    fn ocelot_region_prevents_the_same_violation() {
+        let src = "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }";
+        let p = compile(src).unwrap();
+        let compiled = ocelot_core::ocelot_transform(p).unwrap();
+        let targets = pathological_targets(&compiled.policies);
+        let m = Machine::new(
+            &compiled.program,
+            &compiled.regions,
+            compiled.policies.clone(),
+            Environment::new().with("s", Signal::Constant(5)),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        let mut m = m.with_injector(targets);
+        let out = m.run_once(1_000_000);
+        assert!(
+            matches!(out, RunOutcome::Completed { violated: false }),
+            "atomic region re-executes the input: no stale use"
+        );
+        assert_eq!(m.stats().region_reexecs, 1, "the injected failure rolled back");
+        let trace = m.take_trace();
+        assert!(crate::detect::check_trace(m.policies(), &trace).is_empty());
+    }
+
+    #[test]
+    fn consistency_violation_detected_and_prevented() {
+        let src = r#"
+            sensor a; sensor b;
+            fn main() {
+                let x = in(a);
+                consistent(x, 1);
+                let y = in(b);
+                consistent(y, 1);
+                out(log, x, y);
+            }
+        "#;
+        // JIT: injected failure between the two inputs → violation.
+        let p = compile(src).unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let targets = pathological_targets(&policies);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        let mut m = m.with_injector(targets.clone());
+        m.run_once(1_000_000);
+        assert_eq!(m.stats().consistency_violations, 1);
+
+        // Ocelot: same injection, no violation.
+        let p2 = compile(src).unwrap();
+        let compiled = ocelot_core::ocelot_transform(p2).unwrap();
+        let targets2 = pathological_targets(&compiled.policies);
+        let m2 = Machine::new(
+            &compiled.program,
+            &compiled.regions,
+            compiled.policies,
+            Environment::new(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        let mut m2 = m2.with_injector(targets2);
+        let out = m2.run_once(1_000_000);
+        assert!(matches!(out, RunOutcome::Completed { violated: false }));
+    }
+
+    #[test]
+    fn reexec_limit_reports_livelock() {
+        // The region needs two 4 µJ samples per attempt; every power
+        // cycle supplies ~5 µJ, so the region re-executes forever.
+        let p = compile(
+            r#"
+            sensor s;
+            fn main() {
+                atomic {
+                    let a = in(s);
+                    let b = in(s);
+                    out(log, a + b);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let budgets = vec![5_000.0; 500];
+        let mut m = machine_for(
+            &p,
+            Environment::new().with("s", Signal::Constant(1)),
+            Box::new(ScriptedPower::new(budgets, 1_000)),
+        )
+        .with_reexec_limit(10);
+        let out = m.run_once(1_000_000);
+        assert!(matches!(out, RunOutcome::Livelock { .. }), "{out:?}");
+        assert!(m.stats().region_reexecs >= 10);
+        assert_eq!(m.stats().region_commits, 0);
+    }
+
+    #[test]
+    fn generous_budget_never_trips_reexec_limit() {
+        let p = compile(
+            "sensor s; fn main() { atomic { let v = in(s); out(log, v); } }",
+        )
+        .unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower))
+            .with_reexec_limit(1);
+        assert!(matches!(
+            m.run_once(1_000_000),
+            RunOutcome::Completed { violated: false }
+        ));
+    }
+
+    #[test]
+    fn tics_expiry_prevents_stale_use_via_restart() {
+        // Figure 2 under TICS: power fails between the sense and the
+        // use; the 10 ms window sees the 100 ms gap, the handler
+        // restarts, and the re-collected value is used fresh.
+        let p = compile(
+            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let targets = pathological_targets(&policies);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new().with("s", Signal::Constant(5)),
+            CostModel::default(),
+            Box::new(ScriptedPower::new(vec![f64::INFINITY], 100_000)),
+        );
+        let mut m = m.with_injector(targets).with_expiry_window(10_000);
+        let out = m.run_once(1_000_000);
+        assert!(
+            matches!(out, RunOutcome::Completed { violated: false }),
+            "{out:?}: the handler re-collects instead of using stale data"
+        );
+        assert_eq!(m.stats().expiry_trips, 1);
+        assert_eq!(m.stats().expiry_restarts, 1);
+        assert_eq!(m.stats().violations, 0);
+    }
+
+    #[test]
+    fn tics_expiry_cannot_express_consistency() {
+        // The same mitigation machinery is useless for a consistent
+        // pair: no use-site window exists, so the split pair commits.
+        let p = compile(
+            r#"
+            sensor a; sensor b;
+            fn main() {
+                let x = in(a);
+                consistent(x, 1);
+                let y = in(b);
+                consistent(y, 1);
+                out(log, x, y);
+            }
+            "#,
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let targets = pathological_targets(&policies);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        // Even a 1 µs paranoid window cannot help.
+        let mut m = m.with_injector(targets).with_expiry_window(1);
+        let out = m.run_once(1_000_000);
+        assert!(matches!(out, RunOutcome::Completed { violated: true }));
+        assert_eq!(m.stats().consistency_violations, 1);
+        assert_eq!(m.stats().expiry_restarts, 0, "no fresh use ever trips");
+    }
+
+    #[test]
+    fn tics_thrashing_gives_up_after_the_cap() {
+        // Every power cycle delivers just enough for the sample but dies
+        // before the use; the 100 ms gap always exceeds the 10 ms
+        // window, so the handler thrashes until the cap, then the stale
+        // value goes through and the detector fires.
+        let p = compile(
+            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new().with("s", Signal::Constant(5)),
+            CostModel::default(),
+            Box::new(ScriptedPower::new(vec![4_500.0; 200], 100_000)),
+        );
+        let mut m = m.with_expiry_window(10_000);
+        let out = m.run_once(10_000_000);
+        assert!(matches!(out, RunOutcome::Completed { violated: true }), "{out:?}");
+        assert_eq!(m.stats().expiry_giveups, 1);
+        assert!(m.stats().expiry_restarts >= 25, "thrashed to the cap");
+        assert!(m.stats().fresh_violations >= 1, "the stale use happened");
+    }
+
+    #[test]
+    fn run_for_counts_completed_runs() {
+        let p = compile("fn main() { let x = 1; out(log, x); }").unwrap();
+        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
+        let runs = m.run_for(10_000, 100_000);
+        assert!(runs > 1, "short program should complete many runs, got {runs}");
+        assert_eq!(m.stats().runs_completed, runs);
+    }
+
+    #[test]
+    fn harvested_power_interleaves_on_and_off() {
+        let p = compile(
+            "sensor s; fn main() { let acc = 0; repeat 20 { let v = in(s); acc = acc + v; } out(log, acc); }",
+        )
+        .unwrap();
+        let env = Environment::new().with("s", Signal::Constant(1));
+        let supply = ocelot_hw::power::HarvestedPower::capybara_powercast();
+        let mut m = machine_for(&p, env, Box::new(supply));
+        let out = m.run_once(10_000_000);
+        assert!(matches!(out, RunOutcome::Completed { .. }));
+        // 20 inputs at 4000 cycles ≈ 80 µJ > 46 µJ budget: at least one
+        // failure must have occurred, and charging time dominates.
+        assert!(m.stats().reboots >= 1);
+        assert!(m.stats().off_time_us > m.stats().on_time_us);
+        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![20])]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Runtime memory: taint-carrying values, non-volatile memory, volatile
+//! frames, and the undo log.
+//!
+//! Following the paper's taint-augmented semantics (Appendix B), every
+//! location stores its value *and* the logical timestamps of the input
+//! operations the value depends on — that is what lets the trace checker
+//! validate Definitions 2 and 3 on real executions.
+
+use ocelot_ir::{BlockId, FuncId, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Logical timestamps of input operations a value depends on — the
+/// paper's `I`.
+pub type Deps = BTreeSet<u64>;
+
+/// A value with its input-dependency timestamps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tainted {
+    /// The integer value (booleans are 0/1).
+    pub value: i64,
+    /// Input timestamps this value depends on.
+    pub deps: Deps,
+}
+
+impl Tainted {
+    /// An untainted constant.
+    pub fn pure(value: i64) -> Self {
+        Tainted {
+            value,
+            deps: Deps::new(),
+        }
+    }
+
+    /// A freshly-sampled input collected at logical time `tau`.
+    pub fn input(value: i64, tau: u64) -> Self {
+        Tainted {
+            value,
+            deps: Deps::from([tau]),
+        }
+    }
+
+    /// Combines two operands: the result depends on both.
+    pub fn combine(value: i64, a: &Tainted, b: &Tainted) -> Self {
+        let mut deps = a.deps.clone();
+        deps.extend(b.deps.iter().copied());
+        Tainted { value, deps }
+    }
+}
+
+/// Non-volatile memory: globals and arrays. Survives power failures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NvMem {
+    scalars: BTreeMap<String, Tainted>,
+    arrays: BTreeMap<String, Vec<Tainted>>,
+}
+
+impl NvMem {
+    /// Initializes non-volatile memory from the program's global
+    /// declarations (arrays zero-fill).
+    pub fn init(p: &Program) -> Self {
+        let mut nv = NvMem::default();
+        for g in &p.globals {
+            match g.array_len {
+                Some(n) => {
+                    nv.arrays
+                        .insert(g.name.clone(), vec![Tainted::pure(0); n]);
+                }
+                None => {
+                    nv.scalars.insert(g.name.clone(), Tainted::pure(g.init));
+                }
+            }
+        }
+        nv
+    }
+
+    /// Reads a scalar global. Missing globals read as untainted 0
+    /// (validation prevents this in checked programs).
+    pub fn read(&self, name: &str) -> Tainted {
+        self.scalars.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Writes a scalar global, returning the previous value for undo
+    /// logging.
+    pub fn write(&mut self, name: &str, v: Tainted) -> Tainted {
+        self.scalars.insert(name.to_string(), v).unwrap_or_default()
+    }
+
+    /// Reads `name[idx]`; out-of-bounds indices clamp to the last cell
+    /// (embedded-style saturation, keeping runs total).
+    pub fn read_idx(&self, name: &str, idx: i64) -> Tainted {
+        match self.arrays.get(name) {
+            Some(a) if !a.is_empty() => {
+                let i = (idx.max(0) as usize).min(a.len() - 1);
+                a[i].clone()
+            }
+            _ => Tainted::default(),
+        }
+    }
+
+    /// Writes `name[idx]` (clamped), returning `(clamped_index, old)`.
+    pub fn write_idx(&mut self, name: &str, idx: i64, v: Tainted) -> (usize, Tainted) {
+        match self.arrays.get_mut(name) {
+            Some(a) if !a.is_empty() => {
+                let i = (idx.max(0) as usize).min(a.len() - 1);
+                let old = std::mem::replace(&mut a[i], v);
+                (i, old)
+            }
+            _ => (0, Tainted::default()),
+        }
+    }
+
+    /// True when `name` is an array.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.arrays.contains_key(name)
+    }
+}
+
+/// Where a by-reference parameter ultimately points: resolved at call
+/// time (references cannot re-seat, so resolution is stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefTarget {
+    /// A local slot in an earlier frame (`frame` indexes the stack from
+    /// the bottom).
+    Local {
+        /// Stack index of the owning frame.
+        frame: usize,
+        /// Variable name within that frame.
+        var: String,
+    },
+    /// A non-volatile scalar global.
+    Global(String),
+}
+
+/// One call frame: the program counter and local bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Next instruction index within the block (`instrs.len()` = the
+    /// terminator).
+    pub index: usize,
+    /// Local variables.
+    pub locals: BTreeMap<String, Tainted>,
+    /// Resolution of by-reference parameters.
+    pub refs: BTreeMap<String, RefTarget>,
+    /// Where the caller wants the return value (a local in the frame
+    /// below), if anywhere.
+    pub ret_dst: Option<String>,
+    /// The call instruction that created this frame (`None` for the
+    /// bottom frame); the dynamic provenance chain is read off these.
+    pub call_site: Option<ocelot_ir::InstrRef>,
+}
+
+impl Frame {
+    /// A frame at the entry of `func`.
+    pub fn at_entry(p: &Program, func: FuncId) -> Self {
+        let f = p.func(func);
+        Frame {
+            func,
+            block: f.entry,
+            index: 0,
+            locals: BTreeMap::new(),
+            refs: BTreeMap::new(),
+            ret_dst: None,
+            call_site: None,
+        }
+    }
+
+    /// Number of words of volatile state this frame holds (locals plus a
+    /// fixed register-file share).
+    pub fn words(&self) -> usize {
+        self.locals.len() + 4
+    }
+}
+
+/// The whole volatile machine state: the call stack. Lost on power
+/// failure unless checkpointed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VolState {
+    /// Call frames, bottom first.
+    pub frames: Vec<Frame>,
+}
+
+impl VolState {
+    /// Volatile footprint in words (drives checkpoint cost).
+    pub fn words(&self) -> usize {
+        16 + self.frames.iter().map(Frame::words).sum::<usize>()
+    }
+
+    /// The active frame.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// The active frame, mutably.
+    pub fn top_mut(&mut self) -> Option<&mut Frame> {
+        self.frames.last_mut()
+    }
+}
+
+/// A location key for undo logging.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NvLoc {
+    /// A scalar global.
+    Scalar(String),
+    /// One array cell.
+    Cell(String, usize),
+}
+
+/// Undo log for an atomic region: first-write-wins snapshots of
+/// non-volatile locations.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    entries: BTreeMap<NvLoc, Tainted>,
+}
+
+impl UndoLog {
+    /// Records the pre-state of `loc` unless already logged. Returns
+    /// true when a new entry was added (for cost accounting).
+    pub fn save(&mut self, loc: NvLoc, old: Tainted) -> bool {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.entries.entry(loc) {
+            e.insert(old);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of logged words.
+    pub fn words(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Restores every logged location into `nv` — the paper's `N ◁ L`.
+    pub fn apply(&self, nv: &mut NvMem) {
+        for (loc, old) in &self.entries {
+            match loc {
+                NvLoc::Scalar(name) => {
+                    nv.write(name, old.clone());
+                }
+                NvLoc::Cell(name, idx) => {
+                    if let Some(a) = nv.arrays.get_mut(name) {
+                        if *idx < a.len() {
+                            a[*idx] = old.clone();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops all entries (region committed).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_ir::compile;
+
+    #[test]
+    fn tainted_combine_unions_deps() {
+        let a = Tainted::input(3, 10);
+        let b = Tainted::input(4, 20);
+        let c = Tainted::combine(7, &a, &b);
+        assert_eq!(c.value, 7);
+        assert_eq!(c.deps, Deps::from([10, 20]));
+    }
+
+    #[test]
+    fn nv_init_from_globals() {
+        let p = compile("nv g = 5; nv a[3]; fn main() {}").unwrap();
+        let nv = NvMem::init(&p);
+        assert_eq!(nv.read("g").value, 5);
+        assert_eq!(nv.read_idx("a", 2).value, 0);
+        assert!(nv.is_array("a"));
+        assert!(!nv.is_array("g"));
+    }
+
+    #[test]
+    fn array_indices_clamp() {
+        let p = compile("nv a[2]; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        nv.write_idx("a", 7, Tainted::pure(9));
+        assert_eq!(nv.read_idx("a", 100).value, 9, "both clamp to last cell");
+        nv.write_idx("a", -5, Tainted::pure(1));
+        assert_eq!(nv.read_idx("a", 0).value, 1);
+    }
+
+    #[test]
+    fn undo_log_first_write_wins_and_applies() {
+        let p = compile("nv g = 5; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        let mut log = UndoLog::default();
+        let old = nv.write("g", Tainted::pure(6));
+        assert!(log.save(NvLoc::Scalar("g".into()), old));
+        let old2 = nv.write("g", Tainted::pure(7));
+        assert!(!log.save(NvLoc::Scalar("g".into()), old2), "already logged");
+        assert_eq!(nv.read("g").value, 7);
+        log.apply(&mut nv);
+        assert_eq!(nv.read("g").value, 5, "rollback to pre-region value");
+        assert_eq!(log.words(), 1);
+    }
+
+    #[test]
+    fn undo_log_handles_array_cells() {
+        let p = compile("nv a[4]; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        let mut log = UndoLog::default();
+        let (i, old) = nv.write_idx("a", 2, Tainted::pure(42));
+        log.save(NvLoc::Cell("a".into(), i), old);
+        log.apply(&mut nv);
+        assert_eq!(nv.read_idx("a", 2).value, 0);
+    }
+
+    #[test]
+    fn vol_state_words_scale_with_frames() {
+        let p = compile("fn main() { let x = 1; }").unwrap();
+        let mut vol = VolState::default();
+        let base = vol.words();
+        vol.frames.push(Frame::at_entry(&p, p.main));
+        assert!(vol.words() > base);
+        vol.top_mut()
+            .unwrap()
+            .locals
+            .insert("x".into(), Tainted::pure(1));
+        assert_eq!(vol.words(), base + 4 + 1);
+    }
+}

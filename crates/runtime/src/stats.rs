@@ -1,0 +1,126 @@
+//! Execution statistics: the measurements behind Figures 7–8 and
+//! Table 2.
+
+/// Counters accumulated by a [`crate::machine::Machine`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Active CPU cycles.
+    pub on_cycles: u64,
+    /// Active wall-clock time in µs.
+    pub on_time_us: u64,
+    /// Off/charging wall-clock time in µs.
+    pub off_time_us: u64,
+    /// Power failures survived.
+    pub reboots: u64,
+    /// JIT checkpoints taken (at low-power interrupts in JIT mode).
+    pub jit_checkpoints: u64,
+    /// Atomic regions entered (outermost only).
+    pub region_entries: u64,
+    /// Atomic regions committed.
+    pub region_commits: u64,
+    /// Atomic region re-executions after in-region failures.
+    pub region_reexecs: u64,
+    /// Words written to undo logs.
+    pub log_words: u64,
+    /// Words of volatile state checkpointed.
+    pub ckpt_words: u64,
+    /// Output operations committed.
+    pub outputs: u64,
+    /// Detector violations (total).
+    pub violations: u64,
+    /// Freshness violations.
+    pub fresh_violations: u64,
+    /// Temporal-consistency violations.
+    pub consistency_violations: u64,
+    /// Completed program runs.
+    pub runs_completed: u64,
+    /// Completed runs containing at least one violation.
+    pub runs_with_violation: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// TICS-mode expiry checks that tripped (the value's age exceeded
+    /// the window at a use site).
+    pub expiry_trips: u64,
+    /// TICS-mode mitigation handlers run (the run restarted to
+    /// re-collect inputs).
+    pub expiry_restarts: u64,
+    /// TICS-mode trips that exceeded the per-run mitigation cap and
+    /// proceeded with the stale value anyway.
+    pub expiry_giveups: u64,
+    /// Cycle breakdown by category.
+    pub breakdown: Breakdown,
+}
+
+/// Where the active cycles went — the denominators of the overhead
+/// figures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Plain compute: ALU, branches, calls.
+    pub compute: u64,
+    /// Sensor sampling.
+    pub input: u64,
+    /// Output operations (UART/radio).
+    pub output: u64,
+    /// Volatile checkpoints: JIT low-power saves and region-entry
+    /// snapshots.
+    pub checkpoint: u64,
+    /// Undo-log writes (eager ω plus dynamic first-writes).
+    pub undo_log: u64,
+    /// Restores after reboot (volatile state, log application).
+    pub restore: u64,
+}
+
+impl Breakdown {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.compute + self.input + self.output + self.checkpoint + self.undo_log + self.restore
+    }
+}
+
+impl Stats {
+    /// Total wall-clock time (on + off) in µs.
+    pub fn total_time_us(&self) -> u64 {
+        self.on_time_us + self.off_time_us
+    }
+
+    /// Fraction of completed runs that violated a policy — the
+    /// Table 2(b) metric. Returns 0 when no runs completed.
+    pub fn violating_fraction(&self) -> f64 {
+        if self.runs_completed == 0 {
+            0.0
+        } else {
+            self.runs_with_violation as f64 / self.runs_completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violating_fraction_handles_zero_runs() {
+        let s = Stats::default();
+        assert_eq!(s.violating_fraction(), 0.0);
+    }
+
+    #[test]
+    fn violating_fraction_is_ratio() {
+        let s = Stats {
+            runs_completed: 4,
+            runs_with_violation: 1,
+            ..Default::default()
+        };
+        assert!((s.violating_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_time_sums_on_and_off() {
+        let s = Stats {
+            on_time_us: 10,
+            off_time_us: 90,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time_us(), 100);
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: annotate → infer → execute intermittently.
+//!
+//! Reproduces the paper's Figure 2 scenario end to end: a weather
+//! monitor whose temperature alarm must be *fresh* and whose
+//! pressure/humidity log must be *temporally consistent*. Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ocelot::prelude::*;
+
+fn main() {
+    // The motivating program of Figure 2.
+    let src = r#"
+        sensor tmp;
+        sensor pres;
+        sensor hum;
+        fn main() {
+            let x = in(tmp);
+            fresh(x);                       // alarm on *current* heat
+            if x > 5 { out(alarm, x); }
+            let y = in(pres);
+            consistent(y, 1);               // pressure and humidity must
+            let z = in(hum);
+            consistent(z, 1);               // come from one moment
+            out(log, y, z);
+        }
+    "#;
+
+    let program = compile(src).expect("source compiles");
+    let compiled = ocelot_transform(program).expect("Ocelot transform succeeds");
+    println!(
+        "Ocelot inferred {} atomic region(s) for {} polic{}:",
+        compiled.regions.len(),
+        compiled.policies.len(),
+        if compiled.policies.len() == 1 { "y" } else { "ies" }
+    );
+    for (region, policies) in &compiled.policy_map {
+        let info = compiled.region(*region).expect("region exists");
+        println!(
+            "  region r{} in `{}` enforces {:?} (undo log: {} word(s))",
+            region.0,
+            compiled.program.func(info.func).name,
+            policies,
+            info.omega_words
+        );
+    }
+
+    // A storm front crosses while the device is charging: exactly the
+    // situation where JIT checkpointing logs impossible weather.
+    let env = Environment::weather_front(2_000);
+
+    // First, JIT only — power fails at the worst points (§7.3).
+    let jit = build(compile(src).unwrap(), ExecModel::Jit).unwrap();
+    let targets = pathological_targets(&jit.policies);
+    let mut machine = Machine::new(
+        &jit.program,
+        &jit.regions,
+        jit.policies.clone(),
+        env.clone(),
+        CostModel::default(),
+        Box::new(ContinuousPower),
+    )
+    .with_injector(targets.clone());
+    machine.run_once(1_000_000);
+    println!(
+        "\nJIT under targeted failures: {} violation(s) ({} fresh, {} consistency)",
+        machine.stats().violations,
+        machine.stats().fresh_violations,
+        machine.stats().consistency_violations
+    );
+
+    // Now Ocelot — same failures, the regions roll back and re-collect.
+    let mut machine = Machine::new(
+        &compiled.program,
+        &compiled.regions,
+        compiled.policies.clone(),
+        env,
+        CostModel::default(),
+        Box::new(ContinuousPower),
+    )
+    .with_injector(targets);
+    machine.run_once(1_000_000);
+    println!(
+        "Ocelot under the same failures: {} violation(s), {} region re-execution(s)",
+        machine.stats().violations,
+        machine.stats().region_reexecs
+    );
+    assert_eq!(machine.stats().violations, 0);
+    println!("\nThe intermittent execution now matches a continuous one.");
+}

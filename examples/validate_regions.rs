@@ -1,0 +1,70 @@
+//! Checker mode (§8): validate *manually placed* atomic regions against
+//! the program's annotations instead of inferring placement. Run with:
+//!
+//! ```sh
+//! cargo run --example validate_regions
+//! ```
+
+use ocelot::prelude::*;
+
+fn main() {
+    // A programmer hand-placed a region — but it ends too early: the
+    // logging use of `x` escapes it.
+    let buggy = r#"
+        sensor s;
+        fn main() {
+            atomic {
+                let x = in(s);
+                fresh(x);
+            }
+            out(log, x);
+        }
+    "#;
+    let report = ocelot_check(&compile(buggy).expect("compiles")).expect("checkable");
+    println!("hand-placed region, use escapes:");
+    for v in &report.violations {
+        println!("  ✗ {v}");
+    }
+    assert!(!report.passes());
+
+    // The fix: extend the region over the use.
+    let fixed = r#"
+        sensor s;
+        fn main() {
+            atomic {
+                let x = in(s);
+                fresh(x);
+                out(log, x);
+            }
+        }
+    "#;
+    let report = ocelot_check(&compile(fixed).expect("compiles")).expect("checkable");
+    println!("\nextended region:");
+    for (policy, region) in &report.enforced_by {
+        println!("  ✓ policy {} enforced by region r{}", policy.0, region.0);
+    }
+    assert!(report.passes());
+
+    // Mixed mode: keep the manual region, let Ocelot add what's missing.
+    let mixed = r#"
+        sensor s;
+        sensor t;
+        fn main() {
+            atomic {
+                out(uart, 1);
+            }
+            let a = in(s);
+            consistent(a, 1);
+            let b = in(t);
+            consistent(b, 1);
+            out(log, a, b);
+        }
+    "#;
+    let compiled = ocelot_transform(compile(mixed).expect("compiles")).expect("transforms");
+    println!(
+        "\nmixed mode: {} manual + inferred regions total, checker passes: {}",
+        compiled.regions.len(),
+        compiled.check.passes()
+    );
+    assert_eq!(compiled.regions.len(), 2);
+}

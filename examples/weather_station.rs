@@ -1,0 +1,63 @@
+//! A greenhouse weather station demonstrating temporal consistency: the
+//! misting controller must never act on a temperature from one moment
+//! and a humidity from another. Shows the committed observation trace
+//! and validates it against the paper's formal Definitions 2 and 3. Run
+//! with:
+//!
+//! ```sh
+//! cargo run --example weather_station
+//! ```
+
+use ocelot::prelude::*;
+use ocelot::runtime::detect::check_trace;
+use ocelot::runtime::obs::Obs;
+
+fn main() {
+    let bench = ocelot::apps::by_name("greenhouse").expect("greenhouse exists");
+
+    for model in [ExecModel::Jit, ExecModel::Ocelot] {
+        let built = build(bench.annotated(), model).expect("build succeeds");
+        let mut machine = Machine::new(
+            &built.program,
+            &built.regions,
+            built.policies.clone(),
+            bench.environment(11),
+            CostModel::default()
+                .with_input_cost("temp", 1_400)
+                .with_input_cost("hum", 1_400),
+            Box::new(HarvestedPower::capybara_noisy(11).with_boot_jitter(5, 0.4)),
+        );
+        for _ in 0..30 {
+            machine.run_once(5_000_000);
+        }
+        let stats = machine.stats().clone();
+        let trace = machine.take_trace();
+
+        // Cross-validate the two detectors: the paper's online bit
+        // vector and the formal trace checker (Definitions 2 & 3).
+        let formal = check_trace(machine.policies(), &trace);
+        let mists = trace
+            .iter()
+            .filter(|o| matches!(o, Obs::Output { channel, .. } if channel == "mist"))
+            .count();
+        println!(
+            "{:<7} runs={} reboots={:>3} mist-commands={:<3} bitvec-violations={} \
+             formal-violations={}",
+            model.name(),
+            stats.runs_completed,
+            stats.reboots,
+            mists,
+            stats.violations,
+            formal.len(),
+        );
+        if model == ExecModel::Ocelot {
+            assert_eq!(stats.violations, 0);
+            assert!(formal.is_empty());
+        }
+    }
+    println!(
+        "\nUnder JIT, some mist commands were computed from readings the paper's\n\
+         Definition 3 proves impossible in any continuous execution; Ocelot's\n\
+         inferred region makes both detectors read zero."
+    );
+}

@@ -1,0 +1,417 @@
+//! `ocelotc` — the Ocelot command-line toolchain.
+//!
+//! ```text
+//! ocelotc compile <file>        infer regions, print the transformed program
+//! ocelotc check   <file>        checker mode: validate existing regions (§8)
+//! ocelotc policies <file>       print the derived policy declarations
+//! ocelotc summaries <file>      print Figure-5 function summaries (FS)
+//! ocelotc progress <file> [opts] forward-progress report: worst-case
+//!                               region energy vs. the buffer (§5.3/§10)
+//!     --capacity <nj>           capacitor capacity (default Capybara 50 µJ)
+//!     --trigger <nj>            comparator trigger (default 4 µJ)
+//!     --jit                     analyze without region inference
+//! ocelotc run     <file> [opts] execute on simulated harvested power
+//!     --continuous              bench power instead of harvesting
+//!     --jit                     skip region inference (JIT-only build)
+//!     --tics <µs>               JIT + TICS-style expiry window with
+//!                               restart mitigation (implies --jit)
+//!     --runs <n>                complete program runs (default 10)
+//!     --seed <n>                environment/harvester seed (default 1)
+//!     --sensor <name>=<value>   constant sensor value (repeatable)
+//! ```
+
+use ocelot::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: ocelotc <compile|check|policies|run> <file> [options]");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(path) = rest.first() else {
+        eprintln!("error: missing input file");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match compile(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "compile" => cmd_compile(program),
+        "check" => cmd_check(program),
+        "policies" => cmd_policies(program),
+        "summaries" => cmd_summaries(program),
+        "progress" => cmd_progress(program, &rest[1..]),
+        "run" => cmd_run(program, &rest[1..]),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_compile(program: Program) -> ExitCode {
+    match ocelot_transform(program) {
+        Ok(c) => {
+            eprintln!(
+                "inferred {} region(s) for {} policy(ies); checker: {}",
+                c.policy_map.len(),
+                c.policies.len(),
+                if c.check.passes() { "ok" } else { "FAILED" }
+            );
+            for info in &c.regions {
+                eprintln!(
+                    "  region r{} in `{}`: ω = {:?} ({} word(s))",
+                    info.id.0,
+                    c.program.func(info.func).name,
+                    info.effects.omega(),
+                    info.omega_words
+                );
+            }
+            println!("{}", ocelot::ir::print::program_to_string(&c.program));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(program: Program) -> ExitCode {
+    match ocelot_check(&program) {
+        Ok(report) if report.passes() => {
+            for (p, r) in &report.enforced_by {
+                println!("ok: policy {} enforced by region r{}", p.0, r.0);
+            }
+            if report.enforced_by.is_empty() {
+                println!("ok: no non-vacuous policies to enforce");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("violation: {v}");
+                for m in &v.missing {
+                    eprintln!("  uncovered operation at {m}");
+                }
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_policies(program: Program) -> ExitCode {
+    match ocelot::ir::validate(&program) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let taint = ocelot::analysis::taint::TaintAnalysis::run(&program);
+    let policies = ocelot::core::build_policies(&program, &taint);
+    for pol in policies.iter() {
+        println!(
+            "policy {} ({:?}){}",
+            pol.id.0,
+            pol.kind,
+            if pol.is_vacuous() { " — vacuous" } else { "" }
+        );
+        for d in &pol.decls {
+            println!("  declares `{}` at {}", d.var, d.at);
+        }
+        for chain in &pol.inputs {
+            let rendered: Vec<String> = chain.iter().map(|r| r.to_string()).collect();
+            println!("  input chain: {}", rendered.join(" :: "));
+        }
+        for u in &pol.uses {
+            println!("  use at {u}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_summaries(program: Program) -> ExitCode {
+    if let Err(e) = ocelot::ir::validate(&program) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let taint = ocelot::analysis::taint::TaintAnalysis::run(&program);
+    let summaries = ocelot::analysis::summary::build_summaries(&program, &taint);
+    for (f, fsum) in program.funcs.iter().zip(&summaries) {
+        if fsum.local.entries.is_empty() && fsum.callers.is_empty() {
+            continue;
+        }
+        println!("fn {}:", f.name);
+        for e in &fsum.local.entries {
+            for i in &e.inputs {
+                match &e.target {
+                    ocelot::analysis::summary::TaintTarget::Ret => {
+                        println!("  local: ret ←↪ (input: {}, fromTp: {})", i.input, i.from);
+                    }
+                    ocelot::analysis::summary::TaintTarget::RefParam(p) => {
+                        println!(
+                            "  local: &{p} ←↪ (input: {}, fromTp: {})",
+                            i.input, i.from
+                        );
+                    }
+                }
+            }
+        }
+        for cs in &fsum.callers {
+            println!(
+                "  call(caller: {}, tainted args: {:?})",
+                cs.caller, cs.tainted_params
+            );
+            for e in &cs.entries {
+                for i in &e.inputs {
+                    match &e.target {
+                        ocelot::analysis::summary::TaintTarget::Ret => {
+                            println!("    ret ←↪ fromTp: {}", i.from);
+                        }
+                        ocelot::analysis::summary::TaintTarget::RefParam(p) => {
+                            println!("    &{p} ←↪ fromTp: {}", i.from);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_progress(program: Program, opts: &[String]) -> ExitCode {
+    let mut capacity = 50_000.0f64;
+    let mut trigger = 4_000.0f64;
+    let mut jit = false;
+    let mut it = opts.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--capacity" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => capacity = v,
+                None => return usage_err("--capacity needs a number (nJ)"),
+            },
+            "--trigger" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => trigger = v,
+                None => return usage_err("--trigger needs a number (nJ)"),
+            },
+            "--jit" => jit = true,
+            other => return usage_err(&format!("unknown option `{other}`")),
+        }
+    }
+    if trigger >= capacity || trigger < 0.0 {
+        return usage_err("--trigger must lie within --capacity");
+    }
+    let model = if jit { ExecModel::Jit } else { ExecModel::Ocelot };
+    let built = match build(program, model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let costs = CostModel::default();
+    let report = match ProgressReport::analyze(&built.program, &built.regions, &costs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{report}");
+    let cap = Capacitor::new(capacity, trigger);
+    let mut all_ok = report.reserve_covers_checkpoint(&cap);
+    if !all_ok {
+        eprintln!(
+            "RESERVE TOO SMALL: the worst-case JIT checkpoint does not fit \
+             below the trigger"
+        );
+    }
+    for (b, v) in report.check(&cap) {
+        match v {
+            Verdict::Feasible { headroom_nj } => {
+                println!(
+                    "region r{}: feasible ({:.2} µJ headroom)",
+                    b.region.0,
+                    headroom_nj / 1000.0
+                );
+            }
+            Verdict::Infeasible { deficit_nj } => {
+                all_ok = false;
+                println!(
+                    "region r{}: INFEASIBLE ({:.2} µJ short) — the program \
+                     livelocks here",
+                    b.region.0,
+                    deficit_nj / 1000.0
+                );
+            }
+        }
+    }
+    let min = report.min_capacitor(0.1);
+    println!(
+        "minimum buffer (10% margin): {:.2} µJ capacity, {:.2} µJ trigger",
+        min.capacity_nj() / 1000.0,
+        min.trigger_nj() / 1000.0
+    );
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
+    let mut runs = 10u64;
+    let mut seed = 1u64;
+    let mut continuous = false;
+    let mut jit = false;
+    let mut tics: Option<u64> = None;
+    let mut env = Environment::new();
+    let mut have_sensor = false;
+    let mut it = opts.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--continuous" => continuous = true,
+            "--jit" => jit = true,
+            "--tics" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(w) => {
+                    tics = Some(w);
+                    jit = true;
+                }
+                None => return usage_err("--tics needs a window in µs"),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => runs = v,
+                None => return usage_err("--runs needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage_err("--seed needs a number"),
+            },
+            "--sensor" => {
+                let Some(spec) = it.next() else {
+                    return usage_err("--sensor needs name=value");
+                };
+                let Some((name, value)) = spec.split_once('=') else {
+                    return usage_err("--sensor needs name=value");
+                };
+                let Ok(v) = value.parse::<i64>() else {
+                    return usage_err("--sensor value must be an integer");
+                };
+                env = env.with(name, Signal::Constant(v));
+                have_sensor = true;
+            }
+            other => return usage_err(&format!("unknown option `{other}`")),
+        }
+    }
+    if !have_sensor {
+        // Default: a gently varying signal per declared sensor.
+        for (i, s) in program.sensors.iter().enumerate() {
+            env = env.with(
+                s,
+                Signal::Noisy {
+                    base: Box::new(Signal::Constant(20 + 5 * i as i64)),
+                    amplitude: 3,
+                    seed: seed ^ i as u64,
+                },
+            );
+        }
+    }
+
+    let model = if jit { ExecModel::Jit } else { ExecModel::Ocelot };
+    let built = match build(program, model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let supply: Box<dyn PowerSupply> = if continuous {
+        Box::new(ContinuousPower)
+    } else {
+        Box::new(HarvestedPower::capybara_noisy(seed).with_boot_jitter(seed ^ 7, 0.4))
+    };
+    let mut machine = Machine::new(
+        &built.program,
+        &built.regions,
+        built.policies.clone(),
+        env,
+        CostModel::default(),
+        supply,
+    );
+    if let Some(w) = tics {
+        machine = machine.with_expiry_window(w);
+    }
+    for _ in 0..runs {
+        match machine.run_once(10_000_000) {
+            RunOutcome::StepLimit => {
+                eprintln!("error: step limit exceeded");
+                return ExitCode::FAILURE;
+            }
+            RunOutcome::Livelock { region } => {
+                eprintln!(
+                    "error: region r{} livelocked (buffer too small — see \
+                     `ocelotc progress`)",
+                    region.0
+                );
+                return ExitCode::FAILURE;
+            }
+            RunOutcome::Completed { .. } => {}
+        }
+    }
+    let trace = machine.take_trace();
+    for o in &trace {
+        if let ocelot::runtime::obs::Obs::Output {
+            channel, values, ..
+        } = o
+        {
+            println!("out({channel}) {values:?}");
+        }
+    }
+    let s = machine.stats();
+    eprintln!(
+        "{} run(s): {} reboot(s), {} region re-execution(s), {} violation(s); \
+         on {:.2} ms, charging {:.2} ms",
+        s.runs_completed,
+        s.reboots,
+        s.region_reexecs,
+        s.violations,
+        s.on_time_us as f64 / 1000.0,
+        s.off_time_us as f64 / 1000.0,
+    );
+    if tics.is_some() {
+        eprintln!(
+            "TICS: {} expiry trip(s), {} handler restart(s), {} giveup(s)",
+            s.expiry_trips, s.expiry_restarts, s.expiry_giveups
+        );
+    }
+    if s.violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

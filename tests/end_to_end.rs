@@ -1,0 +1,193 @@
+//! End-to-end integration tests across every crate: the six benchmarks
+//! compiled under all three execution models, executed on simulated
+//! hardware, with correctness and output-equivalence checks.
+
+use ocelot::prelude::*;
+use ocelot::runtime::obs::Obs;
+
+/// Committed outputs of a machine run, as (channel, values) pairs.
+fn committed_outputs(trace: &[Obs]) -> Vec<(String, Vec<i64>)> {
+    trace
+        .iter()
+        .filter_map(|o| match o {
+            Obs::Output {
+                channel, values, ..
+            } => Some((channel.clone(), values.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Under a *constant* environment, an intermittent Ocelot execution
+/// must commit exactly the outputs of a continuous execution — the
+/// strongest form of "matches some continuous execution" our simulator
+/// can check exactly.
+#[test]
+fn ocelot_intermittent_outputs_match_continuous_under_constant_world() {
+    for b in ocelot::apps::all() {
+        let built = build(b.annotated(), ExecModel::Ocelot).unwrap();
+        // Freeze every sensor at a constant.
+        let mut env = Environment::new();
+        let program = &built.program;
+        for (i, s) in program.sensors.iter().enumerate() {
+            env = env.with(s, Signal::Constant(20 + i as i64 * 7));
+        }
+
+        let mut cont = Machine::new(
+            program,
+            &built.regions,
+            built.policies.clone(),
+            env.clone(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        for _ in 0..3 {
+            cont.run_once(5_000_000);
+        }
+        let want = committed_outputs(&cont.take_trace());
+
+        let mut inter = Machine::new(
+            program,
+            &built.regions,
+            built.policies.clone(),
+            env,
+            CostModel::default(),
+            Box::new(
+                HarvestedPower::capybara_noisy(5).with_boot_jitter(9, 0.4),
+            ),
+        );
+        for _ in 0..3 {
+            let out = inter.run_once(5_000_000);
+            assert!(matches!(out, RunOutcome::Completed { .. }), "{}", b.name);
+        }
+        let got = committed_outputs(&inter.take_trace());
+        assert_eq!(got, want, "{}: intermittent != continuous outputs", b.name);
+        assert_eq!(inter.stats().violations, 0, "{}", b.name);
+    }
+}
+
+/// The same equivalence holds for the Atomics-only variants (their
+/// regions are placed to preserve correctness, §7.2).
+#[test]
+fn atomics_intermittent_outputs_match_their_continuous_run() {
+    for b in ocelot::apps::all() {
+        let built = build(b.atomics_only(), ExecModel::AtomicsOnly).unwrap();
+        let mut env = Environment::new();
+        for (i, s) in built.program.sensors.iter().enumerate() {
+            env = env.with(s, Signal::Constant(15 + i as i64 * 5));
+        }
+        let mut cont = Machine::new(
+            &built.program,
+            &built.regions,
+            built.policies.clone(),
+            env.clone(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        cont.run_once(5_000_000);
+        let want = committed_outputs(&cont.take_trace());
+
+        let mut inter = Machine::new(
+            &built.program,
+            &built.regions,
+            built.policies.clone(),
+            env,
+            CostModel::default(),
+            Box::new(
+                HarvestedPower::capybara_noisy(8).with_boot_jitter(2, 0.4),
+            ),
+        );
+        inter.run_once(5_000_000);
+        let got = committed_outputs(&inter.take_trace());
+        assert_eq!(got, want, "{}", b.name);
+    }
+}
+
+/// Non-volatile state survives power failures and stays consistent:
+/// a counter incremented inside a region is exactly-once per run even
+/// when the region re-executes.
+#[test]
+fn nv_counter_is_exactly_once_across_failures() {
+    let src = r#"
+        sensor s;
+        nv count = 0;
+        fn main() {
+            atomic {
+                let v = in(s);
+                count = count + 1;
+            }
+            out(uart, count);
+        }
+    "#;
+    let built = build(compile(src).unwrap(), ExecModel::AtomicsOnly).unwrap();
+    let mut m = Machine::new(
+        &built.program,
+        &built.regions,
+        built.policies.clone(),
+        Environment::new().with("s", Signal::Constant(1)),
+        CostModel::default(),
+        Box::new(ocelot::hw::power::RandomPower::new(3_000.0, 200, 3)),
+    );
+    const RUNS: u64 = 25;
+    for _ in 0..RUNS {
+        m.run_once(2_000_000);
+    }
+    assert!(m.stats().region_reexecs > 0, "failures must hit the region");
+    let trace = m.take_trace();
+    let outputs = committed_outputs(&trace);
+    let last = outputs.last().expect("at least one output");
+    assert_eq!(last.1, vec![RUNS as i64], "counter == number of runs");
+    // And the counts are strictly increasing 1..=RUNS.
+    let counts: Vec<i64> = outputs.iter().map(|(_, v)| v[0]).collect();
+    assert_eq!(counts, (1..=RUNS as i64).collect::<Vec<_>>());
+}
+
+/// Every benchmark, every model, completes on harvested power and the
+/// Ocelot build reports zero violations while JIT reports some on at
+/// least one benchmark (matching Table 2(b)'s split).
+#[test]
+fn benchmark_sweep_on_harvested_power() {
+    let mut jit_violations_total = 0;
+    for b in ocelot::apps::all() {
+        for model in [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly] {
+            let program = match model {
+                ExecModel::AtomicsOnly => b.atomics_only(),
+                _ => b.annotated(),
+            };
+            let built = build(program, model).unwrap();
+            let mut m = Machine::new(
+                &built.program,
+                &built.regions,
+                built.policies.clone(),
+                b.environment(23),
+                CostModel::default(),
+                Box::new(
+                    HarvestedPower::capybara_noisy(23).with_boot_jitter(4, 0.4),
+                ),
+            );
+            for _ in 0..10 {
+                let out = m.run_once(5_000_000);
+                assert!(
+                    matches!(out, RunOutcome::Completed { .. }),
+                    "{} {:?}",
+                    b.name,
+                    model
+                );
+            }
+            match model {
+                ExecModel::Jit => jit_violations_total += m.stats().violations,
+                _ => assert_eq!(
+                    m.stats().violations,
+                    0,
+                    "{} {:?} must be violation-free",
+                    b.name,
+                    model
+                ),
+            }
+        }
+    }
+    assert!(
+        jit_violations_total > 0,
+        "JIT should violate somewhere across the sweep"
+    );
+}

@@ -1,0 +1,97 @@
+//! Front-end property tests: parser totality on arbitrary input, AST
+//! print/parse round trips on generated programs, and the unrolling
+//! pass's semantic preservation.
+
+mod common;
+
+use common::arb_program;
+use ocelot::ir::print_ast::{ast_to_source, erase_spans};
+use ocelot::ir::{compile, parse};
+use ocelot::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer/parser never panic, whatever bytes arrive — they
+    /// return structured errors instead.
+    #[test]
+    fn parser_is_total_on_arbitrary_strings(src in "\\PC{0,200}") {
+        let _ = parse(&src); // must not panic
+    }
+
+    /// ... including near-miss program-shaped inputs.
+    #[test]
+    fn parser_is_total_on_program_shaped_noise(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()),
+                Just("let".to_string()),
+                Just("atomic".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("in".to_string()),
+                Just("fresh".to_string()),
+                Just("repeat".to_string()),
+                Just("9".to_string()),
+                Just("x".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src); // must not panic
+    }
+
+    /// Printing a parsed program and re-parsing yields the same AST.
+    #[test]
+    fn print_parse_round_trip(p in arb_program()) {
+        let a = erase_spans(&parse(&p.source).unwrap());
+        let printed = ast_to_source(&a);
+        let b = erase_spans(&parse(&printed).unwrap());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Unrolling bounded loops preserves observable behavior: the
+    /// rolled and unrolled programs commit identical outputs on
+    /// continuous power. (`while` loops cannot be unrolled — the pass
+    /// must reject them, which is its own assertion.)
+    #[test]
+    fn unrolling_preserves_outputs(p in arb_program(), seed in 0u64..100) {
+        if p.has_while {
+            let err = ocelot::ir::compile_unrolled(&p.source, 100_000).unwrap_err();
+            prop_assert!(err.to_string().contains("while"));
+            return Ok(());
+        }
+        use ocelot::runtime::obs::Obs;
+        let outputs = |prog: ocelot::ir::Program| -> Vec<(String, Vec<i64>)> {
+            let built = build(prog, ExecModel::Jit).unwrap();
+            let mut m = Machine::new(
+                &built.program,
+                &built.regions,
+                built.policies.clone(),
+                common::gen_environment_constant(seed),
+                CostModel::default(),
+                Box::new(ContinuousPower),
+            );
+            m.run_once(2_000_000);
+            m.take_trace()
+                .into_iter()
+                .filter_map(|o| match o {
+                    Obs::Output { channel, values, .. } => Some((channel, values)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let rolled = compile(&p.source).unwrap();
+        let unrolled = ocelot::ir::compile_unrolled(&p.source, 100_000).unwrap();
+        // Unrolling changes instruction *timing*, so the environment
+        // must be time-invariant for output equality to be the right
+        // spec; continuous power keeps eras identical.
+        prop_assert_eq!(outputs(rolled), outputs(unrolled));
+    }
+}

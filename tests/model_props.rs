@@ -1,0 +1,128 @@
+//! Property tests for the comparison execution models (TICS expiry,
+//! Samoyed atomic functions) and the stack model, on arbitrary
+//! generated programs.
+
+mod common;
+
+use common::{arb_program, gen_environment_constant};
+use ocelot::prelude::*;
+use ocelot::progress::StackModel;
+use ocelot::runtime::samoyed_transform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §5.3's "trivially correct" placement, verified in general: for
+    /// every generated program, wrapping all of `main` in one region
+    /// passes the Theorem 1 region checks for every policy.
+    #[test]
+    fn whole_main_region_always_passes_checks(p in arb_program()) {
+        let program = compile(&p.source).unwrap();
+        let built = samoyed_transform(program, &["main"]).unwrap();
+        let report = ocelot::core::check_regions(&built.program, &built.policies).unwrap();
+        prop_assert!(report.passes(), "{report:?}\n{}", p.source);
+    }
+
+    /// Samoyed whole-main execution commits the same outputs as a
+    /// continuous run under a constant environment, under arbitrary
+    /// random failures — region rollback keeps re-execution invisible.
+    #[test]
+    fn whole_main_region_execution_is_equivalent(
+        p in arb_program(),
+        seed in 0u64..200,
+    ) {
+        let reference = {
+            let built = build(compile(&p.source).unwrap(), ExecModel::Jit).unwrap();
+            let mut m = Machine::new(
+                &built.program, &built.regions, PolicySet::default(),
+                gen_environment_constant(seed), CostModel::default(),
+                Box::new(ContinuousPower),
+            );
+            m.run_once(5_000_000);
+            outputs(&m.take_trace())
+        };
+        let wrapped = samoyed_transform(compile(&p.source).unwrap(), &["main"]).unwrap();
+        // Generous budget so the whole-main region always fits: failures
+        // land mid-region but each retry can finish.
+        let supply = ocelot::hw::power::RandomPower::new(60_000.0, 300, seed);
+        let mut m = Machine::new(
+            &wrapped.program, &wrapped.regions, PolicySet::default(),
+            gen_environment_constant(seed), CostModel::default(),
+            Box::new(supply),
+        );
+        let out = m.run_once(5_000_000);
+        prop_assert!(matches!(out, RunOutcome::Completed { .. }), "{out:?}");
+        prop_assert_eq!(outputs(&m.take_trace()), reference);
+    }
+
+    /// With a window below the (fixed) charging gap, the TICS model
+    /// protects every fresh use on JIT executions: any use whose inputs
+    /// straddled a reboot either restarted or was explicitly given up.
+    #[test]
+    fn tics_tight_window_leaves_no_silent_fresh_violation(
+        p in arb_program(),
+        seed in 0u64..100,
+    ) {
+        let built = build(compile(&p.source).unwrap(), ExecModel::Jit).unwrap();
+        let budgets: Vec<f64> = (0..400)
+            .map(|i| 4_300.0 + (seed as f64 % 7.0) * 131.0 + (i % 13) as f64 * 97.0)
+            .collect();
+        let mut m = Machine::new(
+            &built.program, &built.regions, built.policies.clone(),
+            gen_environment_constant(seed), CostModel::default(),
+            // Fixed 50 ms charging gap, far above the 5 ms window.
+            Box::new(ocelot::hw::power::ScriptedPower::new(budgets, 50_000)),
+        )
+        .with_expiry_window(5_000);
+        for _ in 0..5 {
+            m.run_once(5_000_000);
+        }
+        let s = m.stats();
+        prop_assert!(
+            s.fresh_violations == 0 || s.expiry_giveups > 0,
+            "a sub-gap window must catch stale uses unless it gave up: \
+             {} violations, {} giveups\n{}",
+            s.fresh_violations, s.expiry_giveups, p.source
+        );
+    }
+
+    /// The static stack model bounds every checkpoint the runtime takes:
+    /// total checkpointed words never exceed (checkpoint count) × (the
+    /// static per-checkpoint peak).
+    #[test]
+    fn stack_model_bounds_checkpoint_sizes(
+        p in arb_program(),
+        seed in 0u64..100,
+    ) {
+        let built = build(compile(&p.source).unwrap(), ExecModel::Ocelot).unwrap();
+        let peak = StackModel::new(&built.program).program_peak_words(&built.program);
+        let mut m = Machine::new(
+            &built.program, &built.regions, built.policies.clone(),
+            gen_environment_constant(seed), CostModel::default(),
+            Box::new(ocelot::hw::power::RandomPower::new(6_000.0, 500, seed)),
+        );
+        for _ in 0..3 {
+            m.run_once(5_000_000);
+        }
+        let s = m.stats();
+        let checkpoints = s.jit_checkpoints + s.region_entries;
+        prop_assert!(
+            s.ckpt_words <= checkpoints * peak as u64,
+            "{} words over {} checkpoints exceeds peak {}",
+            s.ckpt_words, checkpoints, peak
+        );
+    }
+}
+
+fn outputs(trace: &[ocelot::runtime::Obs]) -> Vec<(String, Vec<i64>)> {
+    trace
+        .iter()
+        .filter_map(|o| match o {
+            ocelot::runtime::Obs::Output {
+                channel, values, ..
+            } => Some((channel.clone(), values.clone())),
+            _ => None,
+        })
+        .collect()
+}

@@ -1,0 +1,113 @@
+//! Property-based validation of Theorem 1: Ocelot-transformed programs
+//! satisfy their policies — on arbitrary generated programs, under
+//! arbitrary power failures, as judged by both the online bit-vector
+//! detector (§7.3) and the formal trace checker (Definitions 2 and 3).
+
+mod common;
+
+use common::{arb_program, gen_environment};
+use ocelot::prelude::*;
+use ocelot::runtime::detect::check_trace;
+use proptest::prelude::*;
+
+fn transform_generated(source: &str) -> Option<Compiled> {
+    let program = compile(source).expect("generated programs always parse");
+    validate(&program).expect("generated programs always validate");
+    Some(ocelot_transform(program).expect("generated programs always transform"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The transform succeeds on every generated program and its own
+    /// post-check (the Theorem 1 judgments) passes.
+    #[test]
+    fn transform_always_passes_self_check(p in arb_program()) {
+        let compiled = transform_generated(&p.source).unwrap();
+        prop_assert!(compiled.check.passes());
+        // Annotations are gone, regions are well-formed.
+        prop_assert!(compiled.program.annotations().is_empty());
+        validate(&compiled.program).unwrap();
+    }
+
+    /// Ocelot executions never violate a policy, under random power
+    /// failures, judged by both detectors.
+    #[test]
+    fn ocelot_never_violates_under_random_failures(
+        p in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        let compiled = transform_generated(&p.source).unwrap();
+        let supply = ocelot::hw::power::RandomPower::new(6_000.0, 500, seed);
+        let mut m = Machine::new(
+            &compiled.program,
+            &compiled.regions,
+            compiled.policies.clone(),
+            gen_environment(seed),
+            CostModel::default(),
+            Box::new(supply),
+        );
+        for _ in 0..3 {
+            let out = m.run_once(2_000_000);
+            let clean = matches!(out, RunOutcome::Completed { violated: false });
+            prop_assert!(clean);
+        }
+        prop_assert_eq!(m.stats().violations, 0, "bit-vector detector");
+        let trace = m.take_trace();
+        let formal = check_trace(m.policies(), &trace);
+        prop_assert!(formal.is_empty(), "formal trace checker: {:?}", formal);
+    }
+
+    /// Ocelot executions survive even *pathological* failures targeted
+    /// at every policy-critical point.
+    #[test]
+    fn ocelot_never_violates_under_pathological_failures(p in arb_program()) {
+        let compiled = transform_generated(&p.source).unwrap();
+        let targets = pathological_targets(&compiled.policies);
+        let mut m = Machine::new(
+            &compiled.program,
+            &compiled.regions,
+            compiled.policies.clone(),
+            gen_environment(1),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        )
+        .with_injector(targets);
+        let out = m.run_once(2_000_000);
+        let clean = matches!(out, RunOutcome::Completed { violated: false });
+        prop_assert!(clean);
+        let trace = m.take_trace();
+        prop_assert!(check_trace(m.policies(), &trace).is_empty());
+    }
+
+    /// The two detectors agree on JIT executions too: whenever the
+    /// formal checker finds a violation in the committed trace, the
+    /// online bit vector found one as well, and vice versa.
+    #[test]
+    fn detectors_agree_on_jit(p in arb_program(), seed in 0u64..500) {
+        let program = compile(&p.source).unwrap();
+        let built = build(program, ExecModel::Jit).unwrap();
+        let supply = ocelot::hw::power::RandomPower::new(6_000.0, 500, seed);
+        let mut m = Machine::new(
+            &built.program,
+            &built.regions,
+            built.policies.clone(),
+            gen_environment(seed),
+            CostModel::default(),
+            Box::new(supply),
+        );
+        for _ in 0..3 {
+            m.run_once(2_000_000);
+        }
+        let bitvec_found = m.stats().violations > 0;
+        let trace = m.take_trace();
+        let formal_found = !check_trace(m.policies(), &trace).is_empty();
+        prop_assert_eq!(
+            bitvec_found,
+            formal_found,
+            "bit-vector {} vs formal {}",
+            m.stats().violations,
+            check_trace(m.policies(), &trace).len()
+        );
+    }
+}
