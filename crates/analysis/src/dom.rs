@@ -28,12 +28,7 @@ impl DomTree {
     /// Builds the dominator tree of `f` (rooted at the entry block).
     pub fn dominators(f: &Function, cfg: &Cfg) -> Self {
         let rpo: Vec<BlockId> = cfg.rpo().to_vec();
-        Self::build(
-            f.blocks.len(),
-            f.entry,
-            &rpo,
-            |b| cfg.preds(b).to_vec(),
-        )
+        Self::build(f.blocks.len(), f.entry, &rpo, |b| cfg.preds(b).to_vec())
     }
 
     /// Builds the post-dominator tree of `f` (rooted at the exit block).
@@ -202,12 +197,7 @@ pub fn dominance_frontier(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<Vec<Blo
     df
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while order[a.0 as usize] > order[b.0 as usize] {
             a = idom[a.0 as usize].expect("processed block has idom");
@@ -286,12 +276,15 @@ mod tests {
 
     #[test]
     fn exit_post_dominates_everything() {
-        let (p, _, pdom) = trees(
-            "fn main() { let x = 1; if x > 0 { return 1; } else { return 2; } }",
-        );
+        let (p, _, pdom) =
+            trees("fn main() { let x = 1; if x > 0 { return 1; } else { return 2; } }");
         let f = p.func(p.main);
         for b in &f.blocks {
-            assert!(pdom.dominates(f.exit, b.id), "exit must post-dominate bb{}", b.id.0);
+            assert!(
+                pdom.dominates(f.exit, b.id),
+                "exit must post-dominate bb{}",
+                b.id.0
+            );
         }
     }
 
@@ -333,7 +326,10 @@ mod tests {
         let f = p.func(p.main);
         let cfg = Cfg::new(f);
         let (from, header) = cfg.back_edges()[0];
-        assert!(dom.dominates(header, from), "natural loop: header dominates latch");
+        assert!(
+            dom.dominates(header, from),
+            "natural loop: header dominates latch"
+        );
     }
 
     #[test]
@@ -342,8 +338,16 @@ mod tests {
         let b = BlockId(0);
         assert!(point_dominates(&dom, Point::new(b, 0), Point::new(b, 1)));
         assert!(!point_dominates(&dom, Point::new(b, 2), Point::new(b, 1)));
-        assert!(point_post_dominates(&pdom, Point::new(b, 2), Point::new(b, 1)));
-        assert!(!point_post_dominates(&pdom, Point::new(b, 0), Point::new(b, 1)));
+        assert!(point_post_dominates(
+            &pdom,
+            Point::new(b, 2),
+            Point::new(b, 1)
+        ));
+        assert!(!point_post_dominates(
+            &pdom,
+            Point::new(b, 0),
+            Point::new(b, 1)
+        ));
     }
 
     #[test]
@@ -368,7 +372,9 @@ mod tests {
         let dom = DomTree::dominators(f, &cfg);
         let df = dominance_frontier(f, &cfg, &dom);
         let (then_bb, else_bb) = match &f.block(f.entry).term {
-            ocelot_ir::Terminator::Branch { then_bb, else_bb, .. } => (*then_bb, *else_bb),
+            ocelot_ir::Terminator::Branch {
+                then_bb, else_bb, ..
+            } => (*then_bb, *else_bb),
             _ => panic!("expected branch"),
         };
         let join = f.block(then_bb).term.successors()[0];

@@ -103,12 +103,7 @@ pub fn global_effects(p: &Program) -> Vec<GlobalEffects> {
     fx
 }
 
-fn collect_function(
-    p: &Program,
-    f: &Function,
-    done: &[GlobalEffects],
-    e: &mut GlobalEffects,
-) {
+fn collect_function(p: &Program, f: &Function, done: &[GlobalEffects], e: &mut GlobalEffects) {
     let note_reads = |names: &BTreeSet<String>, e: &mut GlobalEffects| {
         for n in names {
             if p.is_global(n) {
@@ -177,7 +172,10 @@ mod tests {
         .unwrap();
         let fx = global_effects(&p);
         let main_fx = &fx[p.main.0 as usize];
-        assert!(main_fx.writes.contains("g"), "write reaches main transitively");
+        assert!(
+            main_fx.writes.contains("g"),
+            "write reaches main transitively"
+        );
         assert!(main_fx.reads.contains("g"), "leaf reads g before increment");
         assert!(main_fx.reads.contains("h"));
         assert!(!main_fx.writes.contains("h"));

@@ -117,9 +117,7 @@ mod tests {
 
     #[test]
     fn nested_repeats_yield_nested_loops() {
-        let (_, lf) = forest(
-            "sensor s; fn main() { repeat 2 { repeat 3 { let v = in(s); } } }",
-        );
+        let (_, lf) = forest("sensor s; fn main() { repeat 2 { repeat 3 { let v = in(s); } } }");
         assert_eq!(lf.loops().len(), 2);
         let sizes: Vec<usize> = {
             let mut v: Vec<usize> = lf.loops().iter().map(|l| l.body.len()).collect();
@@ -134,16 +132,18 @@ mod tests {
         // Outermost query returns the big loop for an inner block.
         let some_inner_block = *inner.body.iter().next().unwrap();
         assert_eq!(
-            lf.outermost_containing(some_inner_block).unwrap().body.len(),
+            lf.outermost_containing(some_inner_block)
+                .unwrap()
+                .body
+                .len(),
             outer.body.len()
         );
     }
 
     #[test]
     fn if_inside_loop_is_in_loop_body() {
-        let (_, lf) = forest(
-            "sensor s; fn main() { repeat 3 { let v = in(s); if v > 0 { out(log, v); } } }",
-        );
+        let (_, lf) =
+            forest("sensor s; fn main() { repeat 3 { let v = in(s); if v > 0 { out(log, v); } } }");
         assert_eq!(lf.loops().len(), 1);
         // All non-entry/exit blocks of this program are inside the loop:
         // header, branch blocks, join, latch.

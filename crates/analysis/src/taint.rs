@@ -25,9 +25,7 @@ use crate::dom::DomTree;
 use crate::effects::{expr_reads, op_reads};
 use ocelot_ir::ast::{Arg, Expr};
 use ocelot_ir::cfg::Cfg;
-use ocelot_ir::{
-    CallGraph, FuncId, Function, InstrRef, Label, Op, Place, Program, Terminator,
-};
+use ocelot_ir::{CallGraph, FuncId, Function, InstrRef, Label, Op, Place, Program, Terminator};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// A provenance chain: call sites descending from some scope, ending at
@@ -168,24 +166,14 @@ impl TaintAnalysis {
 
     /// Expands a symbolic source observed in function `f` under context
     /// `ctx` into the set of full provenance chains from `main`.
-    pub fn expand(
-        &self,
-        p: &Program,
-        f: FuncId,
-        ctx: &Prov,
-        src: &TaintSource,
-    ) -> BTreeSet<Prov> {
+    pub fn expand(&self, p: &Program, f: FuncId, ctx: &Prov, src: &TaintSource) -> BTreeSet<Prov> {
         match src {
             TaintSource::Input(suffix) => {
                 let mut chain = ctx.clone();
                 chain.extend(suffix.iter().copied());
                 BTreeSet::from([chain])
             }
-            TaintSource::Global(g) => self
-                .global_taint
-                .get(g)
-                .cloned()
-                .unwrap_or_default(),
+            TaintSource::Global(g) => self.global_taint.get(g).cloned().unwrap_or_default(),
             TaintSource::Param(param) => {
                 let Some(site) = ctx.last().copied() else {
                     // `main` takes no arguments; a Param source with an
@@ -213,12 +201,7 @@ impl TaintAnalysis {
     }
 
     /// Expands a whole taint set under every context of `f`.
-    pub fn expand_all_contexts(
-        &self,
-        p: &Program,
-        f: FuncId,
-        taints: &TaintSet,
-    ) -> BTreeSet<Prov> {
+    pub fn expand_all_contexts(&self, p: &Program, f: FuncId, taints: &TaintSet) -> BTreeSet<Prov> {
         let mut out = BTreeSet::new();
         for ctx in &self.contexts[f.0 as usize] {
             for src in taints {
@@ -470,11 +453,7 @@ fn initial_state(p: &Program, f: &Function) -> State {
 /// block `A` if `X` post-dominates a successor of `A` but does not
 /// strictly post-dominate `A`. Returns, for each block, the branch
 /// blocks it is control-dependent on.
-fn control_dependence(
-    f: &Function,
-    cfg: &Cfg,
-    pdom: &DomTree,
-) -> HashMap<u32, BTreeSet<u32>> {
+fn control_dependence(f: &Function, cfg: &Cfg, pdom: &DomTree) -> HashMap<u32, BTreeSet<u32>> {
     let mut deps: HashMap<u32, BTreeSet<u32>> = HashMap::new();
     for a in &f.blocks {
         if !matches!(a.term, Terminator::Branch { .. }) {
@@ -776,7 +755,11 @@ mod tests {
         let chains = sole_annotation_inputs(&p, &t);
         assert_eq!(chains.len(), 1);
         let chain = chains.iter().next().unwrap();
-        assert_eq!(chain.len(), 1, "input directly in main: chain is just the input op");
+        assert_eq!(
+            chain.len(),
+            1,
+            "input directly in main: chain is just the input op"
+        );
         assert_eq!(chain[0].func, p.main);
     }
 
@@ -890,9 +873,8 @@ mod tests {
 
     #[test]
     fn untainted_variable_has_no_chains() {
-        let (p, t) = analyze(
-            "sensor s; fn main() { let q = in(s); let x = 1 + 2; fresh(x); out(log, q); }",
-        );
+        let (p, t) =
+            analyze("sensor s; fn main() { let q = in(s); let x = 1 + 2; fresh(x); out(log, q); }");
         let chains = sole_annotation_inputs(&p, &t);
         assert!(chains.is_empty());
     }
@@ -950,9 +932,8 @@ mod tests {
 
     #[test]
     fn use_labels_include_branch_and_output() {
-        let (p, t) = analyze(
-            "sensor s; fn main() { let x = in(s); fresh(x); if x > 5 { out(alarm, x); } }",
-        );
+        let (p, t) =
+            analyze("sensor s; fn main() { let x = in(s); fresh(x); if x > 5 { out(alarm, x); } }");
         let uses = t.use_labels(p.main, "x");
         // Uses: the branch terminator and the output (annotation excluded).
         assert_eq!(uses.len(), 2);

@@ -52,11 +52,7 @@ impl RegionEffects {
 /// instrs.len()` addresses the terminator. The classification is
 /// conservative: a global both read and written anywhere in the region
 /// counts as WAR; a global only written counts as EMW.
-pub fn region_effects(
-    p: &Program,
-    func: FuncId,
-    points: &[Point],
-) -> RegionEffects {
+pub fn region_effects(p: &Program, func: FuncId, points: &[Point]) -> RegionEffects {
     let fx: Vec<GlobalEffects> = global_effects(p);
     let f = p.func(func);
     let mut reads = BTreeSet::new();
@@ -132,17 +128,20 @@ mod tests {
         let e = whole_function_effects(&p, p.main);
         assert!(e.war.contains("a"), "a is read then written");
         assert!(e.emw.contains("b"), "b is written only");
-        assert!(!e.war.contains("c") && !e.emw.contains("c"), "c is read only");
+        assert!(
+            !e.war.contains("c") && !e.emw.contains("c"),
+            "c is read only"
+        );
         assert!(e.reads.contains("c"));
-        assert_eq!(e.omega(), BTreeSet::from(["a".to_string(), "b".to_string()]));
+        assert_eq!(
+            e.omega(),
+            BTreeSet::from(["a".to_string(), "b".to_string()])
+        );
     }
 
     #[test]
     fn array_in_omega_costs_its_length() {
-        let p = compile(
-            "nv log[64]; nv n = 0; fn main() { log[n] = 1; n = n + 1; }",
-        )
-        .unwrap();
+        let p = compile("nv log[64]; nv n = 0; fn main() { log[n] = 1; n = n + 1; }").unwrap();
         let e = whole_function_effects(&p, p.main);
         assert!(e.omega().contains("log"));
         assert!(e.war.contains("n"));
@@ -161,7 +160,10 @@ mod tests {
         )
         .unwrap();
         let e = whole_function_effects(&p, p.main);
-        assert!(e.war.contains("g"), "WAR inside the callee is charged to the region");
+        assert!(
+            e.war.contains("g"),
+            "WAR inside the callee is charged to the region"
+        );
     }
 
     #[test]

@@ -52,9 +52,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "Extension: active-cycle breakdown on harvested power ({RUNS} runs each)"
-    );
+    println!("Extension: active-cycle breakdown on harvested power ({RUNS} runs each)");
     println!("{}", t.render());
     println!(
         "Reading guide: sampling dominates sensing-bound apps; Atomics-only\n\

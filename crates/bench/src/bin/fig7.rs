@@ -18,20 +18,14 @@ fn main() {
     let mut ocelot_ratios = Vec::new();
     for b in ocelot_apps::all() {
         let jit = run_continuous(&b, &build_for(&b, ExecModel::Jit), RUNS, SEED);
-        let atomics =
-            run_continuous(&b, &build_for(&b, ExecModel::AtomicsOnly), RUNS, SEED);
+        let atomics = run_continuous(&b, &build_for(&b, ExecModel::AtomicsOnly), RUNS, SEED);
         let ocelot = run_continuous(&b, &build_for(&b, ExecModel::Ocelot), RUNS, SEED);
         let base = jit.on_cycles as f64;
         let ra = atomics.on_cycles as f64 / base;
         let ro = ocelot.on_cycles as f64 / base;
         atomics_ratios.push(ra);
         ocelot_ratios.push(ro);
-        t.row(vec![
-            b.name.to_string(),
-            ratio(1.0),
-            ratio(ra),
-            ratio(ro),
-        ]);
+        t.row(vec![b.name.to_string(), ratio(1.0), ratio(ra), ratio(ro)]);
     }
     t.row(vec![
         "gmean".to_string(),

@@ -25,8 +25,7 @@ fn main() {
     let mut tot_ratios: [Vec<f64>; 3] = Default::default();
     for b in ocelot_apps::all() {
         // Baseline: continuous JIT on-time for the same number of runs.
-        let base = run_continuous(&b, &build_for(&b, ExecModel::Jit), RUNS, SEED)
-            .on_time_us as f64;
+        let base = run_continuous(&b, &build_for(&b, ExecModel::Jit), RUNS, SEED).on_time_us as f64;
         let mut cells = vec![b.name.to_string()];
         for (i, model) in [ExecModel::Jit, ExecModel::AtomicsOnly, ExecModel::Ocelot]
             .into_iter()

@@ -36,7 +36,11 @@ fn main() {
             .expect("benchmarks are bounded");
 
         let min = ri.min_capacitor(0.10);
-        let verdict = if ri.feasible_on(&bench_cap) { "feasible" } else { "INFEASIBLE" };
+        let verdict = if ri.feasible_on(&bench_cap) {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        };
 
         // Cross-validate: the app must actually complete on its own
         // minimum buffer.

@@ -12,19 +12,32 @@ const RUNS: u64 = 20;
 const SEED: u64 = 11;
 
 fn main() {
-    let mut t = Table::new(&["Exec. Model", "Activity", "CEM", "Greenhouse", "Photo", "Send Photo", "Tire"]);
+    let mut t = Table::new(&[
+        "Exec. Model",
+        "Activity",
+        "CEM",
+        "Greenhouse",
+        "Photo",
+        "Send Photo",
+        "Tire",
+    ]);
     for model in [ExecModel::Ocelot, ExecModel::Jit] {
         let mut cells = vec![model.name().to_string()];
-        for name in ["activity", "cem", "greenhouse", "photo", "send_photo", "tire"] {
+        for name in [
+            "activity",
+            "cem",
+            "greenhouse",
+            "photo",
+            "send_photo",
+            "tire",
+        ] {
             let b = ocelot_apps::by_name(name).expect("benchmark exists");
             let s = run_pathological(&b, &build_for(&b, model), RUNS, SEED);
             cells.push(pct(s.violating_fraction()));
         }
         t.row(cells);
     }
-    println!(
-        "Table 2(a): Violating % with pathological power-failure points ({RUNS} runs each)"
-    );
+    println!("Table 2(a): Violating % with pathological power-failure points ({RUNS} runs each)");
     println!("{}", t.render());
     println!("Paper: Ocelot 0% everywhere; JIT 100% everywhere.");
 }

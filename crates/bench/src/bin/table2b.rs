@@ -27,7 +27,14 @@ fn main() {
     let mut completions = Vec::new();
     for model in [ExecModel::Ocelot, ExecModel::Jit] {
         let mut cells = vec![model.name().to_string()];
-        for name in ["activity", "cem", "greenhouse", "photo", "send_photo", "tire"] {
+        for name in [
+            "activity",
+            "cem",
+            "greenhouse",
+            "photo",
+            "send_photo",
+            "tire",
+        ] {
             let b = ocelot_apps::by_name(name).expect("benchmark exists");
             let s = run_for_duration(&b, &build_for(&b, model), SIM_US, SEED);
             cells.push(pct(s.violating_fraction()));

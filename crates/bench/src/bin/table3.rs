@@ -4,7 +4,12 @@
 use ocelot_bench::report::Table;
 
 fn main() {
-    let mut t = Table::new(&["System", "Constructs", "Strategy (LoC model)", "Upholds Fresh+Con?"]);
+    let mut t = Table::new(&[
+        "System",
+        "Constructs",
+        "Strategy (LoC model)",
+        "Upholds Fresh+Con?",
+    ]);
     t.row(vec![
         "Ocelot".into(),
         "Time-constraint types".into(),

@@ -11,12 +11,17 @@ fn main() {
     let rows = table4();
     let mut t = Table::new(&["Sys", "Act", "CEM", "G-house", "Photo", "S-Photo", "Tire"]);
     let pick = |f: &dyn Fn(&ocelot_bench::effort::EffortRow) -> usize| -> Vec<String> {
-        ["activity", "cem", "greenhouse", "photo", "send_photo", "tire"]
-            .iter()
-            .map(|n| {
-                f(rows.iter().find(|r| r.bench == *n).expect("row exists")).to_string()
-            })
-            .collect()
+        [
+            "activity",
+            "cem",
+            "greenhouse",
+            "photo",
+            "send_photo",
+            "tire",
+        ]
+        .iter()
+        .map(|n| f(rows.iter().find(|r| r.bench == *n).expect("row exists")).to_string())
+        .collect()
     };
     let mut row = vec!["Ocelot".to_string()];
     row.extend(pick(&|r| r.ocelot));

@@ -16,12 +16,7 @@ use ocelot_runtime::stats::Stats;
 
 const RUNS: u64 = 60;
 
-fn drive(
-    b: &ocelot_apps::Benchmark,
-    built: &Built,
-    window_us: Option<u64>,
-    seed: u64,
-) -> Stats {
+fn drive(b: &ocelot_apps::Benchmark, built: &Built, window_us: Option<u64>, seed: u64) -> Stats {
     let mut m = Machine::new(
         &built.program,
         &built.regions,

@@ -15,7 +15,7 @@
 //! writing the code. Ocelot's continuous-execution specification needs
 //! no such number.
 
-use ocelot_bench::harness::{build_for, bench_supply, calibrated_costs, MAX_STEPS};
+use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
 use ocelot_bench::report::Table;
 use ocelot_runtime::expiry::evaluate_expiry;
 use ocelot_runtime::machine::Machine;

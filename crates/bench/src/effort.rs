@@ -32,9 +32,7 @@ pub fn atomics_loc(e: &Effort) -> usize {
 /// consistent set needs one expiration check plus one ~5-line handler.
 pub fn tics_loc(e: &Effort) -> usize {
     const HANDLER_LOC: usize = 5;
-    e.fresh_data * (3 + HANDLER_LOC)
-        + e.consistent_data * 2
-        + e.consistent_sets * (1 + HANDLER_LOC)
+    e.fresh_data * (3 + HANDLER_LOC) + e.consistent_data * 2 + e.consistent_sets * (1 + HANDLER_LOC)
 }
 
 /// LoC to use Samoyed: each atomic function costs a fixed 3 lines

@@ -151,8 +151,7 @@ pub fn run_for_duration(
 /// policy-critical points (§7.3, Table 2(a)).
 pub fn run_pathological(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
     let targets = pathological_targets(&built.policies);
-    let mut m =
-        machine(bench, built, Box::new(ContinuousPower), seed).with_injector(targets);
+    let mut m = machine(bench, built, Box::new(ContinuousPower), seed).with_injector(targets);
     for _ in 0..runs {
         let out = m.run_once(MAX_STEPS);
         assert!(matches!(out, RunOutcome::Completed { .. }));

@@ -19,6 +19,7 @@
 //! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod effort;
 pub mod harness;

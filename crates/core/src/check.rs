@@ -80,10 +80,8 @@ pub fn check_regions(
     policies: &PolicySet,
 ) -> Result<CheckReport, crate::error::CoreError> {
     let regions = collect_regions(p)?;
-    let coverage: Vec<(RegionId, BTreeSet<InstrRef>)> = regions
-        .iter()
-        .map(|r| (r.id, covered_refs(p, r)))
-        .collect();
+    let coverage: Vec<(RegionId, BTreeSet<InstrRef>)> =
+        regions.iter().map(|r| (r.id, covered_refs(p, r))).collect();
 
     let mut report = CheckReport::default();
     for pol in policies.iter() {
@@ -94,8 +92,11 @@ pub fn check_regions(
         let required = required_ops(p, pol);
         let mut best: Option<(RegionId, Vec<InstrRef>)> = None;
         for (rid, cov) in &coverage {
-            let missing: Vec<InstrRef> =
-                required.iter().filter(|r| !cov.contains(r)).copied().collect();
+            let missing: Vec<InstrRef> = required
+                .iter()
+                .filter(|r| !cov.contains(r))
+                .copied()
+                .collect();
             if missing.is_empty() {
                 best = Some((*rid, missing));
                 break;
@@ -169,8 +170,9 @@ pub fn verify_policy_declarations(p: &Program, claimed: &PolicySet) -> Vec<Strin
     let mut problems = Vec::new();
     for want in fresh.iter() {
         let Some(have) = claimed.iter().find(|c| {
-            c.kind == want.kind && c.decls.iter().map(|d| d.at).collect::<BTreeSet<_>>()
-                == want.decls.iter().map(|d| d.at).collect::<BTreeSet<_>>()
+            c.kind == want.kind
+                && c.decls.iter().map(|d| d.at).collect::<BTreeSet<_>>()
+                    == want.decls.iter().map(|d| d.at).collect::<BTreeSet<_>>()
         }) else {
             problems.push(format!(
                 "no claimed policy matches {:?} declared at {:?}",
@@ -189,10 +191,7 @@ pub fn verify_policy_declarations(p: &Program, claimed: &PolicySet) -> Vec<Strin
         }
         for u in &want.uses {
             if !have.uses.contains(u) {
-                problems.push(format!(
-                    "claimed {:?} policy is missing use {u}",
-                    want.kind
-                ));
+                problems.push(format!("claimed {:?} policy is missing use {u}", want.kind));
             }
         }
     }
@@ -235,9 +234,7 @@ mod tests {
 
     #[test]
     fn missing_region_is_a_violation() {
-        let (p, ps) = setup(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (p, ps) = setup("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         let report = check_regions(&p, &ps).unwrap();
         assert!(!report.passes());
         assert_eq!(report.violations.len(), 1);
@@ -312,17 +309,13 @@ mod tests {
 
     #[test]
     fn verify_declarations_accepts_own_derivation() {
-        let (p, ps) = setup(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (p, ps) = setup("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         assert!(verify_policy_declarations(&p, &ps).is_empty());
     }
 
     #[test]
     fn verify_declarations_catches_pruned_inputs() {
-        let (p, mut ps) = setup(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (p, mut ps) = setup("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         ps.policies[0].inputs.clear();
         let problems = verify_policy_declarations(&p, &ps);
         assert!(!problems.is_empty());

@@ -36,9 +36,7 @@ use crate::policy::{PolicyId, PolicyKind, PolicyMap, PolicySet};
 use ocelot_analysis::dom::{DomTree, Point};
 use ocelot_analysis::loops::LoopForest;
 use ocelot_ir::cfg::Cfg;
-use ocelot_ir::{
-    BlockId, CallGraph, FuncId, Inst, InstrRef, Op, Program, RegionId,
-};
+use ocelot_ir::{BlockId, CallGraph, FuncId, Inst, InstrRef, Op, Program, RegionId};
 use std::collections::{BTreeSet, HashMap};
 
 /// The outcome of region inference.
@@ -205,19 +203,21 @@ fn infer_one(p: &mut Program, pol: &crate::policy::Policy) -> Result<RegionId, C
     let f = p.func_mut(goal);
     // Insert the end first so the start insertion cannot shift it.
     let end_label = f.fresh_label();
-    f.block_mut(end_dom)
-        .instrs
-        .insert(end_index, Inst {
+    f.block_mut(end_dom).instrs.insert(
+        end_index,
+        Inst {
             label: end_label,
             op: Op::AtomEnd { region },
-        });
+        },
+    );
     let start_label = f.fresh_label();
-    f.block_mut(start_dom)
-        .instrs
-        .insert(start_index, Inst {
+    f.block_mut(start_dom).instrs.insert(
+        start_index,
+        Inst {
             label: start_label,
             op: Op::AtomStart { region },
-        });
+        },
+    );
     Ok(region)
 }
 
@@ -238,12 +238,8 @@ fn find_candidate(
         *items_per_func.entry(it.func).or_insert(0) += 1;
     }
     let total = core_items.len();
-    let on_all_chains = |f: FuncId| -> bool {
-        f == p.main
-            || chains
-                .iter()
-                .all(|c| c.iter().any(|e| e.func == f))
-    };
+    let on_all_chains =
+        |f: FuncId| -> bool { f == p.main || chains.iter().all(|c| c.iter().any(|e| e.func == f)) };
 
     let mut memo: HashMap<FuncId, usize> = HashMap::new();
     let mut candidate: Option<FuncId> = None;
@@ -449,8 +445,7 @@ mod tests {
     fn figure3_fresh_region_spans_input_to_join() {
         // The running example of Figure 3: region starts at the input and
         // ends at the join after the branch.
-        let (p, _, inf) = run(
-            r#"
+        let (p, _, inf) = run(r#"
             sensor tmp;
             fn main() {
                 let x = in(tmp);
@@ -459,8 +454,7 @@ mod tests {
                     out(alarm, x);
                 }
             }
-            "#,
-        );
+            "#);
         assert_eq!(inf.policy_map.len(), 1);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
@@ -478,17 +472,18 @@ mod tests {
     #[test]
     fn figure6a_region_placed_in_app_around_call() {
         // Fresh through a call: region in main around `x = tmp()` ... `log(x)`.
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor sense;
             fn norm(v) { return v * 2; }
             fn tmp() { let t = in(sense); let t2 = norm(t); return t2; }
             fn main() { let x = tmp(); fresh(x); out(log, x); }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
-        assert_eq!(regions[0].func, p.main, "goal function is main (the caller)");
+        assert_eq!(
+            regions[0].func, p.main,
+            "goal function is main (the caller)"
+        );
         let ops = main_ops(&p);
         let start = ops.iter().position(|o| o.starts_with("startatom")).unwrap();
         let call = ops.iter().position(|o| o.contains("tmp()")).unwrap();
@@ -506,8 +501,7 @@ mod tests {
     fn figure6b_region_placed_in_confirm_not_app() {
         // The paper: "Placing the region in confirm results in a smaller
         // region than placing it in app."
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor sense;
             fn pres() { let v = in(sense); return v; }
             fn confirm() {
@@ -517,8 +511,7 @@ mod tests {
                 consistent(y2, 1);
             }
             fn main() { confirm(); }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let confirm = p.func_by_name("confirm").unwrap();
@@ -543,8 +536,7 @@ mod tests {
     #[test]
     fn consistent_pair_spans_both_inputs() {
         // Figure 2's pressure+humidity pair.
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor pres;
             sensor hum;
             fn main() {
@@ -554,8 +546,7 @@ mod tests {
                 consistent(z, 1);
                 out(log, y, z);
             }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let ops = main_ops(&p);
@@ -582,8 +573,7 @@ mod tests {
     fn consistent_input_in_loop_widens_to_whole_loop() {
         // Photo-style: N samples of one sensor must be mutually
         // consistent; the loop must be enclosed whole.
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor photo;
             fn main() {
                 let sum = 0;
@@ -594,8 +584,7 @@ mod tests {
                 }
                 out(log, sum);
             }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let f = p.func(p.main);
@@ -614,8 +603,7 @@ mod tests {
     fn fresh_within_loop_body_stays_per_iteration() {
         // Freshness is per-sample: def and use in the same iteration do
         // not need the loop enclosed.
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor s;
             fn main() {
                 repeat 5 {
@@ -624,8 +612,7 @@ mod tests {
                     out(log, v);
                 }
             }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let f = p.func(p.main);
@@ -644,8 +631,7 @@ mod tests {
         // fresh use inside the body depends on a *previous-iteration*
         // input: no per-iteration region can cover the policy, and the
         // region must enclose the whole loop (plus the pre-loop input).
-        let (p, ps, _) = run(
-            r#"
+        let (p, ps, _) = run(r#"
             sensor level;
             sensor pressure;
             nv lvl = 0;
@@ -660,8 +646,7 @@ mod tests {
                     lvl = again;
                 }
             }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let report = crate::check::check_regions(&p, &ps).unwrap();
@@ -681,8 +666,7 @@ mod tests {
 
     #[test]
     fn two_policies_two_regions() {
-        let (p, _, inf) = run(
-            r#"
+        let (p, _, inf) = run(r#"
             sensor tmp;
             sensor pres;
             sensor hum;
@@ -696,8 +680,7 @@ mod tests {
                 consistent(z, 1);
                 out(log, y, z);
             }
-            "#,
-        );
+            "#);
         assert_eq!(inf.policy_map.len(), 2);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 2);
@@ -723,8 +706,7 @@ mod tests {
     fn taint_through_helper_argument_covers_both_ops() {
         // raw input in main, normalized through a callee: region covers
         // the input, the call, and the use.
-        let (p, _, _) = run(
-            r#"
+        let (p, _, _) = run(r#"
             sensor s;
             fn norm(v) { return v + 1; }
             fn main() {
@@ -733,8 +715,7 @@ mod tests {
                 fresh(x);
                 out(log, x);
             }
-            "#,
-        );
+            "#);
         let regions = collect_regions(&p).unwrap();
         assert_eq!(regions.len(), 1);
         let ops = main_ops(&p);

@@ -297,9 +297,8 @@ mod tests {
 
     #[test]
     fn defining_instruction_is_not_a_use() {
-        let (p, ps) = policies_of(
-            "sensor s; fn main() { let x = in(s); fresh(x); let y = x + 1; }",
-        );
+        let (p, ps) =
+            policies_of("sensor s; fn main() { let x = in(s); fresh(x); let y = x + 1; }");
         let pol = &ps.policies[0];
         assert_eq!(pol.uses.len(), 1, "only `let y = x + 1` uses x");
         for u in &pol.uses {
@@ -340,6 +339,8 @@ mod tests {
         );
         assert_eq!(ps.len(), 2);
         assert!(ps.iter().any(|p| p.kind == PolicyKind::Fresh));
-        assert!(ps.iter().any(|p| matches!(p.kind, PolicyKind::Consistent(1))));
+        assert!(ps
+            .iter()
+            .any(|p| matches!(p.kind, PolicyKind::Consistent(1))));
     }
 }

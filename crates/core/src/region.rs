@@ -78,9 +78,7 @@ pub fn collect_regions(p: &Program) -> Result<Vec<RegionInfo>, CoreError> {
                     rid.0, f.name
                 ))
             })?;
-            let (sb, si) = f
-                .find_label(start.label)
-                .expect("start label exists");
+            let (sb, si) = f.find_label(start.label).expect("start label exists");
             let (eb, ei) = f.find_label(end.label).expect("end label exists");
             if !point_post_dominates_region(&pdom, eb, ei, sb, si) {
                 return Err(CoreError::region(format!(
@@ -126,12 +124,7 @@ fn point_post_dominates_region(
 /// Walks forward from the start block, not expanding past the end block;
 /// because the end post-dominates the start, every path is eventually cut
 /// off at the end block.
-pub fn extent_points(
-    f: &ocelot_ir::Function,
-    cfg: &Cfg,
-    start: Point,
-    end: Point,
-) -> Vec<Point> {
+pub fn extent_points(f: &ocelot_ir::Function, cfg: &Cfg, start: Point, end: Point) -> Vec<Point> {
     let mut points = Vec::new();
     if start.block == end.block {
         for i in (start.index + 1)..end.index {

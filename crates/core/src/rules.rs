@@ -159,14 +159,7 @@ impl<'a> Walker<'a> {
         ret_deps
     }
 
-    fn step(
-        &mut self,
-        f: FuncId,
-        ctx: &[InstrRef],
-        here: InstrRef,
-        op: &Op,
-        locals: &mut DepMap,
-    ) {
+    fn step(&mut self, f: FuncId, ctx: &[InstrRef], here: InstrRef, op: &Op, locals: &mut DepMap) {
         match op {
             Op::Input { var, .. } => {
                 self.d.applications.push((RuleId::Input, here));
@@ -209,7 +202,11 @@ impl<'a> Walker<'a> {
             Op::Call { dst, callee, args } => {
                 let has_ref = args.iter().any(|a| matches!(a, Arg::Ref(_)));
                 self.d.applications.push((
-                    if has_ref { RuleId::CallR } else { RuleId::CallNr },
+                    if has_ref {
+                        RuleId::CallR
+                    } else {
+                        RuleId::CallNr
+                    },
                     here,
                 ));
                 let callee_fn = self.p.func(*callee);
@@ -219,8 +216,7 @@ impl<'a> Walker<'a> {
                     match a {
                         Arg::Value(e) => {
                             self.check_use(f, here, e);
-                            callee_locals
-                                .insert(param.name.clone(), self.expr_deps(e, locals));
+                            callee_locals.insert(param.name.clone(), self.expr_deps(e, locals));
                         }
                         Arg::Ref(x) => {
                             // Entry value of the cell behind the ref.
@@ -301,10 +297,7 @@ impl<'a> Walker<'a> {
                 if pol.kind != PolicyKind::Fresh {
                     continue;
                 }
-                let declares_v = pol
-                    .decls
-                    .iter()
-                    .any(|d| d.var == v && d.at.func == f);
+                let declares_v = pol.decls.iter().any(|d| d.var == v && d.at.func == f);
                 if declares_v && !pol.is_vacuous() && !pol.uses.contains(&here) {
                     // The defining instruction itself is exempt (the
                     // policy's span starts at the definition).
@@ -425,8 +418,7 @@ mod tests {
 
     #[test]
     fn tampered_policy_fails_let_fresh_premise() {
-        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }")
-            .unwrap();
+        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }").unwrap();
         let t = TaintAnalysis::run(&p);
         let mut ps = build_policies(&p, &t);
         // Drop the input chain: the Let-fresh premise must now fail.
@@ -442,8 +434,7 @@ mod tests {
 
     #[test]
     fn tampered_uses_fail_check_use_premise() {
-        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }")
-            .unwrap();
+        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }").unwrap();
         let t = TaintAnalysis::run(&p);
         let mut ps = build_policies(&p, &t);
         ps.policies[0].uses.clear();

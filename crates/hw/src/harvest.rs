@@ -119,7 +119,10 @@ mod tests {
             distance_in: 10.0,
         };
         let ratio = near.sample_power() / far.sample_power();
-        assert!((ratio - 4.0).abs() < 1e-9, "doubling distance quarters power");
+        assert!(
+            (ratio - 4.0).abs() < 1e-9,
+            "doubling distance quarters power"
+        );
     }
 
     #[test]

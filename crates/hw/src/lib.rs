@@ -26,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod energy;
 pub mod harvest;

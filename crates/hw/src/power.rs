@@ -100,8 +100,7 @@ impl PowerSupply for HarvestedPower {
         if let Some((rng, frac)) = &mut self.boot_jitter {
             let spend = self.capacitor.capacity_nj() * *frac * rng.gen::<f64>();
             // Spend from the top without tripping the comparator.
-            let headroom =
-                (self.capacitor.level_nj() - self.capacitor.trigger_nj() - 1.0).max(0.0);
+            let headroom = (self.capacitor.level_nj() - self.capacitor.trigger_nj() - 1.0).max(0.0);
             self.capacitor.consume(spend.min(headroom));
         }
         t
@@ -237,7 +236,11 @@ mod tests {
         assert_eq!(events, 1);
         let off = p.recharge();
         assert!(off > 1_000, "charging 46 µJ takes real time, got {off} µs");
-        assert_eq!(p.consume(100.0), PowerEvent::Ok, "full again after recharge");
+        assert_eq!(
+            p.consume(100.0),
+            PowerEvent::Ok,
+            "full again after recharge"
+        );
     }
 
     #[test]

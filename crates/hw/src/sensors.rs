@@ -68,7 +68,11 @@ impl Signal {
     pub fn sample(&self, t_us: u64) -> i64 {
         match self {
             Signal::Constant(v) => *v,
-            Signal::Step { before, after, at_us } => {
+            Signal::Step {
+                before,
+                after,
+                at_us,
+            } => {
                 if t_us < *at_us {
                     *before
                 } else {

@@ -74,7 +74,12 @@ impl ProgramBuilder {
 
     /// Declares a function; `params` entries starting with `&` are
     /// by-mutable-reference. The body is described with a [`BodyBuilder`].
-    pub fn function(mut self, name: &str, params: &[&str], f: impl FnOnce(&mut BodyBuilder)) -> Self {
+    pub fn function(
+        mut self,
+        name: &str,
+        params: &[&str],
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> Self {
         let params = params
             .iter()
             .map(|p| match p.strip_prefix('&') {
@@ -149,11 +154,7 @@ impl BodyBuilder {
 
     /// `let name = in(sensor);`
     pub fn input(&mut self, name: &str, sensor: &str) -> &mut Self {
-        self.push(Stmt::LetInput(
-            name.into(),
-            sensor.into(),
-            Span::default(),
-        ))
+        self.push(Stmt::LetInput(name.into(), sensor.into(), Span::default()))
     }
 
     /// `let name = callee(args);`
@@ -175,11 +176,7 @@ impl BodyBuilder {
 
     /// `name = expr;`
     pub fn assign(&mut self, name: &str, expr: impl IntoExpr) -> &mut Self {
-        self.push(Stmt::Assign(
-            name.into(),
-            expr.into_expr(),
-            Span::default(),
-        ))
+        self.push(Stmt::Assign(name.into(), expr.into_expr(), Span::default()))
     }
 
     /// `array[index] = expr;`
@@ -217,7 +214,12 @@ impl BodyBuilder {
     }
 
     /// `if var > k { then }`
-    pub fn if_gt_const(&mut self, var: &str, k: i64, then: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+    pub fn if_gt_const(
+        &mut self,
+        var: &str,
+        k: i64,
+        then: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
         let mut tb = BodyBuilder::default();
         then(&mut tb);
         self.push(Stmt::If(

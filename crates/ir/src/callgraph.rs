@@ -41,10 +41,7 @@ impl CallGraph {
                 edges.push(CallEdge {
                     caller: f.id,
                     callee,
-                    site: InstrRef {
-                        func: f.id,
-                        label,
-                    },
+                    site: InstrRef { func: f.id, label },
                 });
                 callees[f.id.0 as usize].push(idx);
                 callers[callee.0 as usize].push(idx);
@@ -59,12 +56,16 @@ impl CallGraph {
 
     /// All edges leaving `f` (its call sites).
     pub fn callees(&self, f: FuncId) -> impl Iterator<Item = &CallEdge> {
-        self.callees[f.0 as usize].iter().map(move |&i| &self.edges[i])
+        self.callees[f.0 as usize]
+            .iter()
+            .map(move |&i| &self.edges[i])
     }
 
     /// All edges entering `f` (who calls it, from where).
     pub fn callers(&self, f: FuncId) -> impl Iterator<Item = &CallEdge> {
-        self.callers[f.0 as usize].iter().map(move |&i| &self.edges[i])
+        self.callers[f.0 as usize]
+            .iter()
+            .map(move |&i| &self.edges[i])
     }
 
     /// Every call edge in the program.
@@ -103,10 +104,8 @@ impl CallGraph {
         let mut out_deg: Vec<usize> = (0..n)
             .map(|f| {
                 // Count distinct callees (parallel edges collapse).
-                let mut cs: Vec<FuncId> = self
-                    .callees(FuncId(f as u32))
-                    .map(|e| e.callee)
-                    .collect();
+                let mut cs: Vec<FuncId> =
+                    self.callees(FuncId(f as u32)).map(|e| e.callee).collect();
                 cs.sort_unstable();
                 cs.dedup();
                 cs.retain(|c| c.0 as usize != f); // self loop handled as cycle below
@@ -163,10 +162,7 @@ mod tests {
 
     #[test]
     fn edges_record_call_sites() {
-        let p = compile(
-            "fn leaf() {} fn mid() { leaf(); leaf(); } fn main() { mid(); }",
-        )
-        .unwrap();
+        let p = compile("fn leaf() {} fn mid() { leaf(); leaf(); } fn main() { mid(); }").unwrap();
         let cg = CallGraph::new(&p);
         let mid = p.func_by_name("mid").unwrap();
         let leaf = p.func_by_name("leaf").unwrap();
@@ -177,10 +173,7 @@ mod tests {
 
     #[test]
     fn reachable_from_main() {
-        let p = compile(
-            "fn unused() {} fn helper() {} fn main() { helper(); }",
-        )
-        .unwrap();
+        let p = compile("fn unused() {} fn helper() {} fn main() { helper(); }").unwrap();
         let cg = CallGraph::new(&p);
         let reach = cg.reachable_from(p.main);
         assert!(reach.contains(&p.main));
@@ -190,10 +183,8 @@ mod tests {
 
     #[test]
     fn topo_orders_callees_first() {
-        let p = compile(
-            "fn a() {} fn b() { a(); } fn c() { b(); a(); } fn main() { c(); }",
-        )
-        .unwrap();
+        let p =
+            compile("fn a() {} fn b() { a(); } fn c() { b(); a(); } fn main() { c(); }").unwrap();
         let cg = CallGraph::new(&p);
         let order = cg.topo_callees_first(&p).unwrap();
         let pos = |name: &str| {
@@ -207,10 +198,8 @@ mod tests {
 
     #[test]
     fn detects_mutual_recursion() {
-        let p = compile(
-            "fn ping() { pong(); } fn pong() { ping(); } fn main() { ping(); }",
-        )
-        .unwrap();
+        let p =
+            compile("fn ping() { pong(); } fn pong() { ping(); } fn main() { ping(); }").unwrap();
         let cg = CallGraph::new(&p);
         assert!(!cg.is_acyclic(&p));
         let err = cg.topo_callees_first(&p).unwrap_err();

@@ -458,12 +458,7 @@ impl Program {
     pub fn inst_count(&self) -> usize {
         self.funcs
             .iter()
-            .map(|f| {
-                f.blocks
-                    .iter()
-                    .map(|b| b.instrs.len() + 1)
-                    .sum::<usize>()
-            })
+            .map(|f| f.blocks.iter().map(|b| b.instrs.len() + 1).sum::<usize>())
             .sum()
     }
 

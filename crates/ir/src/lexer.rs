@@ -149,7 +149,10 @@ impl<'s> Lexer<'s> {
             _ => {
                 return Err(IrError::Lex {
                     span: Span::new(start, start + 1),
-                    message: format!("unrecognized character `{}`", self.src[start..].chars().next().unwrap_or('?')),
+                    message: format!(
+                        "unrecognized character `{}`",
+                        self.src[start..].chars().next().unwrap_or('?')
+                    ),
                 })
             }
         };

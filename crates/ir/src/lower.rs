@@ -260,12 +260,7 @@ impl<'a> FnLower<'a> {
 
     // ---- statements ------------------------------------------------------
 
-    fn lower_stmts(
-        &mut self,
-        stmts: &[Stmt],
-        alloc: &mut BlockAlloc,
-        exit: BlockId,
-    ) -> Result<()> {
+    fn lower_stmts(&mut self, stmts: &[Stmt], alloc: &mut BlockAlloc, exit: BlockId) -> Result<()> {
         for s in stmts {
             self.lower_stmt(s, alloc, exit)?;
         }
@@ -599,7 +594,9 @@ mod tests {
 
     #[test]
     fn if_lowers_to_diamond() {
-        let p = lower_src("fn main() { let x = 1; if x > 0 { let y = 2; } else { let z = 3; } let w = 4; }");
+        let p = lower_src(
+            "fn main() { let x = 1; if x > 0 { let y = 2; } else { let z = 3; } let w = 4; }",
+        );
         let f = p.func(p.main);
         // entry, then, else, join, exit
         assert_eq!(f.blocks.len(), 5);
@@ -648,8 +645,7 @@ mod tests {
                 }
             }
             if let Terminator::Branch { cond, .. } = &b.term {
-                cond_on_g = cond_on_g
-                    || format!("{cond:?}").contains("\"g\"");
+                cond_on_g = cond_on_g || format!("{cond:?}").contains("\"g\"");
             }
         }
         assert!(has_back_edge, "while must lower to a loop");
@@ -704,9 +700,7 @@ mod tests {
 
     #[test]
     fn scoped_shadowing_does_not_leak() {
-        let p = lower_src(
-            "fn main() { let x = 1; if x > 0 { let x = 2; let a = x; } let b = x; }",
-        );
+        let p = lower_src("fn main() { let x = 1; if x > 0 { let x = 2; let a = x; } let b = x; }");
         let f = p.func(p.main);
         let b_src = f
             .iter_insts()
@@ -794,9 +788,7 @@ mod tests {
 
     #[test]
     fn block_ids_are_dense_after_pruning() {
-        let p = lower_src(
-            "fn main() { let x = 1; if x > 0 { return 1; } else { return 2; } }",
-        );
+        let p = lower_src("fn main() { let x = 1; if x > 0 { return 1; } else { return 2; } }");
         let f = p.func(p.main);
         for (i, b) in f.blocks.iter().enumerate() {
             assert_eq!(b.id.0 as usize, i);

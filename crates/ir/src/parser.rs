@@ -626,10 +626,7 @@ mod tests {
         let main = ast.func("main").unwrap();
         assert_eq!(main.body.stmts.len(), 8);
         assert!(matches!(main.body.stmts[1], Stmt::FreshAnnot(..)));
-        assert!(matches!(
-            main.body.stmts[4],
-            Stmt::ConsistentAnnot(_, 1, _)
-        ));
+        assert!(matches!(main.body.stmts[4], Stmt::ConsistentAnnot(_, 1, _)));
     }
 
     #[test]

@@ -98,9 +98,7 @@ fn fold_stmt(s: &Stmt) -> Stmt {
     match s {
         Stmt::Let(x, e, sp) => Stmt::Let(x.clone(), fold_expr(e), *sp),
         Stmt::LetFresh(x, e, sp) => Stmt::LetFresh(x.clone(), fold_expr(e), *sp),
-        Stmt::LetConsistent(id, x, e, sp) => {
-            Stmt::LetConsistent(*id, x.clone(), fold_expr(e), *sp)
-        }
+        Stmt::LetConsistent(id, x, e, sp) => Stmt::LetConsistent(*id, x.clone(), fold_expr(e), *sp),
         Stmt::LetCall(x, f, args, sp) => Stmt::LetCall(
             x.clone(),
             f.clone(),
@@ -115,18 +113,13 @@ fn fold_stmt(s: &Stmt) -> Stmt {
             Stmt::AssignIndex(a.clone(), fold_expr(i), fold_expr(e), *sp)
         }
         Stmt::AssignDeref(x, e, sp) => Stmt::AssignDeref(x.clone(), fold_expr(e), *sp),
-        Stmt::If(c, t, e, sp) => Stmt::If(
-            fold_expr(c),
-            fold_block(t),
-            e.as_ref().map(fold_block),
-            *sp,
-        ),
+        Stmt::If(c, t, e, sp) => {
+            Stmt::If(fold_expr(c), fold_block(t), e.as_ref().map(fold_block), *sp)
+        }
         Stmt::Repeat(n, b, sp) => Stmt::Repeat(*n, fold_block(b), *sp),
         Stmt::While(c, b, sp) => Stmt::While(fold_expr(c), fold_block(b), *sp),
         Stmt::Atomic(b, sp) => Stmt::Atomic(fold_block(b), *sp),
-        Stmt::Out(ch, args, sp) => {
-            Stmt::Out(ch.clone(), args.iter().map(fold_expr).collect(), *sp)
-        }
+        Stmt::Out(ch, args, sp) => Stmt::Out(ch.clone(), args.iter().map(fold_expr).collect(), *sp),
         Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(fold_expr), *sp),
         other => other.clone(),
     }
@@ -212,8 +205,8 @@ mod tests {
 
     #[test]
     fn unroll_replicates_bodies() {
-        let ast = parse("sensor s; fn main() { repeat 3 { let v = in(s); out(log, v); } }")
-            .unwrap();
+        let ast =
+            parse("sensor s; fn main() { repeat 3 { let v = in(s); out(log, v); } }").unwrap();
         let u = unroll_repeats(&ast, 1000).unwrap();
         let main = u.func("main").unwrap();
         assert_eq!(main.body.stmts.len(), 6, "3 copies × 2 statements");
@@ -273,11 +266,12 @@ mod tests {
 
     #[test]
     fn fold_evaluates_constant_arithmetic() {
+        assert_eq!(fold_expr(&parse_expr("1 + 2 * 3")), Expr::Int(7));
         assert_eq!(
-            fold_expr(&parse_expr("1 + 2 * 3")),
-            Expr::Int(7)
+            fold_expr(&parse_expr("10 / 0")),
+            Expr::Int(0),
+            "saturating div"
         );
-        assert_eq!(fold_expr(&parse_expr("10 / 0")), Expr::Int(0), "saturating div");
         assert_eq!(fold_expr(&parse_expr("4 > 3")), Expr::Bool(true));
         assert_eq!(fold_expr(&parse_expr("-(5)")), Expr::Int(-5));
     }

@@ -223,9 +223,10 @@ mod tests {
     fn round_trip(src: &str) {
         let a = erase_spans(&parse(src).unwrap());
         let printed = ast_to_source(&a);
-        let b = erase_spans(&parse(&printed).unwrap_or_else(|e| {
-            panic!("printed source failed to parse: {e}\n{printed}")
-        }));
+        let b = erase_spans(
+            &parse(&printed)
+                .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}")),
+        );
         assert_eq!(a, b, "round trip changed the program:\n{printed}");
     }
 

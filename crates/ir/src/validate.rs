@@ -35,8 +35,7 @@ pub fn validate(p: &Program) -> Result<()> {
 
 fn validate_function(p: &Program, f: &Function) -> Result<()> {
     let locals: HashSet<&String> = f.locals.iter().collect();
-    let params: HashMap<&String, bool> =
-        f.params.iter().map(|q| (&q.name, q.by_ref)).collect();
+    let params: HashMap<&String, bool> = f.params.iter().map(|q| (&q.name, q.by_ref)).collect();
 
     let known = |name: &String| -> bool {
         locals.contains(name) || params.contains_key(name) || p.is_global(name)
@@ -349,8 +348,7 @@ mod tests {
 
     #[test]
     fn rejects_aliasing_mutable_borrows() {
-        let err =
-            check("fn f(&a, &b) {} fn main() { let x = 1; f(&x, &x); }").unwrap_err();
+        let err = check("fn f(&a, &b) {} fn main() { let x = 1; f(&x, &x); }").unwrap_err();
         assert!(err.to_string().contains("twice"));
     }
 

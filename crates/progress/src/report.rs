@@ -148,8 +148,7 @@ impl ProgressReport {
     /// True when every region completes on `cap` *and* the trigger
     /// reserve covers the worst-case JIT checkpoint.
     pub fn feasible_on(&self, cap: &Capacitor) -> bool {
-        self.reserve_covers_checkpoint(cap)
-            && self.check(cap).iter().all(|(_, v)| v.is_feasible())
+        self.reserve_covers_checkpoint(cap) && self.check(cap).iter().all(|(_, v)| v.is_feasible())
     }
 
     /// §6.3's standing assumption, checked: the reserve below the

@@ -23,9 +23,7 @@ use ocelot_analysis::loops::{LoopForest, NaturalLoop};
 use ocelot_core::{covered_refs, RegionInfo};
 use ocelot_hw::energy::CostModel;
 use ocelot_ir::cfg::Cfg;
-use ocelot_ir::{
-    BlockId, FuncId, Function, InstrRef, Op, Place, Program, RegionId, Terminator,
-};
+use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Op, Place, Program, RegionId, Terminator};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Worst-case cycle analysis over one program.
@@ -156,7 +154,12 @@ impl<'p> WcetAnalysis<'p> {
     /// Worst-case cycles along any execution path from `from` (inclusive)
     /// to `to` (exclusive). `to.index` may be `instrs.len() + 1` to
     /// include the terminator of `to.block`.
-    fn path_cost(&mut self, ctx: &FuncCtx<'_>, from: Point, to: Point) -> Result<u64, ProgressError> {
+    fn path_cost(
+        &mut self,
+        ctx: &FuncCtx<'_>,
+        from: Point,
+        to: Point,
+    ) -> Result<u64, ProgressError> {
         let from_ctx = loop_context(&ctx.loops, from.block);
         let to_ctx = loop_context(&ctx.loops, to.block);
         if from.block == to.block {
@@ -203,7 +206,10 @@ impl<'p> WcetAnalysis<'p> {
         };
         let n_from = node_of(from);
         let n_to = node_of(to);
-        debug_assert_eq!(n_from, from, "path start cannot sit inside a condensed loop");
+        debug_assert_eq!(
+            n_from, from,
+            "path start cannot sit inside a condensed loop"
+        );
         debug_assert_eq!(n_to, to, "path end cannot sit inside a condensed loop");
 
         // Edges between condensed nodes, dropping intra-node edges and
@@ -218,11 +224,7 @@ impl<'p> WcetAnalysis<'p> {
                     continue;
                 }
                 let is_context_back_edge = context_headers.contains(&s)
-                    && ctx
-                        .loops
-                        .loops_containing(b)
-                        .iter()
-                        .any(|l| l.header == s);
+                    && ctx.loops.loops_containing(b).iter().any(|l| l.header == s);
                 if is_context_back_edge {
                     continue;
                 }
@@ -420,12 +422,7 @@ impl<'p> WcetAnalysis<'p> {
     /// Static worst-case cost of one operation, mirroring the runtime's
     /// dynamic charging (including hidden dynamic undo-log costs inside
     /// regions).
-    fn op_cost(
-        &mut self,
-        f: &Function,
-        at: InstrRef,
-        op: &Op,
-    ) -> Result<u64, ProgressError> {
+    fn op_cost(&mut self, f: &Function, at: InstrRef, op: &Op) -> Result<u64, ProgressError> {
         let in_region = self.covered.contains(&at);
         let log_extra = if in_region { self.costs.log_word } else { 0 };
         Ok(match op {
@@ -475,11 +472,7 @@ fn term_cost(costs: &CostModel, t: &Terminator) -> u64 {
 
 /// The headers of every loop containing `b`.
 fn loop_context(loops: &LoopForest, b: BlockId) -> BTreeSet<BlockId> {
-    loops
-        .loops_containing(b)
-        .iter()
-        .map(|l| l.header)
-        .collect()
+    loops.loops_containing(b).iter().map(|l| l.header).collect()
 }
 
 /// True when writes to `x` inside `f` stay volatile (a bound local or a
@@ -550,8 +543,9 @@ mod tests {
     #[test]
     fn calls_add_callee_body() {
         let inline = wcet_main("sensor s; fn main() { let v = in(s); }");
-        let called =
-            wcet_main("sensor s; fn grab() { let v = in(s); return v; } fn main() { let x = grab(); }");
+        let called = wcet_main(
+            "sensor s; fn grab() { let v = in(s); return v; } fn main() { let x = grab(); }",
+        );
         assert!(called > inline, "call overhead and return path add cost");
         let costs = CostModel::default();
         assert!(called - inline >= costs.call / 2, "at least the ret cost");
@@ -670,8 +664,14 @@ mod tests {
         let info = ocelot_core::RegionInfo {
             id: RegionId(region.0),
             func: main,
-            start: InstrRef { func: main, label: l1 },
-            end: InstrRef { func: main, label: l2 },
+            start: InstrRef {
+                func: main,
+                label: l1,
+            },
+            end: InstrRef {
+                func: main,
+                label: l2,
+            },
             effects: Default::default(),
             omega_words: 0,
         };

@@ -91,9 +91,7 @@ impl DetectorConfig {
             }
             let chains: Vec<Prov> = pol.inputs.iter().cloned().collect();
             for c in &chains {
-                if let std::collections::btree_map::Entry::Vacant(e) =
-                    cfg.bit_of.entry(c.clone())
-                {
+                if let std::collections::btree_map::Entry::Vacant(e) = cfg.bit_of.entry(c.clone()) {
                     e.insert(next_bit);
                     next_bit += 1;
                 }
@@ -385,9 +383,7 @@ mod tests {
 
     #[test]
     fn bitvector_detects_missing_bit() {
-        let (_, ps) = policies_for(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (_, ps) = policies_for("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         let cfg = DetectorConfig::from_policies(&ps);
         let mut bv = BitVector::default();
         let use_site = *cfg.use_checks.keys().next().unwrap();
@@ -406,9 +402,7 @@ mod tests {
 
     #[test]
     fn trace_checker_flags_cross_era_use() {
-        let (p, ps) = policies_for(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (p, ps) = policies_for("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         let chain = ps.policies[0].inputs.iter().next().unwrap().clone();
         let input_op = *chain.last().unwrap();
         let use_site = *ps.policies[0].uses.iter().next().unwrap();
@@ -475,9 +469,7 @@ mod tests {
 
     #[test]
     fn unknown_site_checks_nothing() {
-        let (_, ps) = policies_for(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }",
-        );
+        let (_, ps) = policies_for("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         let cfg = DetectorConfig::from_policies(&ps);
         let bv = BitVector::default();
         let bogus = InstrRef {

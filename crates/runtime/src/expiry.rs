@@ -60,11 +60,7 @@ impl ExpiryReport {
 /// fresh policy, every input chain's most recent collection must be no
 /// older than `window_us` of wall-clock time. Scores the result against
 /// the era-based ground truth.
-pub fn evaluate_expiry(
-    policies: &PolicySet,
-    trace: &[Obs],
-    window_us: u64,
-) -> ExpiryReport {
+pub fn evaluate_expiry(policies: &PolicySet, trace: &[Obs], window_us: u64) -> ExpiryReport {
     // Ground truth, keyed by (use site, tau) for freshness events.
     let truth = check_trace(policies, trace);
     let mut true_fresh: BTreeSet<(ocelot_ir::InstrRef, u64)> = BTreeSet::new();
@@ -88,9 +84,7 @@ pub fn evaluate_expiry(
 
     for o in trace {
         match o {
-            Obs::Input {
-                chain, time_us, ..
-            } => {
+            Obs::Input { chain, time_us, .. } => {
                 collected_at.insert(chain.clone(), *time_us);
             }
             Obs::Use {
@@ -157,7 +151,9 @@ mod tests {
                 // Budgets drift across the run so failures land at
                 // every program point, including between the input's
                 // completion and its uses.
-                (0..200).map(|i| 4_300.0 + (i % 11) as f64 * 150.0).collect(),
+                (0..200)
+                    .map(|i| 4_300.0 + (i % 11) as f64 * 150.0)
+                    .collect(),
                 off_us,
             )),
         );
@@ -212,7 +208,10 @@ mod tests {
         // Every use trips (the collection is always >0 µs old).
         assert!(r.trips >= r.true_freshness_violations);
         assert_eq!(r.missed, 0, "nothing missed");
-        assert!(r.spurious > 0, "fresh uses also tripped: handlers for nothing");
+        assert!(
+            r.spurious > 0,
+            "fresh uses also tripped: handlers for nothing"
+        );
         assert_eq!(r.recall(), 1.0);
     }
 

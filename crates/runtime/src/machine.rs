@@ -79,8 +79,7 @@ pub fn pathological_targets(policies: &PolicySet) -> BTreeSet<InstrRef> {
         match pol.kind {
             PolicyKind::Fresh => targets.extend(pol.uses.iter().copied()),
             PolicyKind::Consistent(_) => {
-                let chains: Vec<&ocelot_analysis::taint::Prov> =
-                    pol.inputs.iter().collect();
+                let chains: Vec<&ocelot_analysis::taint::Prov> = pol.inputs.iter().collect();
                 for w in chains.windows(2) {
                     let (prev, cur) = (w[0], w[1]);
                     let diverge = cur
@@ -417,13 +416,8 @@ impl<'p> Machine<'p> {
                     // Atom-Start-Inner: just the nesting-counter bump.
                     self.costs.alu
                 } else {
-                    let omega = self
-                        .region_omega
-                        .get(region)
-                        .map(|l| l.len())
-                        .unwrap_or(0);
-                    self.costs.checkpoint_cycles(self.vol.words())
-                        + self.costs.log_cycles(omega)
+                    let omega = self.region_omega.get(region).map(|l| l.len()).unwrap_or(0);
+                    self.costs.checkpoint_cycles(self.vol.words()) + self.costs.log_cycles(omega)
                 }
             }
             Op::AtomEnd { .. } => self.costs.alu,
@@ -774,13 +768,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn exec_call(
-        &mut self,
-        here: InstrRef,
-        dst: Option<String>,
-        callee: FuncId,
-        args: &[Arg],
-    ) {
+    fn exec_call(&mut self, here: InstrRef, dst: Option<String>, callee: FuncId, args: &[Arg]) {
         let callee_fn = self.p.func(callee);
         let caller_idx = self.vol.frames.len() - 1;
         let mut locals = BTreeMap::new();
@@ -1061,10 +1049,8 @@ mod tests {
 
     #[test]
     fn computes_arithmetic_continuously() {
-        let p = compile(
-            "fn sq(v) { return v * v; } fn main() { let x = sq(6); out(log, x + 1); }",
-        )
-        .unwrap();
+        let p = compile("fn sq(v) { return v * v; } fn main() { let x = sq(6); out(log, x + 1); }")
+            .unwrap();
         let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
         assert!(matches!(
             m.run_once(100_000),
@@ -1095,23 +1081,22 @@ mod tests {
         .unwrap();
         let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
         m.run_once(100_000);
-        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![10])]);
+        assert_eq!(
+            outputs(&m.take_trace()),
+            vec![("log".to_string(), vec![10])]
+        );
     }
 
     #[test]
     fn globals_persist_across_runs() {
-        let p = compile("nv count = 0; fn main() { count = count + 1; out(log, count); }")
-            .unwrap();
+        let p = compile("nv count = 0; fn main() { count = count + 1; out(log, count); }").unwrap();
         let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
         m.run_once(100_000);
         m.run_once(100_000);
         let t = m.take_trace();
         assert_eq!(
             outputs(&t),
-            vec![
-                ("log".to_string(), vec![1]),
-                ("log".to_string(), vec![2])
-            ]
+            vec![("log".to_string(), vec![1]), ("log".to_string(), vec![2])]
         );
     }
 
@@ -1123,7 +1108,10 @@ mod tests {
         .unwrap();
         let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
         m.run_once(100_000);
-        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![15])]);
+        assert_eq!(
+            outputs(&m.take_trace()),
+            vec![("log".to_string(), vec![15])]
+        );
     }
 
     #[test]
@@ -1162,17 +1150,18 @@ mod tests {
         let env = Environment::new().with("s", Signal::Constant(3));
         let mut m = machine_for(&p, env, Box::new(ContinuousPower));
         m.run_once(100_000);
-        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![12])]);
+        assert_eq!(
+            outputs(&m.take_trace()),
+            vec![("log".to_string(), vec![12])]
+        );
     }
 
     #[test]
     fn jit_failure_resumes_in_place() {
         // Fail once mid-run; JIT checkpoint + restore must produce the
         // same output as continuous execution.
-        let p = compile(
-            "fn main() { let a = 1; let b = a + 1; let c = b * 3; out(log, c); }",
-        )
-        .unwrap();
+        let p =
+            compile("fn main() { let a = 1; let b = a + 1; let c = b * 3; out(log, c); }").unwrap();
         // Budget: enough for ~2 instructions, then one failure, then ∞.
         let mut m = machine_for(
             &p,
@@ -1244,10 +1233,7 @@ mod tests {
     #[test]
     fn detector_catches_jit_freshness_violation() {
         // Classic Figure 2: sense, power fail (pathological), then use.
-        let p = compile(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
-        )
-        .unwrap();
+        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }").unwrap();
         let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
         let policies = ocelot_core::build_policies(&p, &taint);
         let targets = pathological_targets(&policies);
@@ -1290,7 +1276,11 @@ mod tests {
             matches!(out, RunOutcome::Completed { violated: false }),
             "atomic region re-executes the input: no stale use"
         );
-        assert_eq!(m.stats().region_reexecs, 1, "the injected failure rolled back");
+        assert_eq!(
+            m.stats().region_reexecs,
+            1,
+            "the injected failure rolled back"
+        );
         let trace = m.take_trace();
         assert!(crate::detect::check_trace(m.policies(), &trace).is_empty());
     }
@@ -1373,12 +1363,9 @@ mod tests {
 
     #[test]
     fn generous_budget_never_trips_reexec_limit() {
-        let p = compile(
-            "sensor s; fn main() { atomic { let v = in(s); out(log, v); } }",
-        )
-        .unwrap();
-        let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower))
-            .with_reexec_limit(1);
+        let p = compile("sensor s; fn main() { atomic { let v = in(s); out(log, v); } }").unwrap();
+        let mut m =
+            machine_for(&p, Environment::new(), Box::new(ContinuousPower)).with_reexec_limit(1);
         assert!(matches!(
             m.run_once(1_000_000),
             RunOutcome::Completed { violated: false }
@@ -1390,10 +1377,7 @@ mod tests {
         // Figure 2 under TICS: power fails between the sense and the
         // use; the 10 ms window sees the 100 ms gap, the handler
         // restarts, and the re-collected value is used fresh.
-        let p = compile(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
-        )
-        .unwrap();
+        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }").unwrap();
         let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
         let policies = ocelot_core::build_policies(&p, &taint);
         let targets = pathological_targets(&policies);
@@ -1458,10 +1442,7 @@ mod tests {
         // before the use; the 100 ms gap always exceeds the 10 ms
         // window, so the handler thrashes until the cap, then the stale
         // value goes through and the detector fires.
-        let p = compile(
-            "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }",
-        )
-        .unwrap();
+        let p = compile("sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }").unwrap();
         let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
         let policies = ocelot_core::build_policies(&p, &taint);
         let m = Machine::new(
@@ -1474,7 +1455,10 @@ mod tests {
         );
         let mut m = m.with_expiry_window(10_000);
         let out = m.run_once(10_000_000);
-        assert!(matches!(out, RunOutcome::Completed { violated: true }), "{out:?}");
+        assert!(
+            matches!(out, RunOutcome::Completed { violated: true }),
+            "{out:?}"
+        );
         assert_eq!(m.stats().expiry_giveups, 1);
         assert!(m.stats().expiry_restarts >= 25, "thrashed to the cap");
         assert!(m.stats().fresh_violations >= 1, "the stale use happened");
@@ -1485,7 +1469,10 @@ mod tests {
         let p = compile("fn main() { let x = 1; out(log, x); }").unwrap();
         let mut m = machine_for(&p, Environment::new(), Box::new(ContinuousPower));
         let runs = m.run_for(10_000, 100_000);
-        assert!(runs > 1, "short program should complete many runs, got {runs}");
+        assert!(
+            runs > 1,
+            "short program should complete many runs, got {runs}"
+        );
         assert_eq!(m.stats().runs_completed, runs);
     }
 
@@ -1504,6 +1491,9 @@ mod tests {
         // failure must have occurred, and charging time dominates.
         assert!(m.stats().reboots >= 1);
         assert!(m.stats().off_time_us > m.stats().on_time_us);
-        assert_eq!(outputs(&m.take_trace()), vec![("log".to_string(), vec![20])]);
+        assert_eq!(
+            outputs(&m.take_trace()),
+            vec![("log".to_string(), vec![20])]
+        );
     }
 }

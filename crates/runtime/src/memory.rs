@@ -62,8 +62,7 @@ impl NvMem {
         for g in &p.globals {
             match g.array_len {
                 Some(n) => {
-                    nv.arrays
-                        .insert(g.name.clone(), vec![Tainted::pure(0); n]);
+                    nv.arrays.insert(g.name.clone(), vec![Tainted::pure(0); n]);
                 }
                 None => {
                     nv.scalars.insert(g.name.clone(), Tainted::pure(g.init));

@@ -130,8 +130,7 @@ mod tests {
         let b = build(compile(src).unwrap(), ExecModel::AtomicsOnly).unwrap();
         assert_eq!(b.regions.len(), 1);
         // The manual region covers the policy: checker agrees.
-        let report =
-            ocelot_core::check_regions(&b.program, &b.policies).unwrap();
+        let report = ocelot_core::check_regions(&b.program, &b.policies).unwrap();
         assert!(report.passes());
     }
 

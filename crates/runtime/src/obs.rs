@@ -241,6 +241,9 @@ mod tests {
             stale_ops: vec![],
         });
         log.push(v.clone());
-        assert!(log.committed().iter().any(|o| matches!(o, Obs::Violation(_))));
+        assert!(log
+            .committed()
+            .iter()
+            .any(|o| matches!(o, Obs::Violation(_))));
     }
 }

@@ -34,7 +34,11 @@ fn main() {
         "Ocelot inferred {} atomic region(s) for {} polic{}:",
         compiled.regions.len(),
         compiled.policies.len(),
-        if compiled.policies.len() == 1 { "y" } else { "ies" }
+        if compiled.policies.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
     for (region, policies) in &compiled.policy_map {
         let info = compiled.region(*region).expect("region exists");

@@ -169,10 +169,7 @@ fn cmd_summaries(program: Program) -> ExitCode {
                         println!("  local: ret ←↪ (input: {}, fromTp: {})", i.input, i.from);
                     }
                     ocelot::analysis::summary::TaintTarget::RefParam(p) => {
-                        println!(
-                            "  local: &{p} ←↪ (input: {}, fromTp: {})",
-                            i.input, i.from
-                        );
+                        println!("  local: &{p} ←↪ (input: {}, fromTp: {})", i.input, i.from);
                     }
                 }
             }
@@ -221,7 +218,11 @@ fn cmd_progress(program: Program, opts: &[String]) -> ExitCode {
     if trigger >= capacity || trigger < 0.0 {
         return usage_err("--trigger must lie within --capacity");
     }
-    let model = if jit { ExecModel::Jit } else { ExecModel::Ocelot };
+    let model = if jit {
+        ExecModel::Jit
+    } else {
+        ExecModel::Ocelot
+    };
     let built = match build(program, model) {
         Ok(b) => b,
         Err(e) => {
@@ -337,7 +338,11 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
         }
     }
 
-    let model = if jit { ExecModel::Jit } else { ExecModel::Ocelot };
+    let model = if jit {
+        ExecModel::Jit
+    } else {
+        ExecModel::Ocelot
+    };
     let built = match build(program, model) {
         Ok(b) => b,
         Err(e) => {

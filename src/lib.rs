@@ -62,6 +62,9 @@
 //! # Ok::<(), ocelot::ir::IrError>(())
 //! ```
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use ocelot_analysis as analysis;
 pub use ocelot_apps as apps;
 pub use ocelot_core as core;

@@ -85,10 +85,7 @@ fn greenhouse_mists_when_hot_and_dry() {
     // while the humidity square wave spends time low.
     let (trace, stats) = run_app("greenhouse", ExecModel::Ocelot, 220, 4);
     let mists = channel_outputs(&trace, "mist");
-    assert!(
-        !mists.is_empty(),
-        "hot+dry stretches must trigger misting"
-    );
+    assert!(!mists.is_empty(), "hot+dry stretches must trigger misting");
     for m in &mists {
         assert!(m[0] > 30 && m[1] < 40, "mist condition: {m:?}");
     }

@@ -69,9 +69,7 @@ pub fn render(stmts: &[GenStmt]) -> String {
     }
     src.push_str("nv acc = 0;\n");
     for i in 0..NUM_SENSORS {
-        src.push_str(&format!(
-            "fn grab{i}() {{ let v = in(s{i}); return v; }}\n"
-        ));
+        src.push_str(&format!("fn grab{i}() {{ let v = in(s{i}); return v; }}\n"));
     }
     src.push_str("fn main() {\n");
     let mut bound = 0usize;
@@ -79,7 +77,10 @@ pub fn render(stmts: &[GenStmt]) -> String {
     for s in stmts {
         match s {
             GenStmt::Input(sensor) => {
-                src.push_str(&format!("    let x{bound} = in(s{});\n", sensor % NUM_SENSORS));
+                src.push_str(&format!(
+                    "    let x{bound} = in(s{});\n",
+                    sensor % NUM_SENSORS
+                ));
                 bound += 1;
             }
             GenStmt::InputViaHelper(sensor) => {
@@ -91,10 +92,7 @@ pub fn render(stmts: &[GenStmt]) -> String {
             }
             GenStmt::Derive(j, c) => {
                 if bound > 0 {
-                    src.push_str(&format!(
-                        "    let x{bound} = x{} * 2 + {c};\n",
-                        j % bound
-                    ));
+                    src.push_str(&format!("    let x{bound} = x{} * 2 + {c};\n", j % bound));
                     bound += 1;
                 }
             }
@@ -114,19 +112,13 @@ pub fn render(stmts: &[GenStmt]) -> String {
             }
             GenStmt::StoreGlobal(g, j) => {
                 if bound > 0 {
-                    src.push_str(&format!(
-                        "    g{} = x{};\n",
-                        g % NUM_GLOBALS,
-                        j % bound
-                    ));
+                    src.push_str(&format!("    g{} = x{};\n", g % NUM_GLOBALS, j % bound));
                 }
             }
             GenStmt::Branch(j, c) => {
                 if bound > 0 {
                     let v = j % bound;
-                    src.push_str(&format!(
-                        "    if x{v} > {c} {{ out(log, x{v}); }}\n"
-                    ));
+                    src.push_str(&format!("    if x{v} > {c} {{ out(log, x{v}); }}\n"));
                 }
             }
             GenStmt::Out(j) => {
@@ -186,9 +178,9 @@ pub fn arb_program() -> impl Strategy<Value = GenProgram> {
     ];
     proptest::collection::vec(stmt, 2..14).prop_map(|stmts| {
         let source = render(&stmts);
-        let has_while = stmts.iter().any(|s| {
-            matches!(s, GenStmt::WhileInput(..) | GenStmt::WhileTaintedCond(..))
-        });
+        let has_while = stmts
+            .iter()
+            .any(|s| matches!(s, GenStmt::WhileInput(..) | GenStmt::WhileTaintedCond(..)));
         GenProgram {
             stmts,
             source,

@@ -52,9 +52,7 @@ fn ocelot_intermittent_outputs_match_continuous_under_constant_world() {
             built.policies.clone(),
             env,
             CostModel::default(),
-            Box::new(
-                HarvestedPower::capybara_noisy(5).with_boot_jitter(9, 0.4),
-            ),
+            Box::new(HarvestedPower::capybara_noisy(5).with_boot_jitter(9, 0.4)),
         );
         for _ in 0..3 {
             let out = inter.run_once(5_000_000);
@@ -93,9 +91,7 @@ fn atomics_intermittent_outputs_match_their_continuous_run() {
             built.policies.clone(),
             env,
             CostModel::default(),
-            Box::new(
-                HarvestedPower::capybara_noisy(8).with_boot_jitter(2, 0.4),
-            ),
+            Box::new(HarvestedPower::capybara_noisy(8).with_boot_jitter(2, 0.4)),
         );
         inter.run_once(5_000_000);
         let got = committed_outputs(&inter.take_trace());
@@ -161,9 +157,7 @@ fn benchmark_sweep_on_harvested_power() {
                 built.policies.clone(),
                 b.environment(23),
                 CostModel::default(),
-                Box::new(
-                    HarvestedPower::capybara_noisy(23).with_boot_jitter(4, 0.4),
-                ),
+                Box::new(HarvestedPower::capybara_noisy(23).with_boot_jitter(4, 0.4)),
             );
             for _ in 0..10 {
                 let out = m.run_once(5_000_000);

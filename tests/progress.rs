@@ -11,9 +11,9 @@
 mod common;
 
 use common::{arb_program, gen_environment_constant};
+use ocelot::hw::harvest::Harvester;
 use ocelot::prelude::*;
 use ocelot::progress::{ProgressReport, WcetAnalysis};
-use ocelot::hw::harvest::Harvester;
 use proptest::prelude::*;
 
 /// Static worst-case cycles for one full run of `main`.
@@ -71,10 +71,13 @@ fn feasible_verdict_predicts_completion_on_benchmarks() {
     for bench in ocelot::apps::all() {
         let built = build(bench.annotated(), ExecModel::Ocelot).unwrap();
         let report =
-            ProgressReport::analyze(&built.program, &built.regions, &CostModel::default())
-                .unwrap();
+            ProgressReport::analyze(&built.program, &built.regions, &CostModel::default()).unwrap();
         let cap = report.min_capacitor(0.2);
-        assert!(report.feasible_on(&cap), "{}: min capacitor feasible", bench.name);
+        assert!(
+            report.feasible_on(&cap),
+            "{}: min capacitor feasible",
+            bench.name
+        );
         let supply = HarvestedPower::new(cap, Harvester::Constant { power_nw: 1.0 });
         let mut m = Machine::new(
             &built.program,
@@ -116,7 +119,10 @@ fn infeasible_region_livelocks_as_predicted() {
     let report =
         ProgressReport::analyze(&built.program, &built.regions, &CostModel::default()).unwrap();
     let cap = Capacitor::new(20_000.0, 4_000.0);
-    assert!(!report.feasible_on(&cap), "the analysis must flag the region");
+    assert!(
+        !report.feasible_on(&cap),
+        "the analysis must flag the region"
+    );
 
     let supply = HarvestedPower::new(cap, Harvester::Constant { power_nw: 1.0 });
     let mut m = Machine::new(
@@ -149,8 +155,8 @@ fn min_capacitor_shrinks_with_ocelot_vs_whole_main_region() {
         let mut stripped = bench.annotated();
         stripped.erase_annotations();
         let whole = ocelot::runtime::samoyed_transform(stripped, &["main"]).unwrap();
-        let ro = ProgressReport::analyze(&ocelot_built.program, &ocelot_built.regions, &costs)
-            .unwrap();
+        let ro =
+            ProgressReport::analyze(&ocelot_built.program, &ocelot_built.regions, &costs).unwrap();
         let rw = ProgressReport::analyze(&whole.program, &whole.regions, &costs).unwrap();
         assert!(
             ro.peak_demand_nj() <= rw.peak_demand_nj(),

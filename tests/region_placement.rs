@@ -4,8 +4,8 @@
 //! enclose. Guards against regressions in candidate selection, hoisting,
 //! dominator placement, and truncation.
 
-use ocelot::prelude::*;
 use ocelot::ir::{Op, Program};
+use ocelot::prelude::*;
 
 struct Placement {
     host: String,
@@ -85,7 +85,12 @@ fn greenhouse_region_spans_all_four_collections() {
     let ops = main_ops(&c.program);
     let start = pos(&ops, "startatom(r1)");
     let end = pos(&ops, "endatom(r1)");
-    for call in ["read_temp_a()", "read_temp_b()", "read_hum_a()", "read_hum_b()"] {
+    for call in [
+        "read_temp_a()",
+        "read_temp_b()",
+        "read_hum_a()",
+        "read_hum_b()",
+    ] {
         let p = pos(&ops, call);
         assert!(start < p && p < end, "{call} inside the consistent region");
     }
@@ -113,8 +118,7 @@ fn activity_fresh_and_consistent_regions_overlap() {
         .collect();
     // UART guard + 2 inferred = 3 region starts in main.
     assert_eq!(starts.len(), 3);
-    let inferred_starts: Vec<usize> =
-        starts.iter().copied().filter(|i| *i < first_read).collect();
+    let inferred_starts: Vec<usize> = starts.iter().copied().filter(|i| *i < first_read).collect();
     assert_eq!(
         inferred_starts.len(),
         2,
@@ -163,15 +167,16 @@ fn send_photo_region_covers_conditional_send() {
     let mut found_send = false;
     let mut found_read_call = false;
     for (_, inst) in f.iter_insts() {
-        let r = ocelot::ir::InstrRef { func: f.id, label: inst.label };
+        let r = ocelot::ir::InstrRef {
+            func: f.id,
+            label: inst.label,
+        };
         match &inst.op {
             Op::Output { channel, .. } if channel == "radio" => {
                 found_send = true;
                 assert!(covered.contains(&r), "radio send inside the region");
             }
-            Op::Call { callee, .. }
-                if c.program.func(*callee).name == "read_photo" =>
-            {
+            Op::Call { callee, .. } if c.program.func(*callee).name == "read_photo" => {
                 found_read_call = true;
                 assert!(covered.contains(&r), "photo read inside the region");
             }
@@ -231,7 +236,10 @@ fn while_loop_policy_widens_to_whole_loop() {
     )
     .with_injector(targets);
     let out = m.run_once(1_000_000);
-    assert!(matches!(out, RunOutcome::Completed { violated: false }), "{out:?}");
+    assert!(
+        matches!(out, RunOutcome::Completed { violated: false }),
+        "{out:?}"
+    );
     assert!(m.stats().region_reexecs >= 1);
 }
 

@@ -18,7 +18,10 @@ fn outputs(trace: &[Obs]) -> Vec<(String, Vec<i64>)> {
         .collect()
 }
 
-fn run_with_budgets(src: &str, budgets: Vec<f64>) -> (Vec<(String, Vec<i64>)>, ocelot::runtime::Stats) {
+fn run_with_budgets(
+    src: &str,
+    budgets: Vec<f64>,
+) -> (Vec<(String, Vec<i64>)>, ocelot::runtime::Stats) {
     let built = build(compile(src).unwrap(), ExecModel::AtomicsOnly).unwrap();
     let mut env = Environment::new();
     for (i, s) in built.program.sensors.iter().enumerate() {
@@ -62,7 +65,10 @@ fn nested_region_across_call_boundary_flattens() {
     "#;
     let (outs, stats) = run_with_budgets(src, vec![f64::INFINITY]);
     assert_eq!(outs, vec![("log".to_string(), vec![111])]);
-    assert_eq!(stats.region_entries, 1, "inner start is only a counter bump");
+    assert_eq!(
+        stats.region_entries, 1,
+        "inner start is only a counter bump"
+    );
     assert_eq!(stats.region_commits, 1);
 }
 
@@ -92,7 +98,11 @@ fn rollback_from_callee_restores_outer_region() {
     // Fail during the sensor read inside the callee's nested region:
     // outer entry (~600) + g write + call + part of input (4000).
     let (outs, stats) = run_with_budgets(src, vec![2_500.0]);
-    assert_eq!(outs, vec![("log".to_string(), vec![6])], "1 + sensor(5), once");
+    assert_eq!(
+        outs,
+        vec![("log".to_string(), vec![6])],
+        "1 + sensor(5), once"
+    );
     assert_eq!(stats.region_reexecs, 1);
     assert_eq!(stats.region_commits, 1);
 }
@@ -157,9 +167,7 @@ fn breakdown_sums_to_on_cycles() {
             built.policies.clone(),
             b.environment(3),
             CostModel::default(),
-            Box::new(
-                HarvestedPower::capybara_noisy(3).with_boot_jitter(1, 0.4),
-            ),
+            Box::new(HarvestedPower::capybara_noisy(3).with_boot_jitter(1, 0.4)),
         );
         for _ in 0..5 {
             m.run_once(5_000_000);

@@ -1,0 +1,507 @@
+//! Offline shim of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so external dependencies are vendored as API-compatible
+//! shims (see `vendor/README.md`). This crate implements the subset of
+//! proptest that the workspace's property suites use:
+//!
+//! * the [`proptest!`] test macro (including
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//! * [`any`] for the primitive types, [`Just`], integer-range
+//!   strategies, tuple strategies, [`prop_oneof!`] (weighted and
+//!   unweighted), [`collection::vec()`], and string strategies from a
+//!   small regex-like pattern subset (`\PC{m,n}`-style).
+//!
+//! Two deliberate simplifications versus real proptest:
+//!
+//! 1. **No shrinking.** A failing case reports its case number and
+//!    message but is not minimized.
+//! 2. **Deterministic generation.** Each test function derives its RNG
+//!    stream from its own name and the case index, so failures
+//!    reproduce exactly across runs — there is no persistence file.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Unlike real proptest there is no value tree: `generate` directly
+/// produces a value (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produces one value from the deterministic RNG.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+// Only the types the workspace's suites actually call `any` on — the
+// shims are widened on demand (vendor/README.md rule 1).
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u32, u64, usize);
+
+/// Strategy returned by [`any`].
+pub struct Any<A>(PhantomData<A>);
+
+/// The canonical strategy for `A`: uniform over the type's domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+}
+
+/// String strategy from a regex-like pattern.
+///
+/// Real proptest interprets `&str` strategies as full regexes; this
+/// shim supports the small subset the workspace uses: an atom (`\PC`
+/// for "any printable, non-control character", or a literal character
+/// class placeholder) followed by an optional `{m,n}` repetition. Any
+/// unrecognized pattern falls back to `\PC{0,64}` semantics.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 64));
+        let len = if hi > lo {
+            lo + (rng.next_u64() as usize % (hi - lo + 1))
+        } else {
+            lo
+        };
+        // A printable pool heavy on ASCII (the interesting tokens for a
+        // textual front-end) with some multi-byte code points to stress
+        // UTF-8 boundary handling.
+        const EXTRA: &[char] = &['é', 'λ', '中', '→', '𝕏', 'ß', '¤', '…'];
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let roll = rng.next_u64();
+            if roll & 7 == 0 {
+                s.push(EXTRA[(roll >> 8) as usize % EXTRA.len()]);
+            } else {
+                // Printable ASCII 0x20..=0x7E.
+                s.push((0x20 + ((roll >> 8) % 0x5F)) as u8 as char);
+            }
+        }
+        s
+    }
+}
+
+/// Extracts the `{m,n}` suffix bounds of a pattern, if present.
+fn parse_repetition(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// One boxed arm of a [`Union`]: its weight and generator closure.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// A weighted choice among strategies with a common value type, built
+/// by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; weights must not all be zero.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.next_u64() % self.total;
+        for (w, arm) in &self.arms {
+            if roll < *w as u64 {
+                return arm(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length lies in `size`, with elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.next_u64() as usize % span;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(expr)]` inner attribute, then `fn` items whose
+/// parameters are `pattern in strategy` bindings. Each function becomes
+/// a `#[test]` (the attribute is written explicitly in the block, as
+/// real proptest also accepts) that runs the body over `cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg) $($rest)*);
+    };
+    (@body ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} for `{}` failed: {}",
+                        case + 1,
+                        cfg.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Picks among several strategies with a common value type, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(
+            ($weight as u32, {
+                let strat = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::Strategy::generate(&strat, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            })
+        ),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not the whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::deterministic("ranges_and_maps_compose", 0);
+        let s = (0usize..3).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 0 || v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = TestRng::deterministic("oneof_respects_arms", 1);
+        let s = prop_oneof![
+            2 => Just("a"),
+            1 => Just("b"),
+        ];
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                "a" => seen_a = true,
+                "b" => seen_b = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn vec_sizes_lie_in_range() {
+        let mut rng = TestRng::deterministic("vec_sizes_lie_in_range", 2);
+        let s = crate::collection::vec(0u64..100, 2..14);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..14).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 100));
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::deterministic("string_pattern_respects_bounds", 3);
+        for _ in 0..200 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, config, and prop_assert all work.
+        #[test]
+        fn macro_end_to_end(x in 0u64..50, (a, b) in (0usize..4, any::<u32>())) {
+            prop_assert!(x < 50);
+            prop_assert!(a < 4);
+            prop_assert_eq!(u64::from(b), u64::from(b));
+        }
+    }
+}

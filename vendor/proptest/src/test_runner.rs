@@ -1,0 +1,68 @@
+//! The deterministic RNG and failure type behind the [`proptest!`]
+//! macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+use std::fmt;
+
+/// Deterministic per-test RNG (SplitMix64 seeded from the test's name
+/// and case index), so every failure reproduces without a persistence
+/// file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG stream for `(test name, case index)`.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+// Lets `?` convert any concrete error inside a proptest body, like real
+// proptest. (`TestCaseError` itself deliberately does not implement
+// `std::error::Error`, which would make this impl overlap the blanket
+// `From<T> for T`.)
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError(e.to_string())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
