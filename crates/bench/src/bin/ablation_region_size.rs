@@ -1,122 +1,11 @@
 //! Ablation for §5.3 / §8: *smallest-region inference* versus naive
-//! whole-`main` regions.
 //!
-//! Ocelot deliberately infers the smallest region satisfying each
-//! policy (Figure 10's discussion): a programmer who instead wraps the
-//! whole function pays more per power cycle and — on a small energy
-//! buffer — may make the region impossible to complete at all.
+//! Thin wrapper over the `ablation_region_size` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, calibrated_costs, whole_main_variant, MAX_STEPS};
-use ocelot_bench::report::{ratio, Table};
-use ocelot_core::collect_regions;
-use ocelot_hw::power::{ContinuousPower, HarvestedPower};
-use ocelot_hw::{Capacitor, Harvester};
-use ocelot_runtime::machine::{Machine, RunOutcome};
-use ocelot_runtime::model::{build, ExecModel};
+use std::process::ExitCode;
 
-fn main() {
-    let mut t = Table::new(&[
-        "App",
-        "inferred ω(words)",
-        "whole-main ω(words)",
-        "runtime vs inferred",
-        "completes on small buffer?",
-    ]);
-    for b in ocelot_apps::all() {
-        let inferred = build_for(&b, ExecModel::Ocelot);
-        let inferred_omega: usize = inferred
-            .regions
-            .iter()
-            .map(|r| r.omega_words)
-            .max()
-            .unwrap_or(0);
-
-        let whole = build(whole_main_variant(b.annotated_src), ExecModel::AtomicsOnly)
-            .expect("whole-main builds");
-        let whole_omega: usize = collect_regions(&whole.program)
-            .unwrap()
-            .iter()
-            .map(|r| r.omega_words)
-            .max()
-            .unwrap_or(0);
-
-        // Intermittent runtime comparison: a whole-main region re-executes
-        // the entire program after every in-region failure, so its cost
-        // shows under harvested power, not on the bench supply.
-        let run = |built: &ocelot_runtime::model::Built| {
-            let mut m = Machine::new(
-                &built.program,
-                &built.regions,
-                built.policies.clone(),
-                b.environment(3),
-                calibrated_costs(&b),
-                Box::new(ocelot_bench::harness::bench_supply(3)),
-            );
-            for _ in 0..25 {
-                m.run_once(MAX_STEPS);
-            }
-            m.stats().on_cycles
-        };
-        let r = run(&whole) as f64 / run(&inferred) as f64;
-
-        // Forward progress on a *small* buffer, sized just under one
-        // run's worth of energy: the whole-main region cannot fit, the
-        // inferred regions can (§5.3). Buffer derived per app from the
-        // measured continuous run cost.
-        let run_nj = {
-            let mut m = Machine::new(
-                &inferred.program,
-                &inferred.regions,
-                inferred.policies.clone(),
-                b.environment(3),
-                calibrated_costs(&b),
-                Box::new(ContinuousPower),
-            );
-            m.run_once(MAX_STEPS);
-            m.stats().on_cycles as f64
-        };
-        let tiny = || {
-            HarvestedPower::new(
-                Capacitor::new(run_nj * 0.97, run_nj * 0.03),
-                Harvester::powercast_noisy(5),
-            )
-        };
-        let mut m = Machine::new(
-            &whole.program,
-            &whole.regions,
-            whole.policies.clone(),
-            b.environment(3),
-            calibrated_costs(&b),
-            Box::new(tiny()),
-        );
-        let whole_done = matches!(m.run_once(400_000), RunOutcome::Completed { .. });
-        let mut m = Machine::new(
-            &inferred.program,
-            &inferred.regions,
-            inferred.policies.clone(),
-            b.environment(3),
-            calibrated_costs(&b),
-            Box::new(tiny()),
-        );
-        let inferred_done = matches!(m.run_once(400_000), RunOutcome::Completed { .. });
-
-        t.row(vec![
-            b.name.to_string(),
-            inferred_omega.to_string(),
-            whole_omega.to_string(),
-            ratio(r),
-            format!(
-                "inferred: {} / whole-main: {}",
-                if inferred_done { "yes" } else { "NO" },
-                if whole_done { "yes" } else { "NO" }
-            ),
-        ]);
-    }
-    println!("Ablation: smallest-region inference vs whole-main regions (§5.3, §8)");
-    println!("{}", t.render());
-    println!(
-        "A whole-main region snapshots more state and re-executes more work per\n\
-         failure; on a small buffer it may never complete — the inferred region\n\
-         is the difference between progress and livelock."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("ablation_region_size")
 }

@@ -1,62 +1,11 @@
 //! Extension experiment: where do the cycles go? Per-category breakdown
-//! of active cycles for each benchmark × execution model on harvested
-//! power.
 //!
-//! This decomposes Figure 7/8's aggregate overheads: Ocelot's cost is a
-//! thin checkpoint slice; Atomics-only turns checkpointing into a major
-//! category on region-heavy apps (cem); JIT pays only at low-power
-//! interrupts.
+//! Thin wrapper over the `energy_breakdown` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
-use ocelot_bench::report::Table;
-use ocelot_runtime::machine::Machine;
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-const RUNS: u64 = 25;
-
-fn main() {
-    let mut t = Table::new(&[
-        "App / Model",
-        "compute%",
-        "input%",
-        "output%",
-        "checkpoint%",
-        "undo-log%",
-        "restore%",
-    ]);
-    for b in ocelot_apps::all() {
-        for model in [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly] {
-            let built = build_for(&b, model);
-            let mut m = Machine::new(
-                &built.program,
-                &built.regions,
-                built.policies.clone(),
-                b.environment(31),
-                calibrated_costs(&b),
-                Box::new(bench_supply(31)),
-            );
-            for _ in 0..RUNS {
-                m.run_once(MAX_STEPS);
-            }
-            let bd = &m.stats().breakdown;
-            let total = bd.total().max(1) as f64;
-            let pct = |v: u64| format!("{:.1}", v as f64 * 100.0 / total);
-            t.row(vec![
-                format!("{} / {}", b.name, model.name()),
-                pct(bd.compute),
-                pct(bd.input),
-                pct(bd.output),
-                pct(bd.checkpoint),
-                pct(bd.undo_log),
-                pct(bd.restore),
-            ]);
-        }
-    }
-    println!("Extension: active-cycle breakdown on harvested power ({RUNS} runs each)");
-    println!("{}", t.render());
-    println!(
-        "Reading guide: sampling dominates sensing-bound apps; Atomics-only\n\
-         inflates the checkpoint column (every region entry snapshots volatile\n\
-         state), most dramatically on cem."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("energy_breakdown")
 }

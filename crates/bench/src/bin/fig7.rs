@@ -1,42 +1,11 @@
 //! Figure 7 — continuous-power runtimes of JIT, Atomics-only, and
-//! Ocelot, normalized to JIT.
 //!
-//! Paper shape to reproduce: JIT fastest everywhere; Ocelot ≈ 1.07×
-//! geometric mean; Atomics-only similar except `cem` (≈2.5×); `tire`
-//! slightly faster under Atomics-only than under Ocelot.
+//! Thin wrapper over the `fig7` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, run_continuous};
-use ocelot_bench::report::{gmean, ratio, Table};
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-const RUNS: u64 = 25;
-const SEED: u64 = 42;
-
-fn main() {
-    let mut t = Table::new(&["App", "JIT", "Atomics-only", "Ocelot"]);
-    let mut atomics_ratios = Vec::new();
-    let mut ocelot_ratios = Vec::new();
-    for b in ocelot_apps::all() {
-        let jit = run_continuous(&b, &build_for(&b, ExecModel::Jit), RUNS, SEED);
-        let atomics = run_continuous(&b, &build_for(&b, ExecModel::AtomicsOnly), RUNS, SEED);
-        let ocelot = run_continuous(&b, &build_for(&b, ExecModel::Ocelot), RUNS, SEED);
-        let base = jit.on_cycles as f64;
-        let ra = atomics.on_cycles as f64 / base;
-        let ro = ocelot.on_cycles as f64 / base;
-        atomics_ratios.push(ra);
-        ocelot_ratios.push(ro);
-        t.row(vec![b.name.to_string(), ratio(1.0), ratio(ra), ratio(ro)]);
-    }
-    t.row(vec![
-        "gmean".to_string(),
-        ratio(1.0),
-        ratio(gmean(&atomics_ratios)),
-        ratio(gmean(&ocelot_ratios)),
-    ]);
-    println!("Figure 7: Continuous runtimes normalized to JIT ({RUNS} runs each)");
-    println!("{}", t.render());
-    println!(
-        "Paper shape: Ocelot gmean ~1.07x; Atomics-only ~= Ocelot except cem (~2.5x);\n\
-         tire slightly faster under Atomics-only than Ocelot."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("fig7")
 }

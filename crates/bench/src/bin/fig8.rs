@@ -1,59 +1,11 @@
 //! Figure 8 — intermittent runtimes on harvested power, normalized to
-//! continuous JIT, split into running time and off/charging time.
 //!
-//! Paper shape to reproduce: proportions between execution models match
-//! Figure 7, and total runtime is dominated by charging.
+//! Thin wrapper over the `fig8` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, run_continuous, run_intermittent};
-use ocelot_bench::report::{gmean, ratio, Table};
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-const RUNS: u64 = 25;
-const SEED: u64 = 42;
-
-fn main() {
-    let mut t = Table::new(&[
-        "App",
-        "JIT run",
-        "JIT total",
-        "Atomics run",
-        "Atomics total",
-        "Ocelot run",
-        "Ocelot total",
-    ]);
-    let mut run_ratios: [Vec<f64>; 3] = Default::default();
-    let mut tot_ratios: [Vec<f64>; 3] = Default::default();
-    for b in ocelot_apps::all() {
-        // Baseline: continuous JIT on-time for the same number of runs.
-        let base = run_continuous(&b, &build_for(&b, ExecModel::Jit), RUNS, SEED).on_time_us as f64;
-        let mut cells = vec![b.name.to_string()];
-        for (i, model) in [ExecModel::Jit, ExecModel::AtomicsOnly, ExecModel::Ocelot]
-            .into_iter()
-            .enumerate()
-        {
-            let s = run_intermittent(&b, &build_for(&b, model), RUNS, SEED);
-            let run_ratio = s.on_time_us as f64 / base;
-            let tot_ratio = s.total_time_us() as f64 / base;
-            run_ratios[i].push(run_ratio);
-            tot_ratios[i].push(tot_ratio);
-            cells.push(ratio(run_ratio));
-            cells.push(ratio(tot_ratio));
-        }
-        t.row(cells);
-    }
-    let mut g = vec!["gmean".to_string()];
-    for i in 0..3 {
-        g.push(ratio(gmean(&run_ratios[i])));
-        g.push(ratio(gmean(&tot_ratios[i])));
-    }
-    t.row(g);
-    println!(
-        "Figure 8: Intermittent runtimes normalized to continuous JIT on-time\n\
-         ({RUNS} runs each; 'run' = on-time, 'total' = on + off/charging)"
-    );
-    println!("{}", t.render());
-    println!(
-        "Paper shape: same proportions as Figure 7 between models; charging time\n\
-         dominates total runtime."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("fig8")
 }

@@ -1,84 +1,11 @@
 //! Forward-progress report (§5.3 / §10) for all six benchmarks.
 //!
-//! For each app, sizes the minimum energy buffer under (a) Ocelot's
-//! inferred regions and (b) the trivially-correct whole-`main` region,
-//! checks both against the evaluation's Capybara-style bank, and
-//! cross-validates the static verdict by running each app on its own
-//! minimum buffer.
+//! Thin wrapper over the `progress_report` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, calibrated_costs, whole_main_variant, MAX_STEPS};
-use ocelot_bench::report::Table;
-use ocelot_hw::power::HarvestedPower;
-use ocelot_hw::{Capacitor, Harvester};
-use ocelot_progress::ProgressReport;
-use ocelot_runtime::machine::{Machine, RunOutcome};
-use ocelot_runtime::model::{build, ExecModel};
+use std::process::ExitCode;
 
-fn main() {
-    let bench_cap = Capacitor::new(26_000.0, 2_600.0);
-    let mut t = Table::new(&[
-        "App",
-        "regions",
-        "peak µJ (inferred)",
-        "peak µJ (whole-main)",
-        "min buffer µJ",
-        "on 26 µJ bank",
-        "runs on min buffer?",
-    ]);
-    for b in ocelot_apps::all() {
-        let costs = calibrated_costs(&b);
-        let inferred = build_for(&b, ExecModel::Ocelot);
-        let ri = ProgressReport::analyze(&inferred.program, &inferred.regions, &costs)
-            .expect("benchmarks are bounded");
-        let whole = build(whole_main_variant(b.annotated_src), ExecModel::AtomicsOnly)
-            .expect("whole-main builds");
-        let rw = ProgressReport::analyze(&whole.program, &whole.regions, &costs)
-            .expect("benchmarks are bounded");
-
-        let min = ri.min_capacitor(0.10);
-        let verdict = if ri.feasible_on(&bench_cap) {
-            "feasible"
-        } else {
-            "INFEASIBLE"
-        };
-
-        // Cross-validate: the app must actually complete on its own
-        // minimum buffer.
-        let supply = HarvestedPower::new(
-            Capacitor::new(min.capacity_nj(), min.trigger_nj()),
-            Harvester::Constant { power_nw: 1.0 },
-        );
-        let mut m = Machine::new(
-            &inferred.program,
-            &inferred.regions,
-            inferred.policies.clone(),
-            b.environment(3),
-            costs.clone(),
-            Box::new(supply),
-        )
-        .with_reexec_limit(50);
-        let dynamic = match m.run_once(MAX_STEPS) {
-            RunOutcome::Completed { .. } => "yes",
-            RunOutcome::Livelock { .. } => "NO (livelock)",
-            RunOutcome::StepLimit => "NO (step limit)",
-        };
-
-        t.row(vec![
-            b.name.to_string(),
-            ri.regions.len().to_string(),
-            format!("{:.2}", ri.peak_demand_nj() / 1000.0),
-            format!("{:.2}", rw.peak_demand_nj() / 1000.0),
-            format!("{:.2}", min.capacity_nj() / 1000.0),
-            verdict.to_string(),
-            dynamic.to_string(),
-        ]);
-    }
-    println!("Forward-progress report (§5.3, §10): worst-case region energy vs buffer");
-    println!("{}", t.render());
-    println!(
-        "Every app is feasible on the evaluation bank, and each completes on the\n\
-         buffer the analysis sizes for it. Whole-main wrapping always demands at\n\
-         least as much buffer as the inferred regions — most dramatically on cem,\n\
-         whose ω would back the whole compression table."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("progress_report")
 }

@@ -1,125 +1,11 @@
 //! Samoyed scaling rules and fallbacks vs Ocelot's fixed minimal regions
-//! (§7.4 Table 3, §9), swept across buffer sizes.
 //!
-//! The photo benchmark's kernel averages N consistent readings inside
-//! one atomic function. As the capacitor shrinks: Ocelot's inferred
-//! region (all N readings — the constraint demands it) eventually cannot
-//! complete and the program livelocks, which is *correct* (§8: the
-//! constraint is fundamentally unsatisfiable on that buffer). A Samoyed
-//! programmer instead supplies a scaling rule (halve N) and a software
-//! fallback (non-atomic), trading constraint strength for progress.
+//! Thin wrapper over the `samoyed_scaling` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::report::Table;
-use ocelot_hw::energy::{Capacitor, CostModel};
-use ocelot_hw::harvest::Harvester;
-use ocelot_hw::power::{HarvestedPower, PowerSupply};
-use ocelot_hw::sensors::{Environment, Signal};
-use ocelot_runtime::machine::{Machine, RunOutcome};
-use ocelot_runtime::model::{build, ExecModel};
-use ocelot_runtime::samoyed::{run_scaled, ScaledApp};
+use std::process::ExitCode;
 
-fn photo_src(n: u64) -> String {
-    format!(
-        r#"
-        sensor photo;
-        fn sample_avg() {{
-            let sum = 0;
-            repeat {n} {{
-                let v = in(photo);
-                consistent(v, 1);
-                sum = sum + v;
-            }}
-            let avg = sum / {n};
-            out(uart, avg);
-            return avg;
-        }}
-        fn main() {{
-            let avg = sample_avg();
-            out(log, avg);
-        }}
-        "#
-    )
-}
-
-fn supply_for(capacity_nj: f64) -> Box<dyn PowerSupply> {
-    Box::new(HarvestedPower::new(
-        Capacitor::new(capacity_nj, 3_000.0),
-        Harvester::Constant { power_nw: 1.0 },
-    ))
-}
-
-fn main() {
-    let env = Environment::new().with("photo", Signal::Constant(40));
-    let costs = CostModel::default();
-    let mut t = Table::new(&[
-        "buffer µJ",
-        "Ocelot (fixed N=5)",
-        "Samoyed outcome",
-        "N used",
-        "scalings",
-        "fallback",
-    ]);
-    for capacity in [60_000.0, 30_000.0, 18_000.0, 11_000.0, 7_800.0] {
-        // Ocelot: the constraint pins all five readings in one region.
-        let ocelot = build(
-            ocelot_ir::compile(&photo_src(5)).unwrap(),
-            ExecModel::Ocelot,
-        )
-        .unwrap();
-        let mut m = Machine::new(
-            &ocelot.program,
-            &ocelot.regions,
-            ocelot.policies.clone(),
-            env.clone(),
-            costs.clone(),
-            supply_for(capacity),
-        )
-        .with_reexec_limit(12);
-        let ocelot_out = match m.run_once(4_000_000) {
-            RunOutcome::Completed { violated: false } => "completes, consistent".to_string(),
-            RunOutcome::Completed { violated: true } => "completes, VIOLATED".to_string(),
-            RunOutcome::Livelock { .. } => "LIVELOCK (unsatisfiable)".to_string(),
-            RunOutcome::StepLimit => "step limit".to_string(),
-        };
-
-        // Samoyed: same kernel as an atomic function with a scaling rule
-        // and fallback.
-        let app = ScaledApp {
-            source_for: &photo_src,
-            initial: 5,
-            min: 1,
-            atomic_fns: vec!["sample_avg".into()],
-        };
-        let out = run_scaled(&app, &env, &costs, &|| supply_for(capacity), 12, 4_000_000)
-            .expect("samoyed build");
-        let outcome = if out.fell_back {
-            if out.violations > 0 {
-                "fallback, VIOLATED".to_string()
-            } else {
-                "fallback, lucky".to_string()
-            }
-        } else if out.completed {
-            "completes, consistent".to_string()
-        } else {
-            "step limit".to_string()
-        };
-        t.row(vec![
-            format!("{:.0}", capacity / 1000.0),
-            ocelot_out,
-            outcome,
-            out.final_param.to_string(),
-            out.scalings.to_string(),
-            if out.fell_back { "yes" } else { "no" }.to_string(),
-        ]);
-    }
-    println!("Samoyed scaling/fallback vs Ocelot fixed regions (photo kernel, §7.4/§9)");
-    println!("{}", t.render());
-    println!(
-        "Ample buffers: both complete atomically. As the buffer shrinks, Samoyed\n\
-         degrades the workload (fewer readings averaged) to keep committing\n\
-         atomically; Ocelot refuses to weaken the constraint and livelocks —\n\
-         signalling that the annotation is unsatisfiable on that hardware. At\n\
-         the smallest buffer Samoyed's fallback abandons atomicity entirely and\n\
-         the consistency constraint with it."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("samoyed_scaling")
 }

@@ -1,19 +1,11 @@
 //! Table 1 — benchmark characteristics: origin, lines of code, sensors,
-//! and constraint kinds.
+//!
+//! Thin wrapper over the `table1` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::report::Table;
+use std::process::ExitCode;
 
-fn main() {
-    let mut t = Table::new(&["Origin", "App", "LoC", "Sensors", "Constraints"]);
-    for b in ocelot_apps::all() {
-        t.row(vec![
-            b.origin.to_string(),
-            b.name.to_string(),
-            b.loc().to_string(),
-            b.sensors.join(", "),
-            b.constraints.to_string(),
-        ]);
-    }
-    println!("Table 1: Benchmark Characteristics (`*` = simulated sensor)");
-    println!("{}", t.render());
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("table1")
 }

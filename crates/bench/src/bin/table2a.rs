@@ -1,43 +1,11 @@
 //! Table 2(a) — violation percentage with pathological power-failure
-//! points: failures injected immediately before each use of a fresh
-//! variable and between the collections of each consistent set.
 //!
-//! Paper result to reproduce: Ocelot 0% everywhere, JIT 100% everywhere.
+//! Thin wrapper over the `table2a` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, run_pathological};
-use ocelot_bench::report::{pct, Table};
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-const RUNS: u64 = 20;
-const SEED: u64 = 11;
-
-fn main() {
-    let mut t = Table::new(&[
-        "Exec. Model",
-        "Activity",
-        "CEM",
-        "Greenhouse",
-        "Photo",
-        "Send Photo",
-        "Tire",
-    ]);
-    for model in [ExecModel::Ocelot, ExecModel::Jit] {
-        let mut cells = vec![model.name().to_string()];
-        for name in [
-            "activity",
-            "cem",
-            "greenhouse",
-            "photo",
-            "send_photo",
-            "tire",
-        ] {
-            let b = ocelot_apps::by_name(name).expect("benchmark exists");
-            let s = run_pathological(&b, &build_for(&b, model), RUNS, SEED);
-            cells.push(pct(s.violating_fraction()));
-        }
-        t.row(cells);
-    }
-    println!("Table 2(a): Violating % with pathological power-failure points ({RUNS} runs each)");
-    println!("{}", t.render());
-    println!("Paper: Ocelot 0% everywhere; JIT 100% everywhere.");
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("table2a")
 }

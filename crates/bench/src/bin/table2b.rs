@@ -1,61 +1,11 @@
 //! Table 2(b) — violation percentage while running on real (simulated)
-//! intermittent power for a fixed wall-clock budget.
 //!
-//! Paper result to reproduce: Ocelot 0% everywhere; JIT violates in
-//! proportion to how much of each program the constraint spans cover —
-//! Photo worst (77%), Activity/SendPhoto ≈50%, Greenhouse 24%, Tire 3%,
-//! CEM ≈0%.
+//! Thin wrapper over the `table2b` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{build_for, run_for_duration};
-use ocelot_bench::report::{pct, Table};
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-/// Simulated wall-clock budget per benchmark (the paper used 100 s).
-const SIM_US: u64 = 100_000_000;
-const SEED: u64 = 17;
-
-fn main() {
-    let mut t = Table::new(&[
-        "Exec. Model",
-        "Activity",
-        "CEM",
-        "Greenhouse",
-        "Photo",
-        "Send Photo",
-        "Tire",
-    ]);
-    let mut completions = Vec::new();
-    for model in [ExecModel::Ocelot, ExecModel::Jit] {
-        let mut cells = vec![model.name().to_string()];
-        for name in [
-            "activity",
-            "cem",
-            "greenhouse",
-            "photo",
-            "send_photo",
-            "tire",
-        ] {
-            let b = ocelot_apps::by_name(name).expect("benchmark exists");
-            let s = run_for_duration(&b, &build_for(&b, model), SIM_US, SEED);
-            cells.push(pct(s.violating_fraction()));
-            if model == ExecModel::Jit {
-                completions.push((name, s.runs_completed));
-            }
-        }
-        t.row(cells);
-    }
-    println!(
-        "Table 2(b): Violating % on intermittent power ({}s simulated per cell)",
-        SIM_US / 1_000_000
-    );
-    println!("{}", t.render());
-    print!("Completed runs (JIT): ");
-    for (name, runs) in completions {
-        print!("{name}={runs} ");
-    }
-    println!();
-    println!(
-        "Paper: Ocelot 0% everywhere; JIT Activity 50, CEM 0, Greenhouse 24, Photo 77,\n\
-         SendPhoto 50, Tire 3 (percent)."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("table2b")
 }

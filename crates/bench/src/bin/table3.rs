@@ -1,45 +1,11 @@
 //! Table 3 — the strategy/constructs comparison: what each system asks
-//! of the programmer and whether it upholds freshness and consistency.
+//!
+//! Thin wrapper over the `table3` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::report::Table;
+use std::process::ExitCode;
 
-fn main() {
-    let mut t = Table::new(&[
-        "System",
-        "Constructs",
-        "Strategy (LoC model)",
-        "Upholds Fresh+Con?",
-    ]);
-    t.row(vec![
-        "Ocelot".into(),
-        "Time-constraint types".into(),
-        "annotate inputs + constrained data: 1*(inputs) + 1*(constrained)".into(),
-        "Correct by construction".into(),
-    ]);
-    t.row(vec![
-        "JIT".into(),
-        "None".into(),
-        "do nothing: 0".into(),
-        "Incorrect".into(),
-    ]);
-    t.row(vec![
-        "Atomics".into(),
-        "Atomic regions".into(),
-        "annotate inputs + place regions: 1*(inputs) + 2*(regions)".into(),
-        "Programmer-dependent".into(),
-    ]);
-    t.row(vec![
-        "TICS".into(),
-        "Expiry, alignment, timely branches".into(),
-        "3*(fresh) + 5-line handler each; 2*(consistent) + check+handler per set".into(),
-        "Real-time freshness only; no temporal consistency".into(),
-    ]);
-    t.row(vec![
-        "Samoyed".into(),
-        "Atomic functions".into(),
-        "(3 + params) per atomic fn; +3 scaling +5 fallback per loop".into(),
-        "Programmer-dependent".into(),
-    ]);
-    println!("Table 3: Strategy comparison (LoC formulas instantiated in Table 4)");
-    println!("{}", t.render());
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("table3")
 }

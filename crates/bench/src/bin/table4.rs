@@ -1,40 +1,11 @@
 //! Table 4 — lines of code needed to enable correct execution on each
-//! benchmark, for Ocelot, TICS, and Samoyed.
 //!
-//! Paper values (reproduced exactly by the effort model):
-//! Ocelot 5/2/7/2/4/9, TICS 20/8/12/8/8/32, Samoyed 18/4/6/12/4/24.
+//! Thin wrapper over the `table4` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::effort::table4;
-use ocelot_bench::report::Table;
+use std::process::ExitCode;
 
-fn main() {
-    let rows = table4();
-    let mut t = Table::new(&["Sys", "Act", "CEM", "G-house", "Photo", "S-Photo", "Tire"]);
-    let pick = |f: &dyn Fn(&ocelot_bench::effort::EffortRow) -> usize| -> Vec<String> {
-        [
-            "activity",
-            "cem",
-            "greenhouse",
-            "photo",
-            "send_photo",
-            "tire",
-        ]
-        .iter()
-        .map(|n| f(rows.iter().find(|r| r.bench == *n).expect("row exists")).to_string())
-        .collect()
-    };
-    let mut row = vec!["Ocelot".to_string()];
-    row.extend(pick(&|r| r.ocelot));
-    t.row(row);
-    let mut row = vec!["TICS".to_string()];
-    row.extend(pick(&|r| r.tics));
-    t.row(row);
-    let mut row = vec!["Samoyed".to_string()];
-    row.extend(pick(&|r| r.samoyed));
-    t.row(row);
-    println!("Table 4: LoC changes to enable correct execution");
-    println!("{}", t.render());
-    println!(
-        "Reasoning burden: Ocelot none; TICS real-time reasoning; Samoyed data-flow reasoning."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("table4")
 }

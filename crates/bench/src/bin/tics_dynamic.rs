@@ -1,80 +1,11 @@
 //! Dynamic TICS comparison (§2.3, Table 3): real-time expiry windows
-//! with mitigation handlers, executed head-to-head against JIT and
-//! Ocelot on harvested power.
 //!
-//! The static replay (`tics_expiry`) scores windows against recorded
-//! traces; this harness runs the *live* TICS model — an RTC that keeps
-//! time across failures, a window check at every fresh use, and a
-//! restart-to-recollect handler — so mitigation costs (handler runs,
-//! wasted re-execution) appear in the measured runtime.
+//! Thin wrapper over the `tics_dynamic` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
-use ocelot_bench::report::Table;
-use ocelot_runtime::machine::Machine;
-use ocelot_runtime::model::{Built, ExecModel};
-use ocelot_runtime::stats::Stats;
+use std::process::ExitCode;
 
-const RUNS: u64 = 60;
-
-fn drive(b: &ocelot_apps::Benchmark, built: &Built, window_us: Option<u64>, seed: u64) -> Stats {
-    let mut m = Machine::new(
-        &built.program,
-        &built.regions,
-        built.policies.clone(),
-        b.environment(seed),
-        calibrated_costs(b),
-        Box::new(bench_supply(seed)),
-    );
-    if let Some(w) = window_us {
-        m = m.with_expiry_window(w);
-    }
-    for _ in 0..RUNS {
-        m.run_once(MAX_STEPS);
-    }
-    m.stats().clone()
-}
-
-fn main() {
-    let mut t = Table::new(&[
-        "App",
-        "model",
-        "fresh viol",
-        "cons viol",
-        "trips",
-        "restarts",
-        "on-time vs JIT",
-    ]);
-    for b in ocelot_apps::all() {
-        let jit = build_for(&b, ExecModel::Jit);
-        let ocelot = build_for(&b, ExecModel::Ocelot);
-        let base = drive(&b, &jit, None, 11);
-        let rows: Vec<(&str, Stats)> = vec![
-            ("JIT", base.clone()),
-            ("TICS 10ms", drive(&b, &jit, Some(10_000), 11)),
-            ("TICS 100ms", drive(&b, &jit, Some(100_000), 11)),
-            ("Ocelot", drive(&b, &ocelot, None, 11)),
-        ];
-        for (name, s) in rows {
-            t.row(vec![
-                b.name.to_string(),
-                name.to_string(),
-                s.fresh_violations.to_string(),
-                s.consistency_violations.to_string(),
-                s.expiry_trips.to_string(),
-                s.expiry_restarts.to_string(),
-                format!("{:.2}x", s.on_time_us as f64 / base.on_time_us as f64),
-            ]);
-        }
-    }
-    println!(
-        "Dynamic TICS-style expiry vs Ocelot ({} harvested runs per cell, §2.3)",
-        RUNS
-    );
-    println!("{}", t.render());
-    println!(
-        "Windows trade freshness misses against handler thrash, pay their\n\
-         mitigation in re-executed work, and leave every temporal-consistency\n\
-         violation in place; Ocelot's regions eliminate both classes at a\n\
-         single-digit runtime premium."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("tics_dynamic")
 }

@@ -1,74 +1,11 @@
 //! Extension experiment (§2.3): how well do TICS-style *expiration
-//! windows* approximate the paper's freshness definition?
 //!
-//! For each benchmark we run the JIT build on harvested power, then
-//! replay the committed trace under a sweep of expiry windows, scoring
-//! each against the era-based ground truth (Definitions 2/3):
-//!
-//! * **missed** — real freshness violations younger than the window
-//!   ("misbehaves without an expiration time violation");
-//! * **spurious** — handler trips on perfectly fresh data;
-//! * **consistency** — violations no window can express at all.
-//!
-//! There is no single correct column: the usable window depends on the
-//! deployment's charging time, which the programmer cannot know when
-//! writing the code. Ocelot's continuous-execution specification needs
-//! no such number.
+//! Thin wrapper over the `tics_expiry` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs`, `--seed`, `--replay`
+//! (see `--help` or `docs/bench.md`).
 
-use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
-use ocelot_bench::report::Table;
-use ocelot_runtime::expiry::evaluate_expiry;
-use ocelot_runtime::machine::Machine;
-use ocelot_runtime::model::ExecModel;
+use std::process::ExitCode;
 
-const WINDOWS_US: &[(u64, &str)] = &[
-    (500, "0.5ms"),
-    (5_000, "5ms"),
-    (50_000, "50ms"),
-    (500_000, "500ms"),
-];
-
-fn main() {
-    let mut t = Table::new(&[
-        "App",
-        "true fresh viol.",
-        "cons. (unexpressible)",
-        "0.5ms miss/spur",
-        "5ms miss/spur",
-        "50ms miss/spur",
-        "500ms miss/spur",
-    ]);
-    for b in ocelot_apps::all() {
-        let built = build_for(&b, ExecModel::Jit);
-        let mut m = Machine::new(
-            &built.program,
-            &built.regions,
-            built.policies.clone(),
-            b.environment(29),
-            calibrated_costs(&b),
-            Box::new(bench_supply(29)),
-        );
-        m.run_for(20_000_000, MAX_STEPS);
-        let trace = m.take_trace();
-        let mut cells = vec![b.name.to_string()];
-        let base = evaluate_expiry(m.policies(), &trace, u64::MAX / 2);
-        cells.push(base.true_freshness_violations.to_string());
-        cells.push(base.consistency_violations_unexpressible.to_string());
-        for (w, _) in WINDOWS_US {
-            let r = evaluate_expiry(m.policies(), &trace, *w);
-            cells.push(format!("{}/{}", r.missed, r.spurious));
-        }
-        t.row(cells);
-    }
-    println!(
-        "Extension: TICS-style expiry windows vs the freshness definition\n\
-         (JIT on harvested power, 20 s per app; miss = real violation under the\n\
-         window, spur = handler trip on fresh data)"
-    );
-    println!("{}", t.render());
-    println!(
-        "No window column is clean across apps: short windows burn handler runs on\n\
-         fresh data, long windows let stale data through, and consistency is\n\
-         unexpressible at any width — the paper's §2.3 argument, quantified."
-    );
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("tics_expiry")
 }

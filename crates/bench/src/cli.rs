@@ -1,0 +1,231 @@
+//! The flag surface shared by every driver binary and by
+//! `ocelotc bench`.
+//!
+//! ```text
+//! <driver> [--jobs N] [--out DIR] [--runs N] [--seed N] [--replay]
+//! ```
+//!
+//! Default flow: `collect` the sweep on `--jobs` workers, persist the
+//! artifact to `<out>/<driver>.json`, then render the table/figure from
+//! the artifact. With `--replay`, skip collection entirely and render
+//! whatever is on disk — the persisted JSON is the single source of
+//! truth either way.
+
+use crate::artifact::Artifact;
+use crate::drivers::{self, Driver, DriverOpts};
+use crate::pool;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Directory artifacts land in when `--out` is not given.
+pub const DEFAULT_OUT_DIR: &str = "target/bench-results";
+
+/// Parsed driver flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Worker threads (`--jobs`, default: available parallelism).
+    pub jobs: usize,
+    /// Artifact directory (`--out`, default [`DEFAULT_OUT_DIR`]).
+    pub out: PathBuf,
+    /// Render from the persisted artifact instead of simulating.
+    pub replay: bool,
+    /// Scale override (`--runs`; seconds for duration-based drivers).
+    pub runs: Option<u64>,
+    /// Seed override (`--seed`).
+    pub seed: Option<u64>,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            jobs: pool::default_jobs(),
+            out: PathBuf::from(DEFAULT_OUT_DIR),
+            replay: false,
+            runs: None,
+            seed: None,
+            help: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the flags (any order, all optional).
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending flag or value.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    out.jobs = n;
+                }
+                "--out" => {
+                    out.out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+                }
+                "--runs" => {
+                    let v = it.next().ok_or("--runs needs a value")?;
+                    let n: u64 = v.parse().map_err(|_| format!("bad --runs value `{v}`"))?;
+                    if n == 0 {
+                        return Err("--runs must be at least 1".into());
+                    }
+                    out.runs = Some(n);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
+                }
+                "--replay" => out.replay = true,
+                "--help" | "-h" => out.help = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn usage(d: &Driver) -> String {
+    format!(
+        "{} — {}\n\n\
+         usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N] [--replay]\n\n\
+         --jobs N    worker threads for the sweep (default: all cores)\n\
+         --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
+         --runs N    scale override: run count, or simulated seconds for\n\
+                     duration-based drivers (default: paper scale; ignored\n\
+                     by drivers with no run dimension, e.g. static tables\n\
+                     and the fixed samoyed_scaling capacity sweep)\n\
+         --seed N    seed override (default: the paper sweep's fixed seed;\n\
+                     ignored by drivers that simulate nothing seeded)\n\
+         --replay    render from <out>/{}.json without re-simulating\n",
+        d.name, d.about, d.name, d.name
+    )
+}
+
+/// Entry point used by each `src/bin/` wrapper: parses
+/// `std::env::args()` and drives `driver_name`.
+pub fn main_for(driver_name: &str) -> ExitCode {
+    run_driver(driver_name, std::env::args().skip(1))
+}
+
+/// Runs one driver with the given (already split) flag list.
+pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> ExitCode {
+    let Some(d) = drivers::by_name(driver_name) else {
+        eprintln!("error: unknown driver `{driver_name}`");
+        return ExitCode::from(2);
+    };
+    let parsed = match BenchArgs::parse(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage(d));
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.help {
+        print!("{}", usage(d));
+        return ExitCode::SUCCESS;
+    }
+    let artifact = if parsed.replay {
+        match Artifact::load(&parsed.out, d.name) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: cannot replay: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let opts = DriverOpts {
+            jobs: parsed.jobs,
+            runs: parsed.runs,
+            seed: parsed.seed,
+        };
+        let a = (d.collect)(&opts);
+        match a.save(&parsed.out) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot persist artifact: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        a
+    };
+    match (d.render)(&artifact) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot render artifact: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Lists every driver with its description (for `ocelotc bench --list`).
+pub fn list_drivers() -> String {
+    let mut out = String::new();
+    for d in drivers::all() {
+        out.push_str(&format!("{:22} {}\n", d.name, d.about));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_full_flag_set_parse() {
+        let d = BenchArgs::parse(strings(&[])).unwrap();
+        assert!(!d.replay);
+        assert!(d.jobs >= 1);
+        assert_eq!(d.out, PathBuf::from(DEFAULT_OUT_DIR));
+        assert_eq!(d.runs, None);
+
+        let a = BenchArgs::parse(strings(&[
+            "--jobs", "8", "--out", "/tmp/x", "--runs", "3", "--seed", "99", "--replay",
+        ]))
+        .unwrap();
+        assert_eq!(a.jobs, 8);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.runs, Some(3));
+        assert_eq!(a.seed, Some(99));
+        assert!(a.replay);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_with_messages() {
+        for bad in [
+            vec!["--jobs"],
+            vec!["--jobs", "zero"],
+            vec!["--jobs", "0"],
+            vec!["--runs", "0"],
+            vec!["--runs", "-1"],
+            vec!["--seed", "x"],
+            vec!["--out"],
+            vec!["--frobnicate"],
+        ] {
+            assert!(BenchArgs::parse(strings(&bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn driver_listing_names_every_driver() {
+        let listing = list_drivers();
+        for d in drivers::all() {
+            assert!(listing.contains(d.name), "{} missing", d.name);
+        }
+    }
+}

@@ -2,7 +2,15 @@
 //! plus runners for the three measurement modes of §7 — continuous
 //! power, harvested intermittent power, and pathological failure
 //! injection.
+//!
+//! The sweep surface is the **cell**: one (benchmark, model, seed,
+//! workload) combination. Drivers enumerate their cells up front as a
+//! [`CellSpec`] job list and hand it to [`run_cells`], which shards the
+//! list across the [`crate::pool`] work-stealing pool; results come
+//! back in job-list order, so the persisted artifact is byte-identical
+//! at every `--jobs` width.
 
+use crate::pool::{self, Job};
 use ocelot_apps::Benchmark;
 use ocelot_hw::energy::CostModel;
 use ocelot_hw::power::{ContinuousPower, HarvestedPower, PowerSupply};
@@ -159,6 +167,150 @@ pub fn run_pathological(bench: &Benchmark, built: &Built, runs: u64, seed: u64) 
     m.stats().clone()
 }
 
+/// How one cell exercises its machine — the four measurement modes the
+/// paper's evaluation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `runs` back-to-back executions on continuous power (Figure 7);
+    /// asserts every run completes.
+    Continuous {
+        /// Number of program runs.
+        runs: u64,
+    },
+    /// `runs` executions on the harvested bench supply (Figure 8);
+    /// asserts every run completes.
+    Intermittent {
+        /// Number of program runs.
+        runs: u64,
+    },
+    /// `runs` executions on the harvested bench supply without
+    /// completion assertions — for comparison models (TICS expiry
+    /// restarts) that may legitimately give up mid-run.
+    Harvested {
+        /// Number of program runs.
+        runs: u64,
+    },
+    /// Run repeatedly for a simulated wall-clock budget (Table 2(b)).
+    Duration {
+        /// Simulated wall-clock budget in µs.
+        sim_us: u64,
+    },
+    /// `runs` executions with pathological failures injected at the
+    /// policy-critical points (Table 2(a)); asserts completion.
+    Pathological {
+        /// Number of program runs.
+        runs: u64,
+    },
+}
+
+/// One evaluation cell: everything needed to reproduce one measurement
+/// independently of every other cell (each cell builds its own program
+/// and machine, so cells share no mutable state across workers).
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Benchmark name (resolved via [`ocelot_apps::by_name`]).
+    pub bench: String,
+    /// Execution model to build.
+    pub model: ExecModel,
+    /// Environment/harvester seed.
+    pub seed: u64,
+    /// Measurement mode.
+    pub workload: Workload,
+    /// When set, attach a TICS-style expiry window of this many µs
+    /// (with restart mitigation) to the machine.
+    pub expiry_window_us: Option<u64>,
+}
+
+impl CellSpec {
+    /// A cell with no expiry window.
+    pub fn new(bench: &str, model: ExecModel, seed: u64, workload: Workload) -> Self {
+        CellSpec {
+            bench: bench.to_string(),
+            model,
+            seed,
+            workload,
+            expiry_window_us: None,
+        }
+    }
+}
+
+/// Runs one cell to completion and returns its accumulated stats.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown, the build fails, or an
+/// asserting workload fails to complete — the same failures the serial
+/// harness helpers raise.
+pub fn run_cell(spec: &CellSpec) -> Stats {
+    let b = ocelot_apps::by_name(&spec.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark `{}`", spec.bench));
+    let built = build_for(&b, spec.model);
+    match spec.workload {
+        Workload::Continuous { runs } if spec.expiry_window_us.is_none() => {
+            run_continuous(&b, &built, runs, spec.seed)
+        }
+        Workload::Intermittent { runs } if spec.expiry_window_us.is_none() => {
+            run_intermittent(&b, &built, runs, spec.seed)
+        }
+        Workload::Duration { sim_us } if spec.expiry_window_us.is_none() => {
+            run_for_duration(&b, &built, sim_us, spec.seed)
+        }
+        Workload::Pathological { runs } if spec.expiry_window_us.is_none() => {
+            run_pathological(&b, &built, runs, spec.seed)
+        }
+        // Harvested (never asserts) and any expiry-window variant share
+        // the permissive loop.
+        Workload::Continuous { runs }
+        | Workload::Intermittent { runs }
+        | Workload::Harvested { runs } => {
+            let supply: Box<dyn PowerSupply> =
+                if matches!(spec.workload, Workload::Continuous { .. }) {
+                    Box::new(ContinuousPower)
+                } else {
+                    Box::new(bench_supply(spec.seed))
+                };
+            let mut m = machine(&b, &built, supply, spec.seed);
+            if let Some(w) = spec.expiry_window_us {
+                m = m.with_expiry_window(w);
+            }
+            for _ in 0..runs {
+                m.run_once(MAX_STEPS);
+            }
+            m.stats().clone()
+        }
+        Workload::Duration { sim_us } => {
+            let mut m = machine(&b, &built, Box::new(bench_supply(spec.seed)), spec.seed);
+            if let Some(w) = spec.expiry_window_us {
+                m = m.with_expiry_window(w);
+            }
+            m.run_for(sim_us, MAX_STEPS);
+            m.stats().clone()
+        }
+        Workload::Pathological { runs } => {
+            let targets = pathological_targets(&built.policies);
+            let mut m =
+                machine(&b, &built, Box::new(ContinuousPower), spec.seed).with_injector(targets);
+            if let Some(w) = spec.expiry_window_us {
+                m = m.with_expiry_window(w);
+            }
+            for _ in 0..runs {
+                m.run_once(MAX_STEPS);
+            }
+            m.stats().clone()
+        }
+    }
+}
+
+/// Runs every cell through the work-stealing pool with `jobs` workers
+/// and returns the stats in input order (deterministic at any width).
+pub fn run_cells(specs: &[CellSpec], jobs: usize) -> Vec<Stats> {
+    let work: Vec<Job<'_, Stats>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_cell(spec)) as Job<'_, Stats>)
+        .collect();
+    pool::run_jobs(work, jobs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +355,48 @@ mod tests {
                 b.name
             );
         }
+    }
+
+    #[test]
+    fn cells_reproduce_the_serial_helpers() {
+        let b = ocelot_apps::by_name("greenhouse").unwrap();
+        let built = build_for(&b, ExecModel::Ocelot);
+        let serial = run_continuous(&b, &built, 3, 7);
+        let cell = run_cell(&CellSpec::new(
+            "greenhouse",
+            ExecModel::Ocelot,
+            7,
+            Workload::Continuous { runs: 3 },
+        ));
+        assert_eq!(serial, cell);
+        // Harvested (non-asserting) matches run_intermittent when runs
+        // do complete.
+        let serial = run_intermittent(&b, &built, 2, 7);
+        let cell = run_cell(&CellSpec::new(
+            "greenhouse",
+            ExecModel::Ocelot,
+            7,
+            Workload::Harvested { runs: 2 },
+        ));
+        assert_eq!(serial, cell);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep() {
+        let mut specs = Vec::new();
+        for bench in ["greenhouse", "photo"] {
+            for model in ExecModel::all() {
+                specs.push(CellSpec::new(
+                    bench,
+                    model,
+                    5,
+                    Workload::Continuous { runs: 2 },
+                ));
+            }
+        }
+        let serial = run_cells(&specs, 1);
+        let parallel = run_cells(&specs, 4);
+        assert_eq!(serial, parallel, "worker count must not leak into stats");
     }
 
     #[test]

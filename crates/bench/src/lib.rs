@@ -1,7 +1,8 @@
 //! # ocelot-bench
 //!
 //! The evaluation harness: everything needed to regenerate the paper's
-//! figures and tables. One binary per artifact:
+//! figures and tables, in parallel, with persisted results. One binary
+//! per artifact:
 //!
 //! | Binary | Paper artifact |
 //! |---|---|
@@ -13,14 +14,28 @@
 //! | `table3` | Table 3 — strategy / constructs comparison |
 //! | `table4` | Table 4 — LoC changes per benchmark per system |
 //! | `ablation_region_size` | §5.3/§8 — inferred vs whole-function regions |
+//! | `progress_report` | §5.3/§10 — worst-case region energy vs buffer |
+//! | `samoyed_scaling` | §7.4/§9 — scaling rules and fallbacks vs fixed regions |
 //! | `tics_expiry` | §2.3 — expiration windows vs the freshness definition |
+//! | `tics_dynamic` | §2.3 — live expiry windows vs JIT and Ocelot |
 //! | `energy_breakdown` | per-category cycle accounting behind Figures 7/8 |
 //!
 //! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
+//! Every binary accepts `--jobs N` (shard the sweep across a
+//! hand-rolled work-stealing [`pool`]), `--out DIR` (persist a
+//! versioned JSON [`artifact`]), and `--replay` (re-emit the
+//! table/figure purely from the persisted artifact) — see
+//! `docs/bench.md` and [`cli`]. The same drivers are reachable as
+//! `ocelotc bench <driver>`.
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod artifact;
+pub mod cli;
+pub mod drivers;
 pub mod effort;
 pub mod harness;
+pub mod json;
+pub mod pool;
 pub mod report;

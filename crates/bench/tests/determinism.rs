@@ -1,0 +1,103 @@
+//! Determinism regression tests for the parallel harness: the same
+//! (benchmark, model, seed) cell list must produce **byte-identical**
+//! persisted JSON whether it runs serially or sharded across the
+//! work-stealing pool. Any shared mutable state leaking between pool
+//! workers (a shared RNG, an accumulator keyed by completion order, a
+//! cell reading its neighbour's supply) shows up here as a byte diff.
+//!
+//! CI runs this suite with the pool genuinely parallel (`--jobs 2` and
+//! `--jobs 8` below both exceed one worker), so the stealing paths are
+//! exercised on every push.
+
+use ocelot_bench::artifact::Artifact;
+use ocelot_bench::drivers::{self, DriverOpts};
+use ocelot_bench::harness::{run_cells, CellSpec, Workload};
+use ocelot_runtime::model::ExecModel;
+
+/// A small mixed-workload cell list touching every workload kind.
+fn mixed_cells() -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for bench in ["greenhouse", "photo", "tire"] {
+        for model in ExecModel::all() {
+            specs.push(CellSpec::new(
+                bench,
+                model,
+                9,
+                Workload::Continuous { runs: 2 },
+            ));
+        }
+        specs.push(CellSpec::new(
+            bench,
+            ExecModel::Ocelot,
+            9,
+            Workload::Intermittent { runs: 2 },
+        ));
+        specs.push(CellSpec::new(
+            bench,
+            ExecModel::Jit,
+            9,
+            Workload::Pathological { runs: 2 },
+        ));
+        specs.push(CellSpec::new(
+            bench,
+            ExecModel::Jit,
+            9,
+            Workload::Duration { sim_us: 2_000_000 },
+        ));
+    }
+    specs
+}
+
+#[test]
+fn cell_sweeps_are_identical_at_every_worker_count() {
+    let specs = mixed_cells();
+    let serial = run_cells(&specs, 1);
+    for jobs in [2, 8] {
+        let parallel = run_cells(&specs, jobs);
+        assert_eq!(serial, parallel, "--jobs {jobs} changed the stats");
+    }
+}
+
+/// The acceptance check: a full driver `collect` → persisted JSON path,
+/// serial vs `--jobs 8`, compared as bytes.
+#[test]
+fn persisted_artifacts_are_byte_identical_across_jobs() {
+    // A driver with a uniform cell sweep (table2a) and one with custom
+    // per-bench jobs (tics_expiry, small budget) cover both pool entry
+    // points; tiny scales keep the test fast.
+    for (name, runs) in [("table2a", 2), ("tics_expiry", 1)] {
+        let d = drivers::by_name(name).expect("driver exists");
+        let mut texts = Vec::new();
+        for jobs in [1, 2, 8] {
+            let opts = DriverOpts {
+                jobs,
+                runs: Some(runs),
+                seed: None,
+            };
+            let artifact = (d.collect)(&opts);
+            texts.push(artifact.render().expect("serializes"));
+        }
+        assert_eq!(texts[0], texts[1], "{name}: --jobs 2 diverged from serial");
+        assert_eq!(texts[0], texts[2], "{name}: --jobs 8 diverged from serial");
+        // And the artifact round-trips through its own file format.
+        let back = Artifact::from_text(&texts[0]).expect("parses");
+        assert_eq!(back.render().unwrap(), texts[0], "{name}: unstable bytes");
+    }
+}
+
+/// Re-rendering from a reloaded artifact must equal rendering the
+/// freshly collected one — the `--replay` guarantee.
+#[test]
+fn replay_renders_the_same_table_as_collection() {
+    let d = drivers::by_name("table2a").expect("driver exists");
+    let opts = DriverOpts {
+        jobs: 2,
+        runs: Some(2),
+        seed: None,
+    };
+    let collected = (d.collect)(&opts);
+    let direct = (d.render)(&collected).expect("renders");
+    let reloaded = Artifact::from_text(&collected.render().unwrap()).expect("parses");
+    let replayed = (d.render)(&reloaded).expect("renders from disk bytes");
+    assert_eq!(direct, replayed);
+}

@@ -71,6 +71,23 @@ impl Harvester {
         }
     }
 
+    /// A same-shape copy with its RNG re-seeded from `seed`: derive
+    /// statistically independent variants of one configured harvester
+    /// (e.g. per evaluation cell or per worker) without sharing mutable
+    /// RNG state. Stateless variants are plain clones.
+    pub fn reseeded(&self, seed: u64) -> Harvester {
+        match self {
+            Harvester::Noisy {
+                base_nw, jitter, ..
+            } => Harvester::Noisy {
+                base_nw: *base_nw,
+                jitter: *jitter,
+                rng: StdRng::seed_from_u64(seed),
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Instantaneous harvesting power in nanojoules per microsecond for
     /// the next charging interval.
     pub fn sample_power(&mut self) -> f64 {
@@ -156,6 +173,22 @@ mod tests {
             let p = h.sample_power();
             assert!((10.0 / 1.5 - 1e-9..=15.0 + 1e-9).contains(&p));
         }
+    }
+
+    #[test]
+    fn reseeded_matches_a_fresh_harvester() {
+        let mut worn = Harvester::powercast_noisy(1);
+        for _ in 0..5 {
+            worn.sample_power(); // advance the RNG
+        }
+        let mut a = worn.reseeded(42);
+        let mut b = Harvester::powercast_noisy(42);
+        for _ in 0..10 {
+            assert_eq!(a.sample_power(), b.sample_power());
+        }
+        // Stateless variants reseed to themselves.
+        let mut c = Harvester::Constant { power_nw: 7.0 }.reseeded(9);
+        assert_eq!(c.sample_power(), 7.0);
     }
 
     #[test]

@@ -12,7 +12,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A source of operating power for an intermittent execution.
-pub trait PowerSupply {
+///
+/// Supplies are `Send` so a machine (and the boxed supply it owns) can
+/// be moved onto a worker thread of the parallel evaluation harness;
+/// every supply here is plain data plus a seeded RNG, so the bound is
+/// free.
+pub trait PowerSupply: Send {
     /// Draws `energy_nj` for useful work; returns
     /// [`PowerEvent::LowPower`] when the system must checkpoint and
     /// shut down.

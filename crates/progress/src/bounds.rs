@@ -54,6 +54,18 @@ pub fn loop_bound(f: &Function, l: &NaturalLoop) -> LoopBound {
                 "header condition is not a `$rep < const` counter check: {cond:?}"
             )),
         },
+        // Name the operator actually found: a `<=` header used to be
+        // reported as "not a `<` comparison", which mis-stated what the
+        // analysis saw and hid the one-token rewrite that fixes it.
+        Expr::Binary(BinOp::Le, _, _) => LoopBound::Unknown(format!(
+            "header condition uses `<=`, but only the `<` counter check \
+             lowering emits is recognized (rewrite `x <= k` as `x < k + 1`): {cond:?}"
+        )),
+        Expr::Binary(op, _, _) => LoopBound::Unknown(format!(
+            "header condition is a `{}` comparison, not the `<` counter check \
+             lowering emits: {cond:?}",
+            op.symbol()
+        )),
         _ => LoopBound::Unknown(format!(
             "header condition is not a `<` comparison: {cond:?}"
         )),
@@ -91,6 +103,57 @@ mod tests {
         assert_eq!(lf.loops().len(), 1);
         let f = p.func(p.main);
         assert_eq!(loop_bound(f, &lf.loops()[0]), LoopBound::Exact(0));
+    }
+
+    /// Rewrites the header branch of `main`'s lone lowered `repeat` to
+    /// use `op` instead of `<`.
+    fn with_header_op(src: &str, op: BinOp) -> ocelot_ir::Program {
+        let mut p = compile(src).unwrap();
+        let main = p.main;
+        let f = p.func_mut(main);
+        for b in &mut f.blocks {
+            if let ocelot_ir::Terminator::Branch {
+                cond: Expr::Binary(o, _, _),
+                ..
+            } = &mut b.term
+            {
+                *o = op;
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn le_header_diagnostic_names_the_operator_it_saw() {
+        let p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let lf = LoopForest::new(f, &cfg, &dom);
+        let LoopBound::Unknown(why) = loop_bound(f, &lf.loops()[0]) else {
+            panic!("a `<=` header must not be treated as bounded");
+        };
+        assert!(why.contains("`<=`"), "must name the found operator: {why}");
+        assert!(why.contains("x < k + 1"), "must suggest the rewrite: {why}");
+        assert!(
+            !why.starts_with("header condition is not a `<` comparison"),
+            "the old message blamed the wrong operator: {why}"
+        );
+    }
+
+    #[test]
+    fn other_comparison_headers_name_their_operator() {
+        for (op, symbol) in [(BinOp::Gt, "`>`"), (BinOp::Ge, "`>=`"), (BinOp::Eq, "`==`")] {
+            let p = with_header_op("fn main() { repeat 2 { skip; } }", op);
+            let f = p.func(p.main);
+            let cfg = Cfg::new(f);
+            let dom = DomTree::dominators(f, &cfg);
+            let lf = LoopForest::new(f, &cfg, &dom);
+            let LoopBound::Unknown(why) = loop_bound(f, &lf.loops()[0]) else {
+                panic!("{symbol} header must not be treated as bounded");
+            };
+            assert!(why.contains(symbol), "expected {symbol} in: {why}");
+        }
     }
 
     #[test]

@@ -623,6 +623,37 @@ mod tests {
     }
 
     #[test]
+    fn le_header_loop_diagnostic_names_le() {
+        use ocelot_ir::ast::BinOp;
+        // Rewrite the lowered repeat's `$rep < 2` header to `$rep <= 2`:
+        // still a counter check to a human, but outside the recognized
+        // pattern — the diagnostic must say `<=` was found (it used to
+        // claim the condition was "not a `<` comparison", naming the
+        // wrong operator) and point at the rewrite.
+        let mut p = compile("fn main() { repeat 2 { skip; } }").unwrap();
+        let main = p.main;
+        let f = p.func_mut(main);
+        for b in &mut f.blocks {
+            if let Terminator::Branch {
+                cond: ocelot_ir::ast::Expr::Binary(op, _, _),
+                ..
+            } = &mut b.term
+            {
+                *op = BinOp::Le;
+            }
+        }
+        let mut w = WcetAnalysis::new(&p, &CostModel::default(), &[]);
+        match w.func_wcet(p.main) {
+            Err(ProgressError::UnboundedLoop { func, detail }) => {
+                assert_eq!(func, "main");
+                assert!(detail.contains("`<=`"), "names the operator: {detail}");
+                assert!(detail.contains("x < k + 1"), "suggests the fix: {detail}");
+            }
+            other => panic!("expected unbounded-loop error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn while_loop_is_reported_unbounded() {
         let p = compile("nv g = 2; fn main() { while g > 0 { g = g - 1; } }").unwrap();
         let mut w = WcetAnalysis::new(&p, &CostModel::default(), &[]);

@@ -1048,6 +1048,17 @@ mod tests {
     }
 
     #[test]
+    fn machine_is_send() {
+        // The parallel bench harness moves whole machines (program refs,
+        // boxed supply, environment, detector state) onto pool workers;
+        // this fails to compile if any component loses `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine<'static>>();
+        assert_send::<RunOutcome>();
+        assert_send::<Stats>();
+    }
+
+    #[test]
     fn computes_arithmetic_continuously() {
         let p = compile("fn sq(v) { return v * v; } fn main() { let x = sq(6); out(log, x + 1); }")
             .unwrap();

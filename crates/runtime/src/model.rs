@@ -35,6 +35,22 @@ impl ExecModel {
             ExecModel::AtomicsOnly => "Atomics-only",
         }
     }
+
+    /// Inverse of [`ExecModel::name`], for tooling that reads model
+    /// names back from persisted text (bench artifacts, CLI input).
+    pub fn parse(name: &str) -> Option<ExecModel> {
+        match name {
+            "JIT" => Some(ExecModel::Jit),
+            "Ocelot" => Some(ExecModel::Ocelot),
+            "Atomics-only" => Some(ExecModel::AtomicsOnly),
+            _ => None,
+        }
+    }
+
+    /// The three models of §7.2, in the paper's comparison order.
+    pub fn all() -> [ExecModel; 3] {
+        [ExecModel::Jit, ExecModel::AtomicsOnly, ExecModel::Ocelot]
+    }
 }
 
 /// A program prepared for execution under one model.
@@ -139,5 +155,13 @@ mod tests {
         assert_eq!(ExecModel::Jit.name(), "JIT");
         assert_eq!(ExecModel::Ocelot.name(), "Ocelot");
         assert_eq!(ExecModel::AtomicsOnly.name(), "Atomics-only");
+    }
+
+    #[test]
+    fn model_names_parse_back() {
+        for m in ExecModel::all() {
+            assert_eq!(ExecModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(ExecModel::parse("DINO"), None);
     }
 }

@@ -75,9 +75,99 @@ impl Breakdown {
     pub fn total(&self) -> u64 {
         self.compute + self.input + self.output + self.checkpoint + self.undo_log + self.restore
     }
+
+    /// Every counter as a `(name, value)` pair, in declaration order —
+    /// the serialization surface used by the bench harness's persisted
+    /// result artifacts. Adding a field here (and to [`Breakdown`])
+    /// keeps serializers from silently drifting out of sync.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("compute", self.compute),
+            ("input", self.input),
+            ("output", self.output),
+            ("checkpoint", self.checkpoint),
+            ("undo_log", self.undo_log),
+            ("restore", self.restore),
+        ]
+    }
+
+    /// Sets the counter called `name`; returns `false` for unknown
+    /// names (deserializers treat that as a schema mismatch).
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "compute" => &mut self.compute,
+            "input" => &mut self.input,
+            "output" => &mut self.output,
+            "checkpoint" => &mut self.checkpoint,
+            "undo_log" => &mut self.undo_log,
+            "restore" => &mut self.restore,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
 }
 
 impl Stats {
+    /// Every scalar counter as a `(name, value)` pair, in declaration
+    /// order ([`Breakdown`] is exposed separately via
+    /// [`Breakdown::counters`]). This is the stable serialization
+    /// surface for persisted bench artifacts.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("on_cycles", self.on_cycles),
+            ("on_time_us", self.on_time_us),
+            ("off_time_us", self.off_time_us),
+            ("reboots", self.reboots),
+            ("jit_checkpoints", self.jit_checkpoints),
+            ("region_entries", self.region_entries),
+            ("region_commits", self.region_commits),
+            ("region_reexecs", self.region_reexecs),
+            ("log_words", self.log_words),
+            ("ckpt_words", self.ckpt_words),
+            ("outputs", self.outputs),
+            ("violations", self.violations),
+            ("fresh_violations", self.fresh_violations),
+            ("consistency_violations", self.consistency_violations),
+            ("runs_completed", self.runs_completed),
+            ("runs_with_violation", self.runs_with_violation),
+            ("instructions", self.instructions),
+            ("expiry_trips", self.expiry_trips),
+            ("expiry_restarts", self.expiry_restarts),
+            ("expiry_giveups", self.expiry_giveups),
+        ]
+    }
+
+    /// Sets the scalar counter called `name`; returns `false` for
+    /// unknown names (deserializers treat that as a schema mismatch).
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "on_cycles" => &mut self.on_cycles,
+            "on_time_us" => &mut self.on_time_us,
+            "off_time_us" => &mut self.off_time_us,
+            "reboots" => &mut self.reboots,
+            "jit_checkpoints" => &mut self.jit_checkpoints,
+            "region_entries" => &mut self.region_entries,
+            "region_commits" => &mut self.region_commits,
+            "region_reexecs" => &mut self.region_reexecs,
+            "log_words" => &mut self.log_words,
+            "ckpt_words" => &mut self.ckpt_words,
+            "outputs" => &mut self.outputs,
+            "violations" => &mut self.violations,
+            "fresh_violations" => &mut self.fresh_violations,
+            "consistency_violations" => &mut self.consistency_violations,
+            "runs_completed" => &mut self.runs_completed,
+            "runs_with_violation" => &mut self.runs_with_violation,
+            "instructions" => &mut self.instructions,
+            "expiry_trips" => &mut self.expiry_trips,
+            "expiry_restarts" => &mut self.expiry_restarts,
+            "expiry_giveups" => &mut self.expiry_giveups,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
     /// Total wall-clock time (on + off) in µs.
     pub fn total_time_us(&self) -> u64 {
         self.on_time_us + self.off_time_us
@@ -112,6 +202,53 @@ mod tests {
             ..Default::default()
         };
         assert!((s.violating_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_cover_every_field_and_round_trip() {
+        // Exhaustive struct literal: adding a field without extending
+        // `counters`/`set_counter` makes `b` below differ from `a`.
+        let a = Stats {
+            on_cycles: 1,
+            on_time_us: 2,
+            off_time_us: 3,
+            reboots: 4,
+            jit_checkpoints: 5,
+            region_entries: 6,
+            region_commits: 7,
+            region_reexecs: 8,
+            log_words: 9,
+            ckpt_words: 10,
+            outputs: 11,
+            violations: 12,
+            fresh_violations: 13,
+            consistency_violations: 14,
+            runs_completed: 15,
+            runs_with_violation: 16,
+            instructions: 17,
+            expiry_trips: 18,
+            expiry_restarts: 19,
+            expiry_giveups: 20,
+            breakdown: Breakdown {
+                compute: 21,
+                input: 22,
+                output: 23,
+                checkpoint: 24,
+                undo_log: 25,
+                restore: 26,
+            },
+        };
+        // Rebuild a second Stats from the pair lists alone.
+        let mut b = Stats::default();
+        for (name, v) in a.counters() {
+            assert!(b.set_counter(name, v), "unknown counter {name}");
+        }
+        for (name, v) in a.breakdown.counters() {
+            assert!(b.breakdown.set_counter(name, v), "unknown counter {name}");
+        }
+        assert_eq!(a, b, "counters()/set_counter must cover every field");
+        assert!(!b.set_counter("no_such_counter", 1));
+        assert!(!b.breakdown.set_counter("no_such_counter", 1));
     }
 
     #[test]

@@ -18,6 +18,17 @@
 //!     --runs <n>                complete program runs (default 10)
 //!     --seed <n>                environment/harvester seed (default 1)
 //!     --sensor <name>=<value>   constant sensor value (repeatable)
+//! ocelotc bench <driver> [opts] run one evaluation driver (Table 2(a),
+//!                               Figure 7, ...) through the parallel
+//!                               harness, or re-render it from its
+//!                               persisted artifact
+//!     --list                    list the available drivers
+//!     --jobs <n>                worker threads for the sweep
+//!     --out <dir>               artifact directory
+//!                               (default target/bench-results)
+//!     --runs <n> / --seed <n>   scale/seed overrides
+//!     --replay                  render from the persisted artifact
+//!                               without re-simulating
 //! ```
 
 use ocelot::prelude::*;
@@ -28,10 +39,14 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: ocelotc <compile|check|policies|run> <file> [options]");
+            eprintln!("usage: ocelotc <compile|check|policies|run|bench> <file> [options]");
             return ExitCode::from(2);
         }
     };
+    // `bench` takes a driver name, not a source file.
+    if cmd == "bench" {
+        return cmd_bench(rest);
+    }
     let Some(path) = rest.first() else {
         eprintln!("error: missing input file");
         return ExitCode::from(2);
@@ -61,6 +76,21 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command `{other}`");
             ExitCode::from(2)
         }
+    }
+}
+
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    match rest.split_first() {
+        None => {
+            eprintln!("usage: ocelotc bench <driver> [options]   (--list for drivers)");
+            ExitCode::from(2)
+        }
+        Some((flag, _)) if flag == "--list" => {
+            println!("available drivers (ocelotc bench <driver> [options]):");
+            print!("{}", ocelot_bench::cli::list_drivers());
+            ExitCode::SUCCESS
+        }
+        Some((driver, flags)) => ocelot_bench::cli::run_driver(driver, flags.iter().cloned()),
     }
 }
 
