@@ -1,12 +1,14 @@
 //! Criterion benchmarks for the intermittent-execution simulator: one
 //! complete program run per iteration, on continuous and harvested
-//! power, across execution models.
+//! power, across execution models — and the interpreter vs compiled
+//! backend comparison that baselines the compiled engine's speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS};
 use ocelot_hw::power::ContinuousPower;
 use ocelot_runtime::machine::Machine;
 use ocelot_runtime::model::ExecModel;
+use ocelot_runtime::ExecBackend;
 
 fn bench_continuous(c: &mut Criterion) {
     let mut g = c.benchmark_group("run_continuous");
@@ -53,9 +55,46 @@ fn bench_intermittent(c: &mut Criterion) {
     g.finish();
 }
 
+/// The step-loop throughput baseline: one Ocelot-model run per paper
+/// app on continuous power, interpreter vs compiled engine. The
+/// compiled backend's acceptance bar is ≥2x on at least one app.
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend");
+    for b in ocelot_apps::all() {
+        let built = build_for(&b, ExecModel::Ocelot);
+        for backend in ExecBackend::all() {
+            let id = BenchmarkId::new(backend.name(), b.name);
+            g.bench_function(id, |bencher| {
+                // Machine construction and one warm-up run stay outside
+                // the timed loop: the (one-time) compile pass amortizes
+                // into the steady-state step loop being measured, and a
+                // single program run is short enough that timing ten
+                // per sample is what keeps the measurement above clock
+                // jitter.
+                let mut m = Machine::new(
+                    &built.program,
+                    &built.regions,
+                    built.policies.clone(),
+                    b.environment(1),
+                    calibrated_costs(&b),
+                    Box::new(ContinuousPower),
+                )
+                .with_backend(backend);
+                m.run_once(MAX_STEPS);
+                bencher.iter(|| {
+                    for _ in 0..10 {
+                        m.run_once(MAX_STEPS);
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_continuous, bench_intermittent
+    targets = bench_continuous, bench_intermittent, bench_backends
 }
 criterion_main!(benches);

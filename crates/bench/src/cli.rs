@@ -2,7 +2,8 @@
 //! `ocelotc bench`.
 //!
 //! ```text
-//! <driver> [--jobs N] [--out DIR] [--runs N] [--seed N] [--replay]
+//! <driver> [--jobs N] [--out DIR] [--runs N] [--seed N]
+//!          [--backend interp|compiled] [--replay]
 //! ```
 //!
 //! Default flow: `collect` the sweep on `--jobs` workers, persist the
@@ -14,6 +15,7 @@
 use crate::artifact::Artifact;
 use crate::drivers::{self, Driver, DriverOpts};
 use crate::pool;
+use ocelot_runtime::ExecBackend;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,6 +35,9 @@ pub struct BenchArgs {
     pub runs: Option<u64>,
     /// Seed override (`--seed`).
     pub seed: Option<u64>,
+    /// Execution backend for simulated cells (`--backend`, default
+    /// `interp`).
+    pub backend: ExecBackend,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -45,6 +50,7 @@ impl Default for BenchArgs {
             replay: false,
             runs: None,
             seed: None,
+            backend: ExecBackend::Interp,
             help: false,
         }
     }
@@ -84,6 +90,11 @@ impl BenchArgs {
                     let v = it.next().ok_or("--seed needs a value")?;
                     out.seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
                 }
+                "--backend" => {
+                    let v = it.next().ok_or("--backend needs `interp` or `compiled`")?;
+                    out.backend = ExecBackend::parse(&v)
+                        .ok_or_else(|| format!("bad --backend value `{v}` (interp|compiled)"))?;
+                }
                 "--replay" => out.replay = true,
                 "--help" | "-h" => out.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -96,7 +107,8 @@ impl BenchArgs {
 fn usage(d: &Driver) -> String {
     format!(
         "{} — {}\n\n\
-         usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N] [--replay]\n\n\
+         usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N]\n\
+                     [--backend interp|compiled] [--replay]\n\n\
          --jobs N    worker threads for the sweep (default: all cores)\n\
          --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
          --runs N    scale override: run count, or simulated seconds for\n\
@@ -105,6 +117,10 @@ fn usage(d: &Driver) -> String {
                      and the fixed samoyed_scaling capacity sweep)\n\
          --seed N    seed override (default: the paper sweep's fixed seed;\n\
                      ignored by drivers that simulate nothing seeded)\n\
+         --backend B execution engine for simulated cells: `interp`\n\
+                     (default) or `compiled`; results are identical, the\n\
+                     compiled engine is faster, and the artifact records\n\
+                     which one produced it\n\
          --replay    render from <out>/{}.json without re-simulating\n",
         d.name, d.about, d.name, d.name
     )
@@ -146,6 +162,7 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
             jobs: parsed.jobs,
             runs: parsed.runs,
             seed: parsed.seed,
+            backend: parsed.backend,
         };
         let a = (d.collect)(&opts);
         match a.save(&parsed.out) {
@@ -195,14 +212,43 @@ mod tests {
         assert_eq!(d.runs, None);
 
         let a = BenchArgs::parse(strings(&[
-            "--jobs", "8", "--out", "/tmp/x", "--runs", "3", "--seed", "99", "--replay",
+            "--jobs",
+            "8",
+            "--out",
+            "/tmp/x",
+            "--runs",
+            "3",
+            "--seed",
+            "99",
+            "--backend",
+            "compiled",
+            "--replay",
         ]))
         .unwrap();
         assert_eq!(a.jobs, 8);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert_eq!(a.runs, Some(3));
         assert_eq!(a.seed, Some(99));
+        assert_eq!(a.backend, ExecBackend::Compiled);
         assert!(a.replay);
+    }
+
+    #[test]
+    fn backend_flag_parses_both_engines_and_rejects_junk() {
+        assert_eq!(
+            BenchArgs::parse(strings(&[])).unwrap().backend,
+            ExecBackend::Interp,
+            "interpreter is the default"
+        );
+        for (flag, want) in [
+            ("interp", ExecBackend::Interp),
+            ("compiled", ExecBackend::Compiled),
+        ] {
+            let a = BenchArgs::parse(strings(&["--backend", flag])).unwrap();
+            assert_eq!(a.backend, want);
+        }
+        assert!(BenchArgs::parse(strings(&["--backend"])).is_err());
+        assert!(BenchArgs::parse(strings(&["--backend", "jit"])).is_err());
     }
 
     #[test]

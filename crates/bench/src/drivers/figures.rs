@@ -38,7 +38,7 @@ fn collect_fig7(opts: &DriverOpts) -> Artifact {
             ("seed".into(), Json::u64(seed)),
         ],
         &specs,
-        opts.jobs,
+        opts,
     )
 }
 
@@ -108,7 +108,7 @@ fn collect_fig8(opts: &DriverOpts) -> Artifact {
             ("seed".into(), Json::u64(seed)),
         ],
         &specs,
-        opts.jobs,
+        opts,
     )
 }
 
@@ -201,7 +201,7 @@ fn collect_energy(opts: &DriverOpts) -> Artifact {
             ("seed".into(), Json::u64(seed)),
         ],
         &specs,
-        opts.jobs,
+        opts,
     )
 }
 

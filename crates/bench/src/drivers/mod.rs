@@ -27,6 +27,7 @@ use crate::harness::Workload;
 use crate::json::Json;
 use ocelot_runtime::model::ExecModel;
 use ocelot_runtime::stats::Stats;
+use ocelot_runtime::ExecBackend;
 
 /// Options shared by every driver's `collect`.
 #[derive(Debug, Clone)]
@@ -39,6 +40,12 @@ pub struct DriverOpts {
     pub runs: Option<u64>,
     /// Seed override; `None` keeps each driver's fixed default.
     pub seed: Option<u64>,
+    /// Execution backend for the simulated cells (`--backend`).
+    /// Backends are observationally identical, so artifacts differ only
+    /// in their recorded provenance; drivers whose rows are bespoke
+    /// per-bench jobs rather than [`crate::harness::CellSpec`] sweeps
+    /// ignore this (documented in `docs/bench.md`).
+    pub backend: ExecBackend,
 }
 
 impl Default for DriverOpts {
@@ -47,6 +54,7 @@ impl Default for DriverOpts {
             jobs: 1,
             runs: None,
             seed: None,
+            backend: ExecBackend::Interp,
         }
     }
 }
@@ -132,11 +140,19 @@ pub(crate) fn per_bench_cells(
 /// fresh artifact.
 pub(crate) fn collect_sim(
     driver: &str,
-    config: Vec<(String, Json)>,
+    mut config: Vec<(String, Json)>,
     specs: &[crate::harness::CellSpec],
-    jobs: usize,
+    opts: &DriverOpts,
 ) -> Artifact {
-    let stats = crate::harness::run_cells(specs, jobs);
+    // The backend is uniform across the sweep and recorded once in the
+    // config for provenance: a replayed artifact says which engine
+    // simulated it.
+    let specs: Vec<crate::harness::CellSpec> = specs
+        .iter()
+        .map(|s| s.clone().with_backend(opts.backend))
+        .collect();
+    config.push(("backend".into(), Json::str(opts.backend.name())));
+    let stats = crate::harness::run_cells(&specs, opts.jobs);
     let mut a = Artifact::new(driver, config);
     for (spec, s) in specs.iter().zip(&stats) {
         a.cells.push(sim_cell(

@@ -57,7 +57,7 @@ fn collect_table2a(opts: &DriverOpts) -> Artifact {
             ("seed".into(), Json::u64(seed)),
         ],
         &specs,
-        opts.jobs,
+        opts,
     )
 }
 
@@ -110,7 +110,7 @@ fn collect_table2b(opts: &DriverOpts) -> Artifact {
             ("seed".into(), Json::u64(seed)),
         ],
         &specs,
-        opts.jobs,
+        opts,
     )
 }
 

@@ -157,7 +157,8 @@ fn collect_dynamic(opts: &DriverOpts) -> Artifact {
     let mut labels = Vec::new();
     for bench in super::bench_names() {
         for (label, model, window) in DYNAMIC_ROWS {
-            let mut spec = CellSpec::new(bench, model, seed, Workload::Harvested { runs });
+            let mut spec = CellSpec::new(bench, model, seed, Workload::Harvested { runs })
+                .with_backend(opts.backend);
             spec.expiry_window_us = window;
             specs.push(spec);
             labels.push(label);
@@ -169,6 +170,7 @@ fn collect_dynamic(opts: &DriverOpts) -> Artifact {
         vec![
             ("runs".into(), Json::u64(runs)),
             ("seed".into(), Json::u64(seed)),
+            ("backend".into(), Json::str(opts.backend.name())),
         ],
     );
     for ((spec, label), s) in specs.iter().zip(&labels).zip(&stats) {

@@ -18,6 +18,7 @@ use ocelot_hw::{Capacitor, Harvester};
 use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
 use ocelot_runtime::model::{build, Built, ExecModel};
 use ocelot_runtime::stats::Stats;
+use ocelot_runtime::ExecBackend;
 
 /// Step budget per program run — generous; runs are thousands of steps.
 pub const MAX_STEPS: u64 = 5_000_000;
@@ -100,6 +101,7 @@ fn machine<'a>(
     built: &'a Built,
     supply: Box<dyn PowerSupply>,
     seed: u64,
+    backend: ExecBackend,
 ) -> Machine<'a> {
     Machine::new(
         &built.program,
@@ -109,12 +111,19 @@ fn machine<'a>(
         calibrated_costs(bench),
         supply,
     )
+    .with_backend(backend)
 }
 
 /// Runs `runs` back-to-back executions on continuous power (Figure 7's
 /// configuration) and returns the accumulated stats.
-pub fn run_continuous(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
-    let mut m = machine(bench, built, Box::new(ContinuousPower), seed);
+pub fn run_continuous(
+    bench: &Benchmark,
+    built: &Built,
+    runs: u64,
+    seed: u64,
+    backend: ExecBackend,
+) -> Stats {
+    let mut m = machine(bench, built, Box::new(ContinuousPower), seed, backend);
     for _ in 0..runs {
         let out = m.run_once(MAX_STEPS);
         assert!(
@@ -128,8 +137,14 @@ pub fn run_continuous(bench: &Benchmark, built: &Built, runs: u64, seed: u64) ->
 
 /// Runs `runs` executions on harvested intermittent power (Figure 8's
 /// configuration).
-pub fn run_intermittent(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
-    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed);
+pub fn run_intermittent(
+    bench: &Benchmark,
+    built: &Built,
+    runs: u64,
+    seed: u64,
+    backend: ExecBackend,
+) -> Stats {
+    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed, backend);
     for _ in 0..runs {
         let out = m.run_once(MAX_STEPS);
         assert!(
@@ -149,17 +164,25 @@ pub fn run_for_duration(
     built: &Built,
     sim_duration_us: u64,
     seed: u64,
+    backend: ExecBackend,
 ) -> Stats {
-    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed);
+    let mut m = machine(bench, built, Box::new(bench_supply(seed)), seed, backend);
     m.run_for(sim_duration_us, MAX_STEPS);
     m.stats().clone()
 }
 
 /// Runs `runs` executions with pathological failures injected at the
 /// policy-critical points (§7.3, Table 2(a)).
-pub fn run_pathological(bench: &Benchmark, built: &Built, runs: u64, seed: u64) -> Stats {
+pub fn run_pathological(
+    bench: &Benchmark,
+    built: &Built,
+    runs: u64,
+    seed: u64,
+    backend: ExecBackend,
+) -> Stats {
     let targets = pathological_targets(&built.policies);
-    let mut m = machine(bench, built, Box::new(ContinuousPower), seed).with_injector(targets);
+    let mut m =
+        machine(bench, built, Box::new(ContinuousPower), seed, backend).with_injector(targets);
     for _ in 0..runs {
         let out = m.run_once(MAX_STEPS);
         assert!(matches!(out, RunOutcome::Completed { .. }));
@@ -219,10 +242,15 @@ pub struct CellSpec {
     /// When set, attach a TICS-style expiry window of this many µs
     /// (with restart mitigation) to the machine.
     pub expiry_window_us: Option<u64>,
+    /// Execution engine the cell's machine runs on. Backends are
+    /// observationally identical (the differential suite holds them to
+    /// the same stats), so this only changes how fast the cell
+    /// simulates — but artifacts record it for provenance.
+    pub backend: ExecBackend,
 }
 
 impl CellSpec {
-    /// A cell with no expiry window.
+    /// A cell with no expiry window, on the interpreter backend.
     pub fn new(bench: &str, model: ExecModel, seed: u64, workload: Workload) -> Self {
         CellSpec {
             bench: bench.to_string(),
@@ -230,7 +258,14 @@ impl CellSpec {
             seed,
             workload,
             expiry_window_us: None,
+            backend: ExecBackend::Interp,
         }
+    }
+
+    /// Selects the execution backend (builder-style).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -247,16 +282,16 @@ pub fn run_cell(spec: &CellSpec) -> Stats {
     let built = build_for(&b, spec.model);
     match spec.workload {
         Workload::Continuous { runs } if spec.expiry_window_us.is_none() => {
-            run_continuous(&b, &built, runs, spec.seed)
+            run_continuous(&b, &built, runs, spec.seed, spec.backend)
         }
         Workload::Intermittent { runs } if spec.expiry_window_us.is_none() => {
-            run_intermittent(&b, &built, runs, spec.seed)
+            run_intermittent(&b, &built, runs, spec.seed, spec.backend)
         }
         Workload::Duration { sim_us } if spec.expiry_window_us.is_none() => {
-            run_for_duration(&b, &built, sim_us, spec.seed)
+            run_for_duration(&b, &built, sim_us, spec.seed, spec.backend)
         }
         Workload::Pathological { runs } if spec.expiry_window_us.is_none() => {
-            run_pathological(&b, &built, runs, spec.seed)
+            run_pathological(&b, &built, runs, spec.seed, spec.backend)
         }
         // Harvested (never asserts) and any expiry-window variant share
         // the permissive loop.
@@ -269,7 +304,7 @@ pub fn run_cell(spec: &CellSpec) -> Stats {
                 } else {
                     Box::new(bench_supply(spec.seed))
                 };
-            let mut m = machine(&b, &built, supply, spec.seed);
+            let mut m = machine(&b, &built, supply, spec.seed, spec.backend);
             if let Some(w) = spec.expiry_window_us {
                 m = m.with_expiry_window(w);
             }
@@ -279,7 +314,13 @@ pub fn run_cell(spec: &CellSpec) -> Stats {
             m.stats().clone()
         }
         Workload::Duration { sim_us } => {
-            let mut m = machine(&b, &built, Box::new(bench_supply(spec.seed)), spec.seed);
+            let mut m = machine(
+                &b,
+                &built,
+                Box::new(bench_supply(spec.seed)),
+                spec.seed,
+                spec.backend,
+            );
             if let Some(w) = spec.expiry_window_us {
                 m = m.with_expiry_window(w);
             }
@@ -288,8 +329,14 @@ pub fn run_cell(spec: &CellSpec) -> Stats {
         }
         Workload::Pathological { runs } => {
             let targets = pathological_targets(&built.policies);
-            let mut m =
-                machine(&b, &built, Box::new(ContinuousPower), spec.seed).with_injector(targets);
+            let mut m = machine(
+                &b,
+                &built,
+                Box::new(ContinuousPower),
+                spec.seed,
+                spec.backend,
+            )
+            .with_injector(targets);
             if let Some(w) = spec.expiry_window_us {
                 m = m.with_expiry_window(w);
             }
@@ -320,7 +367,7 @@ mod tests {
         for b in ocelot_apps::all() {
             for model in [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly] {
                 let built = build_for(&b, model);
-                let s = run_continuous(&b, &built, 2, 7);
+                let s = run_continuous(&b, &built, 2, 7, ExecBackend::Interp);
                 assert_eq!(s.runs_completed, 2, "{} {:?}", b.name, model);
                 assert_eq!(s.reboots, 0, "continuous power never fails");
             }
@@ -330,8 +377,20 @@ mod tests {
     #[test]
     fn ocelot_overhead_is_small_but_nonzero() {
         let b = ocelot_apps::by_name("greenhouse").unwrap();
-        let jit = run_continuous(&b, &build_for(&b, ExecModel::Jit), 10, 7);
-        let oce = run_continuous(&b, &build_for(&b, ExecModel::Ocelot), 10, 7);
+        let jit = run_continuous(
+            &b,
+            &build_for(&b, ExecModel::Jit),
+            10,
+            7,
+            ExecBackend::Interp,
+        );
+        let oce = run_continuous(
+            &b,
+            &build_for(&b, ExecModel::Ocelot),
+            10,
+            7,
+            ExecBackend::Interp,
+        );
         let ratio = oce.on_cycles as f64 / jit.on_cycles as f64;
         assert!(ratio > 1.0, "regions cost something: {ratio}");
         assert!(ratio < 1.3, "but not much: {ratio}");
@@ -341,14 +400,14 @@ mod tests {
     fn pathological_violates_jit_not_ocelot() {
         for b in ocelot_apps::all() {
             let jit = build_for(&b, ExecModel::Jit);
-            let s = run_pathological(&b, &jit, 3, 9);
+            let s = run_pathological(&b, &jit, 3, 9, ExecBackend::Interp);
             assert!(
                 s.runs_with_violation > 0,
                 "{}: JIT must violate under targeted failures",
                 b.name
             );
             let oce = build_for(&b, ExecModel::Ocelot);
-            let s = run_pathological(&b, &oce, 3, 9);
+            let s = run_pathological(&b, &oce, 3, 9, ExecBackend::Interp);
             assert_eq!(
                 s.runs_with_violation, 0,
                 "{}: Ocelot must survive targeted failures",
@@ -361,7 +420,7 @@ mod tests {
     fn cells_reproduce_the_serial_helpers() {
         let b = ocelot_apps::by_name("greenhouse").unwrap();
         let built = build_for(&b, ExecModel::Ocelot);
-        let serial = run_continuous(&b, &built, 3, 7);
+        let serial = run_continuous(&b, &built, 3, 7, ExecBackend::Interp);
         let cell = run_cell(&CellSpec::new(
             "greenhouse",
             ExecModel::Ocelot,
@@ -371,7 +430,7 @@ mod tests {
         assert_eq!(serial, cell);
         // Harvested (non-asserting) matches run_intermittent when runs
         // do complete.
-        let serial = run_intermittent(&b, &built, 2, 7);
+        let serial = run_intermittent(&b, &built, 2, 7, ExecBackend::Interp);
         let cell = run_cell(&CellSpec::new(
             "greenhouse",
             ExecModel::Ocelot,
@@ -400,10 +459,24 @@ mod tests {
     }
 
     #[test]
+    fn compiled_backend_cells_match_interpreter_cells() {
+        for workload in [
+            Workload::Continuous { runs: 2 },
+            Workload::Intermittent { runs: 2 },
+            Workload::Pathological { runs: 2 },
+        ] {
+            let spec = CellSpec::new("greenhouse", ExecModel::Ocelot, 7, workload);
+            let interp = run_cell(&spec);
+            let compiled = run_cell(&spec.clone().with_backend(ExecBackend::Compiled));
+            assert_eq!(interp, compiled, "{workload:?}");
+        }
+    }
+
+    #[test]
     fn intermittent_power_charges_most_of_the_time() {
         let b = ocelot_apps::by_name("photo").unwrap();
         let built = build_for(&b, ExecModel::Ocelot);
-        let s = run_intermittent(&b, &built, 5, 3);
+        let s = run_intermittent(&b, &built, 5, 3, ExecBackend::Interp);
         assert!(s.reboots > 0, "harvested power must fail");
         assert!(
             s.off_time_us > s.on_time_us,

@@ -12,7 +12,9 @@
 use ocelot_bench::artifact::Artifact;
 use ocelot_bench::drivers::{self, DriverOpts};
 use ocelot_bench::harness::{run_cells, CellSpec, Workload};
+use ocelot_bench::json::Json;
 use ocelot_runtime::model::ExecModel;
+use ocelot_runtime::ExecBackend;
 
 /// A small mixed-workload cell list touching every workload kind.
 fn mixed_cells() -> Vec<CellSpec> {
@@ -73,6 +75,7 @@ fn persisted_artifacts_are_byte_identical_across_jobs() {
                 jobs,
                 runs: Some(runs),
                 seed: None,
+                backend: ExecBackend::Interp,
             };
             let artifact = (d.collect)(&opts);
             texts.push(artifact.render().expect("serializes"));
@@ -85,6 +88,49 @@ fn persisted_artifacts_are_byte_identical_across_jobs() {
     }
 }
 
+/// `--backend compiled` artifacts are byte-identical across `--jobs
+/// 1/2/8` too, and differ from the interpreter's bytes *only* in the
+/// recorded backend config — the compiled engine must not leak
+/// nondeterminism into results even when cells race across workers.
+#[test]
+fn compiled_backend_artifacts_are_byte_identical_across_jobs() {
+    let d = drivers::by_name("table2a").expect("driver exists");
+    let collect = |jobs, backend| {
+        let opts = DriverOpts {
+            jobs,
+            runs: Some(2),
+            seed: None,
+            backend,
+        };
+        (d.collect)(&opts)
+    };
+    let mut texts = Vec::new();
+    for jobs in [1, 2, 8] {
+        texts.push(
+            collect(jobs, ExecBackend::Compiled)
+                .render()
+                .expect("serializes"),
+        );
+    }
+    assert_eq!(texts[0], texts[1], "--jobs 2 diverged from serial");
+    assert_eq!(texts[0], texts[2], "--jobs 8 diverged from serial");
+
+    let compiled = Artifact::from_text(&texts[0]).expect("parses");
+    assert_eq!(
+        compiled.config_get("backend").and_then(Json::as_str),
+        Some("compiled"),
+        "artifact records the backend that produced it"
+    );
+    // Same simulation results as the interpreter: only the provenance
+    // entry differs.
+    let interp = collect(2, ExecBackend::Interp);
+    assert_eq!(
+        interp.config_get("backend").and_then(Json::as_str),
+        Some("interp")
+    );
+    assert_eq!(interp.cells, compiled.cells, "backends agree cell-for-cell");
+}
+
 /// Re-rendering from a reloaded artifact must equal rendering the
 /// freshly collected one — the `--replay` guarantee.
 #[test]
@@ -94,6 +140,7 @@ fn replay_renders_the_same_table_as_collection() {
         jobs: 2,
         runs: Some(2),
         seed: None,
+        backend: ExecBackend::Interp,
     };
     let collected = (d.collect)(&opts);
     let direct = (d.render)(&collected).expect("renders");

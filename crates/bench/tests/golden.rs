@@ -57,6 +57,7 @@ fn collect(name: &str) -> ocelot_bench::artifact::Artifact {
         jobs: 2, // parallel on purpose: golden bytes must not depend on it
         runs: Some(GOLDEN_RUNS),
         seed: None,
+        backend: ocelot_runtime::ExecBackend::Interp,
     })
 }
 

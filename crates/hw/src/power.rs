@@ -31,6 +31,28 @@ pub trait PowerSupply: Send {
     fn is_continuous(&self) -> bool {
         false
     }
+
+    /// Draws the energy of a whole pre-costed instruction batch in one
+    /// call — the compiled execution backend charges straight-line
+    /// blocks this way instead of once per instruction.
+    ///
+    /// A single batched draw is only exact when the comparator cannot
+    /// trip mid-batch, so callers must batch only on supplies whose
+    /// [`PowerSupply::is_continuous`] is true; on a finite supply the
+    /// per-instruction draw sequence determines *which* instruction the
+    /// low-power interrupt lands on, and collapsing it would move the
+    /// checkpoint. The default forwards to [`PowerSupply::consume`] and
+    /// makes that contract self-enforcing: batching a finite supply is
+    /// a caller bug, caught by a debug assertion rather than by a
+    /// silently relocated checkpoint.
+    fn consume_batch(&mut self, energy_nj: f64) -> PowerEvent {
+        debug_assert!(
+            self.is_continuous(),
+            "batched energy draws are only exact on continuous supplies \
+             (per-instruction draws decide where the comparator trips)"
+        );
+        self.consume(energy_nj)
+    }
 }
 
 /// Continuous bench power: never fails.
@@ -223,6 +245,29 @@ mod tests {
         }
         assert!(p.is_continuous());
         assert_eq!(p.recharge(), 0);
+        assert_eq!(p.consume_batch(1e12), PowerEvent::Ok);
+    }
+
+    #[test]
+    fn batched_draw_equals_split_draw_on_continuous_power() {
+        // The batching contract: on a continuous supply one batched
+        // draw and any per-instruction split of it are indistinguishable.
+        let mut a = ContinuousPower;
+        let mut b = ContinuousPower;
+        assert_eq!(a.consume_batch(30.0), PowerEvent::Ok);
+        for _ in 0..3 {
+            assert_eq!(b.consume(10.0), PowerEvent::Ok);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "continuous supplies"))]
+    fn batched_draw_on_a_finite_supply_is_a_caller_bug() {
+        // The compiled backend gates batching on `is_continuous`; a
+        // caller that forgets the gate trips the debug assertion
+        // instead of silently moving the comparator trip point.
+        let mut p = ScriptedPower::new(vec![10.0], 5);
+        assert_eq!(p.consume_batch(11.0), PowerEvent::LowPower);
     }
 
     #[test]

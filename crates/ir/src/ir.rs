@@ -305,6 +305,21 @@ impl Function {
             .flat_map(|b| b.instrs.iter().map(move |i| (b.id, i)))
     }
 
+    /// True when `name` is declared by this function — a lowered local
+    /// (alpha-renamed, so unique program-wide) or a parameter. Writes to
+    /// a declared name stay volatile; anything else is non-volatile.
+    /// The compiled execution backend and the WCET analysis both key
+    /// their static local/global classification off this.
+    pub fn declares(&self, name: &str) -> bool {
+        self.locals.iter().any(|l| l == name) || self.params.iter().any(|p| p.name == name)
+    }
+
+    /// True when `name` is a by-mutable-reference parameter of this
+    /// function (reads and writes go through the caller's binding).
+    pub fn is_by_ref_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p.name == name && p.by_ref)
+    }
+
     /// All `(label, callee)` call sites in this function.
     pub fn call_sites(&self) -> Vec<(Label, FuncId)> {
         let mut out = Vec::new();
@@ -395,6 +410,28 @@ impl Program {
     /// True if `name` is a declared non-volatile global.
     pub fn is_global(&self, name: &str) -> bool {
         self.global(name).is_some()
+    }
+
+    /// Stable slot number of a scalar global: its position among the
+    /// *scalar* globals in declaration order. Slot numbering is the
+    /// contract between the IR and slot-indexed non-volatile stores
+    /// (`ocelot-runtime`'s `NvMem` assigns the same numbers), letting a
+    /// compiled backend pre-resolve global accesses to direct indices.
+    pub fn scalar_slot(&self, name: &str) -> Option<usize> {
+        self.globals
+            .iter()
+            .filter(|g| g.array_len.is_none())
+            .position(|g| g.name == name)
+    }
+
+    /// Stable slot number of an array global: its position among the
+    /// *array* globals in declaration order (see
+    /// [`Program::scalar_slot`] for the numbering contract).
+    pub fn array_slot(&self, name: &str) -> Option<usize> {
+        self.globals
+            .iter()
+            .filter(|g| g.array_len.is_some())
+            .position(|g| g.name == name)
     }
 
     /// True if `name` is a declared sensor channel.
@@ -559,6 +596,53 @@ mod tests {
         assert_eq!(p.func_by_name("main"), Some(FuncId(0)));
         assert_eq!(p.func_by_name("nope"), None);
         assert_eq!(p.inst_count(), 3); // 1 instr + 2 terminators
+    }
+
+    #[test]
+    fn declares_and_by_ref_classification() {
+        let mut f = mini_function();
+        f.params.push(IrParam {
+            name: "p".into(),
+            by_ref: true,
+        });
+        f.params.push(IrParam {
+            name: "v".into(),
+            by_ref: false,
+        });
+        assert!(f.declares("x"), "lowered local");
+        assert!(f.declares("p") && f.declares("v"), "params");
+        assert!(!f.declares("g"), "unknown names are non-volatile");
+        assert!(f.is_by_ref_param("p"));
+        assert!(!f.is_by_ref_param("v"));
+        assert!(!f.is_by_ref_param("x"));
+    }
+
+    #[test]
+    fn global_slots_number_each_kind_in_declaration_order() {
+        let globals = vec![
+            IrGlobal {
+                name: "a".into(),
+                array_len: None,
+                init: 0,
+            },
+            IrGlobal {
+                name: "arr".into(),
+                array_len: Some(4),
+                init: 0,
+            },
+            IrGlobal {
+                name: "b".into(),
+                array_len: None,
+                init: 0,
+            },
+        ];
+        let p = Program::from_parts(vec![mini_function()], globals, vec![], FuncId(0), 0);
+        assert_eq!(p.scalar_slot("a"), Some(0));
+        assert_eq!(p.scalar_slot("b"), Some(1), "arrays do not shift scalars");
+        assert_eq!(p.scalar_slot("arr"), None, "arrays are not scalar slots");
+        assert_eq!(p.array_slot("arr"), Some(0));
+        assert_eq!(p.array_slot("a"), None);
+        assert_eq!(p.scalar_slot("missing"), None);
     }
 
     #[test]

@@ -57,10 +57,22 @@ pub fn loop_bound(f: &Function, l: &NaturalLoop) -> LoopBound {
         // Name the operator actually found: a `<=` header used to be
         // reported as "not a `<` comparison", which mis-stated what the
         // analysis saw and hid the one-token rewrite that fixes it.
-        Expr::Binary(BinOp::Le, _, _) => LoopBound::Unknown(format!(
-            "header condition uses `<=`, but only the `<` counter check \
-             lowering emits is recognized (rewrite `x <= k` as `x < k + 1`): {cond:?}"
-        )),
+        // When the operands already have the counter-check shape, spell
+        // the exact replacement condition — applying it is accepted
+        // (covered by `le_rewrite_is_accepted` below and the WCET
+        // suite).
+        Expr::Binary(BinOp::Le, lhs, rhs) => {
+            let exact = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Var(c), Expr::Int(k)) if c.starts_with("$rep") && *k >= 0 => {
+                    format!(" — here: `{c} < {}`", *k + 1)
+                }
+                _ => String::new(),
+            };
+            LoopBound::Unknown(format!(
+                "header condition uses `<=`, but only the `<` counter check \
+                 lowering emits is recognized (rewrite `x <= k` as `x < k + 1`{exact}): {cond:?}"
+            ))
+        }
         Expr::Binary(op, _, _) => LoopBound::Unknown(format!(
             "header condition is a `{}` comparison, not the `<` counter check \
              lowering emits: {cond:?}",
@@ -138,6 +150,59 @@ mod tests {
         assert!(
             !why.starts_with("header condition is not a `<` comparison"),
             "the old message blamed the wrong operator: {why}"
+        );
+    }
+
+    /// Applies the rewrite suggested for a `<=` header.
+    fn apply_le_rewrite(p: &mut ocelot_ir::Program) {
+        let main = p.main;
+        let f = p.func_mut(main);
+        for b in &mut f.blocks {
+            if let ocelot_ir::Terminator::Branch {
+                cond: Expr::Binary(o @ BinOp::Le, _, rhs),
+                ..
+            } = &mut b.term
+            {
+                let Expr::Int(k) = rhs.as_mut() else {
+                    panic!("counter check rhs")
+                };
+                *o = BinOp::Lt;
+                *k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn le_diagnostic_spells_the_exact_replacement() {
+        let p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let lf = LoopForest::new(f, &cfg, &dom);
+        let LoopBound::Unknown(why) = loop_bound(f, &lf.loops()[0]) else {
+            panic!("a `<=` header must not be treated as bounded");
+        };
+        // `repeat 2` lowers to `$repN < 2`; `<= 2` therefore suggests
+        // the concrete `< 3`.
+        assert!(why.contains("< 3`"), "concrete replacement spelled: {why}");
+    }
+
+    #[test]
+    fn le_rewrite_is_accepted() {
+        // The regression the diagnostic promises: take the `<=` header
+        // it rejected, apply the suggested rewrite, and the bound is
+        // recovered — `x <= k` runs the body `k + 1` times, and so does
+        // `x < k + 1`.
+        let mut p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
+        apply_le_rewrite(&mut p);
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let lf = LoopForest::new(f, &cfg, &dom);
+        assert_eq!(
+            loop_bound(f, &lf.loops()[0]),
+            LoopBound::Exact(3),
+            "the suggested rewrite must be accepted with the same trip count"
         );
     }
 

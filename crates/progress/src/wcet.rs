@@ -653,6 +653,54 @@ mod tests {
         }
     }
 
+    /// Rewrites `main`'s lone loop header to use `op` (with `delta`
+    /// added to the constant bound).
+    fn rewrite_header(p: &mut Program, op: ocelot_ir::ast::BinOp, delta: i64) {
+        use ocelot_ir::ast::Expr;
+        let main = p.main;
+        let f = p.func_mut(main);
+        for b in &mut f.blocks {
+            if let Terminator::Branch {
+                cond: Expr::Binary(o, _, rhs),
+                ..
+            } = &mut b.term
+            {
+                *o = op;
+                let Expr::Int(k) = rhs.as_mut() else {
+                    panic!("counter check rhs is a constant")
+                };
+                *k += delta;
+            }
+        }
+    }
+
+    #[test]
+    fn le_header_suggested_rewrite_is_then_accepted() {
+        use ocelot_ir::ast::BinOp;
+        // End-to-end regression for the diagnostic's promise: break the
+        // header to the rejected `$rep <= 2`, apply exactly the
+        // suggested `$rep < 3`, and the whole-function WCET query
+        // succeeds — with the same bound as a genuine `repeat 3` (both
+        // run the body three times).
+        let reference = {
+            let p = compile("sensor s; fn main() { repeat 3 { let v = in(s); } }").unwrap();
+            let mut w = WcetAnalysis::new(&p, &CostModel::default(), &[]);
+            w.func_wcet(p.main).unwrap()
+        };
+        let mut p = compile("sensor s; fn main() { repeat 2 { let v = in(s); } }").unwrap();
+        rewrite_header(&mut p, BinOp::Le, 0);
+        let mut w = WcetAnalysis::new(&p, &CostModel::default(), &[]);
+        assert!(w.func_wcet(p.main).is_err(), "`<=` is still rejected");
+        // `x <= k` → `x < k + 1`.
+        rewrite_header(&mut p, BinOp::Lt, 1);
+        let mut w = WcetAnalysis::new(&p, &CostModel::default(), &[]);
+        let bound = w.func_wcet(p.main).expect("rewritten loop is accepted");
+        assert_eq!(
+            bound, reference,
+            "`$rep < 3` costs exactly what a `repeat 3` costs"
+        );
+    }
+
     #[test]
     fn while_loop_is_reported_unbounded() {
         let p = compile("nv g = 2; fn main() { while g > 0 { g = g - 1; } }").unwrap();

@@ -1,0 +1,767 @@
+//! The compile pass: lowers a [`Program`] into pre-resolved steps.
+//!
+//! Compilation runs once per machine (lazily, on the first compiled
+//! run) and bakes in everything the interpreter re-derives per step:
+//!
+//! * **operation shape** — each instruction/terminator is matched once
+//!   into an [`Action`], so the hot loop never touches [`Op`] again
+//!   (and never clones its expression trees);
+//! * **storage resolution** — global scalars/arrays become
+//!   [`crate::memory::NvMem`] slot indices; variable reads are
+//!   classified local / by-ref / global / dynamic using the IR's
+//!   declaration metadata ([`ocelot_ir::Function::declares`]);
+//! * **cycle costs** — static wherever the interpreter's
+//!   `Machine::op_cost` is state-independent, including the µs
+//!   conversion (summed per instruction, so batched time advances agree
+//!   with per-instruction rounding to the microsecond);
+//! * **check sites** — whether the §7.3 detectors, the TICS expiry
+//!   check, or fresh-use trace logging can fire here, and whether the
+//!   pathological injector targets this instruction;
+//! * **batches** — for every entry offset into a block, the maximal run
+//!   of pure-compute steps whose energy can be drawn in one
+//!   [`ocelot_hw::power::PowerSupply::consume_batch`] call on a
+//!   continuous supply.
+//!
+//! The classification is exact for lowered programs: alpha-renaming
+//! guarantees locals never shadow globals and are bound before any
+//! assignment, which is what licenses the static local/global split.
+//! Accesses that cannot be proven fall back to [`Action::AssignDyn`] /
+//! [`CExpr::DynVar`], which run the interpreter's own resolution path.
+
+use crate::detect::DetectorConfig;
+use crate::machine::{static_op_cost, static_term_cost};
+use crate::memory::NvMem;
+use ocelot_analysis::dom::{point_dominates, DomTree, Point};
+use ocelot_hw::energy::CostModel;
+use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
+use ocelot_ir::cfg::Cfg;
+use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Op, Place, Program, RegionId, Terminator};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A program lowered to pre-resolved steps, indexed `[func][block]`.
+pub(crate) struct CompiledProgram<'p> {
+    /// One entry per [`Program::funcs`] entry, same order.
+    pub(crate) funcs: Vec<CompiledFunc<'p>>,
+}
+
+/// One function's compiled blocks, indexed by [`BlockId`].
+pub(crate) struct CompiledFunc<'p> {
+    /// One entry per [`Function::blocks`] entry, same order.
+    pub(crate) blocks: Vec<CompiledBlock<'p>>,
+}
+
+/// One basic block: its instructions plus the terminator as the final
+/// step, and per-offset batch metadata.
+pub(crate) struct CompiledBlock<'p> {
+    /// `instrs.len() + 1` steps; the last is the terminator.
+    pub(crate) steps: Vec<Step<'p>>,
+    /// `batches[i]` describes the maximal batchable run starting at
+    /// step `i` (`len == 0`: step `i` must go through the checked
+    /// per-step path).
+    pub(crate) batches: Vec<Batch>,
+}
+
+/// Precomputed totals of a maximal pure-compute run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Batch {
+    /// Steps in the run (0 = not batchable here).
+    pub(crate) len: u32,
+    /// Total cycles, charged in one draw.
+    pub(crate) cycles: u64,
+    /// Total µs — the *sum of per-instruction* µs conversions, so
+    /// batched wall-clock time matches the interpreter's per-step
+    /// round-up exactly.
+    pub(crate) us: u64,
+    /// Cycles booked to the `compute` breakdown category.
+    pub(crate) compute_cycles: u64,
+    /// Cycles booked to the `output` breakdown category.
+    pub(crate) output_cycles: u64,
+}
+
+/// One pre-resolved instruction or terminator.
+pub(crate) struct Step<'p> {
+    /// The paper's `(f, ℓ)` site, pre-built.
+    pub(crate) iref: InstrRef,
+    /// Cycle cost: pre-computed, or state-dependent.
+    pub(crate) cost: Cost,
+    /// Which breakdown counter the cycles land in.
+    pub(crate) cat: Cat,
+    /// True when detector checks, expiry checks, or fresh-use logging
+    /// can fire at this site (pre-bound from the policy-derived maps).
+    pub(crate) checked: bool,
+    /// True when the pathological injector targets this site.
+    pub(crate) inject: bool,
+    /// What the step does.
+    pub(crate) action: Action<'p>,
+}
+
+/// A step's cycle cost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Cost {
+    /// State-independent: cycles and their µs conversion, fixed at
+    /// compile time.
+    Static {
+        /// Cycles charged.
+        cycles: u64,
+        /// `cycles_to_us(cycles)`, precomputed.
+        us: u64,
+    },
+    /// Depends on machine state (`startatom` checkpoints the live
+    /// stack; stores through references depend on the binding).
+    Dynamic,
+}
+
+/// Breakdown category of a step's cycles (mirrors the interpreter's
+/// per-work-item accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cat {
+    /// ALU, branches, calls, checkpoints' bookkeeping-free cousins.
+    Compute,
+    /// Sensor sampling.
+    Input,
+    /// Output operations.
+    Output,
+    /// Region-entry checkpointing (`startatom`).
+    Checkpoint,
+}
+
+/// A pre-matched operation with pre-resolved storage.
+pub(crate) enum Action<'p> {
+    /// `skip` and (unerased) annotations.
+    Skip,
+    /// `let var = src`.
+    Bind {
+        /// The local introduced.
+        var: &'p str,
+        /// Its initializer.
+        src: CExpr<'p>,
+    },
+    /// Store to a declared local or value parameter.
+    AssignLocal {
+        /// The volatile destination.
+        var: &'p str,
+        /// Stored value.
+        src: CExpr<'p>,
+    },
+    /// Store to a declared scalar global, slot-resolved.
+    AssignGlobal {
+        /// Pre-resolved [`NvMem`] scalar slot.
+        slot: usize,
+        /// Name, for the undo-log key.
+        name: &'p str,
+        /// Stored value.
+        src: CExpr<'p>,
+    },
+    /// Store to an array cell.
+    AssignIndex {
+        /// Array name, for the undo-log key.
+        name: &'p str,
+        /// Pre-resolved [`NvMem`] array slot, if declared.
+        slot: Option<usize>,
+        /// Cell index expression.
+        idx: CExpr<'p>,
+        /// Stored value.
+        src: CExpr<'p>,
+    },
+    /// Store through a by-reference parameter (`*x = e`).
+    AssignDeref {
+        /// The reference parameter.
+        var: &'p str,
+        /// Stored value.
+        src: CExpr<'p>,
+    },
+    /// Fallback store: runs the interpreter's dynamic `write_place`.
+    AssignDyn {
+        /// The unresolved destination.
+        place: &'p Place,
+        /// Stored value.
+        src: CExpr<'p>,
+    },
+    /// `let var = IN(sensor)` — delegated to the shared input helper.
+    Input {
+        /// Receiving local.
+        var: &'p str,
+        /// Sensor channel.
+        sensor: &'p str,
+    },
+    /// Function call — delegated to the shared call helper.
+    Call {
+        /// Return destination, if any.
+        dst: Option<&'p str>,
+        /// Callee.
+        callee: FuncId,
+        /// Argument list (evaluated by the shared helper).
+        args: &'p [Arg],
+    },
+    /// `out(channel, args)`.
+    Output {
+        /// Output channel.
+        channel: &'p str,
+        /// Pre-lowered argument expressions.
+        args: Vec<CExpr<'p>>,
+    },
+    /// `startatom` — delegated to the shared region-entry helper.
+    AtomStart {
+        /// The region entered.
+        region: RegionId,
+    },
+    /// `endatom` — delegated to the shared commit helper.
+    AtomEnd {
+        /// The region ended.
+        region: RegionId,
+    },
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch.
+    Branch {
+        /// Branch condition.
+        cond: CExpr<'p>,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<CExpr<'p>>),
+}
+
+/// An expression with variable references classified at compile time.
+pub(crate) enum CExpr<'p> {
+    /// Integer or boolean literal.
+    Const(i64),
+    /// A declared local or value parameter: read the top frame's
+    /// binding (falls back to the interpreter's resolution if unbound).
+    Local(&'p str),
+    /// A by-reference parameter: read through the resolved target.
+    RefParam(&'p str),
+    /// A declared scalar global: direct [`NvMem`] slot read.
+    Global(usize),
+    /// Unresolvable name: the interpreter's full lookup order.
+    DynVar(&'p str),
+    /// `*x`.
+    Deref(&'p str),
+    /// `a[idx]`.
+    Index {
+        /// Array name (fallback path).
+        name: &'p str,
+        /// Pre-resolved array slot, if declared.
+        slot: Option<usize>,
+        /// Index expression.
+        idx: Box<CExpr<'p>>,
+    },
+    /// Binary operation.
+    Binary(BinOp, Box<CExpr<'p>>, Box<CExpr<'p>>),
+    /// Unary operation.
+    Unary(UnOp, Box<CExpr<'p>>),
+    /// `&x` in expression position (only valid in call args; evaluates
+    /// to untainted 0, as in the interpreter).
+    RefArg,
+}
+
+/// Compiles `p` against the machine's detector configuration, fresh-use
+/// logging map, injector target set, and non-volatile slot layout.
+pub(crate) fn compile<'p>(
+    p: &'p Program,
+    costs: &CostModel,
+    det_cfg: &DetectorConfig,
+    fresh_use_vars: &BTreeMap<InstrRef, Vec<String>>,
+    injector_targets: &BTreeSet<InstrRef>,
+    nv: &NvMem,
+) -> CompiledProgram<'p> {
+    let cx = Cx {
+        costs,
+        det_cfg,
+        fresh_use_vars,
+        injector_targets,
+        nv,
+    };
+    CompiledProgram {
+        funcs: p
+            .funcs
+            .iter()
+            .map(|f| {
+                let binds = Bindings::of(f);
+                CompiledFunc {
+                    blocks: f.blocks.iter().map(|b| cx.block(f, &binds, b)).collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Definite-assignment information for one function: where each local
+/// is bound (`let`, input, call destination). The surface language has
+/// no block scoping, so a local introduced inside a `repeat 0 { .. }`
+/// body is *in scope* but possibly never bound at a later assignment —
+/// the interpreter then charges an NV write and stores non-volatile.
+/// Static local classification is licensed only when a binding site
+/// dominates the store.
+struct Bindings {
+    dom: DomTree,
+    defs: BTreeMap<String, Vec<Point>>,
+}
+
+impl Bindings {
+    fn of(f: &Function) -> Self {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let mut defs: BTreeMap<String, Vec<Point>> = BTreeMap::new();
+        for b in &f.blocks {
+            for (i, inst) in b.instrs.iter().enumerate() {
+                let var = match &inst.op {
+                    Op::Bind { var, .. } | Op::Input { var, .. } => Some(var),
+                    Op::Call { dst: Some(d), .. } => Some(d),
+                    _ => None,
+                };
+                if let Some(v) = var {
+                    defs.entry(v.clone()).or_default().push(Point::new(b.id, i));
+                }
+            }
+        }
+        Bindings { dom, defs }
+    }
+
+    /// True when every path to `at` binds `x` first (a value parameter,
+    /// or a dominating binding site).
+    fn surely_bound(&self, f: &Function, x: &str, at: Point) -> bool {
+        if f.params.iter().any(|p| p.name == x && !p.by_ref) {
+            return true;
+        }
+        self.defs
+            .get(x)
+            .is_some_and(|ds| ds.iter().any(|d| point_dominates(&self.dom, *d, at)))
+    }
+}
+
+/// Compile-time context threaded through the pass.
+struct Cx<'a> {
+    costs: &'a CostModel,
+    det_cfg: &'a DetectorConfig,
+    fresh_use_vars: &'a BTreeMap<InstrRef, Vec<String>>,
+    injector_targets: &'a BTreeSet<InstrRef>,
+    nv: &'a NvMem,
+}
+
+impl Cx<'_> {
+    fn block<'p>(
+        &self,
+        f: &'p Function,
+        binds: &Bindings,
+        b: &'p ocelot_ir::Block,
+    ) -> CompiledBlock<'p> {
+        let mut steps: Vec<Step<'p>> = b
+            .instrs
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| self.instr(f, binds, Point::new(b.id, i), inst.label, &inst.op))
+            .collect();
+        steps.push(self.terminator(f, b.term_label, &b.term));
+        let batches = self.batches(&steps);
+        CompiledBlock { steps, batches }
+    }
+
+    fn step<'p>(
+        &self,
+        f: &'p Function,
+        label: ocelot_ir::Label,
+        cost: Cost,
+        cat: Cat,
+        action: Action<'p>,
+    ) -> Step<'p> {
+        let iref = InstrRef { func: f.id, label };
+        Step {
+            iref,
+            cost,
+            cat,
+            checked: self.det_cfg.use_checks.contains_key(&iref)
+                || self.fresh_use_vars.contains_key(&iref),
+            inject: self.injector_targets.contains(&iref),
+            action,
+        }
+    }
+
+    fn fixed(&self, cycles: u64) -> Cost {
+        Cost::Static {
+            cycles,
+            us: self.costs.cycles_to_us(cycles),
+        }
+    }
+
+    fn instr<'p>(
+        &self,
+        f: &'p Function,
+        binds: &Bindings,
+        at: Point,
+        label: ocelot_ir::Label,
+        op: &'p Op,
+    ) -> Step<'p> {
+        let c = self.costs;
+        // One source of truth for state-independent costs: the same
+        // formulas the interpreter charges.
+        let fixed_op = || self.fixed(static_op_cost(c, op).expect("op has a static cost"));
+        let (cost, cat, action) = match op {
+            Op::Skip | Op::Annot { .. } => (fixed_op(), Cat::Compute, Action::Skip),
+            Op::Bind { var, src } => (
+                fixed_op(),
+                Cat::Compute,
+                Action::Bind {
+                    var,
+                    src: self.expr(f, src),
+                },
+            ),
+            Op::Assign { place, src } => {
+                let src_c = self.expr(f, src);
+                match place {
+                    // Static local classification needs a dominating
+                    // binding: an in-scope-but-unbound local (possible —
+                    // no block scoping) is stored non-volatile at NV
+                    // cost by the interpreter.
+                    Place::Var(x)
+                        if f.declares(x)
+                            && !f.is_by_ref_param(x)
+                            && binds.surely_bound(f, x, at) =>
+                    {
+                        (
+                            self.fixed(c.alu),
+                            Cat::Compute,
+                            Action::AssignLocal { var: x, src: src_c },
+                        )
+                    }
+                    Place::Var(x) if f.declares(x) => (
+                        Cost::Dynamic,
+                        Cat::Compute,
+                        Action::AssignDyn { place, src: src_c },
+                    ),
+                    Place::Var(x) if !f.declares(x) => match self.nv.scalar_slot(x) {
+                        Some(slot) => (
+                            self.fixed(c.nv_write),
+                            Cat::Compute,
+                            Action::AssignGlobal {
+                                slot,
+                                name: x,
+                                src: src_c,
+                            },
+                        ),
+                        // Undeclared destination: keep the interpreter's
+                        // dynamic cost and store path.
+                        None => (
+                            Cost::Dynamic,
+                            Cat::Compute,
+                            Action::AssignDyn { place, src: src_c },
+                        ),
+                    },
+                    // A by-ref parameter reassignment is invalid in
+                    // validated programs; run it dynamically.
+                    Place::Var(_) => (
+                        Cost::Dynamic,
+                        Cat::Compute,
+                        Action::AssignDyn { place, src: src_c },
+                    ),
+                    Place::Index(a, i) => (
+                        self.fixed(c.nv_write),
+                        Cat::Compute,
+                        Action::AssignIndex {
+                            name: a,
+                            slot: self.nv.array_slot(a),
+                            idx: self.expr(f, i),
+                            src: src_c,
+                        },
+                    ),
+                    Place::Deref(x) => (
+                        Cost::Dynamic,
+                        Cat::Compute,
+                        Action::AssignDeref { var: x, src: src_c },
+                    ),
+                }
+            }
+            Op::Input { var, sensor } => (fixed_op(), Cat::Input, Action::Input { var, sensor }),
+            Op::Call { dst, callee, args } => (
+                fixed_op(),
+                Cat::Compute,
+                Action::Call {
+                    dst: dst.as_deref(),
+                    callee: *callee,
+                    args,
+                },
+            ),
+            Op::Output { channel, args } => (
+                fixed_op(),
+                Cat::Output,
+                Action::Output {
+                    channel,
+                    args: args.iter().map(|e| self.expr(f, e)).collect(),
+                },
+            ),
+            Op::AtomStart { region } => (
+                Cost::Dynamic,
+                Cat::Checkpoint,
+                Action::AtomStart { region: *region },
+            ),
+            Op::AtomEnd { region } => (
+                fixed_op(),
+                Cat::Compute,
+                Action::AtomEnd { region: *region },
+            ),
+        };
+        self.step(f, label, cost, cat, action)
+    }
+
+    fn terminator<'p>(
+        &self,
+        f: &'p Function,
+        label: ocelot_ir::Label,
+        t: &'p Terminator,
+    ) -> Step<'p> {
+        let cost = self.fixed(static_term_cost(self.costs, t));
+        let action = match t {
+            Terminator::Jump(b) => Action::Jump(*b),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Action::Branch {
+                cond: self.expr(f, cond),
+                then_bb: *then_bb,
+                else_bb: *else_bb,
+            },
+            Terminator::Ret(e) => Action::Ret(e.as_ref().map(|e| self.expr(f, e))),
+        };
+        self.step(f, label, cost, Cat::Compute, action)
+    }
+
+    fn expr<'p>(&self, f: &'p Function, e: &'p Expr) -> CExpr<'p> {
+        match e {
+            Expr::Int(n) => CExpr::Const(*n),
+            Expr::Bool(b) => CExpr::Const(*b as i64),
+            Expr::Var(x) => {
+                if f.is_by_ref_param(x) {
+                    CExpr::RefParam(x)
+                } else if f.declares(x) {
+                    CExpr::Local(x)
+                } else if let Some(slot) = self.nv.scalar_slot(x) {
+                    CExpr::Global(slot)
+                } else {
+                    CExpr::DynVar(x)
+                }
+            }
+            Expr::Deref(x) => CExpr::Deref(x),
+            Expr::Ref(_) => CExpr::RefArg,
+            Expr::Index(a, i) => CExpr::Index {
+                name: a,
+                slot: self.nv.array_slot(a),
+                idx: Box::new(self.expr(f, i)),
+            },
+            Expr::Binary(op, l, r) => {
+                CExpr::Binary(*op, Box::new(self.expr(f, l)), Box::new(self.expr(f, r)))
+            }
+            Expr::Unary(op, x) => CExpr::Unary(*op, Box::new(self.expr(f, x))),
+        }
+    }
+
+    /// Batch metadata, computed backwards so each offset's run extends
+    /// the next one in O(block).
+    fn batches(&self, steps: &[Step<'_>]) -> Vec<Batch> {
+        let mut batches = vec![Batch::default(); steps.len()];
+        for i in (0..steps.len()).rev() {
+            let s = &steps[i];
+            if !batchable(s) {
+                continue;
+            }
+            let Cost::Static { cycles, us } = s.cost else {
+                continue;
+            };
+            let mut b = Batch {
+                len: 1,
+                cycles,
+                us,
+                compute_cycles: if s.cat == Cat::Compute { cycles } else { 0 },
+                output_cycles: if s.cat == Cat::Output { cycles } else { 0 },
+            };
+            // Control transfers end the run (a call's continuation or a
+            // jump's target executes elsewhere); otherwise absorb the
+            // run starting at the next step.
+            if !transfers_control(&s.action) && i + 1 < steps.len() {
+                let next = batches[i + 1];
+                if next.len > 0 {
+                    b.len += next.len;
+                    b.cycles += next.cycles;
+                    b.us += next.us;
+                    b.compute_cycles += next.compute_cycles;
+                    b.output_cycles += next.output_cycles;
+                }
+            }
+            batches[i] = b;
+        }
+        batches
+    }
+}
+
+/// A step the batched path may run without per-step supervision: its
+/// cost is static, nothing checks or injects here, and it neither reads
+/// the wall clock (inputs do) nor re-costs from live state
+/// (`startatom` does).
+fn batchable(s: &Step<'_>) -> bool {
+    matches!(s.cost, Cost::Static { .. })
+        && !s.checked
+        && !s.inject
+        && !matches!(s.action, Action::Input { .. } | Action::AtomStart { .. })
+}
+
+fn transfers_control(a: &Action<'_>) -> bool {
+    matches!(
+        a,
+        Action::Call { .. } | Action::Jump(_) | Action::Branch { .. } | Action::Ret(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_ir::compile as irc;
+
+    fn compiled_main(src: &str) -> (ocelot_ir::Program, Vec<Vec<(bool, u32)>>) {
+        let p = irc(src).unwrap();
+        let nv = NvMem::init(&p);
+        let cp = compile(
+            &p,
+            &CostModel::default(),
+            &DetectorConfig::default(),
+            &BTreeMap::new(),
+            &BTreeSet::new(),
+            &nv,
+        );
+        let shape = cp.funcs[p.main.0 as usize]
+            .blocks
+            .iter()
+            .map(|b| {
+                b.steps
+                    .iter()
+                    .zip(&b.batches)
+                    .map(|(s, bt)| (matches!(s.cost, Cost::Static { .. }), bt.len))
+                    .collect()
+            })
+            .collect();
+        (p, shape)
+    }
+
+    #[test]
+    fn straight_line_block_is_one_batch() {
+        let (_, shape) = compiled_main("fn main() { let a = 1; let b = a + 1; out(log, b); }");
+        // Entry block: two binds, one output, and the jump to the exit
+        // landing pad — all static, all one run from offset 0.
+        let entry = &shape[0];
+        assert_eq!(entry[0].1 as usize, entry.len(), "whole block batches");
+        // Every suffix is also a valid (shorter) batch: resuming
+        // mid-block after a reboot still takes the fast path.
+        for (i, (is_static, len)) in entry.iter().enumerate() {
+            assert!(*is_static);
+            assert_eq!(*len as usize, entry.len() - i);
+        }
+    }
+
+    #[test]
+    fn inputs_and_region_entries_break_batches() {
+        let p = irc("sensor s; nv g = 0; fn main() { let v = in(s); atomic { g = v; } }").unwrap();
+        let nv = NvMem::init(&p);
+        let cp = compile(
+            &p,
+            &CostModel::default(),
+            &DetectorConfig::default(),
+            &BTreeMap::new(),
+            &BTreeSet::new(),
+            &nv,
+        );
+        let mut saw_input_break = false;
+        let mut saw_atom_break = false;
+        for f in &cp.funcs {
+            for b in &f.blocks {
+                for (s, bt) in b.steps.iter().zip(&b.batches) {
+                    match s.action {
+                        Action::Input { .. } => {
+                            assert_eq!(bt.len, 0, "inputs read the clock");
+                            saw_input_break = true;
+                        }
+                        Action::AtomStart { .. } => {
+                            assert_eq!(bt.len, 0, "region entry re-costs from live state");
+                            assert!(matches!(s.cost, Cost::Dynamic));
+                            saw_atom_break = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(saw_input_break && saw_atom_break);
+    }
+
+    #[test]
+    fn check_sites_and_injector_targets_are_prebound() {
+        let p = irc("sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }").unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let det_cfg = DetectorConfig::from_policies(&policies);
+        let targets = crate::machine::pathological_targets(&policies);
+        let nv = NvMem::init(&p);
+        let cp = compile(
+            &p,
+            &CostModel::default(),
+            &det_cfg,
+            &BTreeMap::new(),
+            &targets,
+            &nv,
+        );
+        let mut checked = 0;
+        let mut injected = 0;
+        for f in &cp.funcs {
+            for b in &f.blocks {
+                for (s, bt) in b.steps.iter().zip(&b.batches) {
+                    if s.checked || s.inject {
+                        assert_eq!(bt.len, 0, "checked/injected sites never batch");
+                    }
+                    checked += s.checked as usize;
+                    injected += s.inject as usize;
+                }
+            }
+        }
+        assert_eq!(
+            checked,
+            det_cfg.use_checks.len(),
+            "every use-check site is pre-bound"
+        );
+        assert_eq!(injected, targets.len());
+    }
+
+    #[test]
+    fn globals_resolve_to_their_nv_slots() {
+        let p = irc("nv a = 1; nv arr[2]; nv b = 2; fn main() { b = a + arr[0]; }").unwrap();
+        let nv = NvMem::init(&p);
+        let cp = compile(
+            &p,
+            &CostModel::default(),
+            &DetectorConfig::default(),
+            &BTreeMap::new(),
+            &BTreeSet::new(),
+            &nv,
+        );
+        let mut found = false;
+        for f in &cp.funcs {
+            for blk in &f.blocks {
+                for s in &blk.steps {
+                    if let Action::AssignGlobal { slot, name, src } = &s.action {
+                        assert_eq!(*name, "b");
+                        assert_eq!(Some(*slot), nv.scalar_slot("b"));
+                        let CExpr::Binary(_, l, r) = src else {
+                            panic!("src shape")
+                        };
+                        assert!(matches!(**l, CExpr::Global(s) if Some(s) == nv.scalar_slot("a")));
+                        assert!(
+                            matches!(&**r, CExpr::Index { slot: Some(s), .. } if Some(*s) == nv.array_slot("arr"))
+                        );
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found, "the global store compiled to a slot write");
+    }
+}

@@ -1,0 +1,91 @@
+//! Execution backends: the interpreter oracle and the compiled engine.
+//!
+//! The paper's evaluation simulates millions of instruction steps per
+//! (benchmark, model, seed) cell. The interpreter in
+//! [`crate::machine`] re-dispatches every step through nested matches
+//! on the IR — cloning the operation, re-deriving its cycle cost, and
+//! probing three `BTreeMap`s (injector targets, detector check sites,
+//! fresh-use logging) that are almost always empty at the current site.
+//!
+//! The compiled backend removes all of that from the hot path by
+//! resolving it **once per program**:
+//!
+//! * every instruction is pre-matched into a `compile::Action` with
+//!   globals resolved to [`crate::memory::NvMem`] slots and expressions
+//!   lowered to a pre-classified form (`compile::CExpr`);
+//! * cycle costs and their µs conversions are pre-computed wherever the
+//!   interpreter's cost is static (everything except `startatom`'s
+//!   state-dependent checkpoint and stores through references);
+//! * detector/fresh-use check sites and injector targets become
+//!   per-step booleans, so unchecked steps skip the lookups entirely;
+//! * maximal runs of "pure compute" steps are pre-grouped into
+//!   *batches* whose energy is drawn in one
+//!   [`ocelot_hw::power::PowerSupply::consume_batch`] call — taken only
+//!   on continuous supplies, where the comparator cannot trip mid-run,
+//!   so per-instruction failure semantics are preserved exactly.
+//!
+//! The seam between the backends is semantic, not structural: anything
+//! *checked or observable* — inputs, outputs, detector checks, region
+//! entry/commit/rollback, checkpoints, power failure, TICS mitigation —
+//! runs through the same [`crate::machine::Machine`] helpers in both
+//! engines, over the same machine state. The differential suites in
+//! `ocelot-bench` hold the two backends to identical
+//! [`crate::stats::Stats`], observation traces, and
+//! [`crate::machine::RunOutcome`] sequences.
+
+pub(crate) mod compile;
+mod run;
+
+pub(crate) use compile::CompiledProgram;
+
+/// Which engine a [`crate::machine::Machine`] drives its runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecBackend {
+    /// The instruction-at-a-time interpreter — the semantics oracle.
+    #[default]
+    Interp,
+    /// The pre-resolved engine compiled by the `compile` pass:
+    /// identical observable behavior, no per-step map lookups or op
+    /// matching.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Stable lowercase name, used by CLI flags and persisted bench
+    /// artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecBackend::Interp => "interp",
+            ExecBackend::Compiled => "compiled",
+        }
+    }
+
+    /// Inverse of [`ExecBackend::name`], for tooling that reads backend
+    /// names back from flags or artifacts.
+    pub fn parse(name: &str) -> Option<ExecBackend> {
+        match name {
+            "interp" => Some(ExecBackend::Interp),
+            "compiled" => Some(ExecBackend::Compiled),
+            _ => None,
+        }
+    }
+
+    /// Both backends, interpreter (oracle) first.
+    pub fn all() -> [ExecBackend; 2] {
+        [ExecBackend::Interp, ExecBackend::Compiled]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in ExecBackend::all() {
+            assert_eq!(ExecBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(ExecBackend::parse("jit"), None);
+        assert_eq!(ExecBackend::default(), ExecBackend::Interp);
+    }
+}

@@ -1,0 +1,353 @@
+//! The compiled engine's run loop.
+//!
+//! Mirrors `Machine::step` attempt-for-attempt — injector check, cost
+//! charge, detector checks, execute — but over pre-resolved
+//! [`Step`]s, and lifts maximal pure-compute runs into single batched
+//! charges when the supply is continuous (see [`super::compile`] for
+//! what makes a step batchable). Everything checked or observable
+//! delegates to the shared `Machine` helpers, so both backends execute
+//! the paper's semantics through one implementation.
+
+use super::compile::{self, Action, Batch, CExpr, CompiledBlock, Cost, Step};
+use super::CompiledProgram;
+use crate::machine::{eval_binop, Ctx, Machine, RunOutcome};
+use crate::memory::{NvLoc, RefTarget, Tainted};
+use crate::obs::Obs;
+use ocelot_hw::energy::PowerEvent;
+use ocelot_ir::ast::UnOp;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Breakdown/charge bookkeeping for one whole batch: the same totals
+/// the interpreter accumulates per instruction, applied in one shot.
+impl<'p> Machine<'p> {
+    /// Runs `main` once on the compiled engine. Counts *attempts*
+    /// exactly like the interpreter's `run_once`, so `StepLimit`
+    /// boundaries agree between backends.
+    pub(crate) fn run_once_compiled(&mut self, max_steps: u64) -> RunOutcome {
+        if self.compiled.is_none() {
+            self.compiled = Some(Arc::new(compile::compile(
+                self.p,
+                &self.costs,
+                &self.det_cfg,
+                &self.fresh_use_vars,
+                &self.injector_targets,
+                &self.nv,
+            )));
+        }
+        let cp = Arc::clone(self.compiled.as_ref().expect("just compiled"));
+        let violations_before = self.stats.violations;
+        // Batched draws are exact only when the comparator cannot trip
+        // mid-run (see `PowerSupply::consume_batch`).
+        let batching = self.supply.is_continuous();
+        let mut steps = 0u64;
+        loop {
+            if batching {
+                if let Some(top) = self.vol.top() {
+                    let (func, block, index) = (top.func, top.block, top.index);
+                    let cb = &cp.funcs[func.0 as usize].blocks[block.0 as usize];
+                    let batch = cb.batches[index];
+                    // Take the fast path only when every attempt in the
+                    // run fits under the step budget, so the limit lands
+                    // on the same instruction as the per-step loop.
+                    if batch.len > 0 && steps + u64::from(batch.len) <= max_steps {
+                        steps += u64::from(batch.len);
+                        if self.exec_batch(cb, index, batch) {
+                            return self.complete_run(violations_before);
+                        }
+                        continue;
+                    }
+                }
+            }
+            steps += 1;
+            if steps > max_steps {
+                return RunOutcome::StepLimit;
+            }
+            if self.compiled_step(&cp) {
+                return self.complete_run(violations_before);
+            }
+            if let Some(region) = self.livelocked {
+                return RunOutcome::Livelock { region };
+            }
+        }
+    }
+
+    /// Charges a whole batch in one draw, then runs its steps flat-out.
+    /// Returns true when `main` returned.
+    fn exec_batch(&mut self, cb: &CompiledBlock<'p>, start: usize, batch: Batch) -> bool {
+        self.stats.breakdown.compute += batch.compute_cycles;
+        self.stats.breakdown.output += batch.output_cycles;
+        self.stats.on_cycles += batch.cycles;
+        self.now_us += batch.us;
+        self.stats.on_time_us += batch.us;
+        // On a continuous supply this cannot report LowPower; the value
+        // is ignored for the same reason the interpreter ignores
+        // `consume` results after completion.
+        let _ = self
+            .supply
+            .consume_batch(self.costs.cycles_to_nj(batch.cycles));
+        for step in &cb.steps[start..start + batch.len as usize] {
+            self.tau += 1;
+            self.stats.instructions += 1;
+            if self.exec_action(step) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One checked attempt, mirroring the interpreter's `step` stage
+    /// for stage. Returns true when the program run completed.
+    fn compiled_step(&mut self, cp: &CompiledProgram<'p>) -> bool {
+        let Some(top) = self.vol.top() else {
+            return true;
+        };
+        let cb = &cp.funcs[top.func.0 as usize].blocks[top.block.0 as usize];
+        let step = &cb.steps[top.index];
+        let here = step.iref;
+
+        // 1. Pathological injection (pre-bound site flag).
+        if step.inject && !self.injector_fired.contains(&here) {
+            self.injector_fired.insert(here);
+            self.power_fail();
+            return false;
+        }
+
+        // 2. Pay for the operation; exhaustion fails before it takes
+        //    effect.
+        let low = match step.cost {
+            Cost::Static { cycles, us } => {
+                self.book_breakdown(step, cycles);
+                self.stats.on_cycles += cycles;
+                self.now_us += us;
+                self.stats.on_time_us += us;
+                self.supply.consume(self.costs.cycles_to_nj(cycles))
+            }
+            Cost::Dynamic => {
+                let cycles = self.dynamic_cost(&step.action);
+                self.book_breakdown(step, cycles);
+                self.charge(cycles)
+            }
+        };
+        if low == PowerEvent::LowPower {
+            self.power_fail();
+            return false;
+        }
+
+        // 3. Detector / expiry checks, only at pre-bound sites.
+        if step.checked && self.run_checks(here) {
+            self.mitigation_restart();
+            return false;
+        }
+
+        // 4. Execute.
+        self.tau += 1;
+        self.stats.instructions += 1;
+        self.exec_action(step)
+    }
+
+    fn book_breakdown(&mut self, step: &Step<'p>, cycles: u64) {
+        match step.cat {
+            compile::Cat::Compute => self.stats.breakdown.compute += cycles,
+            compile::Cat::Input => self.stats.breakdown.input += cycles,
+            compile::Cat::Output => self.stats.breakdown.output += cycles,
+            compile::Cat::Checkpoint => self.stats.breakdown.checkpoint += cycles,
+        }
+    }
+
+    /// State-dependent costs — charged through the same shared helpers
+    /// the interpreter's `op_cost` uses.
+    fn dynamic_cost(&self, action: &Action<'p>) -> u64 {
+        match action {
+            Action::AtomStart { region } => self.atom_start_cost(*region),
+            Action::AssignDeref { var, .. } => self.deref_write_cost(var),
+            Action::AssignDyn { place, .. } => self.assign_place_cost(place),
+            _ => unreachable!("only state-dependent actions carry Cost::Dynamic"),
+        }
+    }
+
+    /// Executes one pre-resolved step. Returns true when `main`
+    /// returned.
+    fn exec_action(&mut self, step: &Step<'p>) -> bool {
+        let here = step.iref;
+        match &step.action {
+            Action::Skip => {
+                self.advance();
+            }
+            Action::Bind { var, src } => {
+                let v = self.ceval(src);
+                self.vol
+                    .top_mut()
+                    .expect("frame exists")
+                    .locals
+                    .insert((*var).to_string(), v);
+                self.advance();
+            }
+            Action::AssignLocal { var, src } => {
+                let v = self.ceval(src);
+                let top = self.vol.top_mut().expect("frame exists");
+                if let Some(slot) = top.locals.get_mut(*var) {
+                    *slot = v;
+                } else if let Some(t) = top.refs.get(*var).cloned() {
+                    // Unreachable in validated programs (classification
+                    // excludes by-ref params), kept for exactness.
+                    self.write_target(&t, v);
+                } else {
+                    self.nv_write_scalar((*var).to_string(), v);
+                }
+                self.advance();
+            }
+            Action::AssignGlobal { slot, name, src } => {
+                let v = self.ceval(src);
+                self.nv_write_scalar_slot(*slot, name, v);
+                self.advance();
+            }
+            Action::AssignIndex {
+                name,
+                slot,
+                idx,
+                src,
+            } => {
+                let v = self.ceval(src);
+                let i = self.ceval(idx);
+                let (cell, old) = match slot {
+                    Some(s) => self.nv.write_idx_slot(*s, i.value, v),
+                    None => self.nv.write_idx(name, i.value, v),
+                };
+                if let Ctx::Atom { log, .. } = &mut self.ctx {
+                    if log.save(NvLoc::Cell((*name).to_string(), cell), old) {
+                        self.stats.log_words += 1;
+                    }
+                }
+                self.advance();
+            }
+            Action::AssignDeref { var, src } => {
+                let v = self.ceval(src);
+                let t = self
+                    .ref_target(var)
+                    .unwrap_or(RefTarget::Global((*var).to_string()));
+                self.write_target(&t, v);
+                self.advance();
+            }
+            Action::AssignDyn { place, src } => {
+                let v = self.ceval(src);
+                self.write_place(place, v);
+                self.advance();
+            }
+            Action::Input { var, sensor } => {
+                self.exec_input(here, var, sensor);
+            }
+            Action::Call { dst, callee, args } => {
+                self.exec_call(here, dst.map(str::to_string), *callee, args);
+            }
+            Action::Output { channel, args } => {
+                let vals: Vec<Tainted> = args.iter().map(|e| self.ceval(e)).collect();
+                let mut deps = BTreeSet::new();
+                for v in &vals {
+                    deps.extend(v.deps.iter().copied());
+                }
+                self.obs.push(Obs::Output {
+                    at: here,
+                    tau: self.tau,
+                    era: self.era,
+                    channel: (*channel).to_string(),
+                    values: vals.iter().map(|v| v.value).collect(),
+                    deps,
+                });
+                self.stats.outputs += 1;
+                self.advance();
+            }
+            Action::AtomStart { region } => {
+                // Advance first: rollback resumes after the marker.
+                self.advance();
+                self.atom_start(*region);
+            }
+            Action::AtomEnd { region } => {
+                self.atom_end(*region);
+                self.advance();
+            }
+            Action::Jump(b) => {
+                let top = self.vol.top_mut().expect("frame exists");
+                top.block = *b;
+                top.index = 0;
+            }
+            Action::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let v = self.ceval(cond);
+                let top = self.vol.top_mut().expect("frame exists");
+                top.block = if v.value != 0 { *then_bb } else { *else_bb };
+                top.index = 0;
+            }
+            Action::Ret(e) => {
+                let v = e
+                    .as_ref()
+                    .map(|e| self.ceval(e))
+                    .unwrap_or_else(|| Tainted::pure(0));
+                let done = self.vol.frames.pop().expect("frame exists");
+                match self.vol.top_mut() {
+                    Some(caller) => {
+                        if let Some(dst) = done.ret_dst {
+                            caller.locals.insert(dst, v);
+                        }
+                    }
+                    None => return true, // main returned
+                }
+            }
+        }
+        false
+    }
+
+    /// Evaluates a pre-classified expression; equivalent to the
+    /// interpreter's `eval` over the original [`ocelot_ir::ast::Expr`].
+    fn ceval(&self, e: &CExpr<'p>) -> Tainted {
+        match e {
+            CExpr::Const(n) => Tainted::pure(*n),
+            CExpr::Local(x) => {
+                if let Some(v) = self.vol.top().and_then(|t| t.locals.get(*x)) {
+                    v.clone()
+                } else {
+                    self.read_var(x)
+                }
+            }
+            CExpr::RefParam(x) => match self.ref_target(x) {
+                Some(t) => self.read_target(&t),
+                None => self.read_var(x),
+            },
+            CExpr::Global(slot) => self.nv.read_slot(*slot),
+            CExpr::DynVar(x) => self.read_var(x),
+            CExpr::Deref(x) => match self.ref_target(x) {
+                Some(t) => self.read_target(&t),
+                None => self.nv.read(x),
+            },
+            CExpr::Index { name, slot, idx } => {
+                let i = self.ceval(idx);
+                let mut v = match slot {
+                    Some(s) => self.nv.read_idx_slot(*s, i.value),
+                    None => self.nv.read_idx(name, i.value),
+                };
+                v.deps.extend(i.deps);
+                v
+            }
+            CExpr::Binary(op, l, r) => {
+                let a = self.ceval(l);
+                let b = self.ceval(r);
+                Tainted::combine(eval_binop(*op, a.value, b.value), &a, &b)
+            }
+            CExpr::Unary(op, x) => {
+                let a = self.ceval(x);
+                let value = match op {
+                    UnOp::Neg => a.value.wrapping_neg(),
+                    UnOp::Not => (a.value == 0) as i64,
+                };
+                Tainted {
+                    value,
+                    deps: a.deps,
+                }
+            }
+            CExpr::RefArg => Tainted::pure(0),
+        }
+    }
+}

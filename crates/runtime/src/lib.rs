@@ -36,6 +36,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod detect;
+pub mod exec;
 pub mod expiry;
 pub mod machine;
 pub mod memory;
@@ -45,6 +46,7 @@ pub mod samoyed;
 pub mod stats;
 
 pub use detect::{check_trace, BitVector, DetectorConfig, ViolationEvent, ViolationKind};
+pub use exec::ExecBackend;
 pub use expiry::{evaluate_expiry, ExpiryReport};
 pub use machine::{pathological_targets, Machine, RunOutcome};
 pub use model::{build, Built, ExecModel};

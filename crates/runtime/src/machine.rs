@@ -16,6 +16,7 @@
 //!   flatten via the `natom` counter.
 
 use crate::detect::{BitVector, DetectorConfig, ViolationKind};
+use crate::exec::{CompiledProgram, ExecBackend};
 use crate::memory::{Frame, NvLoc, NvMem, RefTarget, Tainted, UndoLog, VolState};
 use crate::obs::{Obs, ObsLog};
 use crate::stats::Stats;
@@ -26,18 +27,23 @@ use ocelot_hw::sensors::Environment;
 use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
 use ocelot_ir::{FuncId, InstrRef, Op, Place, Program, RegionId, Terminator};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Saved execution context `κ` (non-volatile).
 #[derive(Debug, Clone)]
-enum Ctx {
+pub(crate) enum Ctx {
     /// JIT mode; `None` until the first checkpoint (boot context points
     /// at the program start).
     Jit(Option<Box<VolState>>),
     /// Atomic mode: region-entry snapshot, undo log, nesting counter.
     Atom {
+        /// Region-entry snapshot of volatile state.
         snap: Box<VolState>,
+        /// Undo log of non-volatile pre-state.
         log: UndoLog,
+        /// Nesting counter for flattened inner regions.
         natom: u32,
+        /// The open region.
         region: RegionId,
     },
 }
@@ -104,42 +110,53 @@ enum WorkItem {
 }
 
 /// The intermittent execution machine.
+///
+/// Fields are crate-visible: the compiled execution backend
+/// ([`crate::exec`]) drives the same state through the same
+/// checked/observable helpers, so the two backends cannot drift apart
+/// on anything the paper's semantics observe.
 pub struct Machine<'p> {
-    p: &'p Program,
-    policies: PolicySet,
-    det_cfg: DetectorConfig,
-    region_omega: BTreeMap<RegionId, Vec<NvLoc>>,
-    env: Environment,
-    costs: CostModel,
-    supply: Box<dyn PowerSupply>,
-    injector_targets: BTreeSet<InstrRef>,
-    injector_fired: BTreeSet<InstrRef>,
+    pub(crate) p: &'p Program,
+    pub(crate) policies: PolicySet,
+    pub(crate) det_cfg: DetectorConfig,
+    pub(crate) region_omega: BTreeMap<RegionId, Vec<NvLoc>>,
+    pub(crate) env: Environment,
+    pub(crate) costs: CostModel,
+    pub(crate) supply: Box<dyn PowerSupply>,
+    pub(crate) injector_targets: BTreeSet<InstrRef>,
+    pub(crate) injector_fired: BTreeSet<InstrRef>,
 
-    nv: NvMem,
-    vol: VolState,
-    ctx: Ctx,
-    bitvec: BitVector,
-    obs: ObsLog,
-    tau: u64,
-    now_us: u64,
-    era: u64,
-    stats: Stats,
+    pub(crate) nv: NvMem,
+    pub(crate) vol: VolState,
+    pub(crate) ctx: Ctx,
+    pub(crate) bitvec: BitVector,
+    pub(crate) obs: ObsLog,
+    pub(crate) tau: u64,
+    pub(crate) now_us: u64,
+    pub(crate) era: u64,
+    pub(crate) stats: Stats,
     /// Maps fresh-policy check sites to the variable whose deps to log.
-    fresh_use_vars: BTreeMap<InstrRef, Vec<String>>,
+    pub(crate) fresh_use_vars: BTreeMap<InstrRef, Vec<String>>,
     /// Consecutive same-region rollbacks after which a run reports
     /// [`RunOutcome::Livelock`] (`None` = roll back forever, the
     /// paper's baseline semantics).
-    reexec_limit: Option<u64>,
-    consecutive_reexecs: u64,
-    livelocked: Option<RegionId>,
+    pub(crate) reexec_limit: Option<u64>,
+    pub(crate) consecutive_reexecs: u64,
+    pub(crate) livelocked: Option<RegionId>,
     /// TICS mode: expiration window in µs checked at fresh-use sites
     /// against an RTC that keeps time across power failures.
-    expiry_window: Option<u64>,
+    pub(crate) expiry_window: Option<u64>,
     /// Collection wall-clock time per input provenance chain (the NV
     /// timestamps TICS's timekeeping hardware provides). Only populated
     /// in TICS mode.
-    chain_times: BTreeMap<ocelot_analysis::taint::Prov, u64>,
-    expiry_restarts_this_run: u32,
+    pub(crate) chain_times: BTreeMap<ocelot_analysis::taint::Prov, u64>,
+    pub(crate) expiry_restarts_this_run: u32,
+    /// Which engine `run_once` drives.
+    pub(crate) backend: ExecBackend,
+    /// The pre-resolved program, built lazily on the first compiled
+    /// run and invalidated by builders that change what compilation
+    /// bakes in (the injector target set).
+    pub(crate) compiled: Option<Arc<CompiledProgram<'p>>>,
 }
 
 /// Mitigation restarts one run may spend before giving up and using the
@@ -220,6 +237,8 @@ impl<'p> Machine<'p> {
             expiry_window: None,
             chain_times: BTreeMap::new(),
             expiry_restarts_this_run: 0,
+            backend: ExecBackend::Interp,
+            compiled: None,
         }
     }
 
@@ -227,7 +246,23 @@ impl<'p> Machine<'p> {
     /// once per run).
     pub fn with_injector(mut self, targets: BTreeSet<InstrRef>) -> Self {
         self.injector_targets = targets;
+        // Injection sites are baked into compiled steps.
+        self.compiled = None;
         self
+    }
+
+    /// Selects the execution engine: the instruction-at-a-time
+    /// interpreter (the oracle) or the pre-resolved compiled backend.
+    /// Both produce identical [`Stats`], observation traces, and
+    /// [`RunOutcome`] sequences; the compiled backend is just faster.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The engine this machine runs on.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Reports [`RunOutcome::Livelock`] once a region rolls back `limit`
@@ -272,14 +307,10 @@ impl<'p> Machine<'p> {
 
     /// Runs `main` once to completion (or until `max_steps`).
     pub fn run_once(&mut self, max_steps: u64) -> RunOutcome {
-        self.vol = VolState {
-            frames: vec![Frame::at_entry(self.p, self.p.main)],
-        };
-        self.ctx = Ctx::Jit(None);
-        self.injector_fired.clear();
-        self.consecutive_reexecs = 0;
-        self.livelocked = None;
-        self.expiry_restarts_this_run = 0;
+        self.reset_run();
+        if self.backend == ExecBackend::Compiled {
+            return self.run_once_compiled(max_steps);
+        }
         let violations_before = self.stats.violations;
         let mut steps = 0u64;
         loop {
@@ -288,17 +319,34 @@ impl<'p> Machine<'p> {
                 return RunOutcome::StepLimit;
             }
             if self.step() {
-                self.stats.runs_completed += 1;
-                let violated = self.stats.violations > violations_before;
-                if violated {
-                    self.stats.runs_with_violation += 1;
-                }
-                return RunOutcome::Completed { violated };
+                return self.complete_run(violations_before);
             }
             if let Some(region) = self.livelocked {
                 return RunOutcome::Livelock { region };
             }
         }
+    }
+
+    /// Resets per-run state (both backends share this preamble).
+    pub(crate) fn reset_run(&mut self) {
+        self.vol = VolState {
+            frames: vec![Frame::at_entry(self.p, self.p.main)],
+        };
+        self.ctx = Ctx::Jit(None);
+        self.injector_fired.clear();
+        self.consecutive_reexecs = 0;
+        self.livelocked = None;
+        self.expiry_restarts_this_run = 0;
+    }
+
+    /// Books a completed run and reports whether it violated.
+    pub(crate) fn complete_run(&mut self, violations_before: u64) -> RunOutcome {
+        self.stats.runs_completed += 1;
+        let violated = self.stats.violations > violations_before;
+        if violated {
+            self.stats.runs_with_violation += 1;
+        }
+        RunOutcome::Completed { violated }
     }
 
     /// Runs the program back-to-back until `sim_duration_us` of
@@ -357,9 +405,7 @@ impl<'p> Machine<'p> {
             WorkItem::Inst(block.instrs[top_index].op.clone())
         };
         let cycles = match &work {
-            WorkItem::Term(Terminator::Jump(_)) => self.costs.alu / 2 + 1,
-            WorkItem::Term(Terminator::Branch { .. }) => self.costs.alu,
-            WorkItem::Term(Terminator::Ret(_)) => self.costs.call / 2,
+            WorkItem::Term(t) => static_term_cost(&self.costs, t),
             WorkItem::Inst(op) => self.op_cost(op),
         };
         match &work {
@@ -395,36 +441,48 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn op_cost(&self, op: &Op) -> u64 {
+    pub(crate) fn op_cost(&self, op: &Op) -> u64 {
         match op {
-            Op::Skip | Op::Annot { .. } => 1,
-            Op::Bind { .. } => self.costs.alu,
-            Op::Assign { place, .. } => match place {
-                Place::Var(x) if !self.is_local(x) => self.costs.nv_write,
-                Place::Index(..) => self.costs.nv_write,
-                Place::Deref(x) => match self.ref_target(x) {
-                    Some(RefTarget::Global(_)) => self.costs.nv_write,
-                    _ => self.costs.alu,
-                },
-                _ => self.costs.alu,
-            },
-            Op::Input { sensor, .. } => self.costs.input_cycles(sensor),
-            Op::Call { .. } => self.costs.call,
-            Op::Output { args, .. } => self.costs.output_word * (1 + args.len() as u64),
-            Op::AtomStart { region } => {
-                if matches!(self.ctx, Ctx::Atom { .. }) {
-                    // Atom-Start-Inner: just the nesting-counter bump.
-                    self.costs.alu
-                } else {
-                    let omega = self.region_omega.get(region).map(|l| l.len()).unwrap_or(0);
-                    self.costs.checkpoint_cycles(self.vol.words()) + self.costs.log_cycles(omega)
-                }
-            }
-            Op::AtomEnd { .. } => self.costs.alu,
+            Op::Assign { place, .. } => self.assign_place_cost(place),
+            Op::AtomStart { region } => self.atom_start_cost(*region),
+            _ => static_op_cost(&self.costs, op).expect("only Assign/AtomStart are dynamic"),
         }
     }
 
-    fn charge(&mut self, cycles: u64) -> PowerEvent {
+    /// Cost of a store to `place` in the current frame — dynamic
+    /// because an unbound destination (or a reference into a global)
+    /// pays the NV write. Shared by both backends' dynamic-cost paths.
+    pub(crate) fn assign_place_cost(&self, place: &Place) -> u64 {
+        match place {
+            Place::Var(x) if !self.is_local(x) => self.costs.nv_write,
+            Place::Index(..) => self.costs.nv_write,
+            Place::Deref(x) => self.deref_write_cost(x),
+            _ => self.costs.alu,
+        }
+    }
+
+    /// Cost of a store through reference parameter `x` (globals pay the
+    /// NV write; locals stay volatile).
+    pub(crate) fn deref_write_cost(&self, x: &str) -> u64 {
+        match self.ref_target(x) {
+            Some(RefTarget::Global(_)) => self.costs.nv_write,
+            _ => self.costs.alu,
+        }
+    }
+
+    /// Cost of entering `region`: a counter bump when already atomic
+    /// (Atom-Start-Inner), otherwise the checkpoint of the live
+    /// volatile state plus the eager ω log.
+    pub(crate) fn atom_start_cost(&self, region: RegionId) -> u64 {
+        if matches!(self.ctx, Ctx::Atom { .. }) {
+            self.costs.alu
+        } else {
+            let omega = self.region_omega.get(&region).map(|l| l.len()).unwrap_or(0);
+            self.costs.checkpoint_cycles(self.vol.words()) + self.costs.log_cycles(omega)
+        }
+    }
+
+    pub(crate) fn charge(&mut self, cycles: u64) -> PowerEvent {
         self.stats.on_cycles += cycles;
         let us = self.costs.cycles_to_us(cycles);
         self.now_us += us;
@@ -434,14 +492,14 @@ impl<'p> Machine<'p> {
 
     /// Charges time/cycles for shutdown-path work (checkpoint) from the
     /// comparator reserve: time passes but no further LowPower can fire.
-    fn charge_reserve(&mut self, cycles: u64) {
+    pub(crate) fn charge_reserve(&mut self, cycles: u64) {
         self.stats.on_cycles += cycles;
         let us = self.costs.cycles_to_us(cycles);
         self.now_us += us;
         self.stats.on_time_us += us;
     }
 
-    fn record_violations(&mut self, events: Vec<crate::detect::ViolationEvent>) {
+    pub(crate) fn record_violations(&mut self, events: Vec<crate::detect::ViolationEvent>) {
         for ev in events {
             self.stats.violations += 1;
             match ev.kind {
@@ -455,7 +513,7 @@ impl<'p> Machine<'p> {
     /// Runs the per-site detectors. Returns true when a TICS expiry
     /// check tripped and the mitigation handler should run *instead of*
     /// this operation.
-    fn run_checks(&mut self, here: InstrRef) -> bool {
+    pub(crate) fn run_checks(&mut self, here: InstrRef) -> bool {
         // TICS expiry check precedes the use: a tripped check prevents
         // the stale use (no violation) at the cost of a handler run.
         if self.expiry_check_trips(here) {
@@ -492,7 +550,7 @@ impl<'p> Machine<'p> {
     /// True when TICS mode is on, `here` uses a fresh-annotated value,
     /// and any input collection it depends on (by provenance chain) is
     /// older than the window.
-    fn expiry_check_trips(&mut self, here: InstrRef) -> bool {
+    pub(crate) fn expiry_check_trips(&mut self, here: InstrRef) -> bool {
         let Some(window) = self.expiry_window else {
             return false;
         };
@@ -513,7 +571,7 @@ impl<'p> Machine<'p> {
     /// The TICS mitigation handler: abandon the current run and restart
     /// `main` so every input is re-collected. Aborts any open atomic
     /// region first (its partial NV writes roll back).
-    fn mitigation_restart(&mut self) {
+    pub(crate) fn mitigation_restart(&mut self) {
         self.stats.expiry_restarts += 1;
         self.expiry_restarts_this_run += 1;
         if let Ctx::Atom { log, .. } = &mut self.ctx {
@@ -528,7 +586,7 @@ impl<'p> Machine<'p> {
 
     /// The dynamic provenance chain ending at `input_ref`: the call
     /// sites of every frame above `main`, then the input instruction.
-    fn dynamic_chain(&self, input_ref: InstrRef) -> ocelot_analysis::taint::Prov {
+    pub(crate) fn dynamic_chain(&self, input_ref: InstrRef) -> ocelot_analysis::taint::Prov {
         let mut chain: Vec<InstrRef> = self
             .vol
             .frames
@@ -544,7 +602,7 @@ impl<'p> Machine<'p> {
     // Power failure handling (Appendix H)
     // ------------------------------------------------------------------
 
-    fn power_fail(&mut self) {
+    pub(crate) fn power_fail(&mut self) {
         match &mut self.ctx {
             Ctx::Jit(saved) => {
                 // JIT-LowPower: checkpoint volatile state from the
@@ -644,35 +702,7 @@ impl<'p> Machine<'p> {
                 self.advance();
             }
             Op::Input { var, sensor } => {
-                let value = self.env.sample(sensor, self.now_us);
-                let t = Tainted::input(value, self.tau);
-                self.vol
-                    .top_mut()
-                    .expect("frame exists")
-                    .locals
-                    .insert(var.clone(), t);
-                let chain = self.dynamic_chain(here);
-                if self.expiry_window.is_some() {
-                    // TICS's timekeeping hardware: stamp the collection.
-                    self.chain_times.insert(chain.clone(), self.now_us);
-                }
-                // Consistency checks fire at the collection, before its
-                // own bit is set (§7.3).
-                let events =
-                    self.bitvec
-                        .check_input(&self.det_cfg, &chain, here, self.tau, self.era);
-                self.record_violations(events);
-                self.bitvec.set(&self.det_cfg, &chain);
-                self.obs.push(Obs::Input {
-                    at: here,
-                    tau: self.tau,
-                    time_us: self.now_us,
-                    era: self.era,
-                    sensor: sensor.clone(),
-                    value,
-                    chain,
-                });
-                self.advance();
+                self.exec_input(here, var, sensor);
             }
             Op::Call { dst, callee, args } => {
                 self.exec_call(here, dst.clone(), *callee, args);
@@ -708,7 +738,44 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn atom_start(&mut self, region: RegionId) {
+    /// Executes one input operation: sample, taint, stamp, run the
+    /// consistency checks of this collection, set its bit, record the
+    /// observation, and advance. Shared verbatim by both backends —
+    /// input is the most semantics-laden instruction, so there is
+    /// exactly one implementation of it.
+    pub(crate) fn exec_input(&mut self, here: InstrRef, var: &str, sensor: &str) {
+        let value = self.env.sample(sensor, self.now_us);
+        let t = Tainted::input(value, self.tau);
+        self.vol
+            .top_mut()
+            .expect("frame exists")
+            .locals
+            .insert(var.to_string(), t);
+        let chain = self.dynamic_chain(here);
+        if self.expiry_window.is_some() {
+            // TICS's timekeeping hardware: stamp the collection.
+            self.chain_times.insert(chain.clone(), self.now_us);
+        }
+        // Consistency checks fire at the collection, before its
+        // own bit is set (§7.3).
+        let events = self
+            .bitvec
+            .check_input(&self.det_cfg, &chain, here, self.tau, self.era);
+        self.record_violations(events);
+        self.bitvec.set(&self.det_cfg, &chain);
+        self.obs.push(Obs::Input {
+            at: here,
+            tau: self.tau,
+            time_us: self.now_us,
+            era: self.era,
+            sensor: sensor.to_string(),
+            value,
+            chain,
+        });
+        self.advance();
+    }
+
+    pub(crate) fn atom_start(&mut self, region: RegionId) {
         match &mut self.ctx {
             Ctx::Jit(_) => {
                 // Atom-Start-Outer: snapshot volatiles, eagerly log ω.
@@ -742,7 +809,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn atom_end(&mut self, _region: RegionId) {
+    pub(crate) fn atom_end(&mut self, _region: RegionId) {
         match &mut self.ctx {
             Ctx::Atom { natom, region, .. } => {
                 if *natom > 0 {
@@ -768,7 +835,13 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn exec_call(&mut self, here: InstrRef, dst: Option<String>, callee: FuncId, args: &[Arg]) {
+    pub(crate) fn exec_call(
+        &mut self,
+        here: InstrRef,
+        dst: Option<String>,
+        callee: FuncId,
+        args: &[Arg],
+    ) {
         let callee_fn = self.p.func(callee);
         let caller_idx = self.vol.frames.len() - 1;
         let mut locals = BTreeMap::new();
@@ -797,7 +870,7 @@ impl<'p> Machine<'p> {
         });
     }
 
-    fn exec_terminator(&mut self, term: &Terminator) -> bool {
+    pub(crate) fn exec_terminator(&mut self, term: &Terminator) -> bool {
         match term {
             Terminator::Jump(b) => {
                 let top = self.vol.top_mut().expect("frame exists");
@@ -835,7 +908,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn advance(&mut self) {
+    pub(crate) fn advance(&mut self) {
         let top = self.vol.top_mut().expect("frame exists");
         top.index += 1;
     }
@@ -844,18 +917,18 @@ impl<'p> Machine<'p> {
     // Values and memory
     // ------------------------------------------------------------------
 
-    fn is_local(&self, name: &str) -> bool {
+    pub(crate) fn is_local(&self, name: &str) -> bool {
         self.vol
             .top()
             .map(|f| f.locals.contains_key(name) || f.refs.contains_key(name))
             .unwrap_or(false)
     }
 
-    fn ref_target(&self, name: &str) -> Option<RefTarget> {
+    pub(crate) fn ref_target(&self, name: &str) -> Option<RefTarget> {
         self.vol.top().and_then(|f| f.refs.get(name).cloned())
     }
 
-    fn resolve_ref(&self, caller_idx: usize, x: &str) -> RefTarget {
+    pub(crate) fn resolve_ref(&self, caller_idx: usize, x: &str) -> RefTarget {
         let caller = &self.vol.frames[caller_idx];
         if let Some(t) = caller.refs.get(x) {
             t.clone() // forwarding an incoming reference
@@ -869,7 +942,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn read_var(&self, name: &str) -> Tainted {
+    pub(crate) fn read_var(&self, name: &str) -> Tainted {
         if let Some(top) = self.vol.top() {
             if let Some(v) = top.locals.get(name) {
                 return v.clone();
@@ -881,7 +954,7 @@ impl<'p> Machine<'p> {
         self.nv.read(name)
     }
 
-    fn read_target(&self, t: &RefTarget) -> Tainted {
+    pub(crate) fn read_target(&self, t: &RefTarget) -> Tainted {
         match t {
             RefTarget::Local { frame, var } => self.vol.frames[*frame]
                 .locals
@@ -892,7 +965,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn write_target(&mut self, t: &RefTarget, v: Tainted) {
+    pub(crate) fn write_target(&mut self, t: &RefTarget, v: Tainted) {
         match t {
             RefTarget::Local { frame, var } => {
                 self.vol.frames[*frame].locals.insert(var.clone(), v);
@@ -904,8 +977,24 @@ impl<'p> Machine<'p> {
     }
 
     /// Writes a non-volatile scalar, undo-logging inside atomic regions.
-    fn nv_write_scalar(&mut self, name: String, v: Tainted) {
+    pub(crate) fn nv_write_scalar(&mut self, name: String, v: Tainted) {
         let old = self.nv.write(&name, v);
+        self.log_scalar_undo(name, old);
+    }
+
+    /// Slot-resolved variant of [`Machine::nv_write_scalar`], used by
+    /// the compiled backend for declared globals (the undo log still
+    /// keys by name; costs are charged identically).
+    pub(crate) fn nv_write_scalar_slot(&mut self, slot: usize, name: &str, v: Tainted) {
+        let old = self.nv.write_slot(slot, v);
+        self.log_scalar_undo(name.to_string(), old);
+    }
+
+    /// Undo-logs the pre-write value of scalar `name` when inside an
+    /// atomic region, charging the dynamic log-write cost on a fresh
+    /// entry. The single charging path behind both backends' scalar NV
+    /// stores.
+    fn log_scalar_undo(&mut self, name: String, old: Tainted) {
         if let Ctx::Atom { log, .. } = &mut self.ctx {
             if log.save(NvLoc::Scalar(name), old) {
                 self.stats.log_words += 1;
@@ -920,7 +1009,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn write_place(&mut self, place: &Place, v: Tainted) {
+    pub(crate) fn write_place(&mut self, place: &Place, v: Tainted) {
         match place {
             Place::Var(x) => {
                 let top = self.vol.top_mut().expect("frame exists");
@@ -950,7 +1039,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn eval(&self, e: &Expr) -> Tainted {
+    pub(crate) fn eval(&self, e: &Expr) -> Tainted {
         match e {
             Expr::Int(n) => Tainted::pure(*n),
             Expr::Bool(b) => Tainted::pure(*b as i64),
@@ -987,7 +1076,35 @@ impl<'p> Machine<'p> {
     }
 }
 
-fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
+/// State-independent cycle cost of `op`, or `None` for the two
+/// operations whose cost depends on live machine state (`Assign`,
+/// whose destination decides volatile vs NV, and `AtomStart`, which
+/// checkpoints the live stack). The single source of the cost formulas
+/// for both the interpreter ([`Machine::op_cost`]) and the compiled
+/// backend's pre-computation ([`crate::exec`]).
+pub(crate) fn static_op_cost(costs: &CostModel, op: &Op) -> Option<u64> {
+    Some(match op {
+        Op::Skip | Op::Annot { .. } => 1,
+        Op::Bind { .. } => costs.alu,
+        Op::Assign { .. } | Op::AtomStart { .. } => return None,
+        Op::Input { sensor, .. } => costs.input_cycles(sensor),
+        Op::Call { .. } => costs.call,
+        Op::Output { args, .. } => costs.output_word * (1 + args.len() as u64),
+        Op::AtomEnd { .. } => costs.alu,
+    })
+}
+
+/// Cycle cost of a terminator — shared by the interpreter's step loop
+/// and the compiled backend's pre-computation.
+pub(crate) fn static_term_cost(costs: &CostModel, t: &Terminator) -> u64 {
+    match t {
+        Terminator::Jump(_) => costs.alu / 2 + 1,
+        Terminator::Branch { .. } => costs.alu,
+        Terminator::Ret(_) => costs.call / 2,
+    }
+}
+
+pub(crate) fn eval_binop(op: BinOp, a: i64, b: i64) -> i64 {
     match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),

@@ -48,10 +48,21 @@ impl Tainted {
 }
 
 /// Non-volatile memory: globals and arrays. Survives power failures.
+///
+/// Storage is slot-indexed: each kind (scalars, arrays) lives in a
+/// dense `Vec` with a name→slot map on the side. Declared globals get
+/// their slots in declaration order — the same numbering
+/// [`ocelot_ir::Program::scalar_slot`] / [`ocelot_ir::Program::array_slot`]
+/// document — and slots are append-only, so a slot resolved once (by
+/// the compiled execution backend) stays valid for the lifetime of the
+/// memory. The name-keyed API is unchanged and remains the fallback for
+/// accesses that cannot be resolved statically.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NvMem {
-    scalars: BTreeMap<String, Tainted>,
-    arrays: BTreeMap<String, Vec<Tainted>>,
+    scalar_index: BTreeMap<String, usize>,
+    scalars: Vec<Tainted>,
+    array_index: BTreeMap<String, usize>,
+    arrays: Vec<Vec<Tainted>>,
 }
 
 impl NvMem {
@@ -62,55 +73,133 @@ impl NvMem {
         for g in &p.globals {
             match g.array_len {
                 Some(n) => {
-                    nv.arrays.insert(g.name.clone(), vec![Tainted::pure(0); n]);
+                    nv.array_index.insert(g.name.clone(), nv.arrays.len());
+                    nv.arrays.push(vec![Tainted::pure(0); n]);
                 }
                 None => {
-                    nv.scalars.insert(g.name.clone(), Tainted::pure(g.init));
+                    nv.scalar_index.insert(g.name.clone(), nv.scalars.len());
+                    nv.scalars.push(Tainted::pure(g.init));
                 }
             }
         }
         nv
     }
 
+    /// The stable slot of scalar `name`, if it exists.
+    pub fn scalar_slot(&self, name: &str) -> Option<usize> {
+        self.scalar_index.get(name).copied()
+    }
+
+    /// The stable slot of array `name`, if it exists.
+    pub fn array_slot(&self, name: &str) -> Option<usize> {
+        self.array_index.get(name).copied()
+    }
+
     /// Reads a scalar global. Missing globals read as untainted 0
     /// (validation prevents this in checked programs).
     pub fn read(&self, name: &str) -> Tainted {
-        self.scalars.get(name).cloned().unwrap_or_default()
+        match self.scalar_index.get(name) {
+            Some(&i) => self.scalars[i].clone(),
+            None => Tainted::default(),
+        }
+    }
+
+    /// Reads the scalar at a pre-resolved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::scalar_slot`].
+    pub fn read_slot(&self, slot: usize) -> Tainted {
+        self.scalars[slot].clone()
     }
 
     /// Writes a scalar global, returning the previous value for undo
-    /// logging.
+    /// logging. Unknown names are allocated a fresh slot (hand-built IR
+    /// may store to undeclared names).
     pub fn write(&mut self, name: &str, v: Tainted) -> Tainted {
-        self.scalars.insert(name.to_string(), v).unwrap_or_default()
+        let slot = match self.scalar_index.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.scalars.len();
+                self.scalar_index.insert(name.to_string(), i);
+                self.scalars.push(Tainted::default());
+                i
+            }
+        };
+        std::mem::replace(&mut self.scalars[slot], v)
+    }
+
+    /// Writes the scalar at a pre-resolved slot, returning the previous
+    /// value for undo logging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::scalar_slot`].
+    pub fn write_slot(&mut self, slot: usize, v: Tainted) -> Tainted {
+        std::mem::replace(&mut self.scalars[slot], v)
     }
 
     /// Reads `name[idx]`; out-of-bounds indices clamp to the last cell
     /// (embedded-style saturation, keeping runs total).
     pub fn read_idx(&self, name: &str, idx: i64) -> Tainted {
-        match self.arrays.get(name) {
-            Some(a) if !a.is_empty() => {
-                let i = (idx.max(0) as usize).min(a.len() - 1);
-                a[i].clone()
-            }
-            _ => Tainted::default(),
+        match self.array_index.get(name) {
+            Some(&s) => self.read_idx_slot(s, idx),
+            None => Tainted::default(),
         }
+    }
+
+    /// Reads cell `idx` (clamped) of the array at a pre-resolved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::array_slot`].
+    pub fn read_idx_slot(&self, slot: usize, idx: i64) -> Tainted {
+        let a = &self.arrays[slot];
+        if a.is_empty() {
+            return Tainted::default();
+        }
+        let i = (idx.max(0) as usize).min(a.len() - 1);
+        a[i].clone()
     }
 
     /// Writes `name[idx]` (clamped), returning `(clamped_index, old)`.
     pub fn write_idx(&mut self, name: &str, idx: i64, v: Tainted) -> (usize, Tainted) {
-        match self.arrays.get_mut(name) {
-            Some(a) if !a.is_empty() => {
-                let i = (idx.max(0) as usize).min(a.len() - 1);
-                let old = std::mem::replace(&mut a[i], v);
-                (i, old)
-            }
-            _ => (0, Tainted::default()),
+        match self.array_index.get(name) {
+            Some(&s) => self.write_idx_slot(s, idx, v),
+            None => (0, Tainted::default()),
         }
+    }
+
+    /// Writes cell `idx` (clamped) of the array at a pre-resolved slot,
+    /// returning `(clamped_index, old)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::array_slot`].
+    pub fn write_idx_slot(&mut self, slot: usize, idx: i64, v: Tainted) -> (usize, Tainted) {
+        let a = &mut self.arrays[slot];
+        if a.is_empty() {
+            return (0, Tainted::default());
+        }
+        let i = (idx.max(0) as usize).min(a.len() - 1);
+        let old = std::mem::replace(&mut a[i], v);
+        (i, old)
     }
 
     /// True when `name` is an array.
     pub fn is_array(&self, name: &str) -> bool {
-        self.arrays.contains_key(name)
+        self.array_index.contains_key(name)
+    }
+
+    /// Restores one array cell without clamping (undo-log rollback
+    /// targets the exact logged index; out-of-range indices are
+    /// ignored, matching a log entry for a since-shrunk array).
+    fn restore_cell(&mut self, name: &str, idx: usize, v: Tainted) {
+        if let Some(&s) = self.array_index.get(name) {
+            if let Some(cell) = self.arrays[s].get_mut(idx) {
+                *cell = v;
+            }
+        }
     }
 }
 
@@ -240,11 +329,7 @@ impl UndoLog {
                     nv.write(name, old.clone());
                 }
                 NvLoc::Cell(name, idx) => {
-                    if let Some(a) = nv.arrays.get_mut(name) {
-                        if *idx < a.len() {
-                            a[*idx] = old.clone();
-                        }
-                    }
+                    nv.restore_cell(name, *idx, old.clone());
                 }
             }
         }
@@ -278,6 +363,49 @@ mod tests {
         assert_eq!(nv.read_idx("a", 2).value, 0);
         assert!(nv.is_array("a"));
         assert!(!nv.is_array("g"));
+    }
+
+    #[test]
+    fn slots_agree_with_the_ir_numbering_and_stay_stable() {
+        let p = compile("nv a = 1; nv arr[2]; nv b = 2; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        for g in &p.globals {
+            match g.array_len {
+                Some(_) => assert_eq!(nv.array_slot(&g.name), p.array_slot(&g.name), "{}", g.name),
+                None => assert_eq!(
+                    nv.scalar_slot(&g.name),
+                    p.scalar_slot(&g.name),
+                    "{}",
+                    g.name
+                ),
+            }
+        }
+        let a = nv.scalar_slot("a").unwrap();
+        // Runtime writes to undeclared names append; resolved slots
+        // never move.
+        nv.write("later", Tainted::pure(9));
+        assert_eq!(nv.scalar_slot("a"), Some(a));
+        assert_eq!(nv.read_slot(a).value, 1);
+        let old = nv.write_slot(a, Tainted::pure(7));
+        assert_eq!(old.value, 1);
+        assert_eq!(nv.read("a").value, 7, "slot and name views are one store");
+        assert_eq!(nv.read("later").value, 9);
+    }
+
+    #[test]
+    fn slot_indexed_array_access_matches_named_access() {
+        let p = compile("nv arr[3]; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        let s = nv.array_slot("arr").unwrap();
+        let (i, _) = nv.write_idx_slot(s, 1, Tainted::pure(5));
+        assert_eq!(i, 1);
+        assert_eq!(nv.read_idx("arr", 1).value, 5);
+        assert_eq!(nv.read_idx_slot(s, 99).value, 0, "clamps like read_idx");
+        assert_eq!(
+            nv.read_idx_slot(s, 99).value,
+            nv.read_idx("arr", 99).value,
+            "slot and name paths clamp identically"
+        );
     }
 
     #[test]

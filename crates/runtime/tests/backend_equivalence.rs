@@ -1,0 +1,415 @@
+//! Backend equivalence under power failure: the compiled engine must
+//! checkpoint, restore, roll back, and account *exactly* like the
+//! interpreter, wherever the failure lands.
+//!
+//! The mid-block sweeps force the supply to die at every instruction
+//! offset of a block (energy budgets walk the cumulative cost curve one
+//! nanojoule at a time, and every instruction costs at least 1 nJ), and
+//! assert the two backends agree on statistics, committed traces, and
+//! run outcomes — step for step, not just in aggregate.
+
+use ocelot_hw::energy::CostModel;
+use ocelot_hw::power::{ContinuousPower, PowerSupply, ScriptedPower};
+use ocelot_hw::sensors::{Environment, Signal};
+use ocelot_ir::{compile, Program};
+use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
+use ocelot_runtime::obs::Obs;
+use ocelot_runtime::ExecBackend;
+use std::collections::BTreeSet;
+
+fn build(
+    src: &str,
+) -> (
+    Program,
+    ocelot_core::PolicySet,
+    Vec<ocelot_core::RegionInfo>,
+) {
+    let p = compile(src).unwrap();
+    let regions = ocelot_core::collect_regions(&p).unwrap();
+    let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+    let policies = ocelot_core::build_policies(&p, &taint);
+    (p, policies, regions)
+}
+
+struct RunResult {
+    outcome: Vec<RunOutcome>,
+    stats: ocelot_runtime::Stats,
+    trace: Vec<Obs>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    p: &Program,
+    policies: &ocelot_core::PolicySet,
+    regions: &[ocelot_core::RegionInfo],
+    env: Environment,
+    supply: Box<dyn PowerSupply>,
+    backend: ExecBackend,
+    runs: u64,
+    inject: bool,
+) -> RunResult {
+    let mut m = Machine::new(
+        p,
+        regions,
+        policies.clone(),
+        env,
+        CostModel::default(),
+        supply,
+    )
+    .with_backend(backend);
+    if inject {
+        m = m.with_injector(pathological_targets(policies));
+    }
+    let outcome = (0..runs).map(|_| m.run_once(1_000_000)).collect();
+    RunResult {
+        outcome,
+        stats: m.stats().clone(),
+        trace: m.take_trace(),
+    }
+}
+
+/// Runs both backends over the same scripted budget and asserts full
+/// agreement.
+fn assert_equivalent(src: &str, env: &Environment, budgets: Vec<f64>, runs: u64, inject: bool) {
+    let (p, policies, regions) = build(src);
+    let mk = |backend| {
+        run(
+            &p,
+            &policies,
+            &regions,
+            env.clone(),
+            Box::new(ScriptedPower::new(budgets.clone(), 500)),
+            backend,
+            runs,
+            inject,
+        )
+    };
+    let interp = mk(ExecBackend::Interp);
+    let compiled = mk(ExecBackend::Compiled);
+    assert_eq!(
+        interp.outcome, compiled.outcome,
+        "outcomes diverged for budgets {budgets:?}"
+    );
+    assert_eq!(
+        interp.stats, compiled.stats,
+        "stats diverged for budgets {budgets:?}"
+    );
+    assert_eq!(
+        interp.trace, compiled.trace,
+        "traces diverged for budgets {budgets:?}"
+    );
+}
+
+#[test]
+fn jit_mid_block_failure_at_every_offset() {
+    // Straight-line block of binds: every nanojoule boundary between 1
+    // and well past the block's total cost places the comparator trip
+    // at a different instruction offset (binds cost 2 nJ each, the
+    // output 1600 nJ).
+    let src = r#"
+        fn main() {
+            let a = 1;
+            let b = a + 1;
+            let c = b * 2;
+            let d = c - 1;
+            let e = d + c;
+            out(log, e);
+        }
+    "#;
+    let (p, policies, regions) = build(src);
+    let env = Environment::new();
+    let mut checkpoint_footprints = BTreeSet::new();
+    // Whole-run cost: 5 binds (2 nJ each) + output (1600 nJ) + jump (2)
+    // + ret (6) = 1618 nJ; every budget below that fails exactly once.
+    for budget in (1..=30).chain([500, 1000, 1605, 1613, 1617]) {
+        let mk = |backend| {
+            run(
+                &p,
+                &policies,
+                &regions,
+                env.clone(),
+                Box::new(ScriptedPower::new(vec![budget as f64], 500)),
+                backend,
+                1,
+                false,
+            )
+        };
+        let interp = mk(ExecBackend::Interp);
+        let compiled = mk(ExecBackend::Compiled);
+        assert_eq!(interp.outcome, compiled.outcome, "budget {budget}");
+        assert_eq!(interp.stats, compiled.stats, "budget {budget}");
+        assert_eq!(interp.trace, compiled.trace, "budget {budget}");
+        assert!(
+            matches!(interp.outcome[0], RunOutcome::Completed { .. }),
+            "budget {budget}"
+        );
+        assert_eq!(
+            interp.stats.reboots, 1,
+            "budget {budget} failed exactly once"
+        );
+        checkpoint_footprints.insert(interp.stats.ckpt_words);
+    }
+    // The sweep genuinely moved the checkpoint across the block: each
+    // additional bound local grows the checkpointed footprint by one
+    // word, so at least as many distinct footprints as binds must show
+    // up (plus the pre-first-bind and in-output offsets).
+    assert!(
+        checkpoint_footprints.len() >= 5,
+        "failures covered ≥5 distinct offsets, got {checkpoint_footprints:?}"
+    );
+}
+
+#[test]
+fn atomic_region_mid_block_failure_at_every_offset() {
+    // Failures inside the region roll back NV writes and re-execute;
+    // the sweep walks the failure through region entry, the sample, the
+    // NV increments, and the commit.
+    let src = r#"
+        nv g = 0;
+        nv h = 0;
+        sensor s;
+        fn main() {
+            atomic {
+                let v = in(s);
+                g = g + v;
+                h = h + g;
+            }
+            out(log, g + h);
+        }
+    "#;
+    let env = Environment::new().with("s", Signal::Constant(3));
+    // Region entry ~600 nJ, input 4000 nJ, NV writes 4 nJ: sweep fine
+    // around the cheap tail and coarsely through the expensive sample.
+    for budget in (1..=40)
+        .map(|b| b * 25)
+        .chain([4600, 4610, 4620, 4640, 4700, 6300, 8000])
+    {
+        assert_equivalent(src, &env, vec![budget as f64], 1, false);
+    }
+}
+
+#[test]
+fn repeated_failures_and_multiple_runs_agree() {
+    let src = r#"
+        nv count = 0;
+        sensor s;
+        fn main() {
+            let acc = 0;
+            repeat 5 {
+                let v = in(s);
+                acc = acc + v;
+            }
+            count = count + 1;
+            out(log, acc + count);
+        }
+    "#;
+    let env = Environment::new().with("s", Signal::Constant(2));
+    // Several on-intervals per run, several runs back to back.
+    assert_equivalent(src, &env, vec![6000.0; 12], 3, false);
+}
+
+#[test]
+fn injected_pathological_failures_agree() {
+    let src = "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }";
+    let env = Environment::new().with("s", Signal::Constant(5));
+    let (p, policies, regions) = build(src);
+    for backend_pair_runs in [1u64, 3] {
+        let mk = |backend| {
+            run(
+                &p,
+                &policies,
+                &regions,
+                env.clone(),
+                Box::new(ContinuousPower),
+                backend,
+                backend_pair_runs,
+                true,
+            )
+        };
+        let interp = mk(ExecBackend::Interp);
+        let compiled = mk(ExecBackend::Compiled);
+        assert_eq!(interp.outcome, compiled.outcome);
+        assert_eq!(interp.stats, compiled.stats);
+        assert_eq!(interp.trace, compiled.trace);
+        assert!(interp.stats.fresh_violations >= 1, "the injection fired");
+    }
+}
+
+#[test]
+fn tics_expiry_mitigation_agrees() {
+    let src = "sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }";
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with("s", Signal::Constant(5));
+    let mk = |backend| {
+        let mut m = Machine::new(
+            &p,
+            &regions,
+            policies.clone(),
+            env.clone(),
+            CostModel::default(),
+            Box::new(ScriptedPower::new(vec![4_500.0; 200], 100_000)),
+        )
+        .with_backend(backend)
+        .with_expiry_window(10_000);
+        let outcome = vec![m.run_once(10_000_000)];
+        RunResult {
+            outcome,
+            stats: m.stats().clone(),
+            trace: m.take_trace(),
+        }
+    };
+    let interp = mk(ExecBackend::Interp);
+    let compiled = mk(ExecBackend::Compiled);
+    assert_eq!(interp.outcome, compiled.outcome);
+    assert_eq!(interp.stats, compiled.stats);
+    assert_eq!(interp.trace, compiled.trace);
+    assert!(interp.stats.expiry_restarts >= 25, "handler thrashed");
+}
+
+#[test]
+fn step_limit_lands_on_the_same_attempt() {
+    // The batched fast path must not overshoot the step budget: an
+    // infinite loop capped at various limits has to stop exactly where
+    // the interpreter stops, including mid-batch limits.
+    let src = "nv g = 0; fn main() { while true { g = g + 1; } }";
+    let (p, policies, regions) = build(src);
+    for max_steps in [1u64, 2, 3, 7, 100, 101, 102, 5000] {
+        let mk = |backend| {
+            let mut m = Machine::new(
+                &p,
+                &regions,
+                policies.clone(),
+                Environment::new(),
+                CostModel::default(),
+                Box::new(ContinuousPower),
+            )
+            .with_backend(backend);
+            let out = m.run_once(max_steps);
+            (out, m.stats().clone())
+        };
+        let (oi, si) = mk(ExecBackend::Interp);
+        let (oc, sc) = mk(ExecBackend::Compiled);
+        assert_eq!(oi, RunOutcome::StepLimit);
+        assert_eq!(oi, oc, "max_steps {max_steps}");
+        assert_eq!(si, sc, "max_steps {max_steps}");
+    }
+}
+
+#[test]
+fn livelock_and_reexec_limits_agree() {
+    let src = r#"
+        sensor s;
+        fn main() {
+            atomic {
+                let a = in(s);
+                let b = in(s);
+                out(log, a + b);
+            }
+        }
+    "#;
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with("s", Signal::Constant(1));
+    let mk = |backend| {
+        let mut m = Machine::new(
+            &p,
+            &regions,
+            policies.clone(),
+            env.clone(),
+            CostModel::default(),
+            Box::new(ScriptedPower::new(vec![5_000.0; 500], 1_000)),
+        )
+        .with_backend(backend)
+        .with_reexec_limit(10);
+        let out = m.run_once(1_000_000);
+        (out, m.stats().clone())
+    };
+    let (oi, si) = mk(ExecBackend::Interp);
+    let (oc, sc) = mk(ExecBackend::Compiled);
+    assert!(matches!(oi, RunOutcome::Livelock { .. }), "{oi:?}");
+    assert_eq!(oi, oc);
+    assert_eq!(si, sc);
+}
+
+#[test]
+fn continuous_power_features_sweep_agrees() {
+    // Calls, by-ref params, arrays, nested regions, branches — the
+    // batched fast path across language features, with wall-clock
+    // driven sensors so any timing drift shows up in values.
+    let src = r#"
+        nv table[4];
+        nv total = 0;
+        sensor s;
+        fn bump(&dst, v) { *dst = *dst + v; }
+        fn grab() { let v = in(s); return v; }
+        fn main() {
+            let i = 0;
+            repeat 4 {
+                let v = grab();
+                table[i] = v;
+                bump(&total, v);
+                i = i + 1;
+            }
+            atomic {
+                total = total + 1;
+                atomic { total = total + 10; }
+            }
+            if total > 20 { out(log, total); } else { out(log, 0 - total); }
+        }
+    "#;
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with(
+        "s",
+        Signal::Noisy {
+            base: Box::new(Signal::Constant(7)),
+            amplitude: 3,
+            seed: 9,
+        },
+    );
+    let mk = |backend| {
+        run(
+            &p,
+            &policies,
+            &regions,
+            env.clone(),
+            Box::new(ContinuousPower),
+            backend,
+            4,
+            false,
+        )
+    };
+    let interp = mk(ExecBackend::Interp);
+    let compiled = mk(ExecBackend::Compiled);
+    assert_eq!(interp.outcome, compiled.outcome);
+    assert_eq!(interp.stats, compiled.stats);
+    assert_eq!(interp.trace, compiled.trace);
+    assert!(matches!(
+        interp.outcome[0],
+        RunOutcome::Completed { violated: false }
+    ));
+}
+
+#[test]
+fn run_for_agrees_across_backends() {
+    let src = "sensor s; fn main() { let v = in(s); out(log, v); }";
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with("s", Signal::Constant(4));
+    let mk = |backend| {
+        let mut m = Machine::new(
+            &p,
+            &regions,
+            policies.clone(),
+            env.clone(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        )
+        .with_backend(backend);
+        let runs = m.run_for(50_000, 100_000);
+        (runs, m.stats().clone(), m.take_trace())
+    };
+    let (ri, si, ti) = mk(ExecBackend::Interp);
+    let (rc, sc, tc) = mk(ExecBackend::Compiled);
+    assert!(ri > 1);
+    assert_eq!(ri, rc);
+    assert_eq!(si, sc);
+    assert_eq!(ti, tc);
+}

@@ -13,6 +13,8 @@
 //! ocelotc run     <file> [opts] execute on simulated harvested power
 //!     --continuous              bench power instead of harvesting
 //!     --jit                     skip region inference (JIT-only build)
+//!     --backend <interp|compiled> execution engine (default interp);
+//!                               identical results, compiled is faster
 //!     --tics <µs>               JIT + TICS-style expiry window with
 //!                               restart mitigation (implies --jit)
 //!     --runs <n>                complete program runs (default 10)
@@ -315,6 +317,7 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut continuous = false;
     let mut jit = false;
+    let mut backend = ExecBackend::Interp;
     let mut tics: Option<u64> = None;
     let mut env = Environment::new();
     let mut have_sensor = false;
@@ -323,6 +326,10 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
         match o.as_str() {
             "--continuous" => continuous = true,
             "--jit" => jit = true,
+            "--backend" => match it.next().map(|v| ExecBackend::parse(v)) {
+                Some(Some(b)) => backend = b,
+                _ => return usage_err("--backend needs `interp` or `compiled`"),
+            },
             "--tics" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(w) => {
                     tics = Some(w);
@@ -392,7 +399,8 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
         env,
         CostModel::default(),
         supply,
-    );
+    )
+    .with_backend(backend);
     if let Some(w) = tics {
         machine = machine.with_expiry_window(w);
     }

@@ -84,4 +84,5 @@ pub mod prelude {
     pub use ocelot_progress::{ProgressReport, Verdict};
     pub use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
     pub use ocelot_runtime::model::{build, ExecModel};
+    pub use ocelot_runtime::ExecBackend;
 }

@@ -21,20 +21,37 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    /// `--test` smoke mode: run every benchmark closure once to prove
+    /// it executes, skipping the timed sampling — mirrors real
+    /// criterion's `cargo bench -- --test`, and is what CI runs so the
+    /// bench suite cannot bit-rot without the cost of a full run.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets how many timed samples each benchmark collects.
+    /// Sets how many timed samples each benchmark collects (`--test`
+    /// mode overrides this to a single sample).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -52,7 +69,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), self.sample_size, &mut f);
+        run_one(&id.to_string(), self.effective_samples(), &mut f);
     }
 }
 
@@ -69,7 +86,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.criterion.sample_size, &mut f);
+        run_one(&full, self.criterion.effective_samples(), &mut f);
     }
 
     /// Runs `f` with a borrowed input as the benchmark `group/id`.
@@ -78,7 +95,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        run_one(&full, self.criterion.effective_samples(), &mut |b| {
+            f(b, input)
+        });
     }
 
     /// Ends the group (a no-op in this shim, kept for API parity).
@@ -213,9 +232,19 @@ mod tests {
     #[test]
     fn bench_function_runs_routine_sample_size_times() {
         let mut c = Criterion::default().sample_size(7);
+        c.test_mode = false;
         let mut calls = 0u32;
         c.bench_function("counting", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion::default().sample_size(50);
+        c.test_mode = true;
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "--test proves execution without sampling");
     }
 
     #[test]
