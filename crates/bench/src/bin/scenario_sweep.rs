@@ -1,0 +1,13 @@
+//! Scenario sweep — every extension app under every scenario in the
+//! `ocelot-scenario` registry, at several seeds, JIT vs Ocelot.
+//!
+//! Thin wrapper over the `scenario_sweep` driver in
+//! `ocelot_bench::drivers`: supports `--jobs`, `--out`, `--runs`,
+//! `--seed`, `--backend`, `--traces`, `--replay` (see `--help` or
+//! `docs/bench.md`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("scenario_sweep")
+}

@@ -3,14 +3,18 @@
 //!
 //! ```text
 //! <driver> [--jobs N] [--out DIR] [--runs N] [--seed N]
-//!          [--backend interp|compiled] [--replay]
+//!          [--backend interp|compiled] [--traces] [--replay]
 //! ```
 //!
 //! Default flow: `collect` the sweep on `--jobs` workers, persist the
 //! artifact to `<out>/<driver>.json`, then render the table/figure from
 //! the artifact. With `--replay`, skip collection entirely and render
 //! whatever is on disk — the persisted JSON is the single source of
-//! truth either way.
+//! truth either way. `--traces` additionally persists the raw per-cell
+//! observation logs to `<out>/<driver>_traces.json` (same versioned
+//! envelope; summary appended to the rendered output), and composes
+//! with `--replay` to re-summarize the persisted traces without
+//! re-simulating.
 
 use crate::artifact::Artifact;
 use crate::drivers::{self, Driver, DriverOpts};
@@ -38,6 +42,8 @@ pub struct BenchArgs {
     /// Execution backend for simulated cells (`--backend`, default
     /// `interp`).
     pub backend: ExecBackend,
+    /// Persist (or, with `--replay`, re-render) raw observation traces.
+    pub traces: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -51,6 +57,7 @@ impl Default for BenchArgs {
             runs: None,
             seed: None,
             backend: ExecBackend::Interp,
+            traces: false,
             help: false,
         }
     }
@@ -95,6 +102,7 @@ impl BenchArgs {
                     out.backend = ExecBackend::parse(&v)
                         .ok_or_else(|| format!("bad --backend value `{v}` (interp|compiled)"))?;
                 }
+                "--traces" => out.traces = true,
                 "--replay" => out.replay = true,
                 "--help" | "-h" => out.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -108,7 +116,7 @@ fn usage(d: &Driver) -> String {
     format!(
         "{} — {}\n\n\
          usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N]\n\
-                     [--backend interp|compiled] [--replay]\n\n\
+                     [--backend interp|compiled] [--traces] [--replay]\n\n\
          --jobs N    worker threads for the sweep (default: all cores)\n\
          --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
          --runs N    scale override: run count, or simulated seconds for\n\
@@ -121,8 +129,12 @@ fn usage(d: &Driver) -> String {
                      (default) or `compiled`; results are identical, the\n\
                      compiled engine is faster, and the artifact records\n\
                      which one produced it\n\
+         --traces    also persist raw per-cell observation logs to\n\
+                     <out>/{}_traces.json (uniform cell sweeps only) and\n\
+                     append their summary; with --replay, re-render the\n\
+                     persisted traces instead of re-simulating\n\
          --replay    render from <out>/{}.json without re-simulating\n",
-        d.name, d.about, d.name, d.name
+        d.name, d.about, d.name, d.name, d.name
     )
 }
 
@@ -149,14 +161,35 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
         print!("{}", usage(d));
         return ExitCode::SUCCESS;
     }
-    let artifact = if parsed.replay {
-        match Artifact::load(&parsed.out, d.name) {
+    if parsed.traces && !parsed.replay && d.collect_traced.is_none() {
+        eprintln!(
+            "error: driver `{}` does not support --traces (its cells are \
+             bespoke per-bench jobs, not a uniform sweep)",
+            d.name
+        );
+        return ExitCode::from(2);
+    }
+    let traces_name = crate::traces::traces_driver_name(d.name);
+    let (artifact, trace_artifact) = if parsed.replay {
+        let a = match Artifact::load(&parsed.out, d.name) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("error: cannot replay: {e}");
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        let t = if parsed.traces {
+            match Artifact::load(&parsed.out, &traces_name) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("error: cannot replay traces: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
+        (a, t)
     } else {
         let opts = DriverOpts {
             jobs: parsed.jobs,
@@ -164,26 +197,41 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
             seed: parsed.seed,
             backend: parsed.backend,
         };
-        let a = (d.collect)(&opts);
-        match a.save(&parsed.out) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
+        let (a, t) = match (parsed.traces, d.collect_traced) {
+            (true, Some(traced)) => {
+                let (a, t) = traced(&opts);
+                (a, Some(t))
+            }
+            _ => ((d.collect)(&opts), None),
+        };
+        for artifact in std::iter::once(&a).chain(t.as_ref()) {
+            match artifact.save(&parsed.out) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot persist artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (a, t)
+    };
+    match (d.render)(&artifact) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: cannot render artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(t) = trace_artifact {
+        match crate::traces::render_traces(&t) {
+            Ok(text) => print!("{text}"),
             Err(e) => {
-                eprintln!("error: cannot persist artifact: {e}");
+                eprintln!("error: cannot render traces: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        a
-    };
-    match (d.render)(&artifact) {
-        Ok(text) => {
-            print!("{text}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("error: cannot render artifact: {e}");
-            ExitCode::FAILURE
-        }
     }
+    ExitCode::SUCCESS
 }
 
 /// Lists every driver with its description (for `ocelotc bench --list`).

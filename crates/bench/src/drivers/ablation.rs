@@ -33,6 +33,7 @@ pub static ABLATION_REGION_SIZE: Driver = Driver {
     about: "ablation: smallest-region inference vs whole-main regions (§5.3, §8)",
     collect: collect_ablation,
     render: render_ablation,
+    collect_traced: None,
 };
 
 fn collect_ablation(opts: &DriverOpts) -> Artifact {
@@ -178,6 +179,7 @@ pub static PROGRESS_REPORT: Driver = Driver {
     about: "forward-progress report: worst-case region energy vs buffer (§5.3, §10)",
     collect: collect_progress,
     render: render_progress,
+    collect_traced: None,
 };
 
 fn collect_progress(opts: &DriverOpts) -> Artifact {
@@ -282,6 +284,7 @@ pub static SAMOYED_SCALING: Driver = Driver {
     about: "Samoyed scaling rules and fallbacks vs Ocelot fixed regions (§7.4, §9)",
     collect: collect_samoyed,
     render: render_samoyed,
+    collect_traced: None,
 };
 
 /// Capacitor sweep of the original binary, in nanojoules.

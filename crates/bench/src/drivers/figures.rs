@@ -2,7 +2,9 @@
 //! (intermittent runtimes with charging time), and the extension
 //! cycle-breakdown behind both.
 
-use super::{bench_names, cell_benches, collect_sim, find_stats, Driver, DriverOpts};
+use super::{
+    bench_names, cell_benches, collect_sim, collect_sim_traced, find_stats, Driver, DriverOpts,
+};
 use crate::artifact::{Artifact, ArtifactError};
 use crate::harness::{CellSpec, Workload};
 use crate::json::Json;
@@ -15,9 +17,10 @@ pub static FIG7: Driver = Driver {
     about: "Figure 7: continuous-power runtimes (JIT / Atomics-only / Ocelot)",
     collect: collect_fig7,
     render: render_fig7,
+    collect_traced: Some(collect_fig7_traced),
 };
 
-fn collect_fig7(opts: &DriverOpts) -> Artifact {
+fn plan_fig7(opts: &DriverOpts) -> (Vec<(String, Json)>, Vec<CellSpec>) {
     let runs = opts.runs_or(25);
     let seed = opts.seed_or(42);
     let mut specs = Vec::new();
@@ -31,15 +34,23 @@ fn collect_fig7(opts: &DriverOpts) -> Artifact {
             ));
         }
     }
-    collect_sim(
-        "fig7",
+    (
         vec![
             ("runs".into(), Json::u64(runs)),
             ("seed".into(), Json::u64(seed)),
         ],
-        &specs,
-        opts,
+        specs,
     )
+}
+
+fn collect_fig7(opts: &DriverOpts) -> Artifact {
+    let (config, specs) = plan_fig7(opts);
+    collect_sim("fig7", config, &specs, opts)
+}
+
+fn collect_fig7_traced(opts: &DriverOpts) -> (Artifact, Artifact) {
+    let (config, specs) = plan_fig7(opts);
+    collect_sim_traced("fig7", config, &specs, opts)
 }
 
 fn render_fig7(a: &Artifact) -> Result<String, ArtifactError> {
@@ -78,9 +89,10 @@ pub static FIG8: Driver = Driver {
     about: "Figure 8: intermittent runtimes with charging time, vs continuous JIT",
     collect: collect_fig8,
     render: render_fig8,
+    collect_traced: Some(collect_fig8_traced),
 };
 
-fn collect_fig8(opts: &DriverOpts) -> Artifact {
+fn plan_fig8(opts: &DriverOpts) -> (Vec<(String, Json)>, Vec<CellSpec>) {
     let runs = opts.runs_or(25);
     let seed = opts.seed_or(42);
     let mut specs = Vec::new();
@@ -101,15 +113,23 @@ fn collect_fig8(opts: &DriverOpts) -> Artifact {
             ));
         }
     }
-    collect_sim(
-        "fig8",
+    (
         vec![
             ("runs".into(), Json::u64(runs)),
             ("seed".into(), Json::u64(seed)),
         ],
-        &specs,
-        opts,
+        specs,
     )
+}
+
+fn collect_fig8(opts: &DriverOpts) -> Artifact {
+    let (config, specs) = plan_fig8(opts);
+    collect_sim("fig8", config, &specs, opts)
+}
+
+fn collect_fig8_traced(opts: &DriverOpts) -> (Artifact, Artifact) {
+    let (config, specs) = plan_fig8(opts);
+    collect_sim_traced("fig8", config, &specs, opts)
 }
 
 fn render_fig8(a: &Artifact) -> Result<String, ArtifactError> {
@@ -175,12 +195,13 @@ pub static ENERGY_BREAKDOWN: Driver = Driver {
     about: "extension: per-category active-cycle breakdown behind Figures 7/8",
     collect: collect_energy,
     render: render_energy,
+    collect_traced: Some(collect_energy_traced),
 };
 
 /// Row order of the original binary: JIT, Ocelot, Atomics-only.
 const ENERGY_MODELS: [ExecModel; 3] = [ExecModel::Jit, ExecModel::Ocelot, ExecModel::AtomicsOnly];
 
-fn collect_energy(opts: &DriverOpts) -> Artifact {
+fn plan_energy(opts: &DriverOpts) -> (Vec<(String, Json)>, Vec<CellSpec>) {
     let runs = opts.runs_or(25);
     let seed = opts.seed_or(31);
     let mut specs = Vec::new();
@@ -194,15 +215,23 @@ fn collect_energy(opts: &DriverOpts) -> Artifact {
             ));
         }
     }
-    collect_sim(
-        "energy_breakdown",
+    (
         vec![
             ("runs".into(), Json::u64(runs)),
             ("seed".into(), Json::u64(seed)),
         ],
-        &specs,
-        opts,
+        specs,
     )
+}
+
+fn collect_energy(opts: &DriverOpts) -> Artifact {
+    let (config, specs) = plan_energy(opts);
+    collect_sim("energy_breakdown", config, &specs, opts)
+}
+
+fn collect_energy_traced(opts: &DriverOpts) -> (Artifact, Artifact) {
+    let (config, specs) = plan_energy(opts);
+    collect_sim_traced("energy_breakdown", config, &specs, opts)
 }
 
 fn render_energy(a: &Artifact) -> Result<String, ArtifactError> {

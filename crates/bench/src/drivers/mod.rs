@@ -19,6 +19,7 @@
 mod ablation;
 mod figures;
 mod runtime_tables;
+mod scenarios;
 mod tables;
 mod tics;
 
@@ -71,6 +72,10 @@ impl DriverOpts {
     }
 }
 
+/// A traced collection: one simulated pass producing the result
+/// artifact and its `<name>_traces` companion.
+pub type CollectTraced = fn(&DriverOpts) -> (Artifact, Artifact);
+
 /// One registered driver.
 pub struct Driver {
     /// Registry name — also the binary name and the artifact file stem.
@@ -82,10 +87,17 @@ pub struct Driver {
     /// Renders the table/figure purely from a (possibly reloaded)
     /// artifact.
     pub render: fn(&Artifact) -> Result<String, ArtifactError>,
+    /// When present, the driver can run its sweep once and return both
+    /// the result artifact *and* a raw-observation companion artifact
+    /// (`<name>_traces`) — the `--traces` flag. Uniform cell sweeps
+    /// support this; drivers with bespoke per-bench jobs (static
+    /// tables, TICS comparisons) do not.
+    pub collect_traced: Option<CollectTraced>,
 }
 
-/// Every driver, in the order the paper presents its artifacts.
-pub fn all() -> [&'static Driver; 13] {
+/// Every driver, in the order the paper presents its artifacts (the
+/// extension sweeps follow).
+pub fn all() -> [&'static Driver; 14] {
     [
         &tables::TABLE1,
         &figures::FIG7,
@@ -100,6 +112,7 @@ pub fn all() -> [&'static Driver; 13] {
         &tics::TICS_EXPIRY,
         &tics::TICS_DYNAMIC,
         &figures::ENERGY_BREAKDOWN,
+        &scenarios::SCENARIO_SWEEP,
     ]
 }
 
@@ -144,26 +157,75 @@ pub(crate) fn collect_sim(
     specs: &[crate::harness::CellSpec],
     opts: &DriverOpts,
 ) -> Artifact {
-    // The backend is uniform across the sweep and recorded once in the
-    // config for provenance: a replayed artifact says which engine
-    // simulated it.
-    let specs: Vec<crate::harness::CellSpec> = specs
-        .iter()
-        .map(|s| s.clone().with_backend(opts.backend))
-        .collect();
-    config.push(("backend".into(), Json::str(opts.backend.name())));
+    let specs = bind_backend(specs, &mut config, opts);
     let stats = crate::harness::run_cells(&specs, opts.jobs);
     let mut a = Artifact::new(driver, config);
     for (spec, s) in specs.iter().zip(&stats) {
-        a.cells.push(sim_cell(
-            &spec.bench,
-            spec.model,
-            spec.seed,
-            spec.workload,
-            s,
-        ));
+        a.cells.push(spec_cell(spec, s));
     }
     a
+}
+
+/// As [`collect_sim`], but simulating each cell exactly once and
+/// returning both the result artifact and the raw-observation
+/// companion artifact (`<driver>_traces`, cells in the same order with
+/// the same identity members plus a `"trace"` member).
+pub(crate) fn collect_sim_traced(
+    driver: &str,
+    mut config: Vec<(String, Json)>,
+    specs: &[crate::harness::CellSpec],
+    opts: &DriverOpts,
+) -> (Artifact, Artifact) {
+    let specs = bind_backend(specs, &mut config, opts);
+    let runs = crate::harness::run_cells_full(&specs, opts.jobs);
+    let mut a = Artifact::new(driver, config.clone());
+    let mut t = Artifact::new(&crate::traces::traces_driver_name(driver), config);
+    for (spec, run) in specs.iter().zip(&runs) {
+        a.cells.push(spec_cell(spec, &run.stats));
+        let mut pairs = cell_identity(spec);
+        pairs.push(("trace", crate::traces::trace_to_json(&run.trace)));
+        t.cells.push(Json::obj(pairs));
+    }
+    (a, t)
+}
+
+/// Binds the sweep's uniform backend onto every spec and records it
+/// once in the config for provenance: a replayed artifact says which
+/// engine simulated it.
+fn bind_backend(
+    specs: &[crate::harness::CellSpec],
+    config: &mut Vec<(String, Json)>,
+    opts: &DriverOpts,
+) -> Vec<crate::harness::CellSpec> {
+    config.push(("backend".into(), Json::str(opts.backend.name())));
+    specs
+        .iter()
+        .map(|s| s.clone().with_backend(opts.backend))
+        .collect()
+}
+
+/// The identity members of a cell built from its spec: `bench`,
+/// `model`, `seed`, the scenario binding when present, and the
+/// workload tags.
+pub(crate) fn cell_identity(spec: &crate::harness::CellSpec) -> Vec<(&'static str, Json)> {
+    let mut pairs = vec![
+        ("bench", Json::str(&spec.bench)),
+        ("model", Json::str(spec.model.name())),
+        ("seed", Json::u64(spec.seed)),
+    ];
+    if let Some(sc) = &spec.scenario {
+        pairs.push(("scenario", Json::str(sc)));
+    }
+    pairs.extend(workload_pairs(spec.workload));
+    pairs
+}
+
+/// The standard simulation-cell object for `spec`:
+/// `{identity..., stats}`.
+pub(crate) fn spec_cell(spec: &crate::harness::CellSpec, stats: &Stats) -> Json {
+    let mut pairs = cell_identity(spec);
+    pairs.push(("stats", crate::artifact::stats_to_json(stats)));
+    Json::obj(pairs)
 }
 
 /// Tags identifying a workload inside a cell object.
@@ -291,7 +353,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let names: Vec<&str> = all().iter().map(|d| d.name).collect();
-        assert_eq!(names.len(), 13, "all thirteen drivers registered");
+        assert_eq!(names.len(), 14, "all fourteen drivers registered");
         for n in &names {
             assert!(by_name(n).is_some());
             assert_eq!(

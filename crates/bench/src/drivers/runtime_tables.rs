@@ -2,7 +2,7 @@
 //! and Table 2(b) — harvested intermittent power for a fixed simulated
 //! wall-clock budget.
 
-use super::{bench_names, collect_sim, find_stats, Driver, DriverOpts};
+use super::{bench_names, collect_sim, collect_sim_traced, find_stats, Driver, DriverOpts};
 use crate::artifact::{Artifact, ArtifactError};
 use crate::harness::{CellSpec, Workload};
 use crate::json::Json;
@@ -34,9 +34,10 @@ pub static TABLE2A: Driver = Driver {
     about: "Table 2(a): violating % with pathological power-failure points",
     collect: collect_table2a,
     render: render_table2a,
+    collect_traced: Some(collect_table2a_traced),
 };
 
-fn collect_table2a(opts: &DriverOpts) -> Artifact {
+fn plan_table2a(opts: &DriverOpts) -> (Vec<(String, Json)>, Vec<CellSpec>) {
     let runs = opts.runs_or(20);
     let seed = opts.seed_or(11);
     let mut specs = Vec::new();
@@ -50,15 +51,23 @@ fn collect_table2a(opts: &DriverOpts) -> Artifact {
             ));
         }
     }
-    collect_sim(
-        "table2a",
+    (
         vec![
             ("runs".into(), Json::u64(runs)),
             ("seed".into(), Json::u64(seed)),
         ],
-        &specs,
-        opts,
+        specs,
     )
+}
+
+fn collect_table2a(opts: &DriverOpts) -> Artifact {
+    let (config, specs) = plan_table2a(opts);
+    collect_sim("table2a", config, &specs, opts)
+}
+
+fn collect_table2a_traced(opts: &DriverOpts) -> (Artifact, Artifact) {
+    let (config, specs) = plan_table2a(opts);
+    collect_sim_traced("table2a", config, &specs, opts)
 }
 
 fn render_table2a(a: &Artifact) -> Result<String, ArtifactError> {
@@ -85,9 +94,10 @@ pub static TABLE2B: Driver = Driver {
     about: "Table 2(b): violating % on intermittent power (fixed simulated budget)",
     collect: collect_table2b,
     render: render_table2b,
+    collect_traced: Some(collect_table2b_traced),
 };
 
-fn collect_table2b(opts: &DriverOpts) -> Artifact {
+fn plan_table2b(opts: &DriverOpts) -> (Vec<(String, Json)>, Vec<CellSpec>) {
     // Scale override is in *seconds* here (the paper used 100 s/cell).
     let sim_s = opts.runs_or(100);
     let sim_us = sim_s * 1_000_000;
@@ -103,15 +113,23 @@ fn collect_table2b(opts: &DriverOpts) -> Artifact {
             ));
         }
     }
-    collect_sim(
-        "table2b",
+    (
         vec![
             ("sim_us".into(), Json::u64(sim_us)),
             ("seed".into(), Json::u64(seed)),
         ],
-        &specs,
-        opts,
+        specs,
     )
+}
+
+fn collect_table2b(opts: &DriverOpts) -> Artifact {
+    let (config, specs) = plan_table2b(opts);
+    collect_sim("table2b", config, &specs, opts)
+}
+
+fn collect_table2b_traced(opts: &DriverOpts) -> (Artifact, Artifact) {
+    let (config, specs) = plan_table2b(opts);
+    collect_sim_traced("table2b", config, &specs, opts)
 }
 
 fn render_table2b(a: &Artifact) -> Result<String, ArtifactError> {

@@ -16,6 +16,7 @@ pub static TABLE1: Driver = Driver {
     about: "Table 1: benchmark characteristics (origin, LoC, sensors, constraints)",
     collect: collect_table1,
     render: render_table1,
+    collect_traced: None,
 };
 
 fn collect_table1(_opts: &DriverOpts) -> Artifact {
@@ -65,6 +66,7 @@ pub static TABLE3: Driver = Driver {
     about: "Table 3: what each system asks of the programmer (LoC formulas)",
     collect: collect_table3,
     render: render_table3,
+    collect_traced: None,
 };
 
 /// The comparison rows: (system, constructs, strategy, upholds).
@@ -136,6 +138,7 @@ pub static TABLE4: Driver = Driver {
     about: "Table 4: LoC changes to enable correct execution per system",
     collect: collect_table4,
     render: render_table4,
+    collect_traced: None,
 };
 
 fn collect_table4(_opts: &DriverOpts) -> Artifact {

@@ -22,6 +22,7 @@ pub static TICS_EXPIRY: Driver = Driver {
     about: "extension: TICS-style expiry windows vs the freshness definition (§2.3)",
     collect: collect_expiry,
     render: render_expiry,
+    collect_traced: None,
 };
 
 /// The window sweep (µs, label).
@@ -140,6 +141,7 @@ pub static TICS_DYNAMIC: Driver = Driver {
     about: "dynamic TICS expiry windows vs JIT and Ocelot on harvested power (§2.3)",
     collect: collect_dynamic,
     render: render_dynamic,
+    collect_traced: None,
 };
 
 /// Comparison rows: (label, model, expiry window).

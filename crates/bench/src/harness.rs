@@ -17,6 +17,7 @@ use ocelot_hw::power::{ContinuousPower, HarvestedPower, PowerSupply};
 use ocelot_hw::{Capacitor, Harvester};
 use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
 use ocelot_runtime::model::{build, Built, ExecModel};
+use ocelot_runtime::obs::Obs;
 use ocelot_runtime::stats::Stats;
 use ocelot_runtime::ExecBackend;
 
@@ -43,6 +44,14 @@ pub fn calibrated_costs(bench: &Benchmark) -> CostModel {
             .with_input_cost("tirepres", 200)
             .with_input_cost("tiretemp", 200)
             .with_input_cost("wheelacc", 200),
+        "fusion" => c
+            .with_input_cost("accel", 3_000)
+            .with_input_cost("gyro", 3_000)
+            .with_input_cost("mag", 4_500),
+        "radiolog" => c
+            .with_input_cost("rssi", 7_000)
+            .with_input_cost("vcap", 7_000),
+        "mlinfer" => c.with_input_cost("mic", 2_500),
         _ => c,
     }
 }
@@ -247,6 +256,14 @@ pub struct CellSpec {
     /// the same stats), so this only changes how fast the cell
     /// simulates — but artifacts record it for provenance.
     pub backend: ExecBackend,
+    /// When set, the cell's environment and power supply come from this
+    /// scenario (an [`ocelot_scenario::parse`] spec, reseeded with the
+    /// cell seed) instead of the benchmark's default world and the
+    /// standard bench supply. Scenario cells never assert completion —
+    /// a harsh regime legitimately starves runs — and
+    /// [`Workload::Pathological`] keeps continuous power so the
+    /// injector's targeted failures stay the only failures.
+    pub scenario: Option<String>,
 }
 
 impl CellSpec {
@@ -259,6 +276,7 @@ impl CellSpec {
             workload,
             expiry_window_us: None,
             backend: ExecBackend::Interp,
+            scenario: None,
         }
     }
 
@@ -267,85 +285,112 @@ impl CellSpec {
         self.backend = backend;
         self
     }
+
+    /// Binds the cell to a named scenario (builder-style).
+    pub fn with_scenario(mut self, scenario: &str) -> Self {
+        self.scenario = Some(scenario.to_string());
+        self
+    }
+}
+
+/// Everything one cell produced: the accumulated [`Stats`] and the
+/// committed observation trace (for `--traces` artifacts and the
+/// backend-differential suites).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRun {
+    /// Accumulated statistics, as [`run_cell`] returns.
+    pub stats: Stats,
+    /// The committed [`Obs`] trace of every run of the cell.
+    pub trace: Vec<Obs>,
+}
+
+/// Runs one cell to completion and returns its stats *and* committed
+/// observation trace.
+///
+/// # Panics
+///
+/// Panics if the benchmark or scenario name is unknown, the build
+/// fails, or an asserting workload fails to complete — the same
+/// failures the serial harness helpers raise.
+pub fn run_cell_full(spec: &CellSpec) -> CellRun {
+    let b = ocelot_apps::by_name(&spec.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark `{}`", spec.bench));
+    let built = build_for(&b, spec.model);
+    let scenario = spec.scenario.as_deref().map(|s| {
+        ocelot_scenario::parse(s)
+            .unwrap_or_else(|e| panic!("cell scenario: {e}"))
+            .reseeded(spec.seed)
+    });
+    let env = match &scenario {
+        Some(sc) => sc.environment(),
+        None => b.environment(spec.seed),
+    };
+    let pathological = matches!(spec.workload, Workload::Pathological { .. });
+    let supply: Box<dyn PowerSupply> = if pathological
+        || (scenario.is_none() && matches!(spec.workload, Workload::Continuous { .. }))
+    {
+        Box::new(ContinuousPower)
+    } else {
+        match &scenario {
+            Some(sc) => sc.supply(),
+            None => Box::new(bench_supply(spec.seed)),
+        }
+    };
+    // Harvested never asserts; neither do expiry-window comparisons
+    // (TICS may give up mid-run) nor scenario cells (a harsh regime may
+    // starve runs).
+    let assert_complete = spec.expiry_window_us.is_none()
+        && scenario.is_none()
+        && !matches!(spec.workload, Workload::Harvested { .. });
+    let mut m = Machine::new(
+        &built.program,
+        &built.regions,
+        built.policies.clone(),
+        env,
+        calibrated_costs(&b),
+        supply,
+    )
+    .with_backend(spec.backend);
+    if pathological {
+        m = m.with_injector(pathological_targets(&built.policies));
+    }
+    if let Some(w) = spec.expiry_window_us {
+        m = m.with_expiry_window(w);
+    }
+    match spec.workload {
+        Workload::Duration { sim_us } => {
+            m.run_for(sim_us, MAX_STEPS);
+        }
+        Workload::Continuous { runs }
+        | Workload::Intermittent { runs }
+        | Workload::Harvested { runs }
+        | Workload::Pathological { runs } => {
+            for _ in 0..runs {
+                let out = m.run_once(MAX_STEPS);
+                if assert_complete {
+                    assert!(
+                        matches!(out, RunOutcome::Completed { .. }),
+                        "{} did not complete under {:?}",
+                        spec.bench,
+                        spec.workload
+                    );
+                }
+            }
+        }
+    }
+    CellRun {
+        stats: m.stats().clone(),
+        trace: m.take_trace(),
+    }
 }
 
 /// Runs one cell to completion and returns its accumulated stats.
 ///
 /// # Panics
 ///
-/// Panics if the benchmark name is unknown, the build fails, or an
-/// asserting workload fails to complete — the same failures the serial
-/// harness helpers raise.
+/// As for [`run_cell_full`].
 pub fn run_cell(spec: &CellSpec) -> Stats {
-    let b = ocelot_apps::by_name(&spec.bench)
-        .unwrap_or_else(|| panic!("unknown benchmark `{}`", spec.bench));
-    let built = build_for(&b, spec.model);
-    match spec.workload {
-        Workload::Continuous { runs } if spec.expiry_window_us.is_none() => {
-            run_continuous(&b, &built, runs, spec.seed, spec.backend)
-        }
-        Workload::Intermittent { runs } if spec.expiry_window_us.is_none() => {
-            run_intermittent(&b, &built, runs, spec.seed, spec.backend)
-        }
-        Workload::Duration { sim_us } if spec.expiry_window_us.is_none() => {
-            run_for_duration(&b, &built, sim_us, spec.seed, spec.backend)
-        }
-        Workload::Pathological { runs } if spec.expiry_window_us.is_none() => {
-            run_pathological(&b, &built, runs, spec.seed, spec.backend)
-        }
-        // Harvested (never asserts) and any expiry-window variant share
-        // the permissive loop.
-        Workload::Continuous { runs }
-        | Workload::Intermittent { runs }
-        | Workload::Harvested { runs } => {
-            let supply: Box<dyn PowerSupply> =
-                if matches!(spec.workload, Workload::Continuous { .. }) {
-                    Box::new(ContinuousPower)
-                } else {
-                    Box::new(bench_supply(spec.seed))
-                };
-            let mut m = machine(&b, &built, supply, spec.seed, spec.backend);
-            if let Some(w) = spec.expiry_window_us {
-                m = m.with_expiry_window(w);
-            }
-            for _ in 0..runs {
-                m.run_once(MAX_STEPS);
-            }
-            m.stats().clone()
-        }
-        Workload::Duration { sim_us } => {
-            let mut m = machine(
-                &b,
-                &built,
-                Box::new(bench_supply(spec.seed)),
-                spec.seed,
-                spec.backend,
-            );
-            if let Some(w) = spec.expiry_window_us {
-                m = m.with_expiry_window(w);
-            }
-            m.run_for(sim_us, MAX_STEPS);
-            m.stats().clone()
-        }
-        Workload::Pathological { runs } => {
-            let targets = pathological_targets(&built.policies);
-            let mut m = machine(
-                &b,
-                &built,
-                Box::new(ContinuousPower),
-                spec.seed,
-                spec.backend,
-            )
-            .with_injector(targets);
-            if let Some(w) = spec.expiry_window_us {
-                m = m.with_expiry_window(w);
-            }
-            for _ in 0..runs {
-                m.run_once(MAX_STEPS);
-            }
-            m.stats().clone()
-        }
-    }
+    run_cell_full(spec).stats
 }
 
 /// Runs every cell through the work-stealing pool with `jobs` workers
@@ -354,6 +399,16 @@ pub fn run_cells(specs: &[CellSpec], jobs: usize) -> Vec<Stats> {
     let work: Vec<Job<'_, Stats>> = specs
         .iter()
         .map(|spec| Box::new(move || run_cell(spec)) as Job<'_, Stats>)
+        .collect();
+    pool::run_jobs(work, jobs)
+}
+
+/// As [`run_cells`], but keeping each cell's observation trace — the
+/// `--traces` collection path.
+pub fn run_cells_full(specs: &[CellSpec], jobs: usize) -> Vec<CellRun> {
+    let work: Vec<Job<'_, CellRun>> = specs
+        .iter()
+        .map(|spec| Box::new(move || run_cell_full(spec)) as Job<'_, CellRun>)
         .collect();
     pool::run_jobs(work, jobs)
 }
@@ -470,6 +525,105 @@ mod tests {
             let compiled = run_cell(&spec.clone().with_backend(ExecBackend::Compiled));
             assert_eq!(interp, compiled, "{workload:?}");
         }
+    }
+
+    #[test]
+    fn extended_apps_pathological_violates_jit_not_ocelot() {
+        // The paper's Table 2(a) property must extend to the new
+        // workloads: targeted failures at policy-critical points break
+        // JIT and never break Ocelot.
+        for b in ocelot_apps::extended() {
+            let jit = build_for(&b, ExecModel::Jit);
+            let s = run_pathological(&b, &jit, 3, 9, ExecBackend::Interp);
+            assert!(
+                s.runs_with_violation > 0,
+                "{}: JIT must violate under targeted failures",
+                b.name
+            );
+            let oce = build_for(&b, ExecModel::Ocelot);
+            let s = run_pathological(&b, &oce, 3, 9, ExecBackend::Interp);
+            assert_eq!(
+                s.runs_with_violation, 0,
+                "{}: Ocelot must survive targeted failures",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_cells_resolve_env_and_supply_from_the_registry() {
+        // A scenario cell must differ from the default-world cell (the
+        // whole point of binding one), and re-running it must reproduce
+        // stats *and* trace exactly.
+        let spec = CellSpec::new(
+            "radiolog",
+            ExecModel::Ocelot,
+            7,
+            Workload::Harvested { runs: 2 },
+        )
+        .with_scenario("brownout");
+        let a = run_cell_full(&spec);
+        let b = run_cell_full(&spec);
+        assert_eq!(a, b, "scenario cells are deterministic");
+        let default = run_cell_full(&CellSpec::new(
+            "radiolog",
+            ExecModel::Ocelot,
+            7,
+            Workload::Harvested { runs: 2 },
+        ));
+        assert_ne!(
+            a.stats, default.stats,
+            "the scenario supply/world must actually be in effect"
+        );
+        // Seed goes through the scenario: a seeded spec string behaves
+        // like the cell seed 9 (spec seed wins over the string's).
+        let seeded = run_cell_full(&spec.clone()).stats;
+        let via_string = CellSpec {
+            scenario: Some("brownout@999".into()),
+            ..spec
+        };
+        assert_eq!(
+            run_cell_full(&via_string).stats,
+            seeded,
+            "cell seed overrides any seed in the scenario spec"
+        );
+    }
+
+    #[test]
+    fn scenario_cells_match_across_backends_in_stats_and_obs() {
+        // The acceptance criterion: identical Stats *and* Obs across
+        // interp vs compiled, for every extension app under a scenario.
+        for bench in ["fusion", "radiolog", "mlinfer"] {
+            for scenario in ["rf-noisy", "cold-start"] {
+                let spec =
+                    CellSpec::new(bench, ExecModel::Ocelot, 5, Workload::Harvested { runs: 2 })
+                        .with_scenario(scenario);
+                let interp = run_cell_full(&spec);
+                let compiled = run_cell_full(&spec.clone().with_backend(ExecBackend::Compiled));
+                assert_eq!(
+                    interp.stats, compiled.stats,
+                    "{bench}/{scenario}: stats diverged across backends"
+                );
+                assert_eq!(
+                    interp.trace, compiled.trace,
+                    "{bench}/{scenario}: traces diverged across backends"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_cells_fail_loudly() {
+        run_cell(
+            &CellSpec::new(
+                "fusion",
+                ExecModel::Ocelot,
+                1,
+                Workload::Harvested { runs: 1 },
+            )
+            .with_scenario("no-such-regime"),
+        );
     }
 
     #[test]

@@ -19,14 +19,16 @@
 //! | `tics_expiry` | §2.3 — expiration windows vs the freshness definition |
 //! | `tics_dynamic` | §2.3 — live expiry windows vs JIT and Ocelot |
 //! | `energy_breakdown` | per-category cycle accounting behind Figures 7/8 |
+//! | `scenario_sweep` | extension — app × scenario × seed grid over the `ocelot-scenario` library |
 //!
 //! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
 //! Every binary accepts `--jobs N` (shard the sweep across a
 //! hand-rolled work-stealing [`pool`]), `--out DIR` (persist a
-//! versioned JSON [`artifact`]), and `--replay` (re-emit the
-//! table/figure purely from the persisted artifact) — see
-//! `docs/bench.md` and [`cli`]. The same drivers are reachable as
-//! `ocelotc bench <driver>`.
+//! versioned JSON [`artifact`]), `--replay` (re-emit the table/figure
+//! purely from the persisted artifact), and — on uniform cell sweeps —
+//! `--traces` (persist the raw per-cell observation logs as a
+//! replayable [`traces`] artifact) — see `docs/bench.md` and [`cli`].
+//! The same drivers are reachable as `ocelotc bench <driver>`.
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -39,3 +41,4 @@ pub mod harness;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod traces;

@@ -131,6 +131,111 @@ fn compiled_backend_artifacts_are_byte_identical_across_jobs() {
     assert_eq!(interp.cells, compiled.cells, "backends agree cell-for-cell");
 }
 
+/// The scenario sweep (app × scenario × seed cells, each building its
+/// environment and supply from the scenario registry) must be
+/// byte-identical at every worker count on *both* execution backends,
+/// and the backends must agree cell-for-cell.
+#[test]
+fn scenario_sweep_is_byte_identical_across_jobs_and_backends() {
+    let d = drivers::by_name("scenario_sweep").expect("driver exists");
+    let collect = |jobs, backend| {
+        let opts = DriverOpts {
+            jobs,
+            runs: Some(1),
+            seed: None,
+            backend,
+        };
+        (d.collect)(&opts).render().expect("serializes")
+    };
+    for backend in [ExecBackend::Interp, ExecBackend::Compiled] {
+        let serial = collect(1, backend);
+        for jobs in [2, 8] {
+            assert_eq!(
+                serial,
+                collect(jobs, backend),
+                "{}: --jobs {jobs} diverged from serial",
+                backend.name()
+            );
+        }
+    }
+    let interp = Artifact::from_text(&collect(2, ExecBackend::Interp)).unwrap();
+    let compiled = Artifact::from_text(&collect(2, ExecBackend::Compiled)).unwrap();
+    assert_eq!(
+        interp.cells, compiled.cells,
+        "backends agree cell-for-cell on every scenario"
+    );
+}
+
+/// `--traces` collection: the traces artifact mirrors the result
+/// artifact cell-for-cell, is byte-identical across worker counts, and
+/// round-trips through its own strict reader.
+#[test]
+fn trace_artifacts_are_deterministic_and_replayable() {
+    let d = drivers::by_name("scenario_sweep").expect("driver exists");
+    let traced = d.collect_traced.expect("uniform sweep supports traces");
+    let collect = |jobs| {
+        let opts = DriverOpts {
+            jobs,
+            runs: Some(1),
+            seed: None,
+            backend: ExecBackend::Interp,
+        };
+        traced(&opts)
+    };
+    let (a1, t1) = collect(1);
+    let (a2, t2) = collect(8);
+    assert_eq!(
+        a1.render().unwrap(),
+        a2.render().unwrap(),
+        "result artifact stable across jobs"
+    );
+    assert_eq!(
+        t1.render().unwrap(),
+        t2.render().unwrap(),
+        "traces artifact stable across jobs"
+    );
+    // The traced collection produced the same results as the plain one.
+    let plain = (d.collect)(&DriverOpts {
+        jobs: 2,
+        runs: Some(1),
+        seed: None,
+        backend: ExecBackend::Interp,
+    });
+    assert_eq!(plain.cells, a1.cells, "tracing must not perturb results");
+    // Identity parity: cell i of the traces artifact describes cell i
+    // of the result artifact.
+    assert_eq!(t1.driver, "scenario_sweep_traces");
+    assert_eq!(t1.cells.len(), a1.cells.len());
+    for (res, tr) in a1.cells.iter().zip(&t1.cells) {
+        for key in ["bench", "model", "scenario"] {
+            assert_eq!(res.get(key), tr.get(key), "identity member `{key}`");
+        }
+        assert!(tr.get("trace").is_some());
+    }
+    // Replay path: reload from bytes, summarize, and get event parity
+    // with the stats the result artifact records.
+    let reloaded = Artifact::from_text(&t1.render().unwrap()).expect("parses");
+    let summary = ocelot_bench::traces::render_traces(&reloaded).expect("renders");
+    assert!(summary.contains("fusion"), "{summary}");
+    let mut total_reboots = 0u64;
+    for cell in &reloaded.cells {
+        let trace = ocelot_bench::traces::trace_from_json(cell.get("trace").unwrap()).unwrap();
+        total_reboots += trace
+            .iter()
+            .filter(|o| matches!(o, ocelot_runtime::obs::Obs::Reboot { .. }))
+            .count() as u64;
+    }
+    let mut stats_reboots = 0u64;
+    for cell in &a1.cells {
+        let s = ocelot_bench::artifact::stats_from_json(cell.get("stats").unwrap()).unwrap();
+        stats_reboots += s.reboots;
+    }
+    assert_eq!(
+        total_reboots, stats_reboots,
+        "trace reboot events agree with the stats counters"
+    );
+}
+
 /// Re-rendering from a reloaded artifact must equal rendering the
 /// freshly collected one — the `--replay` guarantee.
 #[test]

@@ -80,3 +80,16 @@ fn fig7_persisted_artifact_matches_golden() {
     let a = collect("fig7");
     check_or_update("fig7.json", &a.render().expect("serializes"));
 }
+
+#[test]
+fn scenario_sweep_rendered_output_matches_golden() {
+    let a = collect("scenario_sweep");
+    let d = drivers::by_name("scenario_sweep").unwrap();
+    check_or_update("scenario_sweep.txt", &(d.render)(&a).expect("renders"));
+}
+
+#[test]
+fn scenario_sweep_persisted_artifact_matches_golden() {
+    let a = collect("scenario_sweep");
+    check_or_update("scenario_sweep.json", &a.render().expect("serializes"));
+}

@@ -47,6 +47,26 @@ pub enum Harvester {
         /// Fraction of time the source is on, in `(0, 1]`.
         duty: f64,
     },
+    /// Piecewise power schedule over *cumulative charging time*: each
+    /// `(from_us, power_nw)` segment applies once that much total
+    /// off-time has accrued; the last segment holds forever. Models a
+    /// supply that browns out (or recovers) over a deployment.
+    Schedule {
+        /// `(from_us, power_nw)` segments, sorted by `from_us`.
+        segments: Vec<(u64, f64)>,
+        /// Charging time accrued so far (advanced by
+        /// [`Harvester::charge_time_us`]).
+        elapsed_us: u64,
+    },
+    /// Trace-scripted power: successive charging intervals read
+    /// successive samples, cycling when the trace is exhausted (a
+    /// periodic ambient recording).
+    Trace {
+        /// Power per charging interval, in nW.
+        powers_nw: Vec<f64>,
+        /// Next sample index.
+        next: usize,
+    },
 }
 
 impl Harvester {
@@ -71,10 +91,29 @@ impl Harvester {
         }
     }
 
-    /// A same-shape copy with its RNG re-seeded from `seed`: derive
-    /// statistically independent variants of one configured harvester
-    /// (e.g. per evaluation cell or per worker) without sharing mutable
-    /// RNG state. Stateless variants are plain clones.
+    /// A piecewise power schedule starting at charging time 0 (see
+    /// [`Harvester::Schedule`]). Segments are sorted defensively.
+    pub fn schedule(mut segments: Vec<(u64, f64)>) -> Self {
+        segments.sort_by_key(|(from, _)| *from);
+        Harvester::Schedule {
+            segments,
+            elapsed_us: 0,
+        }
+    }
+
+    /// A trace-scripted supply starting at the first sample (see
+    /// [`Harvester::Trace`]).
+    pub fn trace(powers_nw: Vec<f64>) -> Self {
+        Harvester::Trace { powers_nw, next: 0 }
+    }
+
+    /// A same-shape copy with its mutable state re-derived from `seed`:
+    /// derive statistically independent variants of one configured
+    /// harvester (e.g. per evaluation cell or per worker) without
+    /// sharing mutable RNG state. Positional variants
+    /// ([`Harvester::Schedule`], [`Harvester::Trace`]) rewind to their
+    /// start — a reseeded copy always replays the same supply from the
+    /// beginning; stateless variants are plain clones.
     pub fn reseeded(&self, seed: u64) -> Harvester {
         match self {
             Harvester::Noisy {
@@ -84,12 +123,21 @@ impl Harvester {
                 jitter: *jitter,
                 rng: StdRng::seed_from_u64(seed),
             },
+            Harvester::Schedule { segments, .. } => Harvester::Schedule {
+                segments: segments.clone(),
+                elapsed_us: 0,
+            },
+            Harvester::Trace { powers_nw, .. } => Harvester::Trace {
+                powers_nw: powers_nw.clone(),
+                next: 0,
+            },
             other => other.clone(),
         }
     }
 
     /// Instantaneous harvesting power in nanojoules per microsecond for
-    /// the next charging interval.
+    /// the next charging interval. Advances trace-scripted supplies by
+    /// one sample.
     pub fn sample_power(&mut self) -> f64 {
         match self {
             Harvester::Constant { power_nw } => *power_nw,
@@ -107,18 +155,80 @@ impl Harvester {
                 *base_nw * rng.gen_range(lo..=hi)
             }
             Harvester::DutyCycle { on_power_nw, duty } => *on_power_nw * duty.clamp(0.0, 1.0),
+            Harvester::Schedule {
+                segments,
+                elapsed_us,
+            } => schedule_power(segments, *elapsed_us),
+            Harvester::Trace { powers_nw, next } => {
+                if powers_nw.is_empty() {
+                    return 1e-9;
+                }
+                let p = powers_nw[*next % powers_nw.len()];
+                *next = (*next + 1) % powers_nw.len();
+                p.max(1e-9)
+            }
         }
     }
 
     /// Microseconds needed to harvest `needed_nj` of energy (at least
     /// 1 µs; infinite-power sources still take a reboot instant).
+    /// [`Harvester::Schedule`] integrates across its segments and
+    /// accrues the charging time it spends.
     pub fn charge_time_us(&mut self, needed_nj: f64) -> u64 {
         if needed_nj <= 0.0 {
+            if let Harvester::Schedule { elapsed_us, .. } = self {
+                *elapsed_us += 1;
+            }
             return 1;
+        }
+        if let Harvester::Schedule {
+            segments,
+            elapsed_us,
+        } = self
+        {
+            let start = *elapsed_us;
+            let mut t = start;
+            let mut remaining = needed_nj;
+            loop {
+                let p = schedule_power(segments, t);
+                match segments.iter().map(|(f, _)| *f).find(|&f| f > t) {
+                    Some(boundary) => {
+                        let capacity_nj = p * (boundary - t) as f64;
+                        if capacity_nj >= remaining {
+                            t += (remaining / p).ceil() as u64;
+                            break;
+                        }
+                        remaining -= capacity_nj;
+                        t = boundary;
+                    }
+                    None => {
+                        t += (remaining / p).ceil().max(1.0) as u64;
+                        break;
+                    }
+                }
+            }
+            let dt = (t - start).max(1);
+            *elapsed_us = start + dt;
+            return dt;
         }
         let p = self.sample_power().max(1e-9);
         (needed_nj / p).ceil().max(1.0) as u64
     }
+}
+
+/// The scheduled power at cumulative charging time `t` (the first
+/// segment applies before its own start; an empty schedule yields the
+/// floor power).
+fn schedule_power(segments: &[(u64, f64)], t: u64) -> f64 {
+    let mut p = segments.first().map(|(_, p)| *p).unwrap_or(0.0);
+    for (from, power) in segments {
+        if t >= *from {
+            p = *power;
+        } else {
+            break;
+        }
+    }
+    p.max(1e-9)
 }
 
 #[cfg(test)]
@@ -189,6 +299,52 @@ mod tests {
         // Stateless variants reseed to themselves.
         let mut c = Harvester::Constant { power_nw: 7.0 }.reseeded(9);
         assert_eq!(c.sample_power(), 7.0);
+    }
+
+    #[test]
+    fn schedule_integrates_across_segments() {
+        // 10 nW for the first 10 µs of charging, then 1 nW: a 150 nJ
+        // deficit takes 10 µs (100 nJ) + 50 µs (50 nJ).
+        let mut h = Harvester::schedule(vec![(0, 10.0), (10, 1.0)]);
+        assert_eq!(h.charge_time_us(150.0), 60);
+        // The schedule *advanced*: the next charge starts in the 1 nW era.
+        assert_eq!(h.charge_time_us(30.0), 30);
+        assert!((h.sample_power() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_brownout_lengthens_charges() {
+        let mut h = Harvester::schedule(vec![(0, 20.0), (500, 2.0)]);
+        let early = h.charge_time_us(1000.0); // 50 µs at 20 nW
+                                              // Drain past the brownout boundary.
+        while let Harvester::Schedule { elapsed_us, .. } = &h {
+            if *elapsed_us >= 500 {
+                break;
+            }
+            h.charge_time_us(1000.0);
+        }
+        let late = h.charge_time_us(1000.0); // 500 µs at 2 nW
+        assert!(
+            late > early * 5,
+            "brownout slows charging: {early} → {late}"
+        );
+    }
+
+    #[test]
+    fn trace_cycles_and_reseeds_to_start() {
+        let mut h = Harvester::trace(vec![4.0, 2.0, 1.0]);
+        let seq: Vec<u64> = (0..6).map(|_| h.charge_time_us(8.0)).collect();
+        assert_eq!(seq, vec![2, 4, 8, 2, 4, 8], "trace cycles");
+        let mut r = h.reseeded(99);
+        assert_eq!(r.charge_time_us(8.0), 2, "reseeded rewinds to the start");
+    }
+
+    #[test]
+    fn schedule_reseeds_to_time_zero() {
+        let mut h = Harvester::schedule(vec![(0, 10.0), (10, 1.0)]);
+        h.charge_time_us(150.0);
+        let mut r = h.reseeded(7);
+        assert_eq!(r.charge_time_us(150.0), 60, "reseeded replays segment 0");
     }
 
     #[test]

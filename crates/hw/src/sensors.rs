@@ -61,6 +61,57 @@ pub enum Signal {
         /// Noise seed.
         seed: u64,
     },
+    /// Pointwise sum of the parts (saturating) — compose a diurnal ramp
+    /// with episodic bursts, or noise layers with different seeds.
+    Sum(Vec<Signal>),
+    /// Unbounded linear drift: `start + rate_per_s · t` — slow sensor
+    /// drift or a battery temperature creeping over a whole deployment.
+    Drift {
+        /// Value at `t = 0`.
+        start: i64,
+        /// Signed change per simulated second.
+        rate_per_s: i64,
+    },
+    /// Episodic bursts layered on a base signal: once per `every_us`
+    /// period a burst of `width_us` adds `amplitude`, with the burst's
+    /// offset inside each period drawn deterministically from `seed` and
+    /// the period index — still a pure function of time.
+    Burst {
+        /// The quiescent signal.
+        base: Box<Signal>,
+        /// Added value while a burst is active.
+        amplitude: i64,
+        /// Burst period in microseconds.
+        every_us: u64,
+        /// Burst width in microseconds (clamped to the period).
+        width_us: u64,
+        /// Placement seed.
+        seed: u64,
+    },
+    /// Clamps a base signal into `[lo, hi]` — sensor saturation.
+    Clamp {
+        /// The underlying signal.
+        base: Box<Signal>,
+        /// Lower saturation bound.
+        lo: i64,
+        /// Upper saturation bound.
+        hi: i64,
+    },
+    /// Affine transform `base · num / den + offset` — derive a
+    /// *correlated* channel from a shared base (clone one base into two
+    /// `Scaled` wrappers and the channels move together, which is
+    /// exactly what makes temporal-consistency violations observable
+    /// across sensors).
+    Scaled {
+        /// The shared base signal.
+        base: Box<Signal>,
+        /// Numerator of the scale factor.
+        num: i64,
+        /// Denominator of the scale factor (0 is treated as 1).
+        den: i64,
+        /// Additive offset.
+        offset: i64,
+    },
 }
 
 impl Signal {
@@ -136,6 +187,52 @@ impl Signal {
                 let noise = (h as i128 % span) - *amplitude as i128;
                 v + noise as i64
             }
+            Signal::Sum(parts) => parts
+                .iter()
+                .fold(0i64, |acc, s| acc.saturating_add(s.sample(t_us))),
+            Signal::Drift { start, rate_per_s } => {
+                let delta = (*rate_per_s as i128) * (t_us as i128) / 1_000_000;
+                (*start as i128 + delta).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+            }
+            Signal::Burst {
+                base,
+                amplitude,
+                every_us,
+                width_us,
+                seed,
+            } => {
+                let v = base.sample(t_us);
+                let period = (*every_us).max(1);
+                let width = (*width_us).min(period);
+                let idx = t_us / period;
+                let phase = t_us % period;
+                let slack = period - width;
+                let offset = if slack == 0 {
+                    0
+                } else {
+                    splitmix64(seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % slack
+                };
+                if phase >= offset && phase < offset + width {
+                    v.saturating_add(*amplitude)
+                } else {
+                    v
+                }
+            }
+            Signal::Clamp { base, lo, hi } => {
+                let (lo, hi) = (*lo.min(hi), *lo.max(hi));
+                base.sample(t_us).clamp(lo, hi)
+            }
+            Signal::Scaled {
+                base,
+                num,
+                den,
+                offset,
+            } => {
+                let den = if *den == 0 { 1 } else { *den };
+                let v =
+                    (base.sample(t_us) as i128) * (*num as i128) / (den as i128) + *offset as i128;
+                v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+            }
         }
     }
 }
@@ -164,6 +261,12 @@ impl Environment {
     pub fn with(mut self, sensor: &str, signal: Signal) -> Self {
         self.signals.insert(sensor.to_string(), signal);
         self
+    }
+
+    /// The declared channel names, sorted (scenario tooling lists and
+    /// previews them).
+    pub fn channels(&self) -> Vec<&str> {
+        self.signals.keys().map(String::as_str).collect()
     }
 
     /// Samples `sensor` at `t_us`; undeclared channels read 0.
@@ -382,6 +485,122 @@ mod tests {
         // Noise actually varies.
         let distinct: std::collections::BTreeSet<i64> = (0..200).map(|t| s.sample(t)).collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn sum_adds_parts_saturating() {
+        let s = Signal::Sum(vec![
+            Signal::Constant(3),
+            Signal::Step {
+                before: 0,
+                after: 4,
+                at_us: 10,
+            },
+        ]);
+        assert_eq!(s.sample(0), 3);
+        assert_eq!(s.sample(10), 7);
+        let sat = Signal::Sum(vec![Signal::Constant(i64::MAX), Signal::Constant(5)]);
+        assert_eq!(sat.sample(0), i64::MAX, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn drift_is_linear_in_seconds() {
+        let s = Signal::Drift {
+            start: 100,
+            rate_per_s: -6,
+        };
+        assert_eq!(s.sample(0), 100);
+        assert_eq!(s.sample(1_000_000), 94);
+        assert_eq!(s.sample(10_500_000), 100 - 63);
+    }
+
+    #[test]
+    fn burst_fires_once_per_period_and_is_pure() {
+        let s = Signal::Burst {
+            base: Box::new(Signal::Constant(10)),
+            amplitude: 50,
+            every_us: 1_000,
+            width_us: 100,
+            seed: 7,
+        };
+        for period in 0..20u64 {
+            let hits: Vec<u64> = (period * 1000..(period + 1) * 1000)
+                .filter(|&t| s.sample(t) == 60)
+                .collect();
+            assert_eq!(hits.len(), 100, "one burst of exactly width_us per period");
+            // Contiguous window.
+            assert_eq!(hits[99] - hits[0], 99);
+            assert_eq!(s.sample(hits[0]), s.sample(hits[0]), "pure function of t");
+        }
+        // Placement varies across periods (seeded, not phase-locked).
+        let offset = |p: u64| (p * 1000..(p + 1) * 1000).find(|&t| s.sample(t) == 60);
+        let offsets: std::collections::BTreeSet<u64> = (0..20)
+            .filter_map(|p| offset(p).map(|t| t % 1000))
+            .collect();
+        assert!(offsets.len() > 1, "burst offsets move between periods");
+    }
+
+    #[test]
+    fn clamp_saturates_both_ends() {
+        let s = Signal::Clamp {
+            base: Box::new(Signal::Ramp {
+                start: -100,
+                end: 100,
+                t0_us: 0,
+                t1_us: 200,
+            }),
+            lo: -10,
+            hi: 10,
+        };
+        assert_eq!(s.sample(0), -10);
+        assert_eq!(s.sample(100), 0);
+        assert_eq!(s.sample(200), 10);
+    }
+
+    #[test]
+    fn scaled_clones_stay_correlated() {
+        // Two channels derived from one shared base move together —
+        // the correlated-multi-sensor shape scenarios build on.
+        let base = Signal::Square {
+            lo: 0,
+            hi: 40,
+            period_us: 100,
+            duty_pm: 500,
+        };
+        let a = Signal::Scaled {
+            base: Box::new(base.clone()),
+            num: 1,
+            den: 2,
+            offset: 5,
+        };
+        let b = Signal::Scaled {
+            base: Box::new(base),
+            num: -1,
+            den: 1,
+            offset: 100,
+        };
+        for t in 0..300 {
+            let (va, vb) = (a.sample(t), b.sample(t));
+            // Both are affine images of the same base value.
+            let base_v = (va - 5) * 2;
+            assert_eq!(vb, 100 - base_v, "t={t}");
+        }
+        // Division by zero denominator is treated as 1, not a panic.
+        let d0 = Signal::Scaled {
+            base: Box::new(Signal::Constant(7)),
+            num: 3,
+            den: 0,
+            offset: 0,
+        };
+        assert_eq!(d0.sample(0), 21);
+    }
+
+    #[test]
+    fn environment_lists_declared_channels() {
+        let env = Environment::new()
+            .with("b", Signal::Constant(1))
+            .with("a", Signal::Constant(2));
+        assert_eq!(env.channels(), vec!["a", "b"]);
     }
 
     #[test]

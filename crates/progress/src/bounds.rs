@@ -27,9 +27,12 @@ pub enum LoopBound {
 
 /// Recovers the trip count of `l` from its header branch.
 ///
-/// The pattern matched is exactly what [`ocelot_ir::lower()`] emits for
-/// `repeat n`: a header whose terminator is `if $rep.. < K` with the
-/// then-edge entering the loop and the else-edge leaving it.
+/// The pattern matched is what [`ocelot_ir::lower()`] emits for
+/// `repeat n` — a header whose terminator is `if $rep.. < K` with the
+/// then-edge entering the loop and the else-edge leaving it — plus the
+/// equivalent `$rep.. <= K` form (rewritten internally to `< K + 1`,
+/// so hand-built counter loops with inclusive bounds are accepted
+/// directly).
 pub fn loop_bound(f: &Function, l: &NaturalLoop) -> LoopBound {
     let header = f.block(l.header);
     let Terminator::Branch {
@@ -54,25 +57,21 @@ pub fn loop_bound(f: &Function, l: &NaturalLoop) -> LoopBound {
                 "header condition is not a `$rep < const` counter check: {cond:?}"
             )),
         },
-        // Name the operator actually found: a `<=` header used to be
-        // reported as "not a `<` comparison", which mis-stated what the
-        // analysis saw and hid the one-token rewrite that fixes it.
-        // When the operands already have the counter-check shape, spell
-        // the exact replacement condition — applying it is accepted
-        // (covered by `le_rewrite_is_accepted` below and the WCET
-        // suite).
-        Expr::Binary(BinOp::Le, lhs, rhs) => {
-            let exact = match (lhs.as_ref(), rhs.as_ref()) {
-                (Expr::Var(c), Expr::Int(k)) if c.starts_with("$rep") && *k >= 0 => {
-                    format!(" — here: `{c} < {}`", *k + 1)
-                }
-                _ => String::new(),
-            };
-            LoopBound::Unknown(format!(
-                "header condition uses `<=`, but only the `<` counter check \
-                 lowering emits is recognized (rewrite `x <= k` as `x < k + 1`{exact}): {cond:?}"
-            ))
-        }
+        // `x <= k` runs the body `k + 1` times — exactly what the
+        // supported `x < k + 1` form would say, so counter-shaped `<=`
+        // headers are rewritten internally instead of bounced back to
+        // the programmer (the diagnostic used to merely *suggest* that
+        // rewrite). Non-counter `<=` shapes keep the diagnostic.
+        Expr::Binary(BinOp::Le, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Var(c), Expr::Int(k)) if c.starts_with("$rep") && *k >= 0 => {
+                LoopBound::Exact(*k as u64 + 1)
+            }
+            _ => LoopBound::Unknown(format!(
+                "header condition uses `<=` but is not a `$rep <= const` \
+                 counter check (only counter-shaped `<`/`<=` headers are \
+                 recognized): {cond:?}"
+            )),
+        },
         Expr::Binary(op, _, _) => LoopBound::Unknown(format!(
             "header condition is a `{}` comparison, not the `<` counter check \
              lowering emits: {cond:?}",
@@ -136,74 +135,61 @@ mod tests {
     }
 
     #[test]
-    fn le_header_diagnostic_names_the_operator_it_saw() {
+    fn le_counter_header_is_accepted_directly() {
+        // `$rep <= 2` runs the body 3 times — the analysis rewrites it
+        // internally to the `< 3` form instead of asking the programmer
+        // to (the diagnostic used to merely suggest the rewrite).
         let p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
         let f = p.func(p.main);
         let cfg = Cfg::new(f);
         let dom = DomTree::dominators(f, &cfg);
         let lf = LoopForest::new(f, &cfg, &dom);
-        let LoopBound::Unknown(why) = loop_bound(f, &lf.loops()[0]) else {
-            panic!("a `<=` header must not be treated as bounded");
-        };
-        assert!(why.contains("`<=`"), "must name the found operator: {why}");
-        assert!(why.contains("x < k + 1"), "must suggest the rewrite: {why}");
-        assert!(
-            !why.starts_with("header condition is not a `<` comparison"),
-            "the old message blamed the wrong operator: {why}"
-        );
+        assert_eq!(loop_bound(f, &lf.loops()[0]), LoopBound::Exact(3));
     }
 
-    /// Applies the rewrite suggested for a `<=` header.
-    fn apply_le_rewrite(p: &mut ocelot_ir::Program) {
-        let main = p.main;
-        let f = p.func_mut(main);
-        for b in &mut f.blocks {
-            if let ocelot_ir::Terminator::Branch {
-                cond: Expr::Binary(o @ BinOp::Le, _, rhs),
-                ..
-            } = &mut b.term
-            {
-                let Expr::Int(k) = rhs.as_mut() else {
-                    panic!("counter check rhs")
-                };
-                *o = BinOp::Lt;
-                *k += 1;
-            }
+    #[test]
+    fn le_header_matches_the_equivalent_lt_form() {
+        // `x <= k` and `x < k + 1` must recover the same trip count.
+        let le = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
+        let lt = compile("fn main() { repeat 3 { skip; } }").unwrap();
+        for (p, what) in [(&le, "<= 2"), (&lt, "< 3")] {
+            let f = p.func(p.main);
+            let cfg = Cfg::new(f);
+            let dom = DomTree::dominators(f, &cfg);
+            let lf = LoopForest::new(f, &cfg, &dom);
+            assert_eq!(
+                loop_bound(f, &lf.loops()[0]),
+                LoopBound::Exact(3),
+                "`$rep {what}` runs the body 3 times"
+            );
         }
     }
 
     #[test]
-    fn le_diagnostic_spells_the_exact_replacement() {
-        let p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
+    fn non_counter_le_header_keeps_the_diagnostic() {
+        // A `<=` header over something that is not the lowered counter
+        // (here: a global) is genuinely unbounded and must stay refused,
+        // with a message that names the operator it saw.
+        let mut p = compile("nv g = 0; fn main() { repeat 2 { g = g + 1; } }").unwrap();
+        let main = p.main;
+        let f = p.func_mut(main);
+        for b in &mut f.blocks {
+            if let ocelot_ir::Terminator::Branch { cond, .. } = &mut b.term {
+                *cond = Expr::Binary(
+                    BinOp::Le,
+                    Box::new(Expr::Var("g".into())),
+                    Box::new(Expr::Int(10)),
+                );
+            }
+        }
         let f = p.func(p.main);
         let cfg = Cfg::new(f);
         let dom = DomTree::dominators(f, &cfg);
         let lf = LoopForest::new(f, &cfg, &dom);
         let LoopBound::Unknown(why) = loop_bound(f, &lf.loops()[0]) else {
-            panic!("a `<=` header must not be treated as bounded");
+            panic!("a non-counter `<=` header must not be treated as bounded");
         };
-        // `repeat 2` lowers to `$repN < 2`; `<= 2` therefore suggests
-        // the concrete `< 3`.
-        assert!(why.contains("< 3`"), "concrete replacement spelled: {why}");
-    }
-
-    #[test]
-    fn le_rewrite_is_accepted() {
-        // The regression the diagnostic promises: take the `<=` header
-        // it rejected, apply the suggested rewrite, and the bound is
-        // recovered — `x <= k` runs the body `k + 1` times, and so does
-        // `x < k + 1`.
-        let mut p = with_header_op("fn main() { repeat 2 { skip; } }", BinOp::Le);
-        apply_le_rewrite(&mut p);
-        let f = p.func(p.main);
-        let cfg = Cfg::new(f);
-        let dom = DomTree::dominators(f, &cfg);
-        let lf = LoopForest::new(f, &cfg, &dom);
-        assert_eq!(
-            loop_bound(f, &lf.loops()[0]),
-            LoopBound::Exact(3),
-            "the suggested rewrite must be accepted with the same trip count"
-        );
+        assert!(why.contains("`<=`"), "must name the found operator: {why}");
     }
 
     #[test]

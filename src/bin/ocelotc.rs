@@ -29,8 +29,23 @@
 //!     --out <dir>               artifact directory
 //!                               (default target/bench-results)
 //!     --runs <n> / --seed <n>   scale/seed overrides
+//!     --traces                  persist raw per-cell observation logs
+//!                               (uniform sweeps; composes with --replay)
 //!     --replay                  render from the persisted artifact
 //!                               without re-simulating
+//! ocelotc scenario <action>     the declarative scenario library
+//!     list                      enumerate the registered scenarios
+//!     describe <name[@seed]>    channels, supply, and workload binding
+//!     run <name[@seed]> [opts]  run an app under the scenario's world
+//!                               and supply
+//!       --app <name>            app to run (default: the scenario's
+//!                               suggested app; any paper or extension
+//!                               app works)
+//!       --jit                   skip region inference (JIT-only build)
+//!       --backend <interp|compiled> execution engine (default interp)
+//!       --runs <n>              complete program runs (default: the
+//!                               scenario's binding)
+//!       --seed <n>              reseed the scenario
 //! ```
 
 use ocelot::prelude::*;
@@ -41,13 +56,18 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: ocelotc <compile|check|policies|run|bench> <file> [options]");
+            eprintln!(
+                "usage: ocelotc <compile|check|policies|run|bench|scenario> <file> [options]"
+            );
             return ExitCode::from(2);
         }
     };
-    // `bench` takes a driver name, not a source file.
+    // `bench` and `scenario` take registry names, not source files.
     if cmd == "bench" {
         return cmd_bench(rest);
+    }
+    if cmd == "scenario" {
+        return cmd_scenario(rest);
     }
     let Some(path) = rest.first() else {
         eprintln!("error: missing input file");
@@ -93,6 +113,180 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some((driver, flags)) => ocelot_bench::cli::run_driver(driver, flags.iter().cloned()),
+    }
+}
+
+fn cmd_scenario(rest: &[String]) -> ExitCode {
+    const USAGE: &str =
+        "usage: ocelotc scenario <list | describe <name[@seed]> | run <name[@seed]> [options]>";
+    match rest.split_first() {
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Some((action, args)) => match action.as_str() {
+            "list" => {
+                println!("registered scenarios (ocelotc scenario describe <name>):");
+                for sc in ocelot::scenario::all() {
+                    println!(
+                        "  {:16} {} (suggested app: {})",
+                        sc.name, sc.about, sc.suggested_app
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            "describe" => {
+                let Some(spec) = args.first() else {
+                    return usage_err("describe needs a scenario name");
+                };
+                let sc = match ocelot::scenario::parse(spec) {
+                    Ok(sc) => sc,
+                    Err(e) => return usage_err(&e),
+                };
+                println!("{} — {}", sc.name, sc.about);
+                println!("  seed:          {}", sc.seed);
+                println!("  suggested app: {}", sc.suggested_app);
+                println!("  default runs:  {}", sc.default_runs);
+                println!("  supply:        {}", sc.supply.describe());
+                println!("  channels (sampled at 0 ms / 500 ms / 2000 ms):");
+                let env = sc.environment();
+                for ch in env.channels() {
+                    println!(
+                        "    {:10} {:6} {:6} {:6}",
+                        ch,
+                        env.sample(ch, 0),
+                        env.sample(ch, 500_000),
+                        env.sample(ch, 2_000_000),
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            "run" => cmd_scenario_run(args),
+            other => {
+                eprintln!("error: unknown scenario action `{other}`\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+fn cmd_scenario_run(args: &[String]) -> ExitCode {
+    let Some((spec, opts)) = args.split_first() else {
+        return usage_err("run needs a scenario name");
+    };
+    let mut sc = match ocelot::scenario::parse(spec) {
+        Ok(sc) => sc,
+        Err(e) => return usage_err(&e),
+    };
+    let mut app: Option<String> = None;
+    let mut runs: Option<u64> = None;
+    let mut jit = false;
+    let mut backend = ExecBackend::Interp;
+    let mut it = opts.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--app" => match it.next() {
+                Some(a) => app = Some(a.clone()),
+                None => return usage_err("--app needs an app name"),
+            },
+            "--jit" => jit = true,
+            "--backend" => match it.next().map(|v| ExecBackend::parse(v)) {
+                Some(Some(b)) => backend = b,
+                _ => return usage_err("--backend needs `interp` or `compiled`"),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => runs = Some(v),
+                None => return usage_err("--runs needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => sc = sc.reseeded(v),
+                None => return usage_err("--seed needs a number"),
+            },
+            other => return usage_err(&format!("unknown option `{other}`")),
+        }
+    }
+    let app_name = app.unwrap_or_else(|| sc.suggested_app.to_string());
+    let Some(bench) = ocelot::apps::by_name(&app_name) else {
+        let names: Vec<&str> = ocelot::apps::all_with_extensions()
+            .iter()
+            .map(|b| b.name)
+            .collect();
+        return usage_err(&format!(
+            "unknown app `{app_name}` (known: {})",
+            names.join(", ")
+        ));
+    };
+    let model = if jit {
+        ExecModel::Jit
+    } else {
+        ExecModel::Ocelot
+    };
+    let built = match build(bench.annotated(), model) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut machine = Machine::new(
+        &built.program,
+        &built.regions,
+        built.policies.clone(),
+        sc.environment(),
+        CostModel::default(),
+        sc.supply(),
+    )
+    .with_backend(backend);
+    let runs = runs.unwrap_or(sc.default_runs);
+    eprintln!(
+        "scenario `{}` (seed {}), app `{}`, model {}: {}",
+        sc.name,
+        sc.seed,
+        bench.name,
+        model.name(),
+        sc.supply.describe()
+    );
+    for _ in 0..runs {
+        match machine.run_once(10_000_000) {
+            RunOutcome::StepLimit => {
+                eprintln!("error: step limit exceeded");
+                return ExitCode::FAILURE;
+            }
+            RunOutcome::Livelock { region } => {
+                eprintln!(
+                    "error: region r{} livelocked under `{}` (supply too weak — \
+                     see `ocelotc progress`)",
+                    region.0, sc.name
+                );
+                return ExitCode::FAILURE;
+            }
+            RunOutcome::Completed { .. } => {}
+        }
+    }
+    let trace = machine.take_trace();
+    for o in &trace {
+        if let ocelot::runtime::obs::Obs::Output {
+            channel, values, ..
+        } = o
+        {
+            println!("out({channel}) {values:?}");
+        }
+    }
+    let s = machine.stats();
+    eprintln!(
+        "{} run(s): {} reboot(s), {} region re-execution(s), {} violation(s); \
+         on {:.2} ms, charging {:.2} ms",
+        s.runs_completed,
+        s.reboots,
+        s.region_reexecs,
+        s.violations,
+        s.on_time_us as f64 / 1000.0,
+        s.off_time_us as f64 / 1000.0,
+    );
+    if s.violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

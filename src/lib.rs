@@ -26,7 +26,11 @@
 //!   vs. the harvesting buffer (§5.3 / §10);
 //! * [`runtime`] — the JIT+Atomics intermittent interpreter, violation
 //!   detectors, and the TICS / Samoyed comparison execution models;
-//! * [`apps`] — the paper's six benchmark applications.
+//! * [`apps`] — the paper's six benchmark applications plus the
+//!   extension workloads (multi-sensor fusion, duty-cycled radio,
+//!   ML-inference window);
+//! * [`scenario`] — the named environment/power scenario library the
+//!   evaluation sweeps (`ocelotc scenario`, `scenario_sweep`).
 //!
 //! ## Quickstart
 //!
@@ -72,6 +76,7 @@ pub use ocelot_hw as hw;
 pub use ocelot_ir as ir;
 pub use ocelot_progress as progress;
 pub use ocelot_runtime as runtime;
+pub use ocelot_scenario as scenario;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {

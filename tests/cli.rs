@@ -231,6 +231,102 @@ fn progress_rejects_bad_trigger() {
 }
 
 #[test]
+fn compile_radio_window_swallows_the_send_loop() {
+    let (ok, stdout, stderr) = ocelotc(&["compile", "examples/programs/radio_window.oc"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("checker: ok"), "{stderr}");
+    assert!(stdout.contains("startatom"), "{stdout}");
+    // Deterministic run: pin the sensors so the window always opens.
+    let (ok, stdout, stderr) = ocelotc(&[
+        "run",
+        "examples/programs/radio_window.oc",
+        "--continuous",
+        "--runs",
+        "1",
+        "--sensor",
+        "rssi=70",
+        "--sensor",
+        "vcap=80",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.matches("out(radio) [70]").count(), 3, "{stdout}");
+}
+
+#[test]
+fn scenario_list_enumerates_at_least_eight() {
+    let (ok, stdout, stderr) = ocelotc(&["scenario", "list"]);
+    assert!(ok, "{stderr}");
+    let scenarios = stdout
+        .lines()
+        .filter(|l| l.starts_with("  ") && l.contains("suggested app:"))
+        .count();
+    assert!(
+        scenarios >= 8,
+        "≥ 8 named scenarios, got {scenarios}:\n{stdout}"
+    );
+    for name in ["rf-lab", "brownout", "cold-start", "storm-front"] {
+        assert!(stdout.contains(name), "{name} listed:\n{stdout}");
+    }
+}
+
+#[test]
+fn scenario_describe_previews_channels_and_supply() {
+    let (ok, stdout, stderr) = ocelotc(&["scenario", "describe", "brownout@7"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("seed:          7"), "{stdout}");
+    assert!(stdout.contains("scheduled:"), "piecewise supply: {stdout}");
+    for ch in ["accel", "mic", "rssi", "tirepres"] {
+        assert!(stdout.contains(ch), "channel {ch} previewed:\n{stdout}");
+    }
+    let (ok, _, stderr) = ocelotc(&["scenario", "describe", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+}
+
+#[test]
+fn scenario_run_protects_extension_app_under_ocelot() {
+    let (ok, _, stderr) = ocelotc(&[
+        "scenario", "run", "rf-noisy", "--app", "mlinfer", "--runs", "3", "--seed", "5",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("0 violation(s)"), "{stderr}");
+    assert!(stderr.contains("app `mlinfer`"), "{stderr}");
+}
+
+#[test]
+fn scenario_run_defaults_to_the_suggested_app_and_flags_jit_violations() {
+    // storm-front's step environment plus JIT's checkpoint-only model:
+    // some run splits the consistent pair across the front or a reboot.
+    let (ok, _, stderr) = ocelotc(&[
+        "scenario",
+        "run",
+        "storm-front",
+        "--jit",
+        "--runs",
+        "12",
+        "--seed",
+        "5",
+    ]);
+    assert!(!ok, "JIT under storm-front must violate: {stderr}");
+    assert!(
+        stderr.contains("app `greenhouse`"),
+        "suggested app: {stderr}"
+    );
+    let violated = stderr
+        .lines()
+        .any(|l| l.contains("violation(s)") && !l.contains(" 0 violation(s)"));
+    assert!(violated, "{stderr}");
+}
+
+#[test]
+fn scenario_run_rejects_unknown_app() {
+    let (ok, _, stderr) = ocelotc(&["scenario", "run", "rf-lab", "--app", "doom"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown app"), "{stderr}");
+    assert!(stderr.contains("fusion"), "lists known apps: {stderr}");
+}
+
+#[test]
 fn bad_input_yields_error_not_panic() {
     let tmp = std::env::temp_dir().join("ocelot_cli_bad.oc");
     std::fs::write(&tmp, "fn main() { let x = ; }").unwrap();
