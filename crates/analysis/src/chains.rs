@@ -1,0 +1,241 @@
+//! Provenance-chain interning and static chain resolution.
+//!
+//! The runtime identifies every input *collection* by its provenance
+//! call chain — the call sites from `main` down to the input operation
+//! (the paper's context-sensitivity, Figure 6(b)). Chains are small
+//! `Vec<InstrRef>`s, but the detector, the TICS timekeeper, and the
+//! observation trace all key off them, so an uninterned chain costs a
+//! fresh allocation and a deep comparison at every lookup.
+//!
+//! This module provides the interning surface both execution backends
+//! share:
+//!
+//! * [`ChainTable`] — a stable `chain → u32` interner handing out
+//!   [`Arc`]-shared chains, so a chain resolved once is a cheap copy
+//!   forever after;
+//! * [`unique_contexts`] — for every function, its single calling
+//!   context *if it has exactly one* (computed without enumerating the
+//!   possibly-exponential context set of diamond-shaped call graphs);
+//! * [`static_input_chains`] — the input sites whose enclosing call
+//!   stack is fixed, each with its fully-resolved chain. These are the
+//!   sites the compiled backend pre-resolves; everything else falls
+//!   back to the dynamic rebuild.
+//!
+//! Call graphs with cycles (rejected by [`ocelot_ir::validate()`], but
+//! representable in hand-built IR) degrade gracefully: no chain is
+//! static, every site takes the dynamic path.
+
+use crate::taint::Prov;
+use ocelot_ir::callgraph::CallGraph;
+use ocelot_ir::{InstrRef, Op, Program};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Index of an interned chain in a [`ChainTable`].
+pub type ChainId = u32;
+
+/// A stable interner for provenance chains.
+///
+/// Ids are dense and append-only: once interned, a chain keeps its id
+/// and its [`Arc`] for the lifetime of the table.
+#[derive(Debug, Clone, Default)]
+pub struct ChainTable {
+    index: BTreeMap<Prov, ChainId>,
+    chains: Vec<Arc<Prov>>,
+}
+
+impl ChainTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `chain`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, chain: Prov) -> ChainId {
+        if let Some(&id) = self.index.get(&chain) {
+            return id;
+        }
+        let id = self.chains.len() as ChainId;
+        self.index.insert(chain.clone(), id);
+        self.chains.push(Arc::new(chain));
+        id
+    }
+
+    /// The id of `chain`, if it has been interned.
+    pub fn lookup(&self, chain: &Prov) -> Option<ChainId> {
+        self.index.get(chain).copied()
+    }
+
+    /// The shared chain behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not handed out by this table.
+    pub fn get(&self, id: ChainId) -> &Arc<Prov> {
+        &self.chains[id as usize]
+    }
+
+    /// Number of interned chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Iterates `(id, chain)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ChainId, &Arc<Prov>)> {
+        self.chains
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as ChainId, c))
+    }
+}
+
+/// For every function, its calling context when it has **exactly one**
+/// (the chain of call sites from `main`); `None` when the function is
+/// unreachable, reachable through several paths, or the call graph is
+/// cyclic.
+///
+/// Unlike full context enumeration this never blows up: a function's
+/// context count is not materialized, only whether it is one.
+pub fn unique_contexts(p: &Program) -> Vec<Option<Prov>> {
+    let cg = CallGraph::new(p);
+    let mut unique: Vec<Option<Prov>> = vec![None; p.funcs.len()];
+    let Ok(mut order) = cg.topo_callees_first(p) else {
+        // Cyclic call graph: no fixed stacks anywhere.
+        return unique;
+    };
+    // Callers before callees.
+    order.reverse();
+    unique[p.main.0 as usize] = Some(Vec::new());
+    for f in order {
+        if f == p.main {
+            continue;
+        }
+        let mut edges = cg.callers(f);
+        let (Some(edge), None) = (edges.next(), edges.next()) else {
+            continue; // zero or several call sites
+        };
+        if let Some(ctx) = &unique[edge.caller.0 as usize] {
+            let mut chain = ctx.clone();
+            chain.push(edge.site);
+            unique[f.0 as usize] = Some(chain);
+        }
+    }
+    unique
+}
+
+/// Every input site whose enclosing call stack is statically fixed,
+/// mapped to its full provenance chain (the unique context of the
+/// enclosing function, then the input instruction itself).
+pub fn static_input_chains(p: &Program) -> BTreeMap<InstrRef, Prov> {
+    let unique = unique_contexts(p);
+    let mut out = BTreeMap::new();
+    for f in &p.funcs {
+        let Some(ctx) = &unique[f.id.0 as usize] else {
+            continue;
+        };
+        for (_, inst) in f.iter_insts() {
+            if matches!(inst.op, Op::Input { .. }) {
+                let mut chain = ctx.clone();
+                let iref = InstrRef {
+                    func: f.id,
+                    label: inst.label,
+                };
+                chain.push(iref);
+                out.insert(iref, chain);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_ir::compile;
+
+    #[test]
+    fn intern_is_stable_and_shared() {
+        let mut t = ChainTable::new();
+        let a: Prov = vec![];
+        let id = t.intern(a.clone());
+        assert_eq!(t.intern(a.clone()), id);
+        assert_eq!(t.lookup(&a), Some(id));
+        assert_eq!(t.len(), 1);
+        let arc1 = Arc::clone(t.get(id));
+        let arc2 = Arc::clone(t.get(id));
+        assert!(Arc::ptr_eq(&arc1, &arc2), "one shared allocation");
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn single_call_paths_are_static() {
+        let p = compile(
+            r#"
+            sensor s;
+            fn leaf() { let v = in(s); return v; }
+            fn mid() { let v = leaf(); return v; }
+            fn main() { let a = mid(); out(log, a); }
+            "#,
+        )
+        .unwrap();
+        let chains = static_input_chains(&p);
+        assert_eq!(chains.len(), 1, "the one input site resolves statically");
+        let chain = chains.values().next().unwrap();
+        // main→mid call, mid→leaf call, then the input op itself.
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn multi_caller_helpers_stay_dynamic() {
+        let p = compile(
+            r#"
+            sensor s;
+            fn grab() { let v = in(s); return v; }
+            fn main() {
+                let a = grab();
+                let b = grab();
+                out(log, a + b);
+            }
+            "#,
+        )
+        .unwrap();
+        // Two call sites into `grab`: its input site has no fixed stack.
+        assert!(static_input_chains(&p).is_empty());
+        let unique = unique_contexts(&p);
+        let main_id = p.main.0 as usize;
+        assert_eq!(unique[main_id], Some(vec![]), "main's context is fixed");
+        assert_eq!(
+            unique.iter().filter(|u| u.is_some()).count(),
+            1,
+            "only main"
+        );
+    }
+
+    #[test]
+    fn inputs_directly_in_main_are_static() {
+        let p = compile("sensor s; fn main() { let v = in(s); out(log, v); }").unwrap();
+        let chains = static_input_chains(&p);
+        assert_eq!(chains.len(), 1);
+        let (iref, chain) = chains.iter().next().unwrap();
+        assert_eq!(chain.as_slice(), &[*iref], "chain is just the input op");
+    }
+
+    #[test]
+    fn unreachable_functions_have_no_context() {
+        let p = compile(
+            r#"
+            sensor s;
+            fn orphan() { let v = in(s); return v; }
+            fn main() { out(log, 1); }
+            "#,
+        )
+        .unwrap();
+        let chains = static_input_chains(&p);
+        assert!(chains.is_empty(), "orphan input sites never resolve");
+    }
+}

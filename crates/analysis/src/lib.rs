@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod chains;
 pub mod dom;
 pub mod effects;
 pub mod loops;
@@ -36,6 +37,7 @@ pub mod summary;
 pub mod taint;
 pub mod war;
 
+pub use chains::{static_input_chains, unique_contexts, ChainId, ChainTable};
 pub use dom::{dominance_frontier, point_dominates, point_post_dominates, DomTree, Point};
 pub use effects::{global_effects, GlobalEffects};
 pub use loops::LoopForest;

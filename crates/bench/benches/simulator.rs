@@ -92,9 +92,49 @@ fn bench_backends(c: &mut Criterion) {
     g.finish();
 }
 
+/// The input-path throughput bar: the input-bound apps (photo's
+/// single-sensor poll loop, fusion's three-sensor consistent set,
+/// radiolog's duty-cycled send window), interpreter vs compiled, on
+/// continuous power. These are the workloads where per-collection
+/// bookkeeping — chain resolution, timestamping, bit checks, frame
+/// binding — dominates, so they are what the pre-resolved input sites
+/// and slot-indexed frames must visibly speed up (acceptance bar:
+/// ≥1.5x over the pre-interning compiled baseline on photo or fusion).
+fn bench_input(c: &mut Criterion) {
+    let mut g = c.benchmark_group("input");
+    let input_bound = ["photo", "send_photo", "fusion", "radiolog"];
+    for b in ocelot_apps::all_with_extensions()
+        .into_iter()
+        .filter(|b| input_bound.contains(&b.name))
+    {
+        let built = build_for(&b, ExecModel::Ocelot);
+        for backend in ExecBackend::all() {
+            let id = BenchmarkId::new(backend.name(), b.name);
+            g.bench_function(id, |bencher| {
+                let mut m = Machine::new(
+                    &built.program,
+                    &built.regions,
+                    built.policies.clone(),
+                    b.environment(1),
+                    calibrated_costs(&b),
+                    Box::new(ContinuousPower),
+                )
+                .with_backend(backend);
+                m.run_once(MAX_STEPS);
+                bencher.iter(|| {
+                    for _ in 0..10 {
+                        m.run_once(MAX_STEPS);
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_continuous, bench_intermittent, bench_backends
+    targets = bench_continuous, bench_intermittent, bench_backends, bench_input
 }
 criterion_main!(benches);

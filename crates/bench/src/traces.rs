@@ -64,11 +64,11 @@ fn i64_to_json(v: i64) -> Json {
     Json::Int(v as i128)
 }
 
-fn deps_to_json(deps: &std::collections::BTreeSet<u64>) -> Json {
+fn deps_to_json(deps: &ocelot_runtime::memory::Deps) -> Json {
     Json::Arr(deps.iter().map(|&d| Json::u64(d)).collect())
 }
 
-fn deps_from_json(v: &Json) -> Result<std::collections::BTreeSet<u64>, ArtifactError> {
+fn deps_from_json(v: &Json) -> Result<ocelot_runtime::memory::Deps, ArtifactError> {
     v.as_arr()
         .ok_or_else(|| ArtifactError::Schema("deps is not an array".into()))?
         .iter()
@@ -198,15 +198,15 @@ pub fn obs_from_json(v: &Json) -> Result<Obs, ArtifactError> {
             tau: req_u64(v, "tau", ev)?,
             time_us: req_u64(v, "time_us", ev)?,
             era: req_u64(v, "era", ev)?,
-            sensor: req_str(v, "sensor", ev)?.to_string(),
+            sensor: req_str(v, "sensor", ev)?.into(),
             value: req_i64(v, "value", ev)?,
-            chain: refs_from_json(req(v, "chain", ev)?, "chain")?,
+            chain: std::sync::Arc::new(refs_from_json(req(v, "chain", ev)?, "chain")?),
         }),
         "output" => Ok(Obs::Output {
             at: instr_ref_from_json(req(v, "at", ev)?)?,
             tau: req_u64(v, "tau", ev)?,
             era: req_u64(v, "era", ev)?,
-            channel: req_str(v, "channel", ev)?.to_string(),
+            channel: req_str(v, "channel", ev)?.into(),
             values: req(v, "values", ev)?
                 .as_arr()
                 .ok_or_else(|| ArtifactError::Schema("output values is not an array".into()))?
@@ -348,7 +348,7 @@ mod tests {
                 era: 1,
                 sensor: "mic".into(),
                 value: -17,
-                chain: vec![at(0, 1), at(2, 5)],
+                chain: std::sync::Arc::new(vec![at(0, 1), at(2, 5)]),
             },
             Obs::Use {
                 at: at(2, 9),

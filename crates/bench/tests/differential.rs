@@ -163,6 +163,15 @@ impl SourceGen {
         g.out
             .push_str("fn bump(&dst, v) { *dst = *dst + v; return 0; }\n");
         g.out.push_str("fn grab() { let v = in(s0); return v; }\n");
+        // A three-deep call chain ending in a sample: when `deep` is
+        // called once the chain is statically fixed (pre-resolved
+        // path); called twice or more it becomes data-dependent and
+        // exercises the dynamic-chain fallback at depth.
+        g.out.push_str("fn leaf() { let v = in(s1); return v; }\n");
+        g.out
+            .push_str("fn mid() { let v = leaf(); return v + 1; }\n");
+        g.out
+            .push_str("fn deep() { let v = mid(); return v + 1; }\n");
         g.out.push_str("fn main() {\n");
         let n = g.rng.gen_range(4..10usize);
         for _ in 0..n {
@@ -212,7 +221,7 @@ impl SourceGen {
             return;
         }
         self.stmt_budget -= 1;
-        let roll = self.rng.gen_range(0..14u32);
+        let roll = self.rng.gen_range(0..16u32);
         match roll {
             0 | 1 => {
                 let e = self.expr(0);
@@ -281,6 +290,19 @@ impl SourceGen {
                 let l = self.fresh_local();
                 self.out.push_str(&format!("let {l} = grab();\n"));
                 self.input_locals.push(l);
+            }
+            13 | 14 => {
+                // Deep-stack collection: the chain resolution path
+                // (static vs dynamic fallback) depends on how many
+                // `deep()` sites this particular program emits.
+                let l = self.fresh_local();
+                self.out.push_str(&format!("let {l} = deep();\n"));
+                self.input_locals.push(l.clone());
+                match self.rng.gen_range(0..3u32) {
+                    0 => self.out.push_str(&format!("fresh({l});\n")),
+                    1 => self.out.push_str(&format!("consistent({l}, 1);\n")),
+                    _ => {}
+                }
             }
             _ => {
                 let target = if !self.locals.is_empty() && self.rng.gen_range(0..2u32) == 0 {
@@ -363,5 +385,90 @@ fn generated_sources_always_compile() {
         let src = SourceGen::generate(seed);
         let p = ocelot_ir::compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
         ocelot_core::collect_regions(&p).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+    }
+}
+
+/// The generator really reaches deep stacks: some seeds emit `deep()`
+/// calls, and at least one emits it twice (the dynamic-chain fallback
+/// configuration).
+#[test]
+fn generator_emits_deep_and_repeated_deep_calls() {
+    let mut any_deep = 0usize;
+    let mut multi_deep = 0usize;
+    for seed in 0..200u64 {
+        let src = SourceGen::generate(seed);
+        let n = src.matches("= deep();").count();
+        any_deep += (n >= 1) as usize;
+        multi_deep += (n >= 2) as usize;
+    }
+    assert!(any_deep >= 40, "deep-call weight is real: {any_deep}/200");
+    assert!(
+        multi_deep >= 10,
+        "repeated deep calls (dynamic fallback) occur: {multi_deep}/200"
+    );
+}
+
+/// Hand-written nested-call app: collections at the bottom of a
+/// three-deep fixed call chain (pre-resolved interned chain), through a
+/// helper invoked from two sites (dynamic-chain fallback), and a
+/// consistent set spanning both resolution paths — under continuous,
+/// scripted, and reseeded-harvester power, with and without
+/// pathological injection.
+#[test]
+fn nested_call_app_agrees_across_backends() {
+    let src = r#"
+        sensor s0; sensor s1;
+        nv total = 0;
+        fn leaf() { let v = in(s0); return v; }
+        fn mid() { let v = leaf(); return v + 1; }
+        fn deep() { let v = mid(); return v + 1; }
+        fn shared() { let v = in(s1); return v; }
+        fn main() {
+            let a = deep();
+            fresh(a);
+            let b = shared();
+            consistent(b, 2);
+            let c = shared();
+            consistent(c, 2);
+            atomic {
+                total = total + a + b + c;
+            }
+            out(log, total);
+        }
+    "#;
+    let program = ocelot_ir::compile(src).unwrap();
+    let regions = ocelot_core::collect_regions(&program).unwrap();
+    let taint = ocelot_analysis::taint::TaintAnalysis::run(&program);
+    let policies = ocelot_core::build_policies(&program, &taint);
+    let env = ocelot_hw::sensors::Environment::new()
+        .with("s0", ocelot_hw::sensors::Signal::Constant(7))
+        .with("s1", ocelot_hw::sensors::Signal::Constant(2));
+    for inject in [false, true] {
+        for supply in [
+            Supply::Continuous,
+            Supply::Scripted(vec![4_800.0; 40]),
+            Supply::Reseeded(11),
+        ] {
+            let mk = |backend| {
+                observe(
+                    &program,
+                    &regions,
+                    &policies,
+                    env.clone(),
+                    CostModel::default(),
+                    supply.build(),
+                    backend,
+                    3,
+                    inject,
+                )
+            };
+            let interp = mk(ExecBackend::Interp);
+            let compiled = mk(ExecBackend::Compiled);
+            assert_eq!(
+                interp, compiled,
+                "nested-call app diverged under {supply:?} (inject={inject})"
+            );
+            assert!(interp.stats.instructions > 0);
+        }
     }
 }

@@ -246,9 +246,14 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// A set of named sensor channels.
+///
+/// Signals live in a dense vector with a name index on the side, so a
+/// channel resolved once (via [`Environment::channel_index`]) samples
+/// without a name lookup — the runtime's compiled input sites use this.
 #[derive(Debug, Clone, Default)]
 pub struct Environment {
-    signals: BTreeMap<String, Signal>,
+    index: BTreeMap<String, usize>,
+    signals: Vec<Signal>,
 }
 
 impl Environment {
@@ -259,21 +264,42 @@ impl Environment {
 
     /// Adds or replaces a channel.
     pub fn with(mut self, sensor: &str, signal: Signal) -> Self {
-        self.signals.insert(sensor.to_string(), signal);
+        match self.index.get(sensor) {
+            Some(&i) => self.signals[i] = signal,
+            None => {
+                self.index.insert(sensor.to_string(), self.signals.len());
+                self.signals.push(signal);
+            }
+        }
         self
     }
 
     /// The declared channel names, sorted (scenario tooling lists and
     /// previews them).
     pub fn channels(&self) -> Vec<&str> {
-        self.signals.keys().map(String::as_str).collect()
+        self.index.keys().map(String::as_str).collect()
+    }
+
+    /// The stable index of `sensor`, if declared — sampling through it
+    /// skips the name lookup forever after.
+    pub fn channel_index(&self, sensor: &str) -> Option<usize> {
+        self.index.get(sensor).copied()
+    }
+
+    /// Samples the channel at a pre-resolved index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was not obtained from
+    /// [`Environment::channel_index`].
+    pub fn sample_index(&self, idx: usize, t_us: u64) -> i64 {
+        self.signals[idx].sample(t_us)
     }
 
     /// Samples `sensor` at `t_us`; undeclared channels read 0.
     pub fn sample(&self, sensor: &str, t_us: u64) -> i64 {
-        self.signals
-            .get(sensor)
-            .map(|s| s.sample(t_us))
+        self.channel_index(sensor)
+            .map(|i| self.sample_index(i, t_us))
             .unwrap_or(0)
     }
 

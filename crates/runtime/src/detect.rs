@@ -25,7 +25,7 @@ use crate::obs::Obs;
 use ocelot_analysis::taint::Prov;
 use ocelot_core::{PolicyId, PolicyKind, PolicySet};
 use ocelot_ir::InstrRef;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Which property a violation event breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,31 +130,75 @@ impl DetectorConfig {
     pub fn bits(&self) -> usize {
         self.bit_of.len()
     }
+
+    /// Pre-resolves a check's required chains into bit indices, so the
+    /// hot path never compares provenance vectors. Chains without a bit
+    /// can never be stale (matching [`BitVector`]'s map-keyed path) and
+    /// are dropped here, as are chains with no reporting input op.
+    pub fn resolve(&self, c: &Check) -> ResolvedCheck {
+        ResolvedCheck {
+            policy: c.policy,
+            kind: c.kind,
+            requires: c
+                .requires
+                .iter()
+                .filter_map(|ch| {
+                    let b = self.bit_of.get(ch)?;
+                    let op = ch.last()?;
+                    Some((*b as u32, *op))
+                })
+                .collect(),
+        }
+    }
 }
 
-/// The non-volatile bit vector.
+/// A [`Check`] with its required collections pre-resolved to bit
+/// indices — what the machine binds to each check site up front.
+#[derive(Debug, Clone)]
+pub struct ResolvedCheck {
+    /// The policy being checked.
+    pub policy: PolicyId,
+    /// Freshness or consistency.
+    pub kind: ViolationKind,
+    /// `(bit, reporting input op)` per required collection.
+    pub requires: Vec<(u32, InstrRef)>,
+}
+
+/// The non-volatile bit vector, stored as dense words.
 #[derive(Debug, Clone, Default)]
 pub struct BitVector {
-    bits: BTreeSet<usize>,
+    words: Vec<u64>,
 }
 
 impl BitVector {
-    /// Sets the bit of a collection (an input executed under `chain`).
-    pub fn set(&mut self, cfg: &DetectorConfig, chain: &Prov) {
-        if let Some(&b) = cfg.bit_of.get(chain) {
-            self.bits.insert(b);
+    /// Sets a pre-resolved bit (obtained from
+    /// [`DetectorConfig::bit_of`] — the machine binds bits to
+    /// collections up front, so there is exactly one staleness
+    /// implementation).
+    pub fn set_bit(&mut self, b: usize) {
+        let w = b / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
         }
+        self.words[w] |= 1u64 << (b % 64);
     }
 
-    /// Clears all bits — called on every power failure (§7.3).
+    fn is_set(&self, b: usize) -> bool {
+        self.words
+            .get(b / 64)
+            .is_some_and(|w| w & (1u64 << (b % 64)) != 0)
+    }
+
+    /// Clears all bits — called on every power failure (§7.3). Keeps
+    /// the word storage.
     pub fn clear(&mut self) {
-        self.bits.clear();
+        self.words.fill(0);
     }
 
-    fn run(
+    /// Runs pre-resolved checks against the current bits.
+    pub fn run_resolved(
         &self,
-        cfg: &DetectorConfig,
-        checks: &[Check],
+        checks: &[ResolvedCheck],
         at: InstrRef,
         tau: u64,
         era: u64,
@@ -164,13 +208,8 @@ impl BitVector {
             let stale: Vec<InstrRef> = c
                 .requires
                 .iter()
-                .filter(|ch| {
-                    cfg.bit_of
-                        .get(*ch)
-                        .map(|b| !self.bits.contains(b))
-                        .unwrap_or(false)
-                })
-                .filter_map(|ch| ch.last().copied())
+                .filter(|(b, _)| !self.is_set(*b as usize))
+                .map(|(_, op)| *op)
                 .collect();
             if !stale.is_empty() {
                 out.push(ViolationEvent {
@@ -184,36 +223,6 @@ impl BitVector {
             }
         }
         out
-    }
-
-    /// Runs the freshness checks registered for the instruction about
-    /// to execute.
-    pub fn check_use_site(
-        &self,
-        cfg: &DetectorConfig,
-        at: InstrRef,
-        tau: u64,
-        era: u64,
-    ) -> Vec<ViolationEvent> {
-        match cfg.use_checks.get(&at) {
-            Some(checks) => self.run(cfg, checks, at, tau, era),
-            None => Vec::new(),
-        }
-    }
-
-    /// Runs the consistency checks for an input executing under `chain`.
-    pub fn check_input(
-        &self,
-        cfg: &DetectorConfig,
-        chain: &Prov,
-        at: InstrRef,
-        tau: u64,
-        era: u64,
-    ) -> Vec<ViolationEvent> {
-        match cfg.input_checks.get(chain) {
-            Some(checks) => self.run(cfg, checks, at, tau, era),
-            None => Vec::new(),
-        }
     }
 }
 
@@ -234,10 +243,10 @@ impl BitVector {
 pub fn check_trace(policies: &PolicySet, trace: &[Obs]) -> Vec<ViolationEvent> {
     let mut out = Vec::new();
     // Last committed era per chain.
-    let mut last_era_of_chain: BTreeMap<Prov, u64> = BTreeMap::new();
+    let mut last_era_of_chain: BTreeMap<std::sync::Arc<Prov>, u64> = BTreeMap::new();
     // Per consistent policy: the eras of the current instance's
     // collections.
-    let mut instance: BTreeMap<PolicyId, BTreeMap<Prov, u64>> = BTreeMap::new();
+    let mut instance: BTreeMap<PolicyId, BTreeMap<std::sync::Arc<Prov>, u64>> = BTreeMap::new();
 
     // Consistent-policy membership per chain.
     let mut members: BTreeMap<Prov, Vec<PolicyId>> = BTreeMap::new();
@@ -258,12 +267,12 @@ pub fn check_trace(policies: &PolicySet, trace: &[Obs]) -> Vec<ViolationEvent> {
                 chain,
                 ..
             } => {
-                if let Some(pids) = members.get(chain) {
+                if let Some(pids) = members.get(&**chain) {
                     for pid in pids {
                         let pol = policies.policy(*pid);
                         let first = pol.inputs.iter().next();
                         let inst = instance.entry(*pid).or_default();
-                        if first == Some(chain) {
+                        if first == Some(&**chain) {
                             // A new round begins with the set's first
                             // collection.
                             inst.clear();
@@ -286,10 +295,10 @@ pub fn check_trace(policies: &PolicySet, trace: &[Obs]) -> Vec<ViolationEvent> {
                                 stale_ops: stale,
                             });
                         }
-                        inst.insert(chain.clone(), *era);
+                        inst.insert(std::sync::Arc::clone(chain), *era);
                     }
                 }
-                last_era_of_chain.insert(chain.clone(), *era);
+                last_era_of_chain.insert(std::sync::Arc::clone(chain), *era);
             }
             Obs::Use { at, tau, era, .. } => {
                 for pol in policies.iter() {
@@ -387,17 +396,21 @@ mod tests {
         let cfg = DetectorConfig::from_policies(&ps);
         let mut bv = BitVector::default();
         let use_site = *cfg.use_checks.keys().next().unwrap();
+        let checks: Vec<ResolvedCheck> = cfg.use_checks[&use_site]
+            .iter()
+            .map(|c| cfg.resolve(c))
+            .collect();
         // Without setting the bit (power failed in between): violation.
-        let v = bv.check_use_site(&cfg, use_site, 5, 1);
+        let v = bv.run_resolved(&checks, use_site, 5, 1);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Freshness);
         // After the collection executes: clean.
-        let chain = cfg.bit_of.keys().next().unwrap().clone();
-        bv.set(&cfg, &chain);
-        assert!(bv.check_use_site(&cfg, use_site, 6, 1).is_empty());
+        let chain = cfg.bit_of.keys().next().unwrap();
+        bv.set_bit(cfg.bit_of[chain]);
+        assert!(bv.run_resolved(&checks, use_site, 6, 1).is_empty());
         // Power failure clears.
         bv.clear();
-        assert_eq!(bv.check_use_site(&cfg, use_site, 7, 2).len(), 1);
+        assert_eq!(bv.run_resolved(&checks, use_site, 7, 2).len(), 1);
     }
 
     #[test]
@@ -413,7 +426,7 @@ mod tests {
             era,
             sensor: "s".into(),
             value: 1,
-            chain: chain.clone(),
+            chain: std::sync::Arc::new(chain.clone()),
         };
         let mk_use = |tau, era, dep| Obs::Use {
             at: use_site,
@@ -457,7 +470,7 @@ mod tests {
             era,
             sensor: "x".into(),
             value: 0,
-            chain: chain.clone(),
+            chain: std::sync::Arc::new(chain.clone()),
         };
         let clean = vec![mk(&chains[0], 1, 0), mk(&chains[1], 2, 0)];
         assert!(check_trace(&ps, &clean).is_empty());
@@ -468,7 +481,10 @@ mod tests {
     }
 
     #[test]
-    fn unknown_site_checks_nothing() {
+    fn resolve_drops_untracked_chains() {
+        // A check requiring a chain with no bit can never report it
+        // stale (the map-keyed semantics resolve() must preserve), and
+        // running no checks reports nothing.
         let (_, ps) = policies_for("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }");
         let cfg = DetectorConfig::from_policies(&ps);
         let bv = BitVector::default();
@@ -476,7 +492,14 @@ mod tests {
             func: FuncId(7),
             label: Label(99),
         };
-        assert!(bv.check_use_site(&cfg, bogus, 0, 0).is_empty());
-        assert!(bv.check_input(&cfg, &vec![bogus], bogus, 0, 0).is_empty());
+        let check = Check {
+            policy: ocelot_core::PolicyId(0),
+            kind: ViolationKind::Freshness,
+            requires: vec![vec![bogus]], // never interned, never bitted
+        };
+        let resolved = cfg.resolve(&check);
+        assert!(resolved.requires.is_empty(), "untracked chain dropped");
+        assert!(bv.run_resolved(&[resolved], bogus, 0, 0).is_empty());
+        assert!(bv.run_resolved(&[], bogus, 0, 0).is_empty());
     }
 }

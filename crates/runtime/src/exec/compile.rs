@@ -7,9 +7,18 @@
 //!   into an [`Action`], so the hot loop never touches [`Op`] again
 //!   (and never clones its expression trees);
 //! * **storage resolution** — global scalars/arrays become
-//!   [`crate::memory::NvMem`] slot indices; variable reads are
+//!   [`crate::memory::NvMem`] slot indices and frame locals become
+//!   dense [`crate::memory::FrameLayouts`] slots; variable reads are
 //!   classified local / by-ref / global / dynamic using the IR's
 //!   declaration metadata ([`ocelot_ir::Function::declares`]);
+//! * **input sites** — the sensor name is pre-interned and, for sites
+//!   whose enclosing call stack is statically fixed, the provenance
+//!   chain is pre-resolved to an interned
+//!   [`ocelot_analysis::chains::ChainId`]; only sites reachable
+//!   through several call paths rebuild the chain dynamically;
+//! * **call plans** — argument bindings resolve to callee slots, the
+//!   return destination to a caller slot, and by-ref arguments to a
+//!   pre-classified target, so a call allocates nothing but the frame;
 //! * **cycle costs** — static wherever the interpreter's
 //!   `Machine::op_cost` is state-independent, including the µs
 //!   conversion (summed per instruction, so batched time advances agree
@@ -20,7 +29,10 @@
 //! * **batches** — for every entry offset into a block, the maximal run
 //!   of pure-compute steps whose energy can be drawn in one
 //!   [`ocelot_hw::power::PowerSupply::consume_batch`] call on a
-//!   continuous supply.
+//!   continuous supply. Since locals are slot-addressed, a run no
+//!   longer stops at the block edge: it follows unconditional jumps
+//!   into the batchable prefix of the target block (cycle-guarded), so
+//!   straight-line code split across blocks still charges once.
 //!
 //! The classification is exact for lowered programs: alpha-renaming
 //! guarantees locals never shadow globals and are bound before any
@@ -28,15 +40,16 @@
 //! Accesses that cannot be proven fall back to [`Action::AssignDyn`] /
 //! [`CExpr::DynVar`], which run the interpreter's own resolution path.
 
-use crate::detect::DetectorConfig;
-use crate::machine::{static_op_cost, static_term_cost};
-use crate::memory::NvMem;
+use crate::machine::{static_op_cost, static_term_cost, Machine};
+use ocelot_analysis::chains::ChainId;
 use ocelot_analysis::dom::{point_dominates, DomTree, Point};
-use ocelot_hw::energy::CostModel;
 use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
 use ocelot_ir::cfg::Cfg;
-use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Op, Place, Program, RegionId, Terminator};
-use std::collections::{BTreeMap, BTreeSet};
+use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Op, Place, RegionId, Terminator};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::memory::{ParamBind, RetSlot};
 
 /// A program lowered to pre-resolved steps, indexed `[func][block]`.
 pub(crate) struct CompiledProgram<'p> {
@@ -61,10 +74,14 @@ pub(crate) struct CompiledBlock<'p> {
     pub(crate) batches: Vec<Batch>,
 }
 
-/// Precomputed totals of a maximal pure-compute run.
+/// Step/cycle/time totals of a batchable run — the quantities charged
+/// in one draw. There is exactly one summing site ([`RunTotals::add`]),
+/// shared by intra-block absorption, cross-block span building, and
+/// span attachment, so a future cost bucket cannot be summed in some
+/// combinations and silently dropped in others.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct Batch {
-    /// Steps in the run (0 = not batchable here).
+pub(crate) struct RunTotals {
+    /// Total steps in the run (0 = not batchable here).
     pub(crate) len: u32,
     /// Total cycles, charged in one draw.
     pub(crate) cycles: u64,
@@ -76,6 +93,30 @@ pub(crate) struct Batch {
     pub(crate) compute_cycles: u64,
     /// Cycles booked to the `output` breakdown category.
     pub(crate) output_cycles: u64,
+}
+
+impl RunTotals {
+    /// Folds another run's totals into this one.
+    fn add(&mut self, o: &RunTotals) {
+        self.len += o.len;
+        self.cycles += o.cycles;
+        self.us += o.us;
+        self.compute_cycles += o.compute_cycles;
+        self.output_cycles += o.output_cycles;
+    }
+}
+
+/// Precomputed totals of a maximal pure-compute run, possibly spanning
+/// unconditional jumps into other blocks of the same function.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Batch {
+    /// Charged totals across all segments.
+    pub(crate) totals: RunTotals,
+    /// Steps executed in the starting block (`cont` holds the rest).
+    pub(crate) head: u32,
+    /// Continuation segments after each followed jump: `(block, steps
+    /// from its offset 0)`.
+    pub(crate) cont: Vec<(BlockId, u32)>,
 }
 
 /// One pre-resolved instruction or terminator.
@@ -125,6 +166,73 @@ pub(crate) enum Cat {
     Checkpoint,
 }
 
+/// A pre-resolved local destination.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LocalDst<'p> {
+    /// A frame slot from the function's layout.
+    Slot(u32),
+    /// A name outside the layout (hand-built IR): spills by name.
+    Spill(&'p str),
+}
+
+/// How one by-ref argument resolves, classified at compile time.
+pub(crate) enum RefArgPlan<'p> {
+    /// The argument is itself a by-ref parameter of the caller:
+    /// forward its incoming target (dynamic probe).
+    Forward(&'p str),
+    /// A declared caller local: its slot when bound at call time,
+    /// otherwise the named global (the paper model's unbound-local
+    /// fallback).
+    LocalOrGlobal {
+        /// Caller-frame slot.
+        slot: u32,
+        /// Fallback global name (shared).
+        global: Arc<str>,
+    },
+    /// An undeclared name: always the named global.
+    Global(Arc<str>),
+}
+
+/// One pre-resolved argument binding of a call.
+pub(crate) enum ArgBind<'p> {
+    /// A by-value argument into a callee slot.
+    Value {
+        /// Callee-frame slot.
+        slot: u32,
+        /// Argument expression.
+        src: CExpr<'p>,
+    },
+    /// A by-value argument to a by-ref parameter (hand-built IR):
+    /// spills into the callee frame by name.
+    ValueSpill {
+        /// Callee parameter name (shared).
+        name: Arc<str>,
+        /// Argument expression.
+        src: CExpr<'p>,
+    },
+    /// A by-ref argument bound into the callee's reference map.
+    Ref {
+        /// Callee parameter name (shared, pre-interned).
+        param: Arc<str>,
+        /// Pre-classified target.
+        plan: RefArgPlan<'p>,
+    },
+}
+
+/// Everything a call step needs, resolved once.
+pub(crate) struct CallPlan<'p> {
+    /// Callee.
+    pub(crate) callee: FuncId,
+    /// Callee entry block.
+    pub(crate) entry: BlockId,
+    /// Callee local slot count.
+    pub(crate) nslots: u32,
+    /// Caller-frame return destination.
+    pub(crate) ret_dst: Option<RetSlot>,
+    /// Argument bindings, in parameter order.
+    pub(crate) binds: Vec<ArgBind<'p>>,
+}
+
 /// A pre-matched operation with pre-resolved storage.
 pub(crate) enum Action<'p> {
     /// `skip` and (unerased) annotations.
@@ -132,31 +240,33 @@ pub(crate) enum Action<'p> {
     /// `let var = src`.
     Bind {
         /// The local introduced.
-        var: &'p str,
+        dst: LocalDst<'p>,
         /// Its initializer.
         src: CExpr<'p>,
     },
-    /// Store to a declared local or value parameter.
+    /// Store to a declared local or value parameter with a dominating
+    /// binding.
     AssignLocal {
-        /// The volatile destination.
+        /// The volatile destination slot.
+        slot: u32,
+        /// Name, for the (unreachable in lowered programs) unbound
+        /// fallback.
         var: &'p str,
         /// Stored value.
         src: CExpr<'p>,
     },
     /// Store to a declared scalar global, slot-resolved.
     AssignGlobal {
-        /// Pre-resolved [`NvMem`] scalar slot.
+        /// Pre-resolved [`crate::memory::NvMem`] scalar slot.
         slot: usize,
-        /// Name, for the undo-log key.
-        name: &'p str,
         /// Stored value.
         src: CExpr<'p>,
     },
     /// Store to an array cell.
     AssignIndex {
-        /// Array name, for the undo-log key.
+        /// Array name, for the undo-log key fallback.
         name: &'p str,
-        /// Pre-resolved [`NvMem`] array slot, if declared.
+        /// Pre-resolved [`crate::memory::NvMem`] array slot, if declared.
         slot: Option<usize>,
         /// Cell index expression.
         idx: CExpr<'p>,
@@ -177,26 +287,30 @@ pub(crate) enum Action<'p> {
         /// Stored value.
         src: CExpr<'p>,
     },
-    /// `let var = IN(sensor)` — delegated to the shared input helper.
+    /// `let var = IN(sensor)` — the collection core is shared with the
+    /// interpreter; everything resolvable is resolved here.
     Input {
         /// Receiving local.
-        var: &'p str,
-        /// Sensor channel.
+        dst: LocalDst<'p>,
+        /// Sensor channel (environment lookup key, fallback path).
         sensor: &'p str,
+        /// Interned sensor name (what the observation records).
+        sensor_name: Arc<str>,
+        /// Pre-resolved environment channel index.
+        chan: Option<usize>,
+        /// Pre-resolved chain for a statically-fixed call stack;
+        /// `None` falls back to the dynamic rebuild.
+        chain: Option<ChainId>,
     },
-    /// Function call — delegated to the shared call helper.
+    /// Function call, fully pre-planned.
     Call {
-        /// Return destination, if any.
-        dst: Option<&'p str>,
-        /// Callee.
-        callee: FuncId,
-        /// Argument list (evaluated by the shared helper).
-        args: &'p [Arg],
+        /// The plan.
+        plan: CallPlan<'p>,
     },
     /// `out(channel, args)`.
     Output {
-        /// Output channel.
-        channel: &'p str,
+        /// Interned output channel name.
+        channel: Arc<str>,
         /// Pre-lowered argument expressions.
         args: Vec<CExpr<'p>>,
     },
@@ -229,12 +343,18 @@ pub(crate) enum Action<'p> {
 pub(crate) enum CExpr<'p> {
     /// Integer or boolean literal.
     Const(i64),
-    /// A declared local or value parameter: read the top frame's
-    /// binding (falls back to the interpreter's resolution if unbound).
-    Local(&'p str),
+    /// A declared local or value parameter: read the frame slot (falls
+    /// back to the interpreter's resolution if unbound).
+    Local {
+        /// Frame slot.
+        slot: u32,
+        /// Name, for the unbound fallback.
+        name: &'p str,
+    },
     /// A by-reference parameter: read through the resolved target.
     RefParam(&'p str),
-    /// A declared scalar global: direct [`NvMem`] slot read.
+    /// A declared scalar global: direct [`crate::memory::NvMem`] slot
+    /// read.
     Global(usize),
     /// Unresolvable name: the interpreter's full lookup order.
     DynVar(&'p str),
@@ -258,32 +378,22 @@ pub(crate) enum CExpr<'p> {
     RefArg,
 }
 
-/// Compiles `p` against the machine's detector configuration, fresh-use
-/// logging map, injector target set, and non-volatile slot layout.
-pub(crate) fn compile<'p>(
-    p: &'p Program,
-    costs: &CostModel,
-    det_cfg: &DetectorConfig,
-    fresh_use_vars: &BTreeMap<InstrRef, Vec<String>>,
-    injector_targets: &BTreeSet<InstrRef>,
-    nv: &NvMem,
-) -> CompiledProgram<'p> {
-    let cx = Cx {
-        costs,
-        det_cfg,
-        fresh_use_vars,
-        injector_targets,
-        nv,
-    };
+/// Compiles the machine's program against its detector configuration,
+/// check-site map, injector target set, non-volatile slot layout,
+/// frame layouts, chain table, and sensor interner.
+pub(crate) fn compile<'p>(m: &Machine<'p>) -> CompiledProgram<'p> {
+    let cx = Cx { m };
     CompiledProgram {
-        funcs: p
+        funcs: m
+            .p
             .funcs
             .iter()
             .map(|f| {
                 let binds = Bindings::of(f);
-                CompiledFunc {
-                    blocks: f.blocks.iter().map(|b| cx.block(f, &binds, b)).collect(),
-                }
+                let mut blocks: Vec<CompiledBlock<'p>> =
+                    f.blocks.iter().map(|b| cx.block(f, &binds, b)).collect();
+                extend_batches_across_jumps(&mut blocks);
+                CompiledFunc { blocks }
             })
             .collect(),
     }
@@ -333,17 +443,14 @@ impl Bindings {
     }
 }
 
-/// Compile-time context threaded through the pass.
-struct Cx<'a> {
-    costs: &'a CostModel,
-    det_cfg: &'a DetectorConfig,
-    fresh_use_vars: &'a BTreeMap<InstrRef, Vec<String>>,
-    injector_targets: &'a BTreeSet<InstrRef>,
-    nv: &'a NvMem,
+/// Compile-time context: the machine whose pre-resolved tables the pass
+/// bakes into steps.
+struct Cx<'a, 'p> {
+    m: &'a Machine<'p>,
 }
 
-impl Cx<'_> {
-    fn block<'p>(
+impl<'p> Cx<'_, 'p> {
+    fn block(
         &self,
         f: &'p Function,
         binds: &Bindings,
@@ -356,11 +463,11 @@ impl Cx<'_> {
             .map(|(i, inst)| self.instr(f, binds, Point::new(b.id, i), inst.label, &inst.op))
             .collect();
         steps.push(self.terminator(f, b.term_label, &b.term));
-        let batches = self.batches(&steps);
+        let batches = intra_block_batches(&steps);
         CompiledBlock { steps, batches }
     }
 
-    fn step<'p>(
+    fn step(
         &self,
         f: &'p Function,
         label: ocelot_ir::Label,
@@ -373,9 +480,8 @@ impl Cx<'_> {
             iref,
             cost,
             cat,
-            checked: self.det_cfg.use_checks.contains_key(&iref)
-                || self.fresh_use_vars.contains_key(&iref),
-            inject: self.injector_targets.contains(&iref),
+            checked: self.m.use_rt.contains_key(&iref),
+            inject: self.m.injector_targets.contains(&iref),
             action,
         }
     }
@@ -383,11 +489,77 @@ impl Cx<'_> {
     fn fixed(&self, cycles: u64) -> Cost {
         Cost::Static {
             cycles,
-            us: self.costs.cycles_to_us(cycles),
+            us: self.m.costs.cycles_to_us(cycles),
         }
     }
 
-    fn instr<'p>(
+    fn local_dst(&self, f: &Function, var: &'p str) -> LocalDst<'p> {
+        match self.m.layouts.slot(f.id, var) {
+            Some(s) => LocalDst::Slot(s),
+            None => LocalDst::Spill(var),
+        }
+    }
+
+    /// Classifies a by-ref argument (see [`RefArgPlan`]).
+    fn ref_arg(&self, f: &'p Function, x: &'p str) -> RefArgPlan<'p> {
+        if f.is_by_ref_param(x) {
+            RefArgPlan::Forward(x)
+        } else if let Some(slot) = self.m.layouts.slot(f.id, x) {
+            RefArgPlan::LocalOrGlobal {
+                slot,
+                global: self.m.global_name(x),
+            }
+        } else {
+            RefArgPlan::Global(self.m.global_name(x))
+        }
+    }
+
+    fn call_plan(
+        &self,
+        f: &'p Function,
+        dst: Option<&'p str>,
+        callee: FuncId,
+        args: &'p [Arg],
+    ) -> CallPlan<'p> {
+        let callee_layout = self.m.layouts.layout(callee);
+        let ret_dst = dst.map(|d| match self.m.layouts.slot(f.id, d) {
+            Some(s) => RetSlot::Slot(s),
+            None => RetSlot::Spill(Arc::from(d)),
+        });
+        let binds = args
+            .iter()
+            .zip(callee_layout.params())
+            .map(|(a, bind)| match (a, bind) {
+                (Arg::Value(e), ParamBind::Value(slot)) => ArgBind::Value {
+                    slot: *slot,
+                    src: self.expr(f, e),
+                },
+                (Arg::Ref(x), ParamBind::Ref(name)) => ArgBind::Ref {
+                    param: Arc::clone(name),
+                    plan: self.ref_arg(f, x),
+                },
+                // Mismatched kinds: impossible in validated programs,
+                // mirrored for hand-built IR.
+                (Arg::Value(e), ParamBind::Ref(name)) => ArgBind::ValueSpill {
+                    name: Arc::clone(name),
+                    src: self.expr(f, e),
+                },
+                (Arg::Ref(x), ParamBind::Value(slot)) => ArgBind::Ref {
+                    param: Arc::clone(callee_layout.name(*slot)),
+                    plan: self.ref_arg(f, x),
+                },
+            })
+            .collect();
+        CallPlan {
+            callee,
+            entry: callee_layout.entry,
+            nslots: callee_layout.len() as u32,
+            ret_dst,
+            binds,
+        }
+    }
+
+    fn instr(
         &self,
         f: &'p Function,
         binds: &Bindings,
@@ -395,7 +567,7 @@ impl Cx<'_> {
         label: ocelot_ir::Label,
         op: &'p Op,
     ) -> Step<'p> {
-        let c = self.costs;
+        let c = &self.m.costs;
         // One source of truth for state-independent costs: the same
         // formulas the interpreter charges.
         let fixed_op = || self.fixed(static_op_cost(c, op).expect("op has a static cost"));
@@ -405,7 +577,7 @@ impl Cx<'_> {
                 fixed_op(),
                 Cat::Compute,
                 Action::Bind {
-                    var,
+                    dst: self.local_dst(f, var),
                     src: self.expr(f, src),
                 },
             ),
@@ -421,10 +593,19 @@ impl Cx<'_> {
                             && !f.is_by_ref_param(x)
                             && binds.surely_bound(f, x, at) =>
                     {
+                        let slot = self
+                            .m
+                            .layouts
+                            .slot(f.id, x)
+                            .expect("declared locals have layout slots");
                         (
                             self.fixed(c.alu),
                             Cat::Compute,
-                            Action::AssignLocal { var: x, src: src_c },
+                            Action::AssignLocal {
+                                slot,
+                                var: x,
+                                src: src_c,
+                            },
                         )
                     }
                     Place::Var(x) if f.declares(x) => (
@@ -432,15 +613,11 @@ impl Cx<'_> {
                         Cat::Compute,
                         Action::AssignDyn { place, src: src_c },
                     ),
-                    Place::Var(x) if !f.declares(x) => match self.nv.scalar_slot(x) {
+                    Place::Var(x) if !f.declares(x) => match self.m.nv.scalar_slot(x) {
                         Some(slot) => (
                             self.fixed(c.nv_write),
                             Cat::Compute,
-                            Action::AssignGlobal {
-                                slot,
-                                name: x,
-                                src: src_c,
-                            },
+                            Action::AssignGlobal { slot, src: src_c },
                         ),
                         // Undeclared destination: keep the interpreter's
                         // dynamic cost and store path.
@@ -462,7 +639,7 @@ impl Cx<'_> {
                         Cat::Compute,
                         Action::AssignIndex {
                             name: a,
-                            slot: self.nv.array_slot(a),
+                            slot: self.m.nv.array_slot(a),
                             idx: self.expr(f, i),
                             src: src_c,
                         },
@@ -474,21 +651,39 @@ impl Cx<'_> {
                     ),
                 }
             }
-            Op::Input { var, sensor } => (fixed_op(), Cat::Input, Action::Input { var, sensor }),
+            Op::Input { var, sensor } => {
+                let iref = InstrRef { func: f.id, label };
+                let (sensor_name, chan) = match self.m.sensor_rt.get(sensor.as_str()) {
+                    Some(rt) => (Arc::clone(&rt.name), rt.chan),
+                    None => (Arc::from(sensor.as_str()), self.m.env.channel_index(sensor)),
+                };
+                (
+                    fixed_op(),
+                    Cat::Input,
+                    Action::Input {
+                        dst: self.local_dst(f, var),
+                        sensor,
+                        sensor_name,
+                        chan,
+                        chain: self.m.static_chain_of.get(&iref).copied(),
+                    },
+                )
+            }
             Op::Call { dst, callee, args } => (
                 fixed_op(),
                 Cat::Compute,
                 Action::Call {
-                    dst: dst.as_deref(),
-                    callee: *callee,
-                    args,
+                    plan: self.call_plan(f, dst.as_deref(), *callee, args),
                 },
             ),
             Op::Output { channel, args } => (
                 fixed_op(),
                 Cat::Output,
                 Action::Output {
-                    channel,
+                    channel: match self.m.channel_names.get(channel.as_str()) {
+                        Some(a) => Arc::clone(a),
+                        None => Arc::from(channel.as_str()),
+                    },
                     args: args.iter().map(|e| self.expr(f, e)).collect(),
                 },
             ),
@@ -506,13 +701,8 @@ impl Cx<'_> {
         self.step(f, label, cost, cat, action)
     }
 
-    fn terminator<'p>(
-        &self,
-        f: &'p Function,
-        label: ocelot_ir::Label,
-        t: &'p Terminator,
-    ) -> Step<'p> {
-        let cost = self.fixed(static_term_cost(self.costs, t));
+    fn terminator(&self, f: &'p Function, label: ocelot_ir::Label, t: &'p Terminator) -> Step<'p> {
+        let cost = self.fixed(static_term_cost(&self.m.costs, t));
         let action = match t {
             Terminator::Jump(b) => Action::Jump(*b),
             Terminator::Branch {
@@ -529,7 +719,7 @@ impl Cx<'_> {
         self.step(f, label, cost, Cat::Compute, action)
     }
 
-    fn expr<'p>(&self, f: &'p Function, e: &'p Expr) -> CExpr<'p> {
+    fn expr(&self, f: &'p Function, e: &'p Expr) -> CExpr<'p> {
         match e {
             Expr::Int(n) => CExpr::Const(*n),
             Expr::Bool(b) => CExpr::Const(*b as i64),
@@ -537,8 +727,11 @@ impl Cx<'_> {
                 if f.is_by_ref_param(x) {
                     CExpr::RefParam(x)
                 } else if f.declares(x) {
-                    CExpr::Local(x)
-                } else if let Some(slot) = self.nv.scalar_slot(x) {
+                    match self.m.layouts.slot(f.id, x) {
+                        Some(slot) => CExpr::Local { slot, name: x },
+                        None => CExpr::DynVar(x),
+                    }
+                } else if let Some(slot) = self.m.nv.scalar_slot(x) {
                     CExpr::Global(slot)
                 } else {
                     CExpr::DynVar(x)
@@ -548,7 +741,7 @@ impl Cx<'_> {
             Expr::Ref(_) => CExpr::RefArg,
             Expr::Index(a, i) => CExpr::Index {
                 name: a,
-                slot: self.nv.array_slot(a),
+                slot: self.m.nv.array_slot(a),
                 idx: Box::new(self.expr(f, i)),
             },
             Expr::Binary(op, l, r) => {
@@ -557,42 +750,123 @@ impl Cx<'_> {
             Expr::Unary(op, x) => CExpr::Unary(*op, Box::new(self.expr(f, x))),
         }
     }
+}
 
-    /// Batch metadata, computed backwards so each offset's run extends
-    /// the next one in O(block).
-    fn batches(&self, steps: &[Step<'_>]) -> Vec<Batch> {
-        let mut batches = vec![Batch::default(); steps.len()];
-        for i in (0..steps.len()).rev() {
-            let s = &steps[i];
-            if !batchable(s) {
-                continue;
-            }
-            let Cost::Static { cycles, us } = s.cost else {
-                continue;
-            };
-            let mut b = Batch {
+/// Intra-block batch metadata, computed backwards so each offset's run
+/// extends the next one in O(block).
+fn intra_block_batches(steps: &[Step<'_>]) -> Vec<Batch> {
+    let mut batches = vec![Batch::default(); steps.len()];
+    for i in (0..steps.len()).rev() {
+        let s = &steps[i];
+        if !batchable(s) {
+            continue;
+        }
+        let Cost::Static { cycles, us } = s.cost else {
+            continue;
+        };
+        let mut b = Batch {
+            totals: RunTotals {
                 len: 1,
                 cycles,
                 us,
                 compute_cycles: if s.cat == Cat::Compute { cycles } else { 0 },
                 output_cycles: if s.cat == Cat::Output { cycles } else { 0 },
-            };
-            // Control transfers end the run (a call's continuation or a
-            // jump's target executes elsewhere); otherwise absorb the
-            // run starting at the next step.
-            if !transfers_control(&s.action) && i + 1 < steps.len() {
-                let next = batches[i + 1];
-                if next.len > 0 {
-                    b.len += next.len;
-                    b.cycles += next.cycles;
-                    b.us += next.us;
-                    b.compute_cycles += next.compute_cycles;
-                    b.output_cycles += next.output_cycles;
+            },
+            head: 1,
+            cont: Vec::new(),
+        };
+        // Control transfers end the intra-block run (a call's
+        // continuation or a jump's target executes elsewhere); the
+        // cross-block pass below re-attaches unconditional jump
+        // targets. Otherwise absorb the run starting at the next step.
+        if !transfers_control(&s.action) && i + 1 < steps.len() {
+            let next = &batches[i + 1];
+            if next.totals.len > 0 {
+                b.totals.add(&next.totals);
+                b.head += next.head;
+            }
+        }
+        batches[i] = b;
+    }
+    batches
+}
+
+/// The cross-block totals of a batchable span starting at a block's
+/// offset 0.
+#[derive(Debug, Clone, Default)]
+struct Span {
+    segs: Vec<(BlockId, u32)>,
+    totals: RunTotals,
+}
+
+/// Extends every run that reaches its block's unconditional jump with
+/// the batchable prefix of the jump target (transitively, cycle-cut by
+/// an in-progress marker — truncating at a cycle just ends the batch
+/// early, which is always a valid shorter batch).
+fn extend_batches_across_jumps(blocks: &mut [CompiledBlock<'_>]) {
+    fn chase(bi: usize, blocks: &[CompiledBlock<'_>], memo: &mut [Option<Span>], state: &mut [u8]) {
+        if state[bi] != 0 {
+            return;
+        }
+        state[bi] = 1;
+        let mut span = Span::default();
+        let b0 = &blocks[bi].batches[0];
+        if b0.totals.len > 0 {
+            // At this point batches are intra-block only, so b0's
+            // totals cover exactly its head segment.
+            span.segs.push((BlockId(bi as u32), b0.head));
+            span.totals = b0.totals;
+            if b0.head as usize == blocks[bi].steps.len() {
+                if let Action::Jump(t) = blocks[bi].steps[blocks[bi].steps.len() - 1].action {
+                    let ti = t.0 as usize;
+                    if state[ti] != 1 {
+                        chase(ti, blocks, memo, state);
+                        if let Some(rest) = &memo[ti] {
+                            span.segs.extend(rest.segs.iter().copied());
+                            span.totals.add(&rest.totals);
+                        }
+                    }
                 }
             }
-            batches[i] = b;
         }
-        batches
+        memo[bi] = Some(span);
+        state[bi] = 2;
+    }
+
+    let n = blocks.len();
+    let mut memo: Vec<Option<Span>> = vec![None; n];
+    let mut state = vec![0u8; n];
+    for bi in 0..n {
+        chase(bi, blocks, &mut memo, &mut state);
+    }
+    // Attach each jump target's span to every run that reaches the
+    // jump. Totals were computed from the (immutable) intra-block
+    // batches above, so mutation order does not matter. (Indexing, not
+    // iterating: each pass both reads a target block's memo entry and
+    // mutates the current block's batches.)
+    #[allow(clippy::needless_range_loop)]
+    for bi in 0..n {
+        let nsteps = blocks[bi].steps.len();
+        let Action::Jump(t) = blocks[bi].steps[nsteps - 1].action else {
+            continue;
+        };
+        let Some(span) = memo[t.0 as usize].clone() else {
+            continue;
+        };
+        if span.totals.len == 0 {
+            continue;
+        }
+        for i in 0..nsteps {
+            let covers_jump = {
+                let b = &blocks[bi].batches[i];
+                b.totals.len > 0 && i + b.head as usize == nsteps
+            };
+            if covers_jump {
+                let b = &mut blocks[bi].batches[i];
+                b.totals.add(&span.totals);
+                b.cont.extend(span.segs.iter().copied());
+            }
+        }
     }
 }
 
@@ -617,60 +891,89 @@ fn transfers_control(a: &Action<'_>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocelot_ir::compile as irc;
+    use crate::detect::DetectorConfig;
+    use ocelot_hw::energy::CostModel;
+    use ocelot_hw::power::ContinuousPower;
+    use ocelot_hw::sensors::Environment;
+    use ocelot_ir::{compile as irc, Program};
 
-    fn compiled_main(src: &str) -> (ocelot_ir::Program, Vec<Vec<(bool, u32)>>) {
-        let p = irc(src).unwrap();
-        let nv = NvMem::init(&p);
-        let cp = compile(
-            &p,
-            &CostModel::default(),
-            &DetectorConfig::default(),
-            &BTreeMap::new(),
-            &BTreeSet::new(),
-            &nv,
-        );
-        let shape = cp.funcs[p.main.0 as usize]
+    fn machine_for(p: &Program) -> Machine<'_> {
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(p);
+        let policies = ocelot_core::build_policies(p, &taint);
+        Machine::new(
+            p,
+            &[],
+            policies,
+            Environment::new(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        )
+    }
+
+    fn compiled_shape(p: &Program) -> Vec<Vec<(bool, u32)>> {
+        let m = machine_for(p);
+        let cp = compile(&m);
+        cp.funcs[p.main.0 as usize]
             .blocks
             .iter()
             .map(|b| {
                 b.steps
                     .iter()
                     .zip(&b.batches)
-                    .map(|(s, bt)| (matches!(s.cost, Cost::Static { .. }), bt.len))
+                    .map(|(s, bt)| (matches!(s.cost, Cost::Static { .. }), bt.totals.len))
                     .collect()
             })
-            .collect();
-        (p, shape)
+            .collect()
     }
 
     #[test]
     fn straight_line_block_is_one_batch() {
-        let (_, shape) = compiled_main("fn main() { let a = 1; let b = a + 1; out(log, b); }");
+        let p = irc("fn main() { let a = 1; let b = a + 1; out(log, b); }").unwrap();
+        let shape = compiled_shape(&p);
         // Entry block: two binds, one output, and the jump to the exit
-        // landing pad — all static, all one run from offset 0.
+        // landing pad — all static; the run from offset 0 now spans the
+        // jump into the exit block's batchable prefix.
         let entry = &shape[0];
-        assert_eq!(entry[0].1 as usize, entry.len(), "whole block batches");
-        // Every suffix is also a valid (shorter) batch: resuming
-        // mid-block after a reboot still takes the fast path.
-        for (i, (is_static, len)) in entry.iter().enumerate() {
+        assert!(
+            entry[0].1 as usize >= entry.len(),
+            "whole block (and the jump target) batches: {entry:?}"
+        );
+        // Every suffix is also a valid batch: resuming mid-block after
+        // a reboot still takes the fast path.
+        for (is_static, len) in entry {
             assert!(*is_static);
-            assert_eq!(*len as usize, entry.len() - i);
+            assert!(*len > 0);
         }
+    }
+
+    #[test]
+    fn batches_span_unconditional_edges() {
+        let p = irc("fn main() { let a = 1; let b = a + 2; out(log, a + b); }").unwrap();
+        let m = machine_for(&p);
+        let cp = compile(&m);
+        let blocks = &cp.funcs[p.main.0 as usize].blocks;
+        let total_steps: usize = blocks.iter().map(|b| b.steps.len()).sum();
+        // The program is pure straight-line compute: one batch from the
+        // entry offset should cover every step of every block on the
+        // jump chain to the final return.
+        let b0 = &blocks[0].batches[0];
+        assert_eq!(
+            b0.totals.len as usize, total_steps,
+            "the entry batch spans the whole function: {b0:?}"
+        );
+        assert!(!b0.cont.is_empty(), "continuation segments were attached");
+        assert_eq!(
+            b0.head + b0.cont.iter().map(|(_, l)| *l).sum::<u32>(),
+            b0.totals.len,
+            "segment lengths add up"
+        );
     }
 
     #[test]
     fn inputs_and_region_entries_break_batches() {
         let p = irc("sensor s; nv g = 0; fn main() { let v = in(s); atomic { g = v; } }").unwrap();
-        let nv = NvMem::init(&p);
-        let cp = compile(
-            &p,
-            &CostModel::default(),
-            &DetectorConfig::default(),
-            &BTreeMap::new(),
-            &BTreeSet::new(),
-            &nv,
-        );
+        let m = machine_for(&p);
+        let cp = compile(&m);
         let mut saw_input_break = false;
         let mut saw_atom_break = false;
         for f in &cp.funcs {
@@ -678,11 +981,11 @@ mod tests {
                 for (s, bt) in b.steps.iter().zip(&b.batches) {
                     match s.action {
                         Action::Input { .. } => {
-                            assert_eq!(bt.len, 0, "inputs read the clock");
+                            assert_eq!(bt.totals.len, 0, "inputs read the clock");
                             saw_input_break = true;
                         }
                         Action::AtomStart { .. } => {
-                            assert_eq!(bt.len, 0, "region entry re-costs from live state");
+                            assert_eq!(bt.totals.len, 0, "region entry re-costs from live state");
                             assert!(matches!(s.cost, Cost::Dynamic));
                             saw_atom_break = true;
                         }
@@ -699,30 +1002,31 @@ mod tests {
         let p = irc("sensor s; fn main() { let x = in(s); fresh(x); out(alarm, x); }").unwrap();
         let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
         let policies = ocelot_core::build_policies(&p, &taint);
-        let det_cfg = DetectorConfig::from_policies(&policies);
         let targets = crate::machine::pathological_targets(&policies);
-        let nv = NvMem::init(&p);
-        let cp = compile(
+        let m = Machine::new(
             &p,
-            &CostModel::default(),
-            &det_cfg,
-            &BTreeMap::new(),
-            &targets,
-            &nv,
-        );
+            &[],
+            policies,
+            Environment::new(),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        )
+        .with_injector(targets.clone());
+        let cp = compile(&m);
         let mut checked = 0;
         let mut injected = 0;
         for f in &cp.funcs {
             for b in &f.blocks {
                 for (s, bt) in b.steps.iter().zip(&b.batches) {
                     if s.checked || s.inject {
-                        assert_eq!(bt.len, 0, "checked/injected sites never batch");
+                        assert_eq!(bt.totals.len, 0, "checked/injected sites never batch");
                     }
                     checked += s.checked as usize;
                     injected += s.inject as usize;
                 }
             }
         }
+        let det_cfg = DetectorConfig::from_policies(&m.policies);
         assert_eq!(
             checked,
             det_cfg.use_checks.len(),
@@ -734,28 +1038,22 @@ mod tests {
     #[test]
     fn globals_resolve_to_their_nv_slots() {
         let p = irc("nv a = 1; nv arr[2]; nv b = 2; fn main() { b = a + arr[0]; }").unwrap();
-        let nv = NvMem::init(&p);
-        let cp = compile(
-            &p,
-            &CostModel::default(),
-            &DetectorConfig::default(),
-            &BTreeMap::new(),
-            &BTreeSet::new(),
-            &nv,
-        );
+        let m = machine_for(&p);
+        let cp = compile(&m);
         let mut found = false;
         for f in &cp.funcs {
             for blk in &f.blocks {
                 for s in &blk.steps {
-                    if let Action::AssignGlobal { slot, name, src } = &s.action {
-                        assert_eq!(*name, "b");
-                        assert_eq!(Some(*slot), nv.scalar_slot("b"));
+                    if let Action::AssignGlobal { slot, src } = &s.action {
+                        assert_eq!(Some(*slot), m.nv.scalar_slot("b"));
                         let CExpr::Binary(_, l, r) = src else {
                             panic!("src shape")
                         };
-                        assert!(matches!(**l, CExpr::Global(s) if Some(s) == nv.scalar_slot("a")));
                         assert!(
-                            matches!(&**r, CExpr::Index { slot: Some(s), .. } if Some(*s) == nv.array_slot("arr"))
+                            matches!(**l, CExpr::Global(s) if Some(s) == m.nv.scalar_slot("a"))
+                        );
+                        assert!(
+                            matches!(&**r, CExpr::Index { slot: Some(s), .. } if Some(*s) == m.nv.array_slot("arr"))
                         );
                         found = true;
                     }
@@ -763,5 +1061,77 @@ mod tests {
             }
         }
         assert!(found, "the global store compiled to a slot write");
+    }
+
+    #[test]
+    fn input_sites_with_fixed_stacks_get_interned_chains() {
+        let p = irc(r#"
+            sensor s;
+            fn once() { let v = in(s); return v; }
+            fn shared() { let v = in(s); return v; }
+            fn main() {
+                let a = once();
+                let b = shared();
+                let c = shared();
+                let d = in(s);
+                out(log, a + b + c + d);
+            }
+            "#)
+        .unwrap();
+        let m = machine_for(&p);
+        let cp = compile(&m);
+        let mut static_sites = 0;
+        let mut dynamic_sites = 0;
+        for f in &cp.funcs {
+            for b in &f.blocks {
+                for s in &b.steps {
+                    if let Action::Input { chain, .. } = &s.action {
+                        match chain {
+                            Some(id) => {
+                                static_sites += 1;
+                                // The interned chain really ends at this
+                                // input instruction.
+                                assert_eq!(m.chains.get(*id).last(), Some(&s.iref));
+                            }
+                            None => dynamic_sites += 1,
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            static_sites, 2,
+            "the single-caller helper and the inline input pre-resolve"
+        );
+        assert_eq!(dynamic_sites, 1, "the shared helper stays dynamic");
+    }
+
+    #[test]
+    fn locals_and_calls_resolve_to_slots() {
+        let p = irc(r#"
+            fn add(a, b) { return a + b; }
+            fn main() { let x = 2; let y = add(x, 3); out(log, y); }
+            "#)
+        .unwrap();
+        let m = machine_for(&p);
+        let cp = compile(&m);
+        let mut saw_call = false;
+        for f in &cp.funcs {
+            for b in &f.blocks {
+                for s in &b.steps {
+                    if let Action::Call { plan } = &s.action {
+                        saw_call = true;
+                        assert!(matches!(plan.ret_dst, Some(RetSlot::Slot(_))));
+                        assert_eq!(plan.binds.len(), 2);
+                        assert!(plan
+                            .binds
+                            .iter()
+                            .all(|b| matches!(b, ArgBind::Value { .. })));
+                        assert_eq!(plan.nslots as usize, m.layouts.layout(plan.callee).len());
+                    }
+                }
+            }
+        }
+        assert!(saw_call);
     }
 }

@@ -8,14 +8,16 @@
 //! delegates to the shared `Machine` helpers, so both backends execute
 //! the paper's semantics through one implementation.
 
-use super::compile::{self, Action, Batch, CExpr, CompiledBlock, Cost, Step};
+use super::compile::{
+    self, Action, ArgBind, Batch, CExpr, CompiledBlock, Cost, LocalDst, RefArgPlan, Step,
+};
 use super::CompiledProgram;
-use crate::machine::{eval_binop, Ctx, Machine, RunOutcome};
-use crate::memory::{NvLoc, RefTarget, Tainted};
+use crate::machine::{eval_binop, Machine, RunOutcome};
+use crate::memory::{RefTarget, RetSlot, Tainted};
 use crate::obs::Obs;
 use ocelot_hw::energy::PowerEvent;
 use ocelot_ir::ast::UnOp;
-use std::collections::BTreeSet;
+use ocelot_ir::FuncId;
 use std::sync::Arc;
 
 /// Breakdown/charge bookkeeping for one whole batch: the same totals
@@ -26,14 +28,7 @@ impl<'p> Machine<'p> {
     /// boundaries agree between backends.
     pub(crate) fn run_once_compiled(&mut self, max_steps: u64) -> RunOutcome {
         if self.compiled.is_none() {
-            self.compiled = Some(Arc::new(compile::compile(
-                self.p,
-                &self.costs,
-                &self.det_cfg,
-                &self.fresh_use_vars,
-                &self.injector_targets,
-                &self.nv,
-            )));
+            self.compiled = Some(Arc::new(compile::compile(self)));
         }
         let cp = Arc::clone(self.compiled.as_ref().expect("just compiled"));
         let violations_before = self.stats.violations;
@@ -46,13 +41,13 @@ impl<'p> Machine<'p> {
                 if let Some(top) = self.vol.top() {
                     let (func, block, index) = (top.func, top.block, top.index);
                     let cb = &cp.funcs[func.0 as usize].blocks[block.0 as usize];
-                    let batch = cb.batches[index];
+                    let batch = &cb.batches[index];
                     // Take the fast path only when every attempt in the
                     // run fits under the step budget, so the limit lands
                     // on the same instruction as the per-step loop.
-                    if batch.len > 0 && steps + u64::from(batch.len) <= max_steps {
-                        steps += u64::from(batch.len);
-                        if self.exec_batch(cb, index, batch) {
+                    if batch.totals.len > 0 && steps + u64::from(batch.totals.len) <= max_steps {
+                        steps += u64::from(batch.totals.len);
+                        if self.exec_batch(&cp, func, cb, index, batch) {
                             return self.complete_run(violations_before);
                         }
                         continue;
@@ -72,25 +67,50 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Charges a whole batch in one draw, then runs its steps flat-out.
-    /// Returns true when `main` returned.
-    fn exec_batch(&mut self, cb: &CompiledBlock<'p>, start: usize, batch: Batch) -> bool {
-        self.stats.breakdown.compute += batch.compute_cycles;
-        self.stats.breakdown.output += batch.output_cycles;
-        self.stats.on_cycles += batch.cycles;
-        self.now_us += batch.us;
-        self.stats.on_time_us += batch.us;
+    /// Charges a whole batch (possibly spanning unconditional jumps) in
+    /// one draw, then runs its steps flat-out. Returns true when `main`
+    /// returned.
+    fn exec_batch(
+        &mut self,
+        cp: &CompiledProgram<'p>,
+        func: FuncId,
+        cb: &CompiledBlock<'p>,
+        start: usize,
+        batch: &Batch,
+    ) -> bool {
+        self.stats.breakdown.compute += batch.totals.compute_cycles;
+        self.stats.breakdown.output += batch.totals.output_cycles;
+        self.stats.on_cycles += batch.totals.cycles;
+        self.now_us += batch.totals.us;
+        self.stats.on_time_us += batch.totals.us;
         // On a continuous supply this cannot report LowPower; the value
         // is ignored for the same reason the interpreter ignores
         // `consume` results after completion.
         let _ = self
             .supply
-            .consume_batch(self.costs.cycles_to_nj(batch.cycles));
-        for step in &cb.steps[start..start + batch.len as usize] {
+            .consume_batch(self.costs.cycles_to_nj(batch.totals.cycles));
+        for step in &cb.steps[start..start + batch.head as usize] {
             self.tau += 1;
             self.stats.instructions += 1;
             if self.exec_action(step) {
                 return true;
+            }
+        }
+        // Continuation segments: the jump that ended the previous
+        // segment repositioned the frame at the segment's offset 0.
+        for (blk, len) in &batch.cont {
+            let cb2 = &cp.funcs[func.0 as usize].blocks[blk.0 as usize];
+            debug_assert_eq!(
+                self.vol.top().map(|t| (t.func, t.block, t.index)),
+                Some((func, *blk, 0)),
+                "the followed jump landed where the batch plan expected"
+            );
+            for step in &cb2.steps[..*len as usize] {
+                self.tau += 1;
+                self.stats.instructions += 1;
+                if self.exec_action(step) {
+                    return true;
+                }
             }
         }
         false
@@ -174,32 +194,32 @@ impl<'p> Machine<'p> {
             Action::Skip => {
                 self.advance();
             }
-            Action::Bind { var, src } => {
-                let v = self.ceval(src);
-                self.vol
-                    .top_mut()
-                    .expect("frame exists")
-                    .locals
-                    .insert((*var).to_string(), v);
-                self.advance();
-            }
-            Action::AssignLocal { var, src } => {
+            Action::Bind { dst, src } => {
                 let v = self.ceval(src);
                 let top = self.vol.top_mut().expect("frame exists");
-                if let Some(slot) = top.locals.get_mut(*var) {
-                    *slot = v;
+                match dst {
+                    LocalDst::Slot(s) => top.set_slot(*s, v),
+                    LocalDst::Spill(name) => top.set_extra(name, v),
+                }
+                self.advance();
+            }
+            Action::AssignLocal { slot, var, src } => {
+                let v = self.ceval(src);
+                let top = self.vol.top_mut().expect("frame exists");
+                if top.get_slot(*slot).is_some() {
+                    top.set_slot(*slot, v);
                 } else if let Some(t) = top.refs.get(*var).cloned() {
                     // Unreachable in validated programs (classification
                     // excludes by-ref params), kept for exactness.
                     self.write_target(&t, v);
                 } else {
-                    self.nv_write_scalar((*var).to_string(), v);
+                    self.nv_write_scalar(var, v);
                 }
                 self.advance();
             }
-            Action::AssignGlobal { slot, name, src } => {
+            Action::AssignGlobal { slot, src } => {
                 let v = self.ceval(src);
-                self.nv_write_scalar_slot(*slot, name, v);
+                self.nv_write_scalar_slot(*slot, v);
                 self.advance();
             }
             Action::AssignIndex {
@@ -210,13 +230,15 @@ impl<'p> Machine<'p> {
             } => {
                 let v = self.ceval(src);
                 let i = self.ceval(idx);
-                let (cell, old) = match slot {
-                    Some(s) => self.nv.write_idx_slot(*s, i.value, v),
-                    None => self.nv.write_idx(name, i.value, v),
-                };
-                if let Ctx::Atom { log, .. } = &mut self.ctx {
-                    if log.save(NvLoc::Cell((*name).to_string(), cell), old) {
-                        self.stats.log_words += 1;
+                match slot {
+                    Some(s) => {
+                        let (cell, old) = self.nv.write_idx_slot(*s, i.value, v);
+                        let arc = Arc::clone(self.nv.array_name(*s));
+                        self.log_cell_undo(arc, cell, old);
+                    }
+                    None => {
+                        let (cell, old) = self.nv.write_idx(name, i.value, v);
+                        self.log_cell_undo(Arc::from(*name), cell, old);
                     }
                 }
                 self.advance();
@@ -225,7 +247,7 @@ impl<'p> Machine<'p> {
                 let v = self.ceval(src);
                 let t = self
                     .ref_target(var)
-                    .unwrap_or(RefTarget::Global((*var).to_string()));
+                    .unwrap_or_else(|| RefTarget::Global(self.global_name(var)));
                 self.write_target(&t, v);
                 self.advance();
             }
@@ -234,15 +256,78 @@ impl<'p> Machine<'p> {
                 self.write_place(place, v);
                 self.advance();
             }
-            Action::Input { var, sensor } => {
-                self.exec_input(here, var, sensor);
+            Action::Input {
+                dst,
+                sensor,
+                sensor_name,
+                chan,
+                chain,
+            } => {
+                let (slot, var) = match dst {
+                    LocalDst::Slot(s) => (Some(*s), ""),
+                    LocalDst::Spill(name) => (None, *name),
+                };
+                match chain {
+                    // Fixed call stack: everything pre-resolved.
+                    Some(id) => self.input_core(
+                        here,
+                        slot,
+                        var,
+                        sensor,
+                        Arc::clone(sensor_name),
+                        *chan,
+                        Some(*id),
+                        None,
+                    ),
+                    // Data-dependent call path: rebuild and probe.
+                    None => {
+                        let chain = self.dynamic_chain(here);
+                        let id = self.chains.lookup(&chain);
+                        self.input_core(
+                            here,
+                            slot,
+                            var,
+                            sensor,
+                            Arc::clone(sensor_name),
+                            *chan,
+                            id,
+                            Some(chain),
+                        );
+                    }
+                }
             }
-            Action::Call { dst, callee, args } => {
-                self.exec_call(here, dst.map(str::to_string), *callee, args);
+            Action::Call { plan } => {
+                let caller_idx = self.vol.frames.len() - 1;
+                let mut frame = self.take_frame(
+                    plan.callee,
+                    plan.entry,
+                    plan.nslots as usize,
+                    plan.ret_dst.clone(),
+                    here,
+                );
+                for bind in &plan.binds {
+                    match bind {
+                        ArgBind::Value { slot, src } => {
+                            let v = self.ceval(src);
+                            frame.set_slot(*slot, v);
+                        }
+                        ArgBind::ValueSpill { name, src } => {
+                            let v = self.ceval(src);
+                            frame.set_extra(name, v);
+                        }
+                        ArgBind::Ref { param, plan } => {
+                            let target = self.resolve_ref_plan(caller_idx, plan);
+                            frame.refs.insert(Arc::clone(param), target);
+                        }
+                    }
+                }
+                // Resume point: after the call.
+                self.advance();
+                self.vol.frames.push(frame);
             }
             Action::Output { channel, args } => {
                 let vals: Vec<Tainted> = args.iter().map(|e| self.ceval(e)).collect();
-                let mut deps = BTreeSet::new();
+                let mut deps = crate::memory::Deps::new();
                 for v in &vals {
                     deps.extend(v.deps.iter().copied());
                 }
@@ -250,7 +335,7 @@ impl<'p> Machine<'p> {
                     at: here,
                     tau: self.tau,
                     era: self.era,
-                    channel: (*channel).to_string(),
+                    channel: Arc::clone(channel),
                     values: vals.iter().map(|v| v.value).collect(),
                     deps,
                 });
@@ -287,12 +372,14 @@ impl<'p> Machine<'p> {
                     .map(|e| self.ceval(e))
                     .unwrap_or_else(|| Tainted::pure(0));
                 let done = self.vol.frames.pop().expect("frame exists");
+                let ret_dst = done.ret_dst.clone();
+                self.recycle_frame(done);
                 match self.vol.top_mut() {
-                    Some(caller) => {
-                        if let Some(dst) = done.ret_dst {
-                            caller.locals.insert(dst, v);
-                        }
-                    }
+                    Some(caller) => match ret_dst {
+                        Some(RetSlot::Slot(s)) => caller.set_slot(s, v),
+                        Some(RetSlot::Spill(name)) => caller.set_extra(&name, v),
+                        None => {}
+                    },
                     None => return true, // main returned
                 }
             }
@@ -300,16 +387,59 @@ impl<'p> Machine<'p> {
         false
     }
 
+    /// Resolves a pre-classified by-ref argument against the live
+    /// caller frame, mirroring the interpreter's `resolve_ref` order
+    /// exactly (incoming references first, then bound locals and
+    /// spilled bindings, then the global) — the frame-dependent parts
+    /// are the only dynamic work left.
+    fn resolve_ref_plan(&self, caller_idx: usize, plan: &RefArgPlan<'p>) -> RefTarget {
+        match plan {
+            RefArgPlan::Forward(x) => self.resolve_ref(caller_idx, x),
+            RefArgPlan::LocalOrGlobal { slot, global } => {
+                let caller = &self.vol.frames[caller_idx];
+                if let Some(t) = caller.refs.get(&**global) {
+                    // Possible only in hand-built IR (a value-parameter
+                    // name seated in the reference map).
+                    return t.clone();
+                }
+                if caller.get_slot(*slot).is_some() {
+                    RefTarget::Local {
+                        frame: caller_idx,
+                        slot: *slot,
+                    }
+                } else {
+                    RefTarget::Global(Arc::clone(global))
+                }
+            }
+            RefArgPlan::Global(g) => {
+                let caller = &self.vol.frames[caller_idx];
+                if let Some(t) = caller.refs.get(&**g) {
+                    return t.clone();
+                }
+                if caller.get_extra(g).is_some() {
+                    // A spilled (out-of-layout) caller binding:
+                    // hand-built IR only.
+                    return RefTarget::Extra {
+                        frame: caller_idx,
+                        name: Arc::clone(g),
+                    };
+                }
+                RefTarget::Global(Arc::clone(g))
+            }
+        }
+    }
+
     /// Evaluates a pre-classified expression; equivalent to the
     /// interpreter's `eval` over the original [`ocelot_ir::ast::Expr`].
     fn ceval(&self, e: &CExpr<'p>) -> Tainted {
         match e {
             CExpr::Const(n) => Tainted::pure(*n),
-            CExpr::Local(x) => {
-                if let Some(v) = self.vol.top().and_then(|t| t.locals.get(*x)) {
-                    v.clone()
-                } else {
-                    self.read_var(x)
+            CExpr::Local { slot, name } => {
+                match self.vol.top().and_then(|t| t.get_slot(*slot)) {
+                    Some(v) => v.clone(),
+                    // Declared but unbound: the interpreter's full
+                    // lookup order (ends at the named global).
+                    None => self.read_var(name),
                 }
             }
             CExpr::RefParam(x) => match self.ref_target(x) {

@@ -74,7 +74,7 @@ pub fn evaluate_expiry(policies: &PolicySet, trace: &[Obs], window_us: u64) -> E
         }
     }
 
-    let mut collected_at: BTreeMap<Prov, u64> = BTreeMap::new();
+    let mut collected_at: BTreeMap<std::sync::Arc<Prov>, u64> = BTreeMap::new();
     let mut report = ExpiryReport {
         true_freshness_violations: true_fresh.len(),
         consistency_violations_unexpressible: consistency,
@@ -85,7 +85,7 @@ pub fn evaluate_expiry(policies: &PolicySet, trace: &[Obs], window_us: u64) -> E
     for o in trace {
         match o {
             Obs::Input { chain, time_us, .. } => {
-                collected_at.insert(chain.clone(), *time_us);
+                collected_at.insert(std::sync::Arc::clone(chain), *time_us);
             }
             Obs::Use {
                 at, tau, time_us, ..

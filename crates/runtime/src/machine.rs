@@ -14,12 +14,31 @@
 //!   re-executes the region from its start;
 //! * `Atom-Start-Outer/Inner`, `Atom-End-Outer/Inner` — nested regions
 //!   flatten via the `natom` counter.
+//!
+//! ## The input fast path
+//!
+//! Per-collection bookkeeping (timestamping, bit-vector checks,
+//! provenance recording) dominates the runtime of input-bound apps, so
+//! everything a fixed call stack determines is resolved **once at
+//! construction**: provenance chains are interned into a
+//! [`ocelot_analysis::chains::ChainTable`] (every policy chain plus
+//! every input site with a statically-unique call stack), and each
+//! interned chain carries its detector bit, its pre-resolved
+//! consistency checks, and whether the TICS timekeeper stamps it. Input
+//! sites reached through several call paths fall back to rebuilding the
+//! dynamic chain and probing the table; chains outside the table belong
+//! to no policy and skip the detector entirely (exactly what the
+//! name-keyed maps used to conclude, one allocation later).
 
-use crate::detect::{BitVector, DetectorConfig, ViolationKind};
+use crate::detect::{BitVector, DetectorConfig, ResolvedCheck, ViolationKind};
 use crate::exec::{CompiledProgram, ExecBackend};
-use crate::memory::{Frame, NvLoc, NvMem, RefTarget, Tainted, UndoLog, VolState};
+use crate::memory::{
+    Frame, FrameLayouts, NvLoc, NvMem, ParamBind, RefTarget, RetSlot, Tainted, UndoLog, VolState,
+};
 use crate::obs::{Obs, ObsLog};
 use crate::stats::Stats;
+use ocelot_analysis::chains::{ChainId, ChainTable};
+use ocelot_analysis::taint::Prov;
 use ocelot_core::{PolicyKind, PolicySet, RegionInfo};
 use ocelot_hw::energy::{CostModel, PowerEvent};
 use ocelot_hw::power::PowerSupply;
@@ -85,7 +104,7 @@ pub fn pathological_targets(policies: &PolicySet) -> BTreeSet<InstrRef> {
         match pol.kind {
             PolicyKind::Fresh => targets.extend(pol.uses.iter().copied()),
             PolicyKind::Consistent(_) => {
-                let chains: Vec<&ocelot_analysis::taint::Prov> = pol.inputs.iter().collect();
+                let chains: Vec<&Prov> = pol.inputs.iter().collect();
                 for w in chains.windows(2) {
                     let (prev, cur) = (w[0], w[1]);
                     let diverge = cur
@@ -109,6 +128,73 @@ enum WorkItem {
     Term(Terminator),
 }
 
+/// Runtime data pre-resolved for one interned provenance chain: what
+/// the detector and the TICS timekeeper need at its collection, without
+/// touching a chain-keyed map.
+#[derive(Debug, Clone)]
+pub(crate) struct ChainRt {
+    /// The shared chain (what `Obs::Input` records).
+    pub(crate) chain: Arc<Prov>,
+    /// This collection's detector bit, if any policy tracks it.
+    pub(crate) bit: Option<u32>,
+    /// True when some freshness check reads this chain's timestamp —
+    /// the only chains the TICS timekeeper needs to stamp. This is what
+    /// keeps `chain_times` bounded: untracked dynamic chains are never
+    /// stamped, so mitigation restarts cannot strand dead entries.
+    pub(crate) timed: bool,
+    /// Consistency checks firing at this collection, bits pre-resolved.
+    pub(crate) checks: Arc<[ResolvedCheck]>,
+}
+
+/// Everything pre-resolved for one detector check site (a fresh-use
+/// instruction): the §7.3 bit checks, the chains whose TICS timestamps
+/// gate the use, and the variables whose taint the trace logger records.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UseSiteRt {
+    /// Bit checks to run before the use.
+    pub(crate) checks: Vec<ResolvedCheck>,
+    /// Interned chains whose collection timestamps the TICS expiry
+    /// check compares against the window.
+    pub(crate) expiry_requires: Vec<ChainId>,
+    /// Fresh-annotated variables whose dependencies are logged as
+    /// [`Obs::Use`].
+    pub(crate) fresh_vars: Vec<String>,
+}
+
+/// Pre-resolved per-sensor data: the interned name (one shared
+/// allocation per sensor) and the environment's channel index.
+#[derive(Debug, Clone)]
+pub(crate) struct SensorRt {
+    /// Interned sensor name (what the observation records).
+    pub(crate) name: Arc<str>,
+    /// The environment channel, pre-resolved.
+    pub(crate) chan: Option<usize>,
+}
+
+/// How one eagerly-logged ω location is read at region entry: slots
+/// resolved once, so entry never probes a name map.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OmegaSlot {
+    /// A declared scalar at this [`NvMem`] slot.
+    Scalar(usize),
+    /// Cell `i` of the declared array at this slot.
+    Cell(usize, usize),
+    /// A WAR name with no declaration at machine construction
+    /// (hand-built IR); re-read by name at region entry, capturing any
+    /// slot a runtime store has allocated since — exactly the
+    /// name-keyed lookup's behavior.
+    Missing,
+}
+
+/// One entry of a region's eager checkpoint set.
+#[derive(Debug, Clone)]
+pub(crate) struct OmegaEntry {
+    /// The undo-log key (shared name: cloning is a refcount bump).
+    pub(crate) loc: NvLoc,
+    /// Pre-resolved storage.
+    pub(crate) resolved: OmegaSlot,
+}
+
 /// The intermittent execution machine.
 ///
 /// Fields are crate-visible: the compiled execution backend
@@ -118,8 +204,9 @@ enum WorkItem {
 pub struct Machine<'p> {
     pub(crate) p: &'p Program,
     pub(crate) policies: PolicySet,
-    pub(crate) det_cfg: DetectorConfig,
-    pub(crate) region_omega: BTreeMap<RegionId, Vec<NvLoc>>,
+    /// Per-function local slot layouts (shared with compiled frames).
+    pub(crate) layouts: Arc<FrameLayouts>,
+    pub(crate) region_omega: BTreeMap<RegionId, Vec<OmegaEntry>>,
     pub(crate) env: Environment,
     pub(crate) costs: CostModel,
     pub(crate) supply: Box<dyn PowerSupply>,
@@ -135,8 +222,23 @@ pub struct Machine<'p> {
     pub(crate) now_us: u64,
     pub(crate) era: u64,
     pub(crate) stats: Stats,
-    /// Maps fresh-policy check sites to the variable whose deps to log.
-    pub(crate) fresh_use_vars: BTreeMap<InstrRef, Vec<String>>,
+    /// Interned provenance chains: every policy chain plus every
+    /// statically-fixed input-site chain. Fixed after construction.
+    pub(crate) chains: ChainTable,
+    /// Pre-resolved per-chain runtime data, indexed by [`ChainId`].
+    pub(crate) chain_rt: Vec<ChainRt>,
+    /// Input sites whose call stack is fixed, pre-resolved to their
+    /// interned chain (what the compile pass bakes into input steps).
+    pub(crate) static_chain_of: BTreeMap<InstrRef, ChainId>,
+    /// Pre-resolved detector check sites, keyed by use instruction.
+    pub(crate) use_rt: BTreeMap<InstrRef, Arc<UseSiteRt>>,
+    /// Interned sensor names + pre-resolved environment channels.
+    pub(crate) sensor_rt: BTreeMap<String, SensorRt>,
+    /// Interned output channel names.
+    pub(crate) channel_names: BTreeMap<String, Arc<str>>,
+    /// Recycled call frames: `Ret` returns a frame's allocations here,
+    /// the next call reuses them.
+    pub(crate) frame_pool: Vec<Frame>,
     /// Consecutive same-region rollbacks after which a run reports
     /// [`RunOutcome::Livelock`] (`None` = roll back forever, the
     /// paper's baseline semantics).
@@ -146,11 +248,17 @@ pub struct Machine<'p> {
     /// TICS mode: expiration window in µs checked at fresh-use sites
     /// against an RTC that keeps time across power failures.
     pub(crate) expiry_window: Option<u64>,
-    /// Collection wall-clock time per input provenance chain (the NV
-    /// timestamps TICS's timekeeping hardware provides). Only populated
-    /// in TICS mode.
-    pub(crate) chain_times: BTreeMap<ocelot_analysis::taint::Prov, u64>,
+    /// Collection wall-clock time per interned chain (the NV timestamps
+    /// TICS's timekeeping hardware provides), indexed by [`ChainId`].
+    /// Only chains some freshness check actually reads are stamped, so
+    /// the table stays at its construction size forever — the bounded
+    /// replacement for the chain-keyed map that used to accumulate
+    /// entries for dead dynamic chains across mitigation restarts.
+    pub(crate) chain_times: Vec<Option<u64>>,
     pub(crate) expiry_restarts_this_run: u32,
+    /// Pooled undo log: region entry takes it, commit returns it, so
+    /// the log's capacity is reused instead of re-allocated per entry.
+    pub(crate) spare_log: UndoLog,
     /// Which engine `run_once` drives.
     pub(crate) backend: ExecBackend,
     /// The pre-resolved program, built lazily on the first compiled
@@ -179,27 +287,102 @@ impl<'p> Machine<'p> {
         supply: Box<dyn PowerSupply>,
     ) -> Self {
         let det_cfg = DetectorConfig::from_policies(&policies);
+        let layouts = Arc::new(FrameLayouts::new(p));
+        let nv = NvMem::init(p);
         // Eagerly-logged set at region entry: the WAR locations, whose
         // pre-region values must be snapshotted before any read-then-
         // write corrupts them. EMW locations (written but never read
         // first) are logged dynamically on first write — the same split
         // prior work uses, and what keeps a write-only large structure
-        // (cem's log table) off the eager checkpoint path.
+        // (cem's log table) off the eager checkpoint path. Slots and
+        // undo-log keys are resolved here, once.
         let mut region_omega = BTreeMap::new();
         for r in regions {
             let mut locs = Vec::new();
             for g in &r.effects.war {
                 match p.global(g).and_then(|gl| gl.array_len) {
                     Some(n) => {
+                        let slot = nv.array_slot(g).expect("declared array has a slot");
+                        let name = Arc::clone(nv.array_name(slot));
                         for i in 0..n {
-                            locs.push(NvLoc::Cell(g.clone(), i));
+                            locs.push(OmegaEntry {
+                                loc: NvLoc::Cell(Arc::clone(&name), i),
+                                resolved: OmegaSlot::Cell(slot, i),
+                            });
                         }
                     }
-                    None => locs.push(NvLoc::Scalar(g.clone())),
+                    None => match nv.scalar_slot(g) {
+                        Some(slot) => locs.push(OmegaEntry {
+                            loc: NvLoc::Scalar(Arc::clone(nv.scalar_name(slot))),
+                            resolved: OmegaSlot::Scalar(slot),
+                        }),
+                        None => locs.push(OmegaEntry {
+                            loc: NvLoc::Scalar(Arc::from(g.as_str())),
+                            resolved: OmegaSlot::Missing,
+                        }),
+                    },
                 }
             }
             region_omega.insert(r.id, locs);
         }
+
+        // Intern every chain the detector can ever key off (policy
+        // chains), then every statically-fixed input-site chain. The
+        // table is immutable afterwards: dynamic chains outside it
+        // belong to no policy and need no runtime state.
+        let mut chains = ChainTable::new();
+        for chain in det_cfg.bit_of.keys() {
+            chains.intern(chain.clone());
+        }
+        for checks in det_cfg
+            .use_checks
+            .values()
+            .chain(det_cfg.input_checks.values())
+        {
+            for c in checks {
+                for ch in &c.requires {
+                    chains.intern(ch.clone());
+                }
+            }
+        }
+        let mut static_chain_of = BTreeMap::new();
+        for (iref, chain) in ocelot_analysis::chains::static_input_chains(p) {
+            static_chain_of.insert(iref, chains.intern(chain));
+        }
+
+        // Which chains the TICS timekeeper must stamp: exactly those a
+        // freshness check compares against the window.
+        let mut timed = vec![false; chains.len()];
+        for checks in det_cfg.use_checks.values() {
+            for c in checks {
+                if c.kind == ViolationKind::Freshness {
+                    for ch in &c.requires {
+                        if let Some(id) = chains.lookup(ch) {
+                            timed[id as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let chain_rt: Vec<ChainRt> = chains
+            .iter()
+            .map(|(id, arc)| {
+                let resolved: Vec<ResolvedCheck> = det_cfg
+                    .input_checks
+                    .get(&**arc)
+                    .map(|cs| cs.iter().map(|c| det_cfg.resolve(c)).collect())
+                    .unwrap_or_default();
+                ChainRt {
+                    chain: Arc::clone(arc),
+                    bit: det_cfg.bit_of.get(&**arc).map(|&b| b as u32),
+                    timed: timed[id as usize],
+                    checks: resolved.into(),
+                }
+            })
+            .collect();
+
+        // Pre-resolve every detector check site (bit checks + expiry
+        // requires + fresh-use trace logging) into one map probe.
         let mut fresh_use_vars: BTreeMap<InstrRef, Vec<String>> = BTreeMap::new();
         for pol in policies.iter() {
             if pol.kind == PolicyKind::Fresh && !pol.is_vacuous() {
@@ -210,11 +393,66 @@ impl<'p> Machine<'p> {
                 }
             }
         }
-        let nv = NvMem::init(p);
+        let sites: BTreeSet<InstrRef> = det_cfg
+            .use_checks
+            .keys()
+            .chain(fresh_use_vars.keys())
+            .copied()
+            .collect();
+        let mut use_rt = BTreeMap::new();
+        for site in sites {
+            let src = det_cfg.use_checks.get(&site);
+            let checks = src
+                .map(|cs| cs.iter().map(|c| det_cfg.resolve(c)).collect())
+                .unwrap_or_default();
+            let expiry_requires = src
+                .map(|cs| {
+                    cs.iter()
+                        .filter(|c| c.kind == ViolationKind::Freshness)
+                        .flat_map(|c| c.requires.iter())
+                        .filter_map(|ch| chains.lookup(ch))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let fresh_vars = fresh_use_vars.remove(&site).unwrap_or_default();
+            use_rt.insert(
+                site,
+                Arc::new(UseSiteRt {
+                    checks,
+                    expiry_requires,
+                    fresh_vars,
+                }),
+            );
+        }
+
+        // One shared allocation per sensor / output channel name, and
+        // the sensor's environment index resolved once.
+        let mut sensor_rt: BTreeMap<String, SensorRt> = BTreeMap::new();
+        let mut channel_names: BTreeMap<String, Arc<str>> = BTreeMap::new();
+        for f in &p.funcs {
+            for (_, inst) in f.iter_insts() {
+                match &inst.op {
+                    Op::Input { sensor, .. } => {
+                        sensor_rt.entry(sensor.clone()).or_insert_with(|| SensorRt {
+                            name: Arc::from(sensor.as_str()),
+                            chan: env.channel_index(sensor),
+                        });
+                    }
+                    Op::Output { channel, .. } => {
+                        channel_names
+                            .entry(channel.clone())
+                            .or_insert_with(|| Arc::from(channel.as_str()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let chain_times = vec![None; chains.len()];
         Machine {
             p,
             policies,
-            det_cfg,
+            layouts,
             region_omega,
             env,
             costs,
@@ -230,13 +468,20 @@ impl<'p> Machine<'p> {
             now_us: 0,
             era: 0,
             stats: Stats::default(),
-            fresh_use_vars,
+            chains,
+            chain_rt,
+            static_chain_of,
+            use_rt,
+            sensor_rt,
+            channel_names,
+            frame_pool: Vec::new(),
             reexec_limit: None,
             consecutive_reexecs: 0,
             livelocked: None,
             expiry_window: None,
-            chain_times: BTreeMap::new(),
+            chain_times,
             expiry_restarts_this_run: 0,
+            spare_log: UndoLog::default(),
             backend: ExecBackend::Interp,
             compiled: None,
         }
@@ -330,7 +575,7 @@ impl<'p> Machine<'p> {
     /// Resets per-run state (both backends share this preamble).
     pub(crate) fn reset_run(&mut self) {
         self.vol = VolState {
-            frames: vec![Frame::at_entry(self.p, self.p.main)],
+            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
         };
         self.ctx = Ctx::Jit(None);
         self.injector_fired.clear();
@@ -512,11 +757,16 @@ impl<'p> Machine<'p> {
 
     /// Runs the per-site detectors. Returns true when a TICS expiry
     /// check tripped and the mitigation handler should run *instead of*
-    /// this operation.
+    /// this operation. One pre-resolved map probe covers the expiry
+    /// check, the bit checks, and the fresh-use trace logging.
     pub(crate) fn run_checks(&mut self, here: InstrRef) -> bool {
+        let Some(rt) = self.use_rt.get(&here) else {
+            return false;
+        };
+        let rt = Arc::clone(rt);
         // TICS expiry check precedes the use: a tripped check prevents
         // the stale use (no violation) at the cost of a handler run.
-        if self.expiry_check_trips(here) {
+        if self.expiry_check_trips(&rt) {
             self.stats.expiry_trips += 1;
             if self.expiry_restarts_this_run < EXPIRY_RESTART_CAP {
                 return true;
@@ -526,43 +776,37 @@ impl<'p> Machine<'p> {
             // hang; either way the constraint is not met).
             self.stats.expiry_giveups += 1;
         }
-        let events = self
-            .bitvec
-            .check_use_site(&self.det_cfg, here, self.tau, self.era);
-        self.record_violations(events);
+        if !rt.checks.is_empty() {
+            let events = self
+                .bitvec
+                .run_resolved(&rt.checks, here, self.tau, self.era);
+            self.record_violations(events);
+        }
         // Record a Use observation (with dynamic taint) for the formal
         // trace checker.
-        if let Some(vars) = self.fresh_use_vars.get(&here).cloned() {
-            for var in vars {
-                let deps = self.read_var(&var).deps;
-                self.obs.push(Obs::Use {
-                    at: here,
-                    tau: self.tau,
-                    time_us: self.now_us,
-                    era: self.era,
-                    deps,
-                });
-            }
+        for var in &rt.fresh_vars {
+            let deps = self.read_var(var).deps;
+            self.obs.push(Obs::Use {
+                at: here,
+                tau: self.tau,
+                time_us: self.now_us,
+                era: self.era,
+                deps,
+            });
         }
         false
     }
 
-    /// True when TICS mode is on, `here` uses a fresh-annotated value,
-    /// and any input collection it depends on (by provenance chain) is
-    /// older than the window.
-    pub(crate) fn expiry_check_trips(&mut self, here: InstrRef) -> bool {
+    /// True when TICS mode is on and any input collection this site
+    /// depends on (by interned chain) is older than the window.
+    fn expiry_check_trips(&self, rt: &UseSiteRt) -> bool {
         let Some(window) = self.expiry_window else {
             return false;
         };
-        let Some(checks) = self.det_cfg.use_checks.get(&here) else {
-            return false;
-        };
-        checks
+        rt.expiry_requires
             .iter()
-            .filter(|c| c.kind == ViolationKind::Freshness)
-            .flat_map(|c| c.requires.iter())
-            .any(|chain| match self.chain_times.get(chain) {
-                Some(&collected) => self.now_us.saturating_sub(collected) > window,
+            .any(|&id| match self.chain_times[id as usize] {
+                Some(collected) => self.now_us.saturating_sub(collected) > window,
                 // No surviving timestamp: treat as expired.
                 None => true,
             })
@@ -571,22 +815,31 @@ impl<'p> Machine<'p> {
     /// The TICS mitigation handler: abandon the current run and restart
     /// `main` so every input is re-collected. Aborts any open atomic
     /// region first (its partial NV writes roll back).
+    ///
+    /// Chain timestamps need no pruning here: only interned chains are
+    /// ever stamped (`chain_times` is a fixed-size table), so a restart
+    /// cannot strand entries for dead dynamic chains — the re-collected
+    /// inputs simply overwrite their slots.
     pub(crate) fn mitigation_restart(&mut self) {
         self.stats.expiry_restarts += 1;
         self.expiry_restarts_this_run += 1;
-        if let Ctx::Atom { log, .. } = &mut self.ctx {
-            log.apply(&mut self.nv);
-            self.obs.abort_region();
+        match std::mem::replace(&mut self.ctx, Ctx::Jit(None)) {
+            Ctx::Atom { mut log, .. } => {
+                log.apply(&mut self.nv);
+                self.obs.abort_region();
+                log.clear();
+                self.spare_log = log;
+            }
+            Ctx::Jit(saved) => self.ctx = Ctx::Jit(saved),
         }
-        self.ctx = Ctx::Jit(None);
         self.vol = VolState {
-            frames: vec![Frame::at_entry(self.p, self.p.main)],
+            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
         };
     }
 
     /// The dynamic provenance chain ending at `input_ref`: the call
     /// sites of every frame above `main`, then the input instruction.
-    pub(crate) fn dynamic_chain(&self, input_ref: InstrRef) -> ocelot_analysis::taint::Prov {
+    pub(crate) fn dynamic_chain(&self, input_ref: InstrRef) -> Prov {
         let mut chain: Vec<InstrRef> = self
             .vol
             .frames
@@ -642,7 +895,7 @@ impl<'p> Machine<'p> {
                     None => {
                         // Boot context: restart the program run.
                         self.vol = VolState {
-                            frames: vec![Frame::at_entry(self.p, self.p.main)],
+                            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
                         };
                     }
                 }
@@ -689,11 +942,7 @@ impl<'p> Machine<'p> {
             }
             Op::Bind { var, src } => {
                 let v = self.eval(src);
-                self.vol
-                    .top_mut()
-                    .expect("frame exists")
-                    .locals
-                    .insert(var.clone(), v);
+                self.bind_local(var, v);
                 self.advance();
             }
             Op::Assign { place, src } => {
@@ -705,19 +954,23 @@ impl<'p> Machine<'p> {
                 self.exec_input(here, var, sensor);
             }
             Op::Call { dst, callee, args } => {
-                self.exec_call(here, dst.clone(), *callee, args);
+                self.exec_call(here, dst.as_deref(), *callee, args);
             }
             Op::Output { channel, args } => {
                 let vals: Vec<Tainted> = args.iter().map(|e| self.eval(e)).collect();
-                let mut deps = BTreeSet::new();
+                let mut deps = crate::memory::Deps::new();
                 for v in &vals {
                     deps.extend(v.deps.iter().copied());
                 }
+                let channel = match self.channel_names.get(channel.as_str()) {
+                    Some(a) => Arc::clone(a),
+                    None => Arc::from(channel.as_str()),
+                };
                 self.obs.push(Obs::Output {
                     at: here,
                     tau: self.tau,
                     era: self.era,
-                    channel: channel.clone(),
+                    channel,
                     values: vals.iter().map(|v| v.value).collect(),
                     deps,
                 });
@@ -738,37 +991,89 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Executes one input operation: sample, taint, stamp, run the
-    /// consistency checks of this collection, set its bit, record the
-    /// observation, and advance. Shared verbatim by both backends —
-    /// input is the most semantics-laden instruction, so there is
-    /// exactly one implementation of it.
-    pub(crate) fn exec_input(&mut self, here: InstrRef, var: &str, sensor: &str) {
-        let value = self.env.sample(sensor, self.now_us);
-        let t = Tainted::input(value, self.tau);
-        self.vol
-            .top_mut()
-            .expect("frame exists")
-            .locals
-            .insert(var.to_string(), t);
-        let chain = self.dynamic_chain(here);
-        if self.expiry_window.is_some() {
-            // TICS's timekeeping hardware: stamp the collection.
-            self.chain_times.insert(chain.clone(), self.now_us);
+    /// Binds a local in the top frame (slot when the layout has one,
+    /// spill otherwise — the latter only for hand-built IR).
+    pub(crate) fn bind_local(&mut self, var: &str, v: Tainted) {
+        let func = self.vol.top().expect("frame exists").func;
+        match self.layouts.slot(func, var) {
+            Some(s) => self.vol.top_mut().expect("frame exists").set_slot(s, v),
+            None => self.vol.top_mut().expect("frame exists").set_extra(var, v),
         }
-        // Consistency checks fire at the collection, before its
-        // own bit is set (§7.3).
-        let events = self
-            .bitvec
-            .check_input(&self.det_cfg, &chain, here, self.tau, self.era);
-        self.record_violations(events);
-        self.bitvec.set(&self.det_cfg, &chain);
+    }
+
+    /// Executes one input operation on the interpreter: resolves the
+    /// destination slot, the interned sensor name, and the chain
+    /// dynamically, then runs the shared collection core.
+    pub(crate) fn exec_input(&mut self, here: InstrRef, var: &str, sensor: &str) {
+        let func = self.vol.top().expect("frame exists").func;
+        let slot = self.layouts.slot(func, var);
+        let (sensor_name, chan) = match self.sensor_rt.get(sensor) {
+            Some(rt) => (Arc::clone(&rt.name), rt.chan),
+            None => (Arc::from(sensor), self.env.channel_index(sensor)),
+        };
+        let chain = self.dynamic_chain(here);
+        let id = self.chains.lookup(&chain);
+        self.input_core(here, slot, var, sensor, sensor_name, chan, id, Some(chain));
+    }
+
+    /// The collection core both backends share: sample, taint, stamp,
+    /// run the consistency checks of this collection, set its bit,
+    /// record the observation, and advance. For an interned chain every
+    /// piece is a pre-resolved index; an uninterned chain belongs to no
+    /// policy, so only the observation remains.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn input_core(
+        &mut self,
+        here: InstrRef,
+        slot: Option<u32>,
+        var: &str,
+        sensor: &str,
+        sensor_name: Arc<str>,
+        chan: Option<usize>,
+        id: Option<ChainId>,
+        dyn_chain: Option<Prov>,
+    ) {
+        let value = match chan {
+            Some(i) => self.env.sample_index(i, self.now_us),
+            None => self.env.sample(sensor, self.now_us),
+        };
+        let t = Tainted::input(value, self.tau);
+        match slot {
+            Some(s) => self.vol.top_mut().expect("frame exists").set_slot(s, t),
+            None => self.vol.top_mut().expect("frame exists").set_extra(var, t),
+        }
+        let chain = match id {
+            Some(id) => {
+                let rt = &self.chain_rt[id as usize];
+                let chain = Arc::clone(&rt.chain);
+                let bit = rt.bit;
+                let timed = rt.timed;
+                let checks = Arc::clone(&rt.checks);
+                if timed && self.expiry_window.is_some() {
+                    // TICS's timekeeping hardware: stamp the collection.
+                    self.chain_times[id as usize] = Some(self.now_us);
+                }
+                // Consistency checks fire at the collection, before its
+                // own bit is set (§7.3).
+                if !checks.is_empty() {
+                    let events = self.bitvec.run_resolved(&checks, here, self.tau, self.era);
+                    self.record_violations(events);
+                }
+                if let Some(b) = bit {
+                    self.bitvec.set_bit(b as usize);
+                }
+                chain
+            }
+            // A chain outside the table tracks no policy: no bit, no
+            // checks, no timestamp — the observation still records it.
+            None => Arc::new(dyn_chain.expect("uninterned chains carry their dynamic rebuild")),
+        };
         self.obs.push(Obs::Input {
             at: here,
             tau: self.tau,
             time_us: self.now_us,
             era: self.era,
-            sensor: sensor.to_string(),
+            sensor: sensor_name,
             value,
             chain,
         });
@@ -779,18 +1084,29 @@ impl<'p> Machine<'p> {
         match &mut self.ctx {
             Ctx::Jit(_) => {
                 // Atom-Start-Outer: snapshot volatiles, eagerly log ω.
-                let mut log = UndoLog::default();
-                if let Some(locs) = self.region_omega.get(&region) {
-                    for loc in locs.clone() {
-                        let old = match &loc {
-                            NvLoc::Scalar(g) => self.nv.read(g),
-                            NvLoc::Cell(g, i) => self.nv.read_idx(g, *i as i64),
+                // The pooled log keeps its capacity across entries; the
+                // ω set is iterated in place with pre-resolved slots.
+                let mut log = std::mem::take(&mut self.spare_log);
+                let mut new_words = 0u64;
+                if let Some(entries) = self.region_omega.get(&region) {
+                    for e in entries {
+                        let old = match e.resolved {
+                            OmegaSlot::Scalar(s) => self.nv.read_slot(s),
+                            OmegaSlot::Cell(s, i) => self.nv.read_idx_slot(s, i as i64),
+                            // Undeclared at construction: resolve by
+                            // name, in case a runtime store allocated
+                            // the slot since.
+                            OmegaSlot::Missing => match &e.loc {
+                                NvLoc::Scalar(n) => self.nv.read(n),
+                                NvLoc::Cell(n, i) => self.nv.read_idx(n, *i as i64),
+                            },
                         };
-                        if log.save(loc, old) {
-                            self.stats.log_words += 1;
+                        if log.save(e.loc.clone(), old) {
+                            new_words += 1;
                         }
                     }
                 }
+                self.stats.log_words += new_words;
                 let snap = Box::new(self.vol.clone());
                 self.stats.region_entries += 1;
                 self.stats.ckpt_words += self.vol.words() as u64;
@@ -810,27 +1126,35 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn atom_end(&mut self, _region: RegionId) {
-        match &mut self.ctx {
+        let commit = match &mut self.ctx {
             Ctx::Atom { natom, region, .. } => {
                 if *natom > 0 {
                     // Atom-End-Inner.
                     *natom -= 1;
+                    None
                 } else {
-                    // Atom-End-Outer: commit.
-                    let rid = *region;
-                    self.obs.push(Obs::Commit {
-                        region: rid,
-                        tau: self.tau,
-                    });
-                    self.obs.commit_region();
-                    self.stats.region_commits += 1;
-                    self.consecutive_reexecs = 0;
-                    self.ctx = Ctx::Jit(None);
+                    Some(*region)
                 }
             }
             Ctx::Jit(_) => {
                 // endatom outside a region: no-op (can happen only in
                 // hand-built IR; validated programs pair regions).
+                None
+            }
+        };
+        if let Some(rid) = commit {
+            // Atom-End-Outer: commit, and pool the log's capacity for
+            // the next region entry.
+            self.obs.push(Obs::Commit {
+                region: rid,
+                tau: self.tau,
+            });
+            self.obs.commit_region();
+            self.stats.region_commits += 1;
+            self.consecutive_reexecs = 0;
+            if let Ctx::Atom { mut log, .. } = std::mem::replace(&mut self.ctx, Ctx::Jit(None)) {
+                log.clear();
+                self.spare_log = log;
             }
         }
     }
@@ -838,36 +1162,76 @@ impl<'p> Machine<'p> {
     pub(crate) fn exec_call(
         &mut self,
         here: InstrRef,
-        dst: Option<String>,
+        dst: Option<&str>,
         callee: FuncId,
         args: &[Arg],
     ) {
-        let callee_fn = self.p.func(callee);
         let caller_idx = self.vol.frames.len() - 1;
-        let mut locals = BTreeMap::new();
-        let mut refs = BTreeMap::new();
-        for (a, param) in args.iter().zip(&callee_fn.params) {
-            match a {
-                Arg::Value(e) => {
-                    locals.insert(param.name.clone(), self.eval(e));
-                }
-                Arg::Ref(x) => {
+        let caller_func = self.vol.frames[caller_idx].func;
+        let layouts = Arc::clone(&self.layouts);
+        let ret_dst = dst.map(|d| match layouts.slot(caller_func, d) {
+            Some(s) => RetSlot::Slot(s),
+            None => RetSlot::Spill(Arc::from(d)),
+        });
+        let callee_layout = layouts.layout(callee);
+        let mut frame = self.take_frame(
+            callee,
+            callee_layout.entry,
+            callee_layout.len(),
+            ret_dst,
+            here,
+        );
+        for (a, bind) in args.iter().zip(callee_layout.params()) {
+            match (a, bind) {
+                (Arg::Value(e), ParamBind::Value(slot)) => frame.set_slot(*slot, self.eval(e)),
+                (Arg::Ref(x), ParamBind::Ref(name)) => {
                     let target = self.resolve_ref(caller_idx, x);
-                    refs.insert(param.name.clone(), target);
+                    frame.refs.insert(Arc::clone(name), target);
+                }
+                // Mismatched argument/parameter kinds are impossible in
+                // validated programs; mirror the name-keyed semantics
+                // for hand-built IR.
+                (Arg::Value(e), ParamBind::Ref(name)) => {
+                    let v = self.eval(e);
+                    frame.set_extra(name, v);
+                }
+                (Arg::Ref(x), ParamBind::Value(slot)) => {
+                    let target = self.resolve_ref(caller_idx, x);
+                    frame
+                        .refs
+                        .insert(Arc::clone(callee_layout.name(*slot)), target);
                 }
             }
         }
         // Resume point: after the call.
         self.advance();
-        self.vol.frames.push(Frame {
-            func: callee,
-            block: callee_fn.entry,
-            index: 0,
-            locals,
-            refs,
-            ret_dst: dst,
-            call_site: Some(here),
-        });
+        self.vol.frames.push(frame);
+    }
+
+    /// A fresh frame for a call, reusing a recycled frame's
+    /// allocations when one is pooled.
+    pub(crate) fn take_frame(
+        &mut self,
+        func: FuncId,
+        entry: ocelot_ir::BlockId,
+        nslots: usize,
+        ret_dst: Option<RetSlot>,
+        call_site: InstrRef,
+    ) -> Frame {
+        match self.frame_pool.pop() {
+            Some(mut f) => {
+                f.reuse(func, entry, nslots, ret_dst, call_site);
+                f
+            }
+            None => Frame::for_call(func, entry, nslots, ret_dst, call_site),
+        }
+    }
+
+    /// Returns a popped frame's allocations to the pool.
+    pub(crate) fn recycle_frame(&mut self, frame: Frame) {
+        if self.frame_pool.len() < 32 {
+            self.frame_pool.push(frame);
+        }
     }
 
     pub(crate) fn exec_terminator(&mut self, term: &Terminator) -> bool {
@@ -895,10 +1259,14 @@ impl<'p> Machine<'p> {
                     .map(|e| self.eval(e))
                     .unwrap_or_else(|| Tainted::pure(0));
                 let done = self.vol.frames.pop().expect("frame exists");
+                let ret_dst = done.ret_dst.clone();
+                self.recycle_frame(done);
                 match self.vol.top_mut() {
                     Some(caller) => {
-                        if let Some(dst) = done.ret_dst {
-                            caller.locals.insert(dst, v);
+                        match ret_dst {
+                            Some(RetSlot::Slot(s)) => caller.set_slot(s, v),
+                            Some(RetSlot::Spill(name)) => caller.set_extra(&name, v),
+                            None => {}
                         }
                         false
                     }
@@ -918,10 +1286,15 @@ impl<'p> Machine<'p> {
     // ------------------------------------------------------------------
 
     pub(crate) fn is_local(&self, name: &str) -> bool {
-        self.vol
-            .top()
-            .map(|f| f.locals.contains_key(name) || f.refs.contains_key(name))
-            .unwrap_or(false)
+        let Some(f) = self.vol.top() else {
+            return false;
+        };
+        if let Some(slot) = self.layouts.slot(f.func, name) {
+            if f.get_slot(slot).is_some() {
+                return true;
+            }
+        }
+        f.get_extra(name).is_some() || f.refs.contains_key(name)
     }
 
     pub(crate) fn ref_target(&self, name: &str) -> Option<RefTarget> {
@@ -931,20 +1304,42 @@ impl<'p> Machine<'p> {
     pub(crate) fn resolve_ref(&self, caller_idx: usize, x: &str) -> RefTarget {
         let caller = &self.vol.frames[caller_idx];
         if let Some(t) = caller.refs.get(x) {
-            t.clone() // forwarding an incoming reference
-        } else if caller.locals.contains_key(x) {
-            RefTarget::Local {
-                frame: caller_idx,
-                var: x.to_string(),
+            return t.clone(); // forwarding an incoming reference
+        }
+        if let Some(slot) = self.layouts.slot(caller.func, x) {
+            if caller.get_slot(slot).is_some() {
+                return RefTarget::Local {
+                    frame: caller_idx,
+                    slot,
+                };
             }
-        } else {
-            RefTarget::Global(x.to_string())
+        }
+        if caller.get_extra(x).is_some() {
+            return RefTarget::Extra {
+                frame: caller_idx,
+                name: Arc::from(x),
+            };
+        }
+        RefTarget::Global(self.global_name(x))
+    }
+
+    /// The shared name of global `x` (its NV slot name when declared, a
+    /// fresh allocation otherwise).
+    pub(crate) fn global_name(&self, x: &str) -> Arc<str> {
+        match self.nv.scalar_slot(x) {
+            Some(s) => Arc::clone(self.nv.scalar_name(s)),
+            None => Arc::from(x),
         }
     }
 
     pub(crate) fn read_var(&self, name: &str) -> Tainted {
         if let Some(top) = self.vol.top() {
-            if let Some(v) = top.locals.get(name) {
+            if let Some(slot) = self.layouts.slot(top.func, name) {
+                if let Some(v) = top.get_slot(slot) {
+                    return v.clone();
+                }
+            }
+            if let Some(v) = top.get_extra(name) {
                 return v.clone();
             }
             if let Some(t) = top.refs.get(name) {
@@ -956,9 +1351,12 @@ impl<'p> Machine<'p> {
 
     pub(crate) fn read_target(&self, t: &RefTarget) -> Tainted {
         match t {
-            RefTarget::Local { frame, var } => self.vol.frames[*frame]
-                .locals
-                .get(var)
+            RefTarget::Local { frame, slot } => self.vol.frames[*frame]
+                .get_slot(*slot)
+                .cloned()
+                .unwrap_or_default(),
+            RefTarget::Extra { frame, name } => self.vol.frames[*frame]
+                .get_extra(name)
                 .cloned()
                 .unwrap_or_default(),
             RefTarget::Global(g) => self.nv.read(g),
@@ -967,36 +1365,41 @@ impl<'p> Machine<'p> {
 
     pub(crate) fn write_target(&mut self, t: &RefTarget, v: Tainted) {
         match t {
-            RefTarget::Local { frame, var } => {
-                self.vol.frames[*frame].locals.insert(var.clone(), v);
+            RefTarget::Local { frame, slot } => {
+                self.vol.frames[*frame].set_slot(*slot, v);
+            }
+            RefTarget::Extra { frame, name } => {
+                self.vol.frames[*frame].set_extra(name, v);
             }
             RefTarget::Global(g) => {
-                self.nv_write_scalar(g.clone(), v);
+                let g = Arc::clone(g);
+                self.nv_write_scalar(&g, v);
             }
         }
     }
 
     /// Writes a non-volatile scalar, undo-logging inside atomic regions.
-    pub(crate) fn nv_write_scalar(&mut self, name: String, v: Tainted) {
-        let old = self.nv.write(&name, v);
-        self.log_scalar_undo(name, old);
+    pub(crate) fn nv_write_scalar(&mut self, name: &str, v: Tainted) {
+        let slot = self.nv.ensure_scalar(name);
+        let old = self.nv.write_slot(slot, v);
+        self.log_scalar_undo(slot, old);
     }
 
     /// Slot-resolved variant of [`Machine::nv_write_scalar`], used by
-    /// the compiled backend for declared globals (the undo log still
-    /// keys by name; costs are charged identically).
-    pub(crate) fn nv_write_scalar_slot(&mut self, slot: usize, name: &str, v: Tainted) {
+    /// the compiled backend for declared globals.
+    pub(crate) fn nv_write_scalar_slot(&mut self, slot: usize, v: Tainted) {
         let old = self.nv.write_slot(slot, v);
-        self.log_scalar_undo(name.to_string(), old);
+        self.log_scalar_undo(slot, old);
     }
 
-    /// Undo-logs the pre-write value of scalar `name` when inside an
-    /// atomic region, charging the dynamic log-write cost on a fresh
+    /// Undo-logs the pre-write value of the scalar at `slot` when inside
+    /// an atomic region, charging the dynamic log-write cost on a fresh
     /// entry. The single charging path behind both backends' scalar NV
-    /// stores.
-    fn log_scalar_undo(&mut self, name: String, old: Tainted) {
+    /// stores. The key reuses the slot's shared name — no allocation.
+    fn log_scalar_undo(&mut self, slot: usize, old: Tainted) {
         if let Ctx::Atom { log, .. } = &mut self.ctx {
-            if log.save(NvLoc::Scalar(name), old) {
+            let key = NvLoc::Scalar(Arc::clone(self.nv.scalar_name(slot)));
+            if log.save(key, old) {
                 self.stats.log_words += 1;
                 let c = self.costs.log_word;
                 // Dynamic log writes cost cycles too.
@@ -1009,31 +1412,53 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Undo-logs an array cell write (both backends' shared path).
+    pub(crate) fn log_cell_undo(&mut self, name: Arc<str>, cell: usize, old: Tainted) {
+        if let Ctx::Atom { log, .. } = &mut self.ctx {
+            if log.save(NvLoc::Cell(name, cell), old) {
+                self.stats.log_words += 1;
+            }
+        }
+    }
+
     pub(crate) fn write_place(&mut self, place: &Place, v: Tainted) {
         match place {
             Place::Var(x) => {
+                let func = self.vol.top().expect("frame exists").func;
+                let slot = self.layouts.slot(func, x);
                 let top = self.vol.top_mut().expect("frame exists");
-                if top.locals.contains_key(x) {
-                    top.locals.insert(x.clone(), v);
-                } else if let Some(t) = top.refs.get(x).cloned() {
+                if let Some(s) = slot {
+                    if top.get_slot(s).is_some() {
+                        top.set_slot(s, v);
+                        return;
+                    }
+                }
+                if top.get_extra(x).is_some() {
+                    top.set_extra(x, v);
+                } else if let Some(t) = top.refs.get(x.as_str()).cloned() {
                     self.write_target(&t, v);
                 } else {
-                    self.nv_write_scalar(x.clone(), v);
+                    self.nv_write_scalar(x, v);
                 }
             }
             Place::Index(a, i) => {
                 let idx = self.eval(i);
-                let (cell, old) = self.nv.write_idx(a, idx.value, v);
-                if let Ctx::Atom { log, .. } = &mut self.ctx {
-                    if log.save(NvLoc::Cell(a.clone(), cell), old) {
-                        self.stats.log_words += 1;
+                match self.nv.array_slot(a) {
+                    Some(s) => {
+                        let (cell, old) = self.nv.write_idx_slot(s, idx.value, v);
+                        let name = Arc::clone(self.nv.array_name(s));
+                        self.log_cell_undo(name, cell, old);
+                    }
+                    None => {
+                        let (cell, old) = self.nv.write_idx(a, idx.value, v);
+                        self.log_cell_undo(Arc::from(a.as_str()), cell, old);
                     }
                 }
             }
             Place::Deref(x) => {
                 let t = self
                     .ref_target(x)
-                    .unwrap_or(RefTarget::Global(x.to_string()));
+                    .unwrap_or_else(|| RefTarget::Global(self.global_name(x)));
                 self.write_target(&t, v);
             }
         }
@@ -1158,7 +1583,7 @@ mod tests {
             .filter_map(|o| match o {
                 Obs::Output {
                     channel, values, ..
-                } => Some((channel.clone(), values.clone())),
+                } => Some((channel.to_string(), values.clone())),
                 _ => None,
             })
             .collect()
@@ -1590,6 +2015,102 @@ mod tests {
         assert_eq!(m.stats().expiry_giveups, 1);
         assert!(m.stats().expiry_restarts >= 25, "thrashed to the cap");
         assert!(m.stats().fresh_violations >= 1, "the stale use happened");
+    }
+
+    #[test]
+    fn tics_chain_timestamps_stay_bounded_across_restarts() {
+        // Regression for the unbounded-growth bug: timestamps live in a
+        // fixed-size table indexed by interned chain id, and only chains
+        // some freshness check reads are ever stamped — so hundreds of
+        // mitigation restarts (which reset the frames and re-collect
+        // through fresh dynamic chains) cannot grow the timekeeper
+        // state.
+        let p = compile(
+            r#"
+            sensor s;
+            fn grab() { let v = in(s); return v; }
+            fn main() {
+                let warm = grab();
+                let x = in(s);
+                fresh(x);
+                out(alarm, x + warm);
+            }
+            "#,
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new().with("s", Signal::Constant(5)),
+            CostModel::default(),
+            // 4.5 µJ per cycle: a 4 µJ sample and the 1.6 µJ use can
+            // never share one power cycle, so every attempt trips the
+            // window and the handler restarts until the per-run cap.
+            Box::new(ScriptedPower::new(vec![4_500.0; 2000], 100_000)),
+        );
+        let mut m = m.with_expiry_window(10_000);
+        let before = m.chain_times.len();
+        for _ in 0..8 {
+            m.run_once(10_000_000);
+        }
+        assert!(m.stats().expiry_restarts >= 100, "restarts really thrashed");
+        assert!(m.stats().expiry_giveups >= 1, "runs gave up at the cap");
+        assert_eq!(
+            m.chain_times.len(),
+            before,
+            "timestamp table never grows past its construction size"
+        );
+        let stamped = m.chain_times.iter().filter(|t| t.is_some()).count();
+        let timed = m.chain_rt.iter().filter(|rt| rt.timed).count();
+        assert!(
+            stamped <= timed,
+            "only freshness-checked chains are ever stamped ({stamped} > {timed})"
+        );
+        assert!(stamped > 0, "the checked chain was stamped");
+    }
+
+    #[test]
+    fn static_input_sites_share_one_interned_chain() {
+        // A fixed call stack: the input's chain is pre-resolved, so
+        // every sample's observation shares one Arc with the table.
+        let p = compile(
+            r#"
+            sensor s;
+            fn read() { let v = in(s); return v; }
+            fn main() { let a = read(); fresh(a); out(log, a); }
+            "#,
+        )
+        .unwrap();
+        let taint = ocelot_analysis::taint::TaintAnalysis::run(&p);
+        let policies = ocelot_core::build_policies(&p, &taint);
+        let mut m = Machine::new(
+            &p,
+            &[],
+            policies,
+            Environment::new().with("s", Signal::Constant(2)),
+            CostModel::default(),
+            Box::new(ContinuousPower),
+        );
+        assert_eq!(m.static_chain_of.len(), 1, "the one input site is static");
+        m.run_once(100_000);
+        m.run_once(100_000);
+        let trace = m.take_trace();
+        let chains: Vec<_> = trace
+            .iter()
+            .filter_map(|o| match o {
+                Obs::Input { chain, .. } => Some(chain),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chains.len(), 2);
+        assert!(
+            Arc::ptr_eq(chains[0], chains[1]),
+            "both samples share the interned chain allocation"
+        );
+        assert_eq!(chains[0].len(), 2, "call site + input op");
     }
 
     #[test]

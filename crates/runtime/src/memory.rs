@@ -5,13 +5,175 @@
 //! location stores its value *and* the logical timestamps of the input
 //! operations the value depends on — that is what lets the trace checker
 //! validate Definitions 2 and 3 on real executions.
+//!
+//! Frame locals are **slot-indexed**: a [`FrameLayouts`] table (built
+//! once per program) assigns every by-value parameter and every lowered
+//! local of each function a dense slot, so the hot path reads and
+//! writes a `Vec` instead of probing a name-keyed map. Names remain the
+//! fallback — the interpreter resolves them through the layout, and
+//! bindings outside any layout (possible only in hand-built IR) spill
+//! into a side map so the semantics and the checkpoint-word accounting
+//! are unchanged: a frame's volatile footprint is still the number of
+//! *bound* locals plus the fixed register-file share.
 
 use ocelot_ir::{BlockId, FuncId, Program};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Inline capacity of a [`Deps`] set: dependency sets are almost always
+/// tiny (one sample, or a handful combined into an average), so they
+/// live in the value itself and cost no allocation until they outgrow
+/// this.
+const DEPS_INLINE: usize = 8;
+
+#[derive(Debug, Clone)]
+enum DepsRepr {
+    /// Sorted, deduplicated prefix of `buf`.
+    Inline { len: u8, buf: [u64; DEPS_INLINE] },
+    /// Spill representation for large sets (keeps ordered-set
+    /// semantics). A set spills only by growing past the inline
+    /// capacity, so representations stay canonical: ≤ 8 elements is
+    /// always `Inline`.
+    Heap(BTreeSet<u64>),
+}
 
 /// Logical timestamps of input operations a value depends on — the
 /// paper's `I`.
-pub type Deps = BTreeSet<u64>;
+///
+/// Semantically an ordered `u64` set (what [`BTreeSet`] provided); the
+/// representation keeps up to eight timestamps inline because the
+/// hot path creates, clones, and unions one of these for every tainted
+/// value the machine touches.
+#[derive(Debug, Clone)]
+pub struct Deps(DepsRepr);
+
+impl Default for Deps {
+    fn default() -> Self {
+        Deps::new()
+    }
+}
+
+impl Deps {
+    /// The empty set.
+    pub const fn new() -> Self {
+        Deps(DepsRepr::Inline {
+            len: 0,
+            buf: [0; DEPS_INLINE],
+        })
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            DepsRepr::Inline { len, .. } => *len as usize,
+            DepsRepr::Heap(s) => s.len(),
+        }
+    }
+
+    /// True when no input is depended on.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `t` is in the set.
+    pub fn contains(&self, t: u64) -> bool {
+        match &self.0 {
+            DepsRepr::Inline { len, buf } => buf[..*len as usize].binary_search(&t).is_ok(),
+            DepsRepr::Heap(s) => s.contains(&t),
+        }
+    }
+
+    /// Inserts `t`, returning true when it was new.
+    pub fn insert(&mut self, t: u64) -> bool {
+        match &mut self.0 {
+            DepsRepr::Inline { len, buf } => {
+                let n = *len as usize;
+                match buf[..n].binary_search(&t) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        if n < DEPS_INLINE {
+                            buf.copy_within(pos..n, pos + 1);
+                            buf[pos] = t;
+                            *len += 1;
+                        } else {
+                            let mut s: BTreeSet<u64> = buf.iter().copied().collect();
+                            s.insert(t);
+                            self.0 = DepsRepr::Heap(s);
+                        }
+                        true
+                    }
+                }
+            }
+            DepsRepr::Heap(s) => s.insert(t),
+        }
+    }
+
+    /// Iterates the timestamps in ascending order.
+    pub fn iter(&self) -> DepsIter<'_> {
+        match &self.0 {
+            DepsRepr::Inline { len, buf } => DepsIter::Inline(buf[..*len as usize].iter()),
+            DepsRepr::Heap(s) => DepsIter::Heap(s.iter()),
+        }
+    }
+}
+
+/// Borrowing iterator over a [`Deps`] set, ascending.
+pub enum DepsIter<'a> {
+    /// Inline storage.
+    Inline(std::slice::Iter<'a, u64>),
+    /// Spilled storage.
+    Heap(std::collections::btree_set::Iter<'a, u64>),
+}
+
+impl<'a> Iterator for DepsIter<'a> {
+    type Item = &'a u64;
+    fn next(&mut self) -> Option<&'a u64> {
+        match self {
+            DepsIter::Inline(i) => i.next(),
+            DepsIter::Heap(i) => i.next(),
+        }
+    }
+}
+
+impl PartialEq for Deps {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for Deps {}
+
+impl<const N: usize> From<[u64; N]> for Deps {
+    fn from(xs: [u64; N]) -> Self {
+        xs.into_iter().collect()
+    }
+}
+
+impl FromIterator<u64> for Deps {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut d = Deps::new();
+        d.extend(iter);
+        d
+    }
+}
+
+impl Extend<u64> for Deps {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl IntoIterator for Deps {
+    type Item = u64;
+    type IntoIter = std::vec::IntoIter<u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        // Only used on cold paths (set unions through `Extend` stay
+        // borrow-based); collecting keeps the iterator type simple.
+        self.iter().copied().collect::<Vec<u64>>().into_iter()
+    }
+}
 
 /// A value with its input-dependency timestamps.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -55,13 +217,17 @@ impl Tainted {
 /// [`ocelot_ir::Program::scalar_slot`] / [`ocelot_ir::Program::array_slot`]
 /// document — and slots are append-only, so a slot resolved once (by
 /// the compiled execution backend) stays valid for the lifetime of the
-/// memory. The name-keyed API is unchanged and remains the fallback for
-/// accesses that cannot be resolved statically.
+/// memory. Every slot also carries its name as a shared [`Arc<str>`],
+/// which is what keeps undo-log keys allocation-free. The name-keyed
+/// API is unchanged and remains the fallback for accesses that cannot
+/// be resolved statically.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NvMem {
     scalar_index: BTreeMap<String, usize>,
+    scalar_names: Vec<Arc<str>>,
     scalars: Vec<Tainted>,
     array_index: BTreeMap<String, usize>,
+    array_names: Vec<Arc<str>>,
     arrays: Vec<Vec<Tainted>>,
 }
 
@@ -74,10 +240,12 @@ impl NvMem {
             match g.array_len {
                 Some(n) => {
                     nv.array_index.insert(g.name.clone(), nv.arrays.len());
+                    nv.array_names.push(Arc::from(g.name.as_str()));
                     nv.arrays.push(vec![Tainted::pure(0); n]);
                 }
                 None => {
                     nv.scalar_index.insert(g.name.clone(), nv.scalars.len());
+                    nv.scalar_names.push(Arc::from(g.name.as_str()));
                     nv.scalars.push(Tainted::pure(g.init));
                 }
             }
@@ -93,6 +261,39 @@ impl NvMem {
     /// The stable slot of array `name`, if it exists.
     pub fn array_slot(&self, name: &str) -> Option<usize> {
         self.array_index.get(name).copied()
+    }
+
+    /// The shared name of the scalar at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::scalar_slot`].
+    pub fn scalar_name(&self, slot: usize) -> &Arc<str> {
+        &self.scalar_names[slot]
+    }
+
+    /// The shared name of the array at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::array_slot`].
+    pub fn array_name(&self, slot: usize) -> &Arc<str> {
+        &self.array_names[slot]
+    }
+
+    /// The slot of scalar `name`, allocating a fresh zeroed slot for
+    /// unknown names (hand-built IR may store to undeclared names).
+    pub fn ensure_scalar(&mut self, name: &str) -> usize {
+        match self.scalar_index.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.scalars.len();
+                self.scalar_index.insert(name.to_string(), i);
+                self.scalar_names.push(Arc::from(name));
+                self.scalars.push(Tainted::default());
+                i
+            }
+        }
     }
 
     /// Reads a scalar global. Missing globals read as untainted 0
@@ -114,18 +315,9 @@ impl NvMem {
     }
 
     /// Writes a scalar global, returning the previous value for undo
-    /// logging. Unknown names are allocated a fresh slot (hand-built IR
-    /// may store to undeclared names).
+    /// logging. Unknown names are allocated a fresh slot.
     pub fn write(&mut self, name: &str, v: Tainted) -> Tainted {
-        let slot = match self.scalar_index.get(name) {
-            Some(&i) => i,
-            None => {
-                let i = self.scalars.len();
-                self.scalar_index.insert(name.to_string(), i);
-                self.scalars.push(Tainted::default());
-                i
-            }
-        };
+        let slot = self.ensure_scalar(name);
         std::mem::replace(&mut self.scalars[slot], v)
     }
 
@@ -203,6 +395,121 @@ impl NvMem {
     }
 }
 
+/// How one parameter of a function is bound at call time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamBind {
+    /// A by-value parameter: bound into this local slot.
+    Value(u32),
+    /// A by-mutable-reference parameter: resolved into the frame's
+    /// reference map under this (shared) name.
+    Ref(Arc<str>),
+}
+
+/// One function's local slot layout: by-value parameters first (in
+/// parameter order), then the lowered locals (in
+/// [`ocelot_ir::Function::locals`] order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Entry block of the function (so frames can be created without a
+    /// [`Program`] in hand).
+    pub entry: BlockId,
+    names: Vec<Arc<str>>,
+    index: BTreeMap<Arc<str>, u32>,
+    params: Vec<ParamBind>,
+}
+
+impl FrameLayout {
+    fn of(f: &ocelot_ir::Function) -> Self {
+        let mut l = FrameLayout {
+            entry: f.entry,
+            names: Vec::new(),
+            index: BTreeMap::new(),
+            params: Vec::new(),
+        };
+        let add = |l: &mut FrameLayout, name: &str| -> u32 {
+            if let Some(&s) = l.index.get(name) {
+                return s; // duplicate declaration: first slot wins
+            }
+            let s = l.names.len() as u32;
+            let arc: Arc<str> = Arc::from(name);
+            l.names.push(Arc::clone(&arc));
+            l.index.insert(arc, s);
+            s
+        };
+        for p in &f.params {
+            if p.by_ref {
+                l.params.push(ParamBind::Ref(Arc::from(p.name.as_str())));
+            } else {
+                let s = add(&mut l, &p.name);
+                l.params.push(ParamBind::Value(s));
+            }
+        }
+        for name in &f.locals {
+            add(&mut l, name);
+        }
+        l
+    }
+
+    /// The slot of `name`, if this function declares it by value.
+    pub fn slot(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of local slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the function has no by-value locals at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The shared name of `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn name(&self, slot: u32) -> &Arc<str> {
+        &self.names[slot as usize]
+    }
+
+    /// Parameter bindings, in parameter order.
+    pub fn params(&self) -> &[ParamBind] {
+        &self.params
+    }
+}
+
+/// The slot layouts of every function in a program, indexed by
+/// [`FuncId`]. Built once; shared by both execution backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameLayouts {
+    funcs: Vec<FrameLayout>,
+}
+
+impl FrameLayouts {
+    /// Computes the layout of every function of `p`.
+    pub fn new(p: &Program) -> Self {
+        FrameLayouts {
+            funcs: p.funcs.iter().map(FrameLayout::of).collect(),
+        }
+    }
+
+    /// The layout of function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn layout(&self, f: FuncId) -> &FrameLayout {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// The slot of `name` in function `f`, if declared by value.
+    pub fn slot(&self, f: FuncId, name: &str) -> Option<u32> {
+        self.layout(f).slot(name)
+    }
+}
+
 /// Where a by-reference parameter ultimately points: resolved at call
 /// time (references cannot re-seat, so resolution is stable).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,14 +519,37 @@ pub enum RefTarget {
     Local {
         /// Stack index of the owning frame.
         frame: usize,
-        /// Variable name within that frame.
-        var: String,
+        /// Slot within that frame.
+        slot: u32,
+    },
+    /// A spilled (out-of-layout) binding in an earlier frame —
+    /// hand-built IR only.
+    Extra {
+        /// Stack index of the owning frame.
+        frame: usize,
+        /// Binding name within that frame's spill map.
+        name: Arc<str>,
     },
     /// A non-volatile scalar global.
-    Global(String),
+    Global(Arc<str>),
 }
 
-/// One call frame: the program counter and local bindings.
+/// Where a callee's return value lands in the caller frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetSlot {
+    /// A pre-resolved caller slot.
+    Slot(u32),
+    /// A caller binding outside the layout (hand-built IR only).
+    Spill(Arc<str>),
+}
+
+/// One call frame: the program counter and slot-indexed local bindings.
+///
+/// A slot is *unbound* (`None`) until a `let`, input, call result, or
+/// parameter binds it — the runtime distinction behind the paper
+/// model's "no block scoping" quirk, where an in-scope-but-unbound
+/// local stores non-volatile. The frame's checkpoint footprint counts
+/// only bound slots, exactly like the name-keyed map it replaces.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// The executing function.
@@ -229,37 +559,119 @@ pub struct Frame {
     /// Next instruction index within the block (`instrs.len()` = the
     /// terminator).
     pub index: usize,
-    /// Local variables.
-    pub locals: BTreeMap<String, Tainted>,
+    /// Local slots (`None` = declared but not yet bound).
+    slots: Vec<Option<Tainted>>,
+    /// Number of bound slots (the volatile word count of `slots`).
+    bound: u32,
+    /// Bindings for names outside the function's layout — empty for
+    /// lowered programs, a spill path for hand-built IR.
+    extra: BTreeMap<String, Tainted>,
     /// Resolution of by-reference parameters.
-    pub refs: BTreeMap<String, RefTarget>,
-    /// Where the caller wants the return value (a local in the frame
-    /// below), if anywhere.
-    pub ret_dst: Option<String>,
+    pub refs: BTreeMap<Arc<str>, RefTarget>,
+    /// Where the caller wants the return value, if anywhere.
+    pub ret_dst: Option<RetSlot>,
     /// The call instruction that created this frame (`None` for the
     /// bottom frame); the dynamic provenance chain is read off these.
     pub call_site: Option<ocelot_ir::InstrRef>,
 }
 
 impl Frame {
-    /// A frame at the entry of `func`.
-    pub fn at_entry(p: &Program, func: FuncId) -> Self {
-        let f = p.func(func);
+    /// A frame at the entry of `func` with all slots unbound.
+    pub fn at_entry(layouts: &FrameLayouts, func: FuncId) -> Self {
+        let l = layouts.layout(func);
+        Frame::raw(func, l.entry, l.len(), None, None)
+    }
+
+    /// A frame for a call into `func` at `entry` with `nslots` local
+    /// slots; parameters are bound afterwards via [`Frame::set_slot`].
+    pub fn for_call(
+        func: FuncId,
+        entry: BlockId,
+        nslots: usize,
+        ret_dst: Option<RetSlot>,
+        call_site: ocelot_ir::InstrRef,
+    ) -> Self {
+        Frame::raw(func, entry, nslots, ret_dst, Some(call_site))
+    }
+
+    fn raw(
+        func: FuncId,
+        block: BlockId,
+        nslots: usize,
+        ret_dst: Option<RetSlot>,
+        call_site: Option<ocelot_ir::InstrRef>,
+    ) -> Self {
         Frame {
             func,
-            block: f.entry,
+            block,
             index: 0,
-            locals: BTreeMap::new(),
+            slots: vec![None; nslots],
+            bound: 0,
+            extra: BTreeMap::new(),
             refs: BTreeMap::new(),
-            ret_dst: None,
-            call_site: None,
+            ret_dst,
+            call_site,
         }
     }
 
-    /// Number of words of volatile state this frame holds (locals plus a
-    /// fixed register-file share).
+    /// Re-initializes a recycled frame for a new call, keeping its
+    /// allocations (slot vector capacity, map nodes are already empty).
+    pub fn reuse(
+        &mut self,
+        func: FuncId,
+        entry: BlockId,
+        nslots: usize,
+        ret_dst: Option<RetSlot>,
+        call_site: ocelot_ir::InstrRef,
+    ) {
+        self.func = func;
+        self.block = entry;
+        self.index = 0;
+        self.slots.clear();
+        self.slots.resize(nslots, None);
+        self.bound = 0;
+        self.extra.clear();
+        self.refs.clear();
+        self.ret_dst = ret_dst;
+        self.call_site = Some(call_site);
+    }
+
+    /// The bound value of `slot`, or `None` while unbound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the frame's layout.
+    pub fn get_slot(&self, slot: u32) -> Option<&Tainted> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Binds (or rebinds) `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the frame's layout.
+    pub fn set_slot(&mut self, slot: u32, v: Tainted) {
+        let cell = &mut self.slots[slot as usize];
+        if cell.is_none() {
+            self.bound += 1;
+        }
+        *cell = Some(v);
+    }
+
+    /// A binding outside the layout (hand-built IR only).
+    pub fn get_extra(&self, name: &str) -> Option<&Tainted> {
+        self.extra.get(name)
+    }
+
+    /// Binds a name outside the layout (hand-built IR only).
+    pub fn set_extra(&mut self, name: &str, v: Tainted) {
+        self.extra.insert(name.to_string(), v);
+    }
+
+    /// Number of words of volatile state this frame holds (bound locals
+    /// plus a fixed register-file share).
     pub fn words(&self) -> usize {
-        self.locals.len() + 4
+        self.bound as usize + self.extra.len() + 4
     }
 }
 
@@ -288,27 +700,33 @@ impl VolState {
     }
 }
 
-/// A location key for undo logging.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+/// A location key for undo logging. Names are shared [`Arc<str>`]s, so
+/// cloning a key costs a reference-count bump, not an allocation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NvLoc {
     /// A scalar global.
-    Scalar(String),
+    Scalar(Arc<str>),
     /// One array cell.
-    Cell(String, usize),
+    Cell(Arc<str>, usize),
 }
 
 /// Undo log for an atomic region: first-write-wins snapshots of
 /// non-volatile locations.
+///
+/// Backed by a hash map so [`UndoLog::clear`] keeps its capacity — the
+/// machine pools one log across region entries instead of re-allocating
+/// per entry. Restoration order is irrelevant (one entry per location),
+/// so the map's iteration order never becomes observable.
 #[derive(Debug, Clone, Default)]
 pub struct UndoLog {
-    entries: BTreeMap<NvLoc, Tainted>,
+    entries: HashMap<NvLoc, Tainted>,
 }
 
 impl UndoLog {
     /// Records the pre-state of `loc` unless already logged. Returns
     /// true when a new entry was added (for cost accounting).
     pub fn save(&mut self, loc: NvLoc, old: Tainted) -> bool {
-        if let std::collections::btree_map::Entry::Vacant(e) = self.entries.entry(loc) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.entries.entry(loc) {
             e.insert(old);
             true
         } else {
@@ -335,7 +753,7 @@ impl UndoLog {
         }
     }
 
-    /// Drops all entries (region committed).
+    /// Drops all entries, keeping the allocation (region committed).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
@@ -381,6 +799,8 @@ mod tests {
             }
         }
         let a = nv.scalar_slot("a").unwrap();
+        assert_eq!(&**nv.scalar_name(a), "a");
+        assert_eq!(&**nv.array_name(nv.array_slot("arr").unwrap()), "arr");
         // Runtime writes to undeclared names append; resolved slots
         // never move.
         nv.write("later", Tainted::pure(9));
@@ -445,16 +865,57 @@ mod tests {
     }
 
     #[test]
-    fn vol_state_words_scale_with_frames() {
-        let p = compile("fn main() { let x = 1; }").unwrap();
+    fn layouts_cover_params_and_locals() {
+        let p = compile(
+            r#"
+            fn add(a, &res, b) { *res = a + b; return 0; }
+            fn main() { let x = 1; let y = add(x, &x, 2); out(log, x + y); }
+            "#,
+        )
+        .unwrap();
+        let layouts = FrameLayouts::new(&p);
+        let add = p
+            .funcs
+            .iter()
+            .find(|f| f.name == "add")
+            .map(|f| f.id)
+            .unwrap();
+        let l = layouts.layout(add);
+        // Value params a and b get the first slots (param order); the
+        // by-ref param resolves through the refs map instead.
+        assert_eq!(l.slot("a"), Some(0));
+        assert_eq!(l.slot("b"), Some(1));
+        assert_eq!(l.slot("res"), None);
+        assert_eq!(l.params().len(), 3);
+        assert!(matches!(l.params()[0], ParamBind::Value(0)));
+        assert!(matches!(l.params()[1], ParamBind::Ref(ref n) if &**n == "res"));
+        assert!(matches!(l.params()[2], ParamBind::Value(1)));
+        // main's layout names every lowered local.
+        let lm = layouts.layout(p.main);
+        assert!(lm.slot("x").is_some());
+        assert!(lm.slot("y").is_some());
+        assert_eq!(&**lm.name(lm.slot("x").unwrap()), "x");
+    }
+
+    #[test]
+    fn frame_words_count_bound_slots_only() {
+        let p = compile("fn main() { let x = 1; let y = 2; }").unwrap();
+        let layouts = FrameLayouts::new(&p);
         let mut vol = VolState::default();
         let base = vol.words();
-        vol.frames.push(Frame::at_entry(&p, p.main));
-        assert!(vol.words() > base);
-        vol.top_mut()
-            .unwrap()
-            .locals
-            .insert("x".into(), Tainted::pure(1));
+        vol.frames.push(Frame::at_entry(&layouts, p.main));
+        // Unbound slots carry no volatile words — same accounting as
+        // the name-keyed map this replaced.
+        assert_eq!(vol.words(), base + 4);
+        let x = layouts.slot(p.main, "x").unwrap();
+        vol.top_mut().unwrap().set_slot(x, Tainted::pure(1));
         assert_eq!(vol.words(), base + 4 + 1);
+        // Rebinding does not double-count.
+        vol.top_mut().unwrap().set_slot(x, Tainted::pure(2));
+        assert_eq!(vol.words(), base + 4 + 1);
+        // Spilled (out-of-layout) names count like bound slots.
+        vol.top_mut().unwrap().set_extra("ghost", Tainted::pure(9));
+        assert_eq!(vol.words(), base + 4 + 2);
+        assert_eq!(vol.top().unwrap().get_extra("ghost").unwrap().value, 9);
     }
 }

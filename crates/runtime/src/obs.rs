@@ -9,6 +9,7 @@
 use crate::memory::Deps;
 use ocelot_analysis::taint::Prov;
 use ocelot_ir::InstrRef;
+use std::sync::Arc;
 
 /// One committed event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,12 +24,14 @@ pub enum Obs {
         time_us: u64,
         /// Power-on era (reboots increment it).
         era: u64,
-        /// The sensor channel.
-        sensor: String,
+        /// The sensor channel (interned: every sample of one sensor
+        /// shares a single allocation).
+        sensor: Arc<str>,
         /// The sampled value.
         value: i64,
-        /// The dynamic provenance call chain of this collection.
-        chain: Prov,
+        /// The provenance call chain of this collection (shared with
+        /// the machine's chain table for pre-resolved sites).
+        chain: Arc<Prov>,
     },
     /// A value was emitted on an output channel.
     Output {
@@ -38,8 +41,9 @@ pub enum Obs {
         tau: u64,
         /// Era.
         era: u64,
-        /// Channel name.
-        channel: String,
+        /// Channel name (interned: every write to one channel shares a
+        /// single allocation).
+        channel: Arc<str>,
         /// Values written.
         values: Vec<i64>,
         /// Input dependencies of the written values.

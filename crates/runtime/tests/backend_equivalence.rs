@@ -413,3 +413,85 @@ fn run_for_agrees_across_backends() {
     assert_eq!(si, sc);
     assert_eq!(ti, tc);
 }
+
+#[test]
+fn deep_call_stack_failures_at_every_offset_agree() {
+    // Input collections at the bottom of a three-deep call chain (a
+    // statically-fixed stack → pre-resolved chain) *and* through a
+    // helper called from two sites (data-dependent stack → dynamic
+    // chain rebuild). The budget sweep walks the power failure through
+    // call entry, the nested samples, the returns, and the uses, so
+    // checkpointed call stacks of every depth and both chain-resolution
+    // paths must stay bit-identical across backends.
+    let src = r#"
+        sensor s;
+        fn leaf() { let v = in(s); return v; }
+        fn mid() { let v = leaf(); return v + 1; }
+        fn deep() { let v = mid(); return v + 1; }
+        fn shared() { let v = in(s); return v; }
+        fn main() {
+            let a = deep();
+            fresh(a);
+            let b = shared();
+            consistent(b, 1);
+            let c = shared();
+            consistent(c, 1);
+            out(log, a + b + c);
+        }
+    "#;
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with("s", Signal::Constant(3));
+    let mut depths = BTreeSet::new();
+    // Whole-run cost ≈ 3 calls + 3 samples (4000 nJ each) + returns +
+    // the 1600 nJ double-word output: walk budgets across all of it.
+    for budget in (1..=60)
+        .map(|b| b * 220)
+        .chain([4_050, 8_100, 12_150, 13_600])
+    {
+        let mk = |backend| {
+            run(
+                &p,
+                &policies,
+                &regions,
+                env.clone(),
+                Box::new(ScriptedPower::new(vec![budget as f64], 500)),
+                backend,
+                2,
+                false,
+            )
+        };
+        let interp = mk(ExecBackend::Interp);
+        let compiled = mk(ExecBackend::Compiled);
+        assert_eq!(interp.outcome, compiled.outcome, "budget {budget}");
+        assert_eq!(interp.stats, compiled.stats, "budget {budget}");
+        assert_eq!(interp.trace, compiled.trace, "budget {budget}");
+        depths.insert(interp.stats.ckpt_words);
+    }
+    assert!(
+        depths.len() >= 6,
+        "the sweep checkpointed many distinct stack shapes: {depths:?}"
+    );
+
+    // The same program under pathological injection: the injector
+    // targets sit on deep-chain divergence points.
+    let targets = pathological_targets(&policies);
+    assert!(!targets.is_empty());
+    let mk = |backend| {
+        run(
+            &p,
+            &policies,
+            &regions,
+            env.clone(),
+            Box::new(ContinuousPower),
+            backend,
+            2,
+            true,
+        )
+    };
+    let interp = mk(ExecBackend::Interp);
+    let compiled = mk(ExecBackend::Compiled);
+    assert_eq!(interp.outcome, compiled.outcome);
+    assert_eq!(interp.stats, compiled.stats);
+    assert_eq!(interp.trace, compiled.trace);
+    assert!(interp.stats.violations > 0, "the injection really bites");
+}

@@ -38,7 +38,7 @@ fn main() {
         let formal = check_trace(machine.policies(), &trace);
         let mists = trace
             .iter()
-            .filter(|o| matches!(o, Obs::Output { channel, .. } if channel == "mist"))
+            .filter(|o| matches!(o, Obs::Output { channel, .. } if &**channel == "mist"))
             .count();
         println!(
             "{:<7} runs={} reboots={:>3} mist-commands={:<3} bitvec-violations={} \

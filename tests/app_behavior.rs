@@ -41,7 +41,7 @@ fn channel_outputs(trace: &[Obs], chan: &str) -> Vec<Vec<i64>> {
         .filter_map(|o| match o {
             Obs::Output {
                 channel, values, ..
-            } if channel == chan => Some(values.clone()),
+            } if &**channel == chan => Some(values.clone()),
             _ => None,
         })
         .collect()

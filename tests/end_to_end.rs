@@ -12,7 +12,7 @@ fn committed_outputs(trace: &[Obs]) -> Vec<(String, Vec<i64>)> {
         .filter_map(|o| match o {
             Obs::Output {
                 channel, values, ..
-            } => Some((channel.clone(), values.clone())),
+            } => Some((channel.to_string(), values.clone())),
             _ => None,
         })
         .collect()

@@ -82,7 +82,7 @@ proptest! {
             m.take_trace()
                 .into_iter()
                 .filter_map(|o| match o {
-                    Obs::Output { channel, values, .. } => Some((channel, values)),
+                    Obs::Output { channel, values, .. } => Some((channel.to_string(), values)),
                     _ => None,
                 })
                 .collect()

@@ -121,7 +121,7 @@ fn outputs(trace: &[ocelot::runtime::Obs]) -> Vec<(String, Vec<i64>)> {
         .filter_map(|o| match o {
             ocelot::runtime::Obs::Output {
                 channel, values, ..
-            } => Some((channel.clone(), values.clone())),
+            } => Some((channel.to_string(), values.clone())),
             _ => None,
         })
         .collect()
