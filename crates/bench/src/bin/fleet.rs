@@ -1,0 +1,15 @@
+//! Fleet sweep — a fleet of devices running one app across the
+//! scenario registry on one shared compiled program, aggregated per
+//! scenario.
+//!
+//! Thin wrapper over the `fleet` driver in `ocelot_bench::drivers`:
+//! supports `--jobs`, `--out`, `--runs` (device count), `--seed`,
+//! `--backend`, `--replay` (see `--help` or `docs/fleet.md`). The
+//! acceptance-scale million-device sweep with throughput fingerprint is
+//! `ocelotc fleet`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("fleet")
+}

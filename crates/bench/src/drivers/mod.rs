@@ -18,6 +18,7 @@
 
 mod ablation;
 mod figures;
+mod fleet;
 mod runtime_tables;
 mod scenarios;
 mod tables;
@@ -97,7 +98,7 @@ pub struct Driver {
 
 /// Every driver, in the order the paper presents its artifacts (the
 /// extension sweeps follow).
-pub fn all() -> [&'static Driver; 14] {
+pub fn all() -> [&'static Driver; 15] {
     [
         &tables::TABLE1,
         &figures::FIG7,
@@ -113,6 +114,7 @@ pub fn all() -> [&'static Driver; 14] {
         &tics::TICS_DYNAMIC,
         &figures::ENERGY_BREAKDOWN,
         &scenarios::SCENARIO_SWEEP,
+        &fleet::FLEET,
     ]
 }
 
@@ -353,7 +355,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let names: Vec<&str> = all().iter().map(|d| d.name).collect();
-        assert_eq!(names.len(), 14, "all fourteen drivers registered");
+        assert_eq!(names.len(), 15, "all fifteen drivers registered");
         for n in &names {
             assert!(by_name(n).is_some());
             assert_eq!(

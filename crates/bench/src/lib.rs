@@ -20,6 +20,7 @@
 //! | `tics_dynamic` | §2.3 — live expiry windows vs JIT and Ocelot |
 //! | `energy_breakdown` | per-category cycle accounting behind Figures 7/8 |
 //! | `scenario_sweep` | extension — app × scenario × seed grid over the `ocelot-scenario` library |
+//! | `fleet` | extension — fleet-scale device sweep on one shared compiled program |
 //!
 //! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
 //! Every binary accepts `--jobs N` (shard the sweep across a
@@ -37,6 +38,7 @@ pub mod artifact;
 pub mod cli;
 pub mod drivers;
 pub mod effort;
+pub mod fleet;
 pub mod harness;
 pub mod json;
 pub mod pool;

@@ -385,6 +385,7 @@ pub(crate) fn compile<'p>(m: &Machine<'p>) -> CompiledProgram<'p> {
     let cx = Cx { m };
     CompiledProgram {
         funcs: m
+            .core
             .p
             .funcs
             .iter()
@@ -480,7 +481,7 @@ impl<'p> Cx<'_, 'p> {
             iref,
             cost,
             cat,
-            checked: self.m.use_rt.contains_key(&iref),
+            checked: self.m.core.use_rt.contains_key(&iref),
             inject: self.m.injector_targets.contains(&iref),
             action,
         }
@@ -489,12 +490,12 @@ impl<'p> Cx<'_, 'p> {
     fn fixed(&self, cycles: u64) -> Cost {
         Cost::Static {
             cycles,
-            us: self.m.costs.cycles_to_us(cycles),
+            us: self.m.core.costs.cycles_to_us(cycles),
         }
     }
 
     fn local_dst(&self, f: &Function, var: &'p str) -> LocalDst<'p> {
-        match self.m.layouts.slot(f.id, var) {
+        match self.m.core.layouts.slot(f.id, var) {
             Some(s) => LocalDst::Slot(s),
             None => LocalDst::Spill(var),
         }
@@ -504,7 +505,7 @@ impl<'p> Cx<'_, 'p> {
     fn ref_arg(&self, f: &'p Function, x: &'p str) -> RefArgPlan<'p> {
         if f.is_by_ref_param(x) {
             RefArgPlan::Forward(x)
-        } else if let Some(slot) = self.m.layouts.slot(f.id, x) {
+        } else if let Some(slot) = self.m.core.layouts.slot(f.id, x) {
             RefArgPlan::LocalOrGlobal {
                 slot,
                 global: self.m.global_name(x),
@@ -521,8 +522,8 @@ impl<'p> Cx<'_, 'p> {
         callee: FuncId,
         args: &'p [Arg],
     ) -> CallPlan<'p> {
-        let callee_layout = self.m.layouts.layout(callee);
-        let ret_dst = dst.map(|d| match self.m.layouts.slot(f.id, d) {
+        let callee_layout = self.m.core.layouts.layout(callee);
+        let ret_dst = dst.map(|d| match self.m.core.layouts.slot(f.id, d) {
             Some(s) => RetSlot::Slot(s),
             None => RetSlot::Spill(Arc::from(d)),
         });
@@ -567,7 +568,7 @@ impl<'p> Cx<'_, 'p> {
         label: ocelot_ir::Label,
         op: &'p Op,
     ) -> Step<'p> {
-        let c = &self.m.costs;
+        let c = &self.m.core.costs;
         // One source of truth for state-independent costs: the same
         // formulas the interpreter charges.
         let fixed_op = || self.fixed(static_op_cost(c, op).expect("op has a static cost"));
@@ -595,6 +596,7 @@ impl<'p> Cx<'_, 'p> {
                     {
                         let slot = self
                             .m
+                            .core
                             .layouts
                             .slot(f.id, x)
                             .expect("declared locals have layout slots");
@@ -613,7 +615,7 @@ impl<'p> Cx<'_, 'p> {
                         Cat::Compute,
                         Action::AssignDyn { place, src: src_c },
                     ),
-                    Place::Var(x) if !f.declares(x) => match self.m.nv.scalar_slot(x) {
+                    Place::Var(x) if !f.declares(x) => match self.m.dev.nv.scalar_slot(x) {
                         Some(slot) => (
                             self.fixed(c.nv_write),
                             Cat::Compute,
@@ -639,7 +641,7 @@ impl<'p> Cx<'_, 'p> {
                         Cat::Compute,
                         Action::AssignIndex {
                             name: a,
-                            slot: self.m.nv.array_slot(a),
+                            slot: self.m.dev.nv.array_slot(a),
                             idx: self.expr(f, i),
                             src: src_c,
                         },
@@ -653,7 +655,7 @@ impl<'p> Cx<'_, 'p> {
             }
             Op::Input { var, sensor } => {
                 let iref = InstrRef { func: f.id, label };
-                let (sensor_name, chan) = match self.m.sensor_rt.get(sensor.as_str()) {
+                let (sensor_name, chan) = match self.m.core.sensor_rt.get(sensor.as_str()) {
                     Some(rt) => (Arc::clone(&rt.name), rt.chan),
                     None => (Arc::from(sensor.as_str()), self.m.env.channel_index(sensor)),
                 };
@@ -665,7 +667,7 @@ impl<'p> Cx<'_, 'p> {
                         sensor,
                         sensor_name,
                         chan,
-                        chain: self.m.static_chain_of.get(&iref).copied(),
+                        chain: self.m.core.static_chain_of.get(&iref).copied(),
                     },
                 )
             }
@@ -680,7 +682,7 @@ impl<'p> Cx<'_, 'p> {
                 fixed_op(),
                 Cat::Output,
                 Action::Output {
-                    channel: match self.m.channel_names.get(channel.as_str()) {
+                    channel: match self.m.core.channel_names.get(channel.as_str()) {
                         Some(a) => Arc::clone(a),
                         None => Arc::from(channel.as_str()),
                     },
@@ -702,7 +704,7 @@ impl<'p> Cx<'_, 'p> {
     }
 
     fn terminator(&self, f: &'p Function, label: ocelot_ir::Label, t: &'p Terminator) -> Step<'p> {
-        let cost = self.fixed(static_term_cost(&self.m.costs, t));
+        let cost = self.fixed(static_term_cost(&self.m.core.costs, t));
         let action = match t {
             Terminator::Jump(b) => Action::Jump(*b),
             Terminator::Branch {
@@ -727,11 +729,11 @@ impl<'p> Cx<'_, 'p> {
                 if f.is_by_ref_param(x) {
                     CExpr::RefParam(x)
                 } else if f.declares(x) {
-                    match self.m.layouts.slot(f.id, x) {
+                    match self.m.core.layouts.slot(f.id, x) {
                         Some(slot) => CExpr::Local { slot, name: x },
                         None => CExpr::DynVar(x),
                     }
-                } else if let Some(slot) = self.m.nv.scalar_slot(x) {
+                } else if let Some(slot) = self.m.dev.nv.scalar_slot(x) {
                     CExpr::Global(slot)
                 } else {
                     CExpr::DynVar(x)
@@ -741,7 +743,7 @@ impl<'p> Cx<'_, 'p> {
             Expr::Ref(_) => CExpr::RefArg,
             Expr::Index(a, i) => CExpr::Index {
                 name: a,
-                slot: self.m.nv.array_slot(a),
+                slot: self.m.dev.nv.array_slot(a),
                 idx: Box::new(self.expr(f, i)),
             },
             Expr::Binary(op, l, r) => {
@@ -1026,7 +1028,7 @@ mod tests {
                 }
             }
         }
-        let det_cfg = DetectorConfig::from_policies(&m.policies);
+        let det_cfg = DetectorConfig::from_policies(&m.core.policies);
         assert_eq!(
             checked,
             det_cfg.use_checks.len(),
@@ -1045,15 +1047,15 @@ mod tests {
             for blk in &f.blocks {
                 for s in &blk.steps {
                     if let Action::AssignGlobal { slot, src } = &s.action {
-                        assert_eq!(Some(*slot), m.nv.scalar_slot("b"));
+                        assert_eq!(Some(*slot), m.dev.nv.scalar_slot("b"));
                         let CExpr::Binary(_, l, r) = src else {
                             panic!("src shape")
                         };
                         assert!(
-                            matches!(**l, CExpr::Global(s) if Some(s) == m.nv.scalar_slot("a"))
+                            matches!(**l, CExpr::Global(s) if Some(s) == m.dev.nv.scalar_slot("a"))
                         );
                         assert!(
-                            matches!(&**r, CExpr::Index { slot: Some(s), .. } if Some(*s) == m.nv.array_slot("arr"))
+                            matches!(&**r, CExpr::Index { slot: Some(s), .. } if Some(*s) == m.dev.nv.array_slot("arr"))
                         );
                         found = true;
                     }
@@ -1091,7 +1093,7 @@ mod tests {
                                 static_sites += 1;
                                 // The interned chain really ends at this
                                 // input instruction.
-                                assert_eq!(m.chains.get(*id).last(), Some(&s.iref));
+                                assert_eq!(m.core.chains.get(*id).last(), Some(&s.iref));
                             }
                             None => dynamic_sites += 1,
                         }
@@ -1127,7 +1129,10 @@ mod tests {
                             .binds
                             .iter()
                             .all(|b| matches!(b, ArgBind::Value { .. })));
-                        assert_eq!(plan.nslots as usize, m.layouts.layout(plan.callee).len());
+                        assert_eq!(
+                            plan.nslots as usize,
+                            m.core.layouts.layout(plan.callee).len()
+                        );
                     }
                 }
             }

@@ -28,17 +28,31 @@ impl<'p> Machine<'p> {
     /// boundaries agree between backends.
     pub(crate) fn run_once_compiled(&mut self, max_steps: u64) -> RunOutcome {
         if self.compiled.is_none() {
-            self.compiled = Some(Arc::new(compile::compile(self)));
+            // Injector-free machines share one compiled program per
+            // core (compilation bakes in only core data plus the NV
+            // slot layout, which is a pure function of the declared
+            // globals); injector targets are baked into steps, so those
+            // machines compile privately.
+            let cp = if self.injector_targets.is_empty() {
+                Arc::clone(
+                    self.core
+                        .shared_compiled
+                        .get_or_init(|| Arc::new(compile::compile(self))),
+                )
+            } else {
+                Arc::new(compile::compile(self))
+            };
+            self.compiled = Some(cp);
         }
         let cp = Arc::clone(self.compiled.as_ref().expect("just compiled"));
-        let violations_before = self.stats.violations;
+        let violations_before = self.dev.stats.violations;
         // Batched draws are exact only when the comparator cannot trip
         // mid-run (see `PowerSupply::consume_batch`).
         let batching = self.supply.is_continuous();
         let mut steps = 0u64;
         loop {
             if batching {
-                if let Some(top) = self.vol.top() {
+                if let Some(top) = self.dev.vol.top() {
                     let (func, block, index) = (top.func, top.block, top.index);
                     let cb = &cp.funcs[func.0 as usize].blocks[block.0 as usize];
                     let batch = &cb.batches[index];
@@ -61,7 +75,7 @@ impl<'p> Machine<'p> {
             if self.compiled_step(&cp) {
                 return self.complete_run(violations_before);
             }
-            if let Some(region) = self.livelocked {
+            if let Some(region) = self.dev.livelocked {
                 return RunOutcome::Livelock { region };
             }
         }
@@ -78,20 +92,20 @@ impl<'p> Machine<'p> {
         start: usize,
         batch: &Batch,
     ) -> bool {
-        self.stats.breakdown.compute += batch.totals.compute_cycles;
-        self.stats.breakdown.output += batch.totals.output_cycles;
-        self.stats.on_cycles += batch.totals.cycles;
-        self.now_us += batch.totals.us;
-        self.stats.on_time_us += batch.totals.us;
+        self.dev.stats.breakdown.compute += batch.totals.compute_cycles;
+        self.dev.stats.breakdown.output += batch.totals.output_cycles;
+        self.dev.stats.on_cycles += batch.totals.cycles;
+        self.dev.now_us += batch.totals.us;
+        self.dev.stats.on_time_us += batch.totals.us;
         // On a continuous supply this cannot report LowPower; the value
         // is ignored for the same reason the interpreter ignores
         // `consume` results after completion.
         let _ = self
             .supply
-            .consume_batch(self.costs.cycles_to_nj(batch.totals.cycles));
+            .consume_batch(self.core.costs.cycles_to_nj(batch.totals.cycles));
         for step in &cb.steps[start..start + batch.head as usize] {
-            self.tau += 1;
-            self.stats.instructions += 1;
+            self.dev.tau += 1;
+            self.dev.stats.instructions += 1;
             if self.exec_action(step) {
                 return true;
             }
@@ -101,13 +115,13 @@ impl<'p> Machine<'p> {
         for (blk, len) in &batch.cont {
             let cb2 = &cp.funcs[func.0 as usize].blocks[blk.0 as usize];
             debug_assert_eq!(
-                self.vol.top().map(|t| (t.func, t.block, t.index)),
+                self.dev.vol.top().map(|t| (t.func, t.block, t.index)),
                 Some((func, *blk, 0)),
                 "the followed jump landed where the batch plan expected"
             );
             for step in &cb2.steps[..*len as usize] {
-                self.tau += 1;
-                self.stats.instructions += 1;
+                self.dev.tau += 1;
+                self.dev.stats.instructions += 1;
                 if self.exec_action(step) {
                     return true;
                 }
@@ -119,7 +133,7 @@ impl<'p> Machine<'p> {
     /// One checked attempt, mirroring the interpreter's `step` stage
     /// for stage. Returns true when the program run completed.
     fn compiled_step(&mut self, cp: &CompiledProgram<'p>) -> bool {
-        let Some(top) = self.vol.top() else {
+        let Some(top) = self.dev.vol.top() else {
             return true;
         };
         let cb = &cp.funcs[top.func.0 as usize].blocks[top.block.0 as usize];
@@ -138,10 +152,10 @@ impl<'p> Machine<'p> {
         let low = match step.cost {
             Cost::Static { cycles, us } => {
                 self.book_breakdown(step, cycles);
-                self.stats.on_cycles += cycles;
-                self.now_us += us;
-                self.stats.on_time_us += us;
-                self.supply.consume(self.costs.cycles_to_nj(cycles))
+                self.dev.stats.on_cycles += cycles;
+                self.dev.now_us += us;
+                self.dev.stats.on_time_us += us;
+                self.supply.consume(self.core.costs.cycles_to_nj(cycles))
             }
             Cost::Dynamic => {
                 let cycles = self.dynamic_cost(&step.action);
@@ -161,17 +175,17 @@ impl<'p> Machine<'p> {
         }
 
         // 4. Execute.
-        self.tau += 1;
-        self.stats.instructions += 1;
+        self.dev.tau += 1;
+        self.dev.stats.instructions += 1;
         self.exec_action(step)
     }
 
     fn book_breakdown(&mut self, step: &Step<'p>, cycles: u64) {
         match step.cat {
-            compile::Cat::Compute => self.stats.breakdown.compute += cycles,
-            compile::Cat::Input => self.stats.breakdown.input += cycles,
-            compile::Cat::Output => self.stats.breakdown.output += cycles,
-            compile::Cat::Checkpoint => self.stats.breakdown.checkpoint += cycles,
+            compile::Cat::Compute => self.dev.stats.breakdown.compute += cycles,
+            compile::Cat::Input => self.dev.stats.breakdown.input += cycles,
+            compile::Cat::Output => self.dev.stats.breakdown.output += cycles,
+            compile::Cat::Checkpoint => self.dev.stats.breakdown.checkpoint += cycles,
         }
     }
 
@@ -196,7 +210,7 @@ impl<'p> Machine<'p> {
             }
             Action::Bind { dst, src } => {
                 let v = self.ceval(src);
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 match dst {
                     LocalDst::Slot(s) => top.set_slot(*s, v),
                     LocalDst::Spill(name) => top.set_extra(name, v),
@@ -205,7 +219,7 @@ impl<'p> Machine<'p> {
             }
             Action::AssignLocal { slot, var, src } => {
                 let v = self.ceval(src);
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 if top.get_slot(*slot).is_some() {
                     top.set_slot(*slot, v);
                 } else if let Some(t) = top.refs.get(*var).cloned() {
@@ -232,12 +246,12 @@ impl<'p> Machine<'p> {
                 let i = self.ceval(idx);
                 match slot {
                     Some(s) => {
-                        let (cell, old) = self.nv.write_idx_slot(*s, i.value, v);
-                        let arc = Arc::clone(self.nv.array_name(*s));
+                        let (cell, old) = self.dev.nv.write_idx_slot(*s, i.value, v);
+                        let arc = Arc::clone(self.dev.nv.array_name(*s));
                         self.log_cell_undo(arc, cell, old);
                     }
                     None => {
-                        let (cell, old) = self.nv.write_idx(name, i.value, v);
+                        let (cell, old) = self.dev.nv.write_idx(name, i.value, v);
                         self.log_cell_undo(Arc::from(*name), cell, old);
                     }
                 }
@@ -282,7 +296,7 @@ impl<'p> Machine<'p> {
                     // Data-dependent call path: rebuild and probe.
                     None => {
                         let chain = self.dynamic_chain(here);
-                        let id = self.chains.lookup(&chain);
+                        let id = self.core.chains.lookup(&chain);
                         self.input_core(
                             here,
                             slot,
@@ -297,7 +311,7 @@ impl<'p> Machine<'p> {
                 }
             }
             Action::Call { plan } => {
-                let caller_idx = self.vol.frames.len() - 1;
+                let caller_idx = self.dev.vol.frames.len() - 1;
                 let mut frame = self.take_frame(
                     plan.callee,
                     plan.entry,
@@ -323,7 +337,7 @@ impl<'p> Machine<'p> {
                 }
                 // Resume point: after the call.
                 self.advance();
-                self.vol.frames.push(frame);
+                self.dev.vol.frames.push(frame);
             }
             Action::Output { channel, args } => {
                 let vals: Vec<Tainted> = args.iter().map(|e| self.ceval(e)).collect();
@@ -331,15 +345,15 @@ impl<'p> Machine<'p> {
                 for v in &vals {
                     deps.extend(v.deps.iter().copied());
                 }
-                self.obs.push(Obs::Output {
+                self.dev.obs.push(Obs::Output {
                     at: here,
-                    tau: self.tau,
-                    era: self.era,
+                    tau: self.dev.tau,
+                    era: self.dev.era,
                     channel: Arc::clone(channel),
                     values: vals.iter().map(|v| v.value).collect(),
                     deps,
                 });
-                self.stats.outputs += 1;
+                self.dev.stats.outputs += 1;
                 self.advance();
             }
             Action::AtomStart { region } => {
@@ -352,7 +366,7 @@ impl<'p> Machine<'p> {
                 self.advance();
             }
             Action::Jump(b) => {
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 top.block = *b;
                 top.index = 0;
             }
@@ -362,7 +376,7 @@ impl<'p> Machine<'p> {
                 else_bb,
             } => {
                 let v = self.ceval(cond);
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 top.block = if v.value != 0 { *then_bb } else { *else_bb };
                 top.index = 0;
             }
@@ -371,10 +385,10 @@ impl<'p> Machine<'p> {
                     .as_ref()
                     .map(|e| self.ceval(e))
                     .unwrap_or_else(|| Tainted::pure(0));
-                let done = self.vol.frames.pop().expect("frame exists");
+                let done = self.dev.vol.frames.pop().expect("frame exists");
                 let ret_dst = done.ret_dst.clone();
                 self.recycle_frame(done);
-                match self.vol.top_mut() {
+                match self.dev.vol.top_mut() {
                     Some(caller) => match ret_dst {
                         Some(RetSlot::Slot(s)) => caller.set_slot(s, v),
                         Some(RetSlot::Spill(name)) => caller.set_extra(&name, v),
@@ -396,7 +410,7 @@ impl<'p> Machine<'p> {
         match plan {
             RefArgPlan::Forward(x) => self.resolve_ref(caller_idx, x),
             RefArgPlan::LocalOrGlobal { slot, global } => {
-                let caller = &self.vol.frames[caller_idx];
+                let caller = &self.dev.vol.frames[caller_idx];
                 if let Some(t) = caller.refs.get(&**global) {
                     // Possible only in hand-built IR (a value-parameter
                     // name seated in the reference map).
@@ -412,7 +426,7 @@ impl<'p> Machine<'p> {
                 }
             }
             RefArgPlan::Global(g) => {
-                let caller = &self.vol.frames[caller_idx];
+                let caller = &self.dev.vol.frames[caller_idx];
                 if let Some(t) = caller.refs.get(&**g) {
                     return t.clone();
                 }
@@ -435,7 +449,7 @@ impl<'p> Machine<'p> {
         match e {
             CExpr::Const(n) => Tainted::pure(*n),
             CExpr::Local { slot, name } => {
-                match self.vol.top().and_then(|t| t.get_slot(*slot)) {
+                match self.dev.vol.top().and_then(|t| t.get_slot(*slot)) {
                     Some(v) => v.clone(),
                     // Declared but unbound: the interpreter's full
                     // lookup order (ends at the named global).
@@ -446,17 +460,17 @@ impl<'p> Machine<'p> {
                 Some(t) => self.read_target(&t),
                 None => self.read_var(x),
             },
-            CExpr::Global(slot) => self.nv.read_slot(*slot),
+            CExpr::Global(slot) => self.dev.nv.read_slot(*slot),
             CExpr::DynVar(x) => self.read_var(x),
             CExpr::Deref(x) => match self.ref_target(x) {
                 Some(t) => self.read_target(&t),
-                None => self.nv.read(x),
+                None => self.dev.nv.read(x),
             },
             CExpr::Index { name, slot, idx } => {
                 let i = self.ceval(idx);
                 let mut v = match slot {
-                    Some(s) => self.nv.read_idx_slot(*s, i.value),
-                    None => self.nv.read_idx(name, i.value),
+                    Some(s) => self.dev.nv.read_idx_slot(*s, i.value),
+                    None => self.dev.nv.read_idx(name, i.value),
                 };
                 v.deps.extend(i.deps);
                 v

@@ -46,7 +46,7 @@ use ocelot_hw::sensors::Environment;
 use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
 use ocelot_ir::{FuncId, InstrRef, Op, Place, Program, RegionId, Terminator};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Saved execution context `κ` (non-volatile).
 #[derive(Debug, Clone)]
@@ -195,33 +195,23 @@ pub(crate) struct OmegaEntry {
     pub(crate) resolved: OmegaSlot,
 }
 
-/// The intermittent execution machine.
+/// The shared, read-only half of a [`Machine`]: everything resolved
+/// once per (program, regions, policies, cost model, environment
+/// shape) and then only read — the chain table, frame layouts,
+/// pre-resolved check sites, interned names, and the lazily compiled
+/// program.
 ///
-/// Fields are crate-visible: the compiled execution backend
-/// ([`crate::exec`]) drives the same state through the same
-/// checked/observable helpers, so the two backends cannot drift apart
-/// on anything the paper's semantics observe.
-pub struct Machine<'p> {
+/// Build one with [`MachineCore::build`], wrap it in an [`Arc`], and
+/// attach any number of devices via [`Machine::from_core`]. The fleet
+/// driver shares a single core across all pool workers, so per-device
+/// construction touches only [`DeviceState`].
+pub struct MachineCore<'p> {
     pub(crate) p: &'p Program,
     pub(crate) policies: PolicySet,
     /// Per-function local slot layouts (shared with compiled frames).
     pub(crate) layouts: Arc<FrameLayouts>,
     pub(crate) region_omega: BTreeMap<RegionId, Vec<OmegaEntry>>,
-    pub(crate) env: Environment,
     pub(crate) costs: CostModel,
-    pub(crate) supply: Box<dyn PowerSupply>,
-    pub(crate) injector_targets: BTreeSet<InstrRef>,
-    pub(crate) injector_fired: BTreeSet<InstrRef>,
-
-    pub(crate) nv: NvMem,
-    pub(crate) vol: VolState,
-    pub(crate) ctx: Ctx,
-    pub(crate) bitvec: BitVector,
-    pub(crate) obs: ObsLog,
-    pub(crate) tau: u64,
-    pub(crate) now_us: u64,
-    pub(crate) era: u64,
-    pub(crate) stats: Stats,
     /// Interned provenance chains: every policy chain plus every
     /// statically-fixed input-site chain. Fixed after construction.
     pub(crate) chains: ChainTable,
@@ -236,18 +226,42 @@ pub struct Machine<'p> {
     pub(crate) sensor_rt: BTreeMap<String, SensorRt>,
     /// Interned output channel names.
     pub(crate) channel_names: BTreeMap<String, Arc<str>>,
+    /// The channel layout `(name, index)` of the environment the core
+    /// was built against. [`Machine::from_core`] validates device
+    /// environments against it, because [`SensorRt::chan`] bakes these
+    /// indexes into the input path.
+    pub(crate) channels: Vec<(String, usize)>,
+    /// The compiled program shared by every injector-free device on
+    /// this core, built once on the first compiled run. Machines with
+    /// injector targets compile privately (injection sites are baked
+    /// into steps).
+    pub(crate) shared_compiled: OnceLock<Arc<CompiledProgram<'p>>>,
+}
+
+/// The per-device mutable half of a [`Machine`]: non-volatile memory,
+/// the volatile stack, detector state, the observation log, clocks,
+/// and statistics.
+///
+/// A `DeviceState` owns every allocation the hot path reuses (frame
+/// pool, undo log, observation buffer), so a fleet worker can run
+/// thousands of devices by recycling one state: [`Machine::into_device`]
+/// returns it after a run and [`Machine::from_core`] resets it for the
+/// next device with near-zero allocation.
+pub struct DeviceState {
+    pub(crate) nv: NvMem,
+    pub(crate) vol: VolState,
+    pub(crate) ctx: Ctx,
+    pub(crate) bitvec: BitVector,
+    pub(crate) obs: ObsLog,
+    pub(crate) tau: u64,
+    pub(crate) now_us: u64,
+    pub(crate) era: u64,
+    pub(crate) stats: Stats,
     /// Recycled call frames: `Ret` returns a frame's allocations here,
     /// the next call reuses them.
     pub(crate) frame_pool: Vec<Frame>,
-    /// Consecutive same-region rollbacks after which a run reports
-    /// [`RunOutcome::Livelock`] (`None` = roll back forever, the
-    /// paper's baseline semantics).
-    pub(crate) reexec_limit: Option<u64>,
     pub(crate) consecutive_reexecs: u64,
     pub(crate) livelocked: Option<RegionId>,
-    /// TICS mode: expiration window in µs checked at fresh-use sites
-    /// against an RTC that keeps time across power failures.
-    pub(crate) expiry_window: Option<u64>,
     /// Collection wall-clock time per interned chain (the NV timestamps
     /// TICS's timekeeping hardware provides), indexed by [`ChainId`].
     /// Only chains some freshness check actually reads are stamped, so
@@ -259,11 +273,88 @@ pub struct Machine<'p> {
     /// Pooled undo log: region entry takes it, commit returns it, so
     /// the log's capacity is reused instead of re-allocated per entry.
     pub(crate) spare_log: UndoLog,
+}
+
+impl Default for DeviceState {
+    fn default() -> Self {
+        DeviceState {
+            nv: NvMem::default(),
+            vol: VolState::default(),
+            ctx: Ctx::Jit(None),
+            bitvec: BitVector::default(),
+            obs: ObsLog::with_capacity(200_000),
+            tau: 0,
+            now_us: 0,
+            era: 0,
+            stats: Stats::default(),
+            frame_pool: Vec::new(),
+            consecutive_reexecs: 0,
+            livelocked: None,
+            chain_times: Vec::new(),
+            expiry_restarts_this_run: 0,
+            spare_log: UndoLog::default(),
+        }
+    }
+}
+
+impl DeviceState {
+    /// Resets this state to what a fresh device on `core` starts from,
+    /// keeping every reusable allocation: the NV memory is re-initialized
+    /// in place, drained frames return to the pool, and the observation
+    /// buffer and undo log keep their capacity. After this, the state
+    /// is observationally identical to [`DeviceState::default`] attached
+    /// to the same core.
+    pub(crate) fn reset_for(&mut self, core: &MachineCore<'_>) {
+        self.nv.reset_from(core.p);
+        for f in self.vol.frames.drain(..) {
+            if self.frame_pool.len() < 32 {
+                self.frame_pool.push(f);
+            }
+        }
+        self.ctx = Ctx::Jit(None);
+        self.bitvec.clear();
+        self.obs.reset();
+        self.tau = 0;
+        self.now_us = 0;
+        self.era = 0;
+        self.stats = Stats::default();
+        self.consecutive_reexecs = 0;
+        self.livelocked = None;
+        self.chain_times.clear();
+        self.chain_times.resize(core.chains.len(), None);
+        self.expiry_restarts_this_run = 0;
+        self.spare_log.clear();
+    }
+}
+
+/// The intermittent execution machine: a shared read-only
+/// [`MachineCore`] plus one device's [`DeviceState`], environment, and
+/// power supply.
+///
+/// Fields are crate-visible: the compiled execution backend
+/// ([`crate::exec`]) drives the same state through the same
+/// checked/observable helpers, so the two backends cannot drift apart
+/// on anything the paper's semantics observe.
+pub struct Machine<'p> {
+    pub(crate) core: Arc<MachineCore<'p>>,
+    pub(crate) dev: DeviceState,
+    pub(crate) env: Environment,
+    pub(crate) supply: Box<dyn PowerSupply>,
+    pub(crate) injector_targets: BTreeSet<InstrRef>,
+    pub(crate) injector_fired: BTreeSet<InstrRef>,
+    /// Consecutive same-region rollbacks after which a run reports
+    /// [`RunOutcome::Livelock`] (`None` = roll back forever, the
+    /// paper's baseline semantics).
+    pub(crate) reexec_limit: Option<u64>,
+    /// TICS mode: expiration window in µs checked at fresh-use sites
+    /// against an RTC that keeps time across power failures.
+    pub(crate) expiry_window: Option<u64>,
     /// Which engine `run_once` drives.
     pub(crate) backend: ExecBackend,
     /// The pre-resolved program, built lazily on the first compiled
     /// run and invalidated by builders that change what compilation
-    /// bakes in (the injector target set).
+    /// bakes in (the injector target set). Injector-free machines
+    /// share [`MachineCore::shared_compiled`].
     pub(crate) compiled: Option<Arc<CompiledProgram<'p>>>,
 }
 
@@ -272,19 +363,23 @@ pub struct Machine<'p> {
 /// exceed the window (the handler would otherwise thrash forever).
 const EXPIRY_RESTART_CAP: u32 = 25;
 
-impl<'p> Machine<'p> {
-    /// Creates a machine over a compiled program.
+impl<'p> MachineCore<'p> {
+    /// Pre-resolves everything shareable about a program: region ω
+    /// sets, the interned chain table, per-chain and per-site detector
+    /// data, sensor channels, and interned names.
     ///
     /// `regions` supplies each region's checkpoint set `ω` (from
     /// [`ocelot_core::collect_regions`]); `policies` configures the
     /// violation detectors (pass an empty set to disable detection).
-    pub fn new(
+    /// `env` is only inspected for its channel layout — the core
+    /// records it and [`Machine::from_core`] checks each device's
+    /// environment against it.
+    pub fn build(
         p: &'p Program,
         regions: &[RegionInfo],
         policies: PolicySet,
-        env: Environment,
+        env: &Environment,
         costs: CostModel,
-        supply: Box<dyn PowerSupply>,
     ) -> Self {
         let det_cfg = DetectorConfig::from_policies(&policies);
         let layouts = Arc::new(FrameLayouts::new(p));
@@ -448,43 +543,105 @@ impl<'p> Machine<'p> {
             }
         }
 
-        let chain_times = vec![None; chains.len()];
-        Machine {
+        let channels: Vec<(String, usize)> = env
+            .channels()
+            .into_iter()
+            .map(|ch| {
+                let idx = env.channel_index(ch).expect("listed channel has an index");
+                (ch.to_string(), idx)
+            })
+            .collect();
+        MachineCore {
             p,
             policies,
             layouts,
             region_omega,
-            env,
             costs,
-            supply,
-            injector_targets: BTreeSet::new(),
-            injector_fired: BTreeSet::new(),
-            nv,
-            vol: VolState::default(),
-            ctx: Ctx::Jit(None),
-            bitvec: BitVector::default(),
-            obs: ObsLog::with_capacity(200_000),
-            tau: 0,
-            now_us: 0,
-            era: 0,
-            stats: Stats::default(),
             chains,
             chain_rt,
             static_chain_of,
             use_rt,
             sensor_rt,
             channel_names,
-            frame_pool: Vec::new(),
+            channels,
+            shared_compiled: OnceLock::new(),
+        }
+    }
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine over a compiled program.
+    ///
+    /// `regions` supplies each region's checkpoint set `ω` (from
+    /// [`ocelot_core::collect_regions`]); `policies` configures the
+    /// violation detectors (pass an empty set to disable detection).
+    pub fn new(
+        p: &'p Program,
+        regions: &[RegionInfo],
+        policies: PolicySet,
+        env: Environment,
+        costs: CostModel,
+        supply: Box<dyn PowerSupply>,
+    ) -> Self {
+        let core = Arc::new(MachineCore::build(p, regions, policies, &env, costs));
+        Machine::from_core(core, DeviceState::default(), env, supply)
+    }
+
+    /// Attaches a device to a shared pre-resolved core: the cheap
+    /// constructor the fleet driver uses to run many devices per core.
+    ///
+    /// `dev` is reset in place (allocations are kept), so recycling the
+    /// state of a finished machine — via [`Machine::into_device`] —
+    /// starts the next device from exactly the fresh-device state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `env`'s channel layout disagrees with the
+    /// environment the core was built against: the core's pre-resolved
+    /// sensor channels would silently read the wrong signals.
+    pub fn from_core(
+        core: Arc<MachineCore<'p>>,
+        mut dev: DeviceState,
+        env: Environment,
+        supply: Box<dyn PowerSupply>,
+    ) -> Self {
+        let dev_channels = env.channels();
+        assert_eq!(
+            dev_channels.len(),
+            core.channels.len(),
+            "device environment and core disagree on channel count"
+        );
+        for (name, idx) in &core.channels {
+            assert_eq!(
+                env.channel_index(name),
+                Some(*idx),
+                "device environment disagrees with the core's channel layout for {name:?}"
+            );
+        }
+        dev.reset_for(&core);
+        Machine {
+            core,
+            dev,
+            env,
+            supply,
+            injector_targets: BTreeSet::new(),
+            injector_fired: BTreeSet::new(),
             reexec_limit: None,
-            consecutive_reexecs: 0,
-            livelocked: None,
             expiry_window: None,
-            chain_times,
-            expiry_restarts_this_run: 0,
-            spare_log: UndoLog::default(),
             backend: ExecBackend::Interp,
             compiled: None,
         }
+    }
+
+    /// The shared read-only core this machine runs on.
+    pub fn core(&self) -> &Arc<MachineCore<'p>> {
+        &self.core
+    }
+
+    /// Tears the machine down, returning its per-device state so a
+    /// pool can recycle the allocations for the next device.
+    pub fn into_device(self) -> DeviceState {
+        self.dev
     }
 
     /// Arms the pathological failure injector at `targets` (each fires
@@ -532,22 +689,22 @@ impl<'p> Machine<'p> {
 
     /// Execution statistics so far.
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        &self.dev.stats
     }
 
     /// Current simulated wall-clock time in µs.
     pub fn now_us(&self) -> u64 {
-        self.now_us
+        self.dev.now_us
     }
 
     /// Takes the committed observation trace accumulated so far.
     pub fn take_trace(&mut self) -> Vec<Obs> {
-        self.obs.take()
+        self.dev.obs.take()
     }
 
     /// The policies this machine checks.
     pub fn policies(&self) -> &PolicySet {
-        &self.policies
+        &self.core.policies
     }
 
     /// Runs `main` once to completion (or until `max_steps`).
@@ -556,7 +713,7 @@ impl<'p> Machine<'p> {
         if self.backend == ExecBackend::Compiled {
             return self.run_once_compiled(max_steps);
         }
-        let violations_before = self.stats.violations;
+        let violations_before = self.dev.stats.violations;
         let mut steps = 0u64;
         loop {
             steps += 1;
@@ -566,7 +723,7 @@ impl<'p> Machine<'p> {
             if self.step() {
                 return self.complete_run(violations_before);
             }
-            if let Some(region) = self.livelocked {
+            if let Some(region) = self.dev.livelocked {
                 return RunOutcome::Livelock { region };
             }
         }
@@ -574,22 +731,22 @@ impl<'p> Machine<'p> {
 
     /// Resets per-run state (both backends share this preamble).
     pub(crate) fn reset_run(&mut self) {
-        self.vol = VolState {
-            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
+        self.dev.vol = VolState {
+            frames: vec![Frame::at_entry(&self.core.layouts, self.core.p.main)],
         };
-        self.ctx = Ctx::Jit(None);
+        self.dev.ctx = Ctx::Jit(None);
         self.injector_fired.clear();
-        self.consecutive_reexecs = 0;
-        self.livelocked = None;
-        self.expiry_restarts_this_run = 0;
+        self.dev.consecutive_reexecs = 0;
+        self.dev.livelocked = None;
+        self.dev.expiry_restarts_this_run = 0;
     }
 
     /// Books a completed run and reports whether it violated.
     pub(crate) fn complete_run(&mut self, violations_before: u64) -> RunOutcome {
-        self.stats.runs_completed += 1;
-        let violated = self.stats.violations > violations_before;
+        self.dev.stats.runs_completed += 1;
+        let violated = self.dev.stats.violations > violations_before;
         if violated {
-            self.stats.runs_with_violation += 1;
+            self.dev.stats.runs_with_violation += 1;
         }
         RunOutcome::Completed { violated }
     }
@@ -599,9 +756,9 @@ impl<'p> Machine<'p> {
     /// methodology for Table 2(b)). Returns the number of completed
     /// runs.
     pub fn run_for(&mut self, sim_duration_us: u64, max_steps_per_run: u64) -> u64 {
-        let deadline = self.now_us + sim_duration_us;
+        let deadline = self.dev.now_us + sim_duration_us;
         let mut runs = 0;
-        while self.now_us < deadline {
+        while self.dev.now_us < deadline {
             match self.run_once(max_steps_per_run) {
                 RunOutcome::Completed { .. } => runs += 1,
                 RunOutcome::StepLimit | RunOutcome::Livelock { .. } => break,
@@ -617,11 +774,11 @@ impl<'p> Machine<'p> {
     /// Executes one instruction or terminator. Returns true when the
     /// program run completed.
     fn step(&mut self) -> bool {
-        let Some(top) = self.vol.top() else {
+        let Some(top) = self.dev.vol.top() else {
             return true;
         };
         let (top_func, top_block, top_index) = (top.func, top.block, top.index);
-        let func = self.p.func(top_func);
+        let func = self.core.p.func(top_func);
         let block = func.block(top_block);
         let at_term = top_index >= block.instrs.len();
         let label = if at_term {
@@ -650,16 +807,16 @@ impl<'p> Machine<'p> {
             WorkItem::Inst(block.instrs[top_index].op.clone())
         };
         let cycles = match &work {
-            WorkItem::Term(t) => static_term_cost(&self.costs, t),
+            WorkItem::Term(t) => static_term_cost(&self.core.costs, t),
             WorkItem::Inst(op) => self.op_cost(op),
         };
         match &work {
-            WorkItem::Inst(Op::Input { .. }) => self.stats.breakdown.input += cycles,
-            WorkItem::Inst(Op::Output { .. }) => self.stats.breakdown.output += cycles,
+            WorkItem::Inst(Op::Input { .. }) => self.dev.stats.breakdown.input += cycles,
+            WorkItem::Inst(Op::Output { .. }) => self.dev.stats.breakdown.output += cycles,
             WorkItem::Inst(Op::AtomStart { .. }) => {
-                self.stats.breakdown.checkpoint += cycles;
+                self.dev.stats.breakdown.checkpoint += cycles;
             }
-            _ => self.stats.breakdown.compute += cycles,
+            _ => self.dev.stats.breakdown.compute += cycles,
         }
         if self.charge(cycles) == PowerEvent::LowPower {
             self.power_fail();
@@ -675,8 +832,8 @@ impl<'p> Machine<'p> {
         }
 
         // 4. Execute.
-        self.tau += 1;
-        self.stats.instructions += 1;
+        self.dev.tau += 1;
+        self.dev.stats.instructions += 1;
         match work {
             WorkItem::Term(term) => self.exec_terminator(&term),
             WorkItem::Inst(op) => {
@@ -690,7 +847,7 @@ impl<'p> Machine<'p> {
         match op {
             Op::Assign { place, .. } => self.assign_place_cost(place),
             Op::AtomStart { region } => self.atom_start_cost(*region),
-            _ => static_op_cost(&self.costs, op).expect("only Assign/AtomStart are dynamic"),
+            _ => static_op_cost(&self.core.costs, op).expect("only Assign/AtomStart are dynamic"),
         }
     }
 
@@ -699,10 +856,10 @@ impl<'p> Machine<'p> {
     /// pays the NV write. Shared by both backends' dynamic-cost paths.
     pub(crate) fn assign_place_cost(&self, place: &Place) -> u64 {
         match place {
-            Place::Var(x) if !self.is_local(x) => self.costs.nv_write,
-            Place::Index(..) => self.costs.nv_write,
+            Place::Var(x) if !self.is_local(x) => self.core.costs.nv_write,
+            Place::Index(..) => self.core.costs.nv_write,
             Place::Deref(x) => self.deref_write_cost(x),
-            _ => self.costs.alu,
+            _ => self.core.costs.alu,
         }
     }
 
@@ -710,8 +867,8 @@ impl<'p> Machine<'p> {
     /// NV write; locals stay volatile).
     pub(crate) fn deref_write_cost(&self, x: &str) -> u64 {
         match self.ref_target(x) {
-            Some(RefTarget::Global(_)) => self.costs.nv_write,
-            _ => self.costs.alu,
+            Some(RefTarget::Global(_)) => self.core.costs.nv_write,
+            _ => self.core.costs.alu,
         }
     }
 
@@ -719,39 +876,45 @@ impl<'p> Machine<'p> {
     /// (Atom-Start-Inner), otherwise the checkpoint of the live
     /// volatile state plus the eager ω log.
     pub(crate) fn atom_start_cost(&self, region: RegionId) -> u64 {
-        if matches!(self.ctx, Ctx::Atom { .. }) {
-            self.costs.alu
+        if matches!(self.dev.ctx, Ctx::Atom { .. }) {
+            self.core.costs.alu
         } else {
-            let omega = self.region_omega.get(&region).map(|l| l.len()).unwrap_or(0);
-            self.costs.checkpoint_cycles(self.vol.words()) + self.costs.log_cycles(omega)
+            let omega = self
+                .core
+                .region_omega
+                .get(&region)
+                .map(|l| l.len())
+                .unwrap_or(0);
+            self.core.costs.checkpoint_cycles(self.dev.vol.words())
+                + self.core.costs.log_cycles(omega)
         }
     }
 
     pub(crate) fn charge(&mut self, cycles: u64) -> PowerEvent {
-        self.stats.on_cycles += cycles;
-        let us = self.costs.cycles_to_us(cycles);
-        self.now_us += us;
-        self.stats.on_time_us += us;
-        self.supply.consume(self.costs.cycles_to_nj(cycles))
+        self.dev.stats.on_cycles += cycles;
+        let us = self.core.costs.cycles_to_us(cycles);
+        self.dev.now_us += us;
+        self.dev.stats.on_time_us += us;
+        self.supply.consume(self.core.costs.cycles_to_nj(cycles))
     }
 
     /// Charges time/cycles for shutdown-path work (checkpoint) from the
     /// comparator reserve: time passes but no further LowPower can fire.
     pub(crate) fn charge_reserve(&mut self, cycles: u64) {
-        self.stats.on_cycles += cycles;
-        let us = self.costs.cycles_to_us(cycles);
-        self.now_us += us;
-        self.stats.on_time_us += us;
+        self.dev.stats.on_cycles += cycles;
+        let us = self.core.costs.cycles_to_us(cycles);
+        self.dev.now_us += us;
+        self.dev.stats.on_time_us += us;
     }
 
     pub(crate) fn record_violations(&mut self, events: Vec<crate::detect::ViolationEvent>) {
         for ev in events {
-            self.stats.violations += 1;
+            self.dev.stats.violations += 1;
             match ev.kind {
-                ViolationKind::Freshness => self.stats.fresh_violations += 1,
-                ViolationKind::Consistency => self.stats.consistency_violations += 1,
+                ViolationKind::Freshness => self.dev.stats.fresh_violations += 1,
+                ViolationKind::Consistency => self.dev.stats.consistency_violations += 1,
             }
-            self.obs.push(Obs::Violation(ev));
+            self.dev.obs.push(Obs::Violation(ev));
         }
     }
 
@@ -760,37 +923,38 @@ impl<'p> Machine<'p> {
     /// this operation. One pre-resolved map probe covers the expiry
     /// check, the bit checks, and the fresh-use trace logging.
     pub(crate) fn run_checks(&mut self, here: InstrRef) -> bool {
-        let Some(rt) = self.use_rt.get(&here) else {
+        let Some(rt) = self.core.use_rt.get(&here) else {
             return false;
         };
         let rt = Arc::clone(rt);
         // TICS expiry check precedes the use: a tripped check prevents
         // the stale use (no violation) at the cost of a handler run.
         if self.expiry_check_trips(&rt) {
-            self.stats.expiry_trips += 1;
-            if self.expiry_restarts_this_run < EXPIRY_RESTART_CAP {
+            self.dev.stats.expiry_trips += 1;
+            if self.dev.expiry_restarts_this_run < EXPIRY_RESTART_CAP {
                 return true;
             }
             // The handler already thrashed this run: proceed with the
             // stale value (a real deployment would drop the sample or
             // hang; either way the constraint is not met).
-            self.stats.expiry_giveups += 1;
+            self.dev.stats.expiry_giveups += 1;
         }
         if !rt.checks.is_empty() {
             let events = self
+                .dev
                 .bitvec
-                .run_resolved(&rt.checks, here, self.tau, self.era);
+                .run_resolved(&rt.checks, here, self.dev.tau, self.dev.era);
             self.record_violations(events);
         }
         // Record a Use observation (with dynamic taint) for the formal
         // trace checker.
         for var in &rt.fresh_vars {
             let deps = self.read_var(var).deps;
-            self.obs.push(Obs::Use {
+            self.dev.obs.push(Obs::Use {
                 at: here,
-                tau: self.tau,
-                time_us: self.now_us,
-                era: self.era,
+                tau: self.dev.tau,
+                time_us: self.dev.now_us,
+                era: self.dev.era,
                 deps,
             });
         }
@@ -805,8 +969,8 @@ impl<'p> Machine<'p> {
         };
         rt.expiry_requires
             .iter()
-            .any(|&id| match self.chain_times[id as usize] {
-                Some(collected) => self.now_us.saturating_sub(collected) > window,
+            .any(|&id| match self.dev.chain_times[id as usize] {
+                Some(collected) => self.dev.now_us.saturating_sub(collected) > window,
                 // No surviving timestamp: treat as expired.
                 None => true,
             })
@@ -821,19 +985,19 @@ impl<'p> Machine<'p> {
     /// cannot strand entries for dead dynamic chains — the re-collected
     /// inputs simply overwrite their slots.
     pub(crate) fn mitigation_restart(&mut self) {
-        self.stats.expiry_restarts += 1;
-        self.expiry_restarts_this_run += 1;
-        match std::mem::replace(&mut self.ctx, Ctx::Jit(None)) {
+        self.dev.stats.expiry_restarts += 1;
+        self.dev.expiry_restarts_this_run += 1;
+        match std::mem::replace(&mut self.dev.ctx, Ctx::Jit(None)) {
             Ctx::Atom { mut log, .. } => {
-                log.apply(&mut self.nv);
-                self.obs.abort_region();
+                log.apply(&mut self.dev.nv);
+                self.dev.obs.abort_region();
                 log.clear();
-                self.spare_log = log;
+                self.dev.spare_log = log;
             }
-            Ctx::Jit(saved) => self.ctx = Ctx::Jit(saved),
+            Ctx::Jit(saved) => self.dev.ctx = Ctx::Jit(saved),
         }
-        self.vol = VolState {
-            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
+        self.dev.vol = VolState {
+            frames: vec![Frame::at_entry(&self.core.layouts, self.core.p.main)],
         };
     }
 
@@ -841,6 +1005,7 @@ impl<'p> Machine<'p> {
     /// sites of every frame above `main`, then the input instruction.
     pub(crate) fn dynamic_chain(&self, input_ref: InstrRef) -> Prov {
         let mut chain: Vec<InstrRef> = self
+            .dev
             .vol
             .frames
             .iter()
@@ -856,16 +1021,16 @@ impl<'p> Machine<'p> {
     // ------------------------------------------------------------------
 
     pub(crate) fn power_fail(&mut self) {
-        match &mut self.ctx {
+        match &mut self.dev.ctx {
             Ctx::Jit(saved) => {
                 // JIT-LowPower: checkpoint volatile state from the
                 // comparator reserve, then shut down.
-                let words = self.vol.words();
-                *saved = Some(Box::new(self.vol.clone()));
-                self.stats.jit_checkpoints += 1;
-                self.stats.ckpt_words += words as u64;
-                let c = self.costs.checkpoint_cycles(words);
-                self.stats.breakdown.checkpoint += c;
+                let words = self.dev.vol.words();
+                *saved = Some(Box::new(self.dev.vol.clone()));
+                self.dev.stats.jit_checkpoints += 1;
+                self.dev.stats.ckpt_words += words as u64;
+                let c = self.core.costs.checkpoint_cycles(words);
+                self.dev.stats.breakdown.checkpoint += c;
                 self.charge_reserve(c);
             }
             Ctx::Atom { .. } => {
@@ -875,33 +1040,33 @@ impl<'p> Machine<'p> {
         }
         // Off / charging.
         let off = self.supply.recharge();
-        self.now_us += off;
-        self.stats.off_time_us += off;
-        self.stats.reboots += 1;
-        self.bitvec.clear();
-        self.obs.push_unbuffered(Obs::Reboot {
+        self.dev.now_us += off;
+        self.dev.stats.off_time_us += off;
+        self.dev.stats.reboots += 1;
+        self.dev.bitvec.clear();
+        self.dev.obs.push_unbuffered(Obs::Reboot {
             off_us: off,
-            ended_era: self.era,
+            ended_era: self.dev.era,
         });
-        self.era += 1;
+        self.dev.era += 1;
 
         // Reboot.
-        match &mut self.ctx {
+        match &mut self.dev.ctx {
             Ctx::Jit(saved) => {
                 match saved {
                     Some(snap) => {
-                        self.vol = (**snap).clone();
+                        self.dev.vol = (**snap).clone();
                     }
                     None => {
                         // Boot context: restart the program run.
-                        self.vol = VolState {
-                            frames: vec![Frame::at_entry(&self.layouts, self.p.main)],
+                        self.dev.vol = VolState {
+                            frames: vec![Frame::at_entry(&self.core.layouts, self.core.p.main)],
                         };
                     }
                 }
-                let words = self.vol.words();
-                let c = self.costs.restore_cycles(words);
-                self.stats.breakdown.restore += c;
+                let words = self.dev.vol.words();
+                let c = self.core.costs.restore_cycles(words);
+                self.dev.stats.breakdown.restore += c;
                 self.charge_reserve(c);
             }
             Ctx::Atom {
@@ -911,21 +1076,21 @@ impl<'p> Machine<'p> {
                 region,
             } => {
                 // Atom-Reboot: N ◁ L, restore snapshot, natom := 0.
-                log.apply(&mut self.nv);
+                log.apply(&mut self.dev.nv);
                 *natom = 0;
-                self.vol = (**snap).clone();
-                self.obs.abort_region();
-                self.obs.begin_region();
-                self.stats.region_reexecs += 1;
-                self.consecutive_reexecs += 1;
+                self.dev.vol = (**snap).clone();
+                self.dev.obs.abort_region();
+                self.dev.obs.begin_region();
+                self.dev.stats.region_reexecs += 1;
+                self.dev.consecutive_reexecs += 1;
                 if let Some(limit) = self.reexec_limit {
-                    if self.consecutive_reexecs >= limit {
-                        self.livelocked = Some(*region);
+                    if self.dev.consecutive_reexecs >= limit {
+                        self.dev.livelocked = Some(*region);
                     }
                 }
-                let words = self.vol.words() + log.words();
-                let c = self.costs.restore_cycles(words);
-                self.stats.breakdown.restore += c;
+                let words = self.dev.vol.words() + log.words();
+                let c = self.core.costs.restore_cycles(words);
+                self.dev.stats.breakdown.restore += c;
                 self.charge_reserve(c);
             }
         }
@@ -962,19 +1127,19 @@ impl<'p> Machine<'p> {
                 for v in &vals {
                     deps.extend(v.deps.iter().copied());
                 }
-                let channel = match self.channel_names.get(channel.as_str()) {
+                let channel = match self.core.channel_names.get(channel.as_str()) {
                     Some(a) => Arc::clone(a),
                     None => Arc::from(channel.as_str()),
                 };
-                self.obs.push(Obs::Output {
+                self.dev.obs.push(Obs::Output {
                     at: here,
-                    tau: self.tau,
-                    era: self.era,
+                    tau: self.dev.tau,
+                    era: self.dev.era,
                     channel,
                     values: vals.iter().map(|v| v.value).collect(),
                     deps,
                 });
-                self.stats.outputs += 1;
+                self.dev.stats.outputs += 1;
                 self.advance();
             }
             Op::AtomStart { region } => {
@@ -994,10 +1159,15 @@ impl<'p> Machine<'p> {
     /// Binds a local in the top frame (slot when the layout has one,
     /// spill otherwise — the latter only for hand-built IR).
     pub(crate) fn bind_local(&mut self, var: &str, v: Tainted) {
-        let func = self.vol.top().expect("frame exists").func;
-        match self.layouts.slot(func, var) {
-            Some(s) => self.vol.top_mut().expect("frame exists").set_slot(s, v),
-            None => self.vol.top_mut().expect("frame exists").set_extra(var, v),
+        let func = self.dev.vol.top().expect("frame exists").func;
+        match self.core.layouts.slot(func, var) {
+            Some(s) => self.dev.vol.top_mut().expect("frame exists").set_slot(s, v),
+            None => self
+                .dev
+                .vol
+                .top_mut()
+                .expect("frame exists")
+                .set_extra(var, v),
         }
     }
 
@@ -1005,14 +1175,14 @@ impl<'p> Machine<'p> {
     /// destination slot, the interned sensor name, and the chain
     /// dynamically, then runs the shared collection core.
     pub(crate) fn exec_input(&mut self, here: InstrRef, var: &str, sensor: &str) {
-        let func = self.vol.top().expect("frame exists").func;
-        let slot = self.layouts.slot(func, var);
-        let (sensor_name, chan) = match self.sensor_rt.get(sensor) {
+        let func = self.dev.vol.top().expect("frame exists").func;
+        let slot = self.core.layouts.slot(func, var);
+        let (sensor_name, chan) = match self.core.sensor_rt.get(sensor) {
             Some(rt) => (Arc::clone(&rt.name), rt.chan),
             None => (Arc::from(sensor), self.env.channel_index(sensor)),
         };
         let chain = self.dynamic_chain(here);
-        let id = self.chains.lookup(&chain);
+        let id = self.core.chains.lookup(&chain);
         self.input_core(here, slot, var, sensor, sensor_name, chan, id, Some(chain));
     }
 
@@ -1034,33 +1204,41 @@ impl<'p> Machine<'p> {
         dyn_chain: Option<Prov>,
     ) {
         let value = match chan {
-            Some(i) => self.env.sample_index(i, self.now_us),
-            None => self.env.sample(sensor, self.now_us),
+            Some(i) => self.env.sample_index(i, self.dev.now_us),
+            None => self.env.sample(sensor, self.dev.now_us),
         };
-        let t = Tainted::input(value, self.tau);
+        let t = Tainted::input(value, self.dev.tau);
         match slot {
-            Some(s) => self.vol.top_mut().expect("frame exists").set_slot(s, t),
-            None => self.vol.top_mut().expect("frame exists").set_extra(var, t),
+            Some(s) => self.dev.vol.top_mut().expect("frame exists").set_slot(s, t),
+            None => self
+                .dev
+                .vol
+                .top_mut()
+                .expect("frame exists")
+                .set_extra(var, t),
         }
         let chain = match id {
             Some(id) => {
-                let rt = &self.chain_rt[id as usize];
+                let rt = &self.core.chain_rt[id as usize];
                 let chain = Arc::clone(&rt.chain);
                 let bit = rt.bit;
                 let timed = rt.timed;
                 let checks = Arc::clone(&rt.checks);
                 if timed && self.expiry_window.is_some() {
                     // TICS's timekeeping hardware: stamp the collection.
-                    self.chain_times[id as usize] = Some(self.now_us);
+                    self.dev.chain_times[id as usize] = Some(self.dev.now_us);
                 }
                 // Consistency checks fire at the collection, before its
                 // own bit is set (§7.3).
                 if !checks.is_empty() {
-                    let events = self.bitvec.run_resolved(&checks, here, self.tau, self.era);
+                    let events =
+                        self.dev
+                            .bitvec
+                            .run_resolved(&checks, here, self.dev.tau, self.dev.era);
                     self.record_violations(events);
                 }
                 if let Some(b) = bit {
-                    self.bitvec.set_bit(b as usize);
+                    self.dev.bitvec.set_bit(b as usize);
                 }
                 chain
             }
@@ -1068,11 +1246,11 @@ impl<'p> Machine<'p> {
             // checks, no timestamp — the observation still records it.
             None => Arc::new(dyn_chain.expect("uninterned chains carry their dynamic rebuild")),
         };
-        self.obs.push(Obs::Input {
+        self.dev.obs.push(Obs::Input {
             at: here,
-            tau: self.tau,
-            time_us: self.now_us,
-            era: self.era,
+            tau: self.dev.tau,
+            time_us: self.dev.now_us,
+            era: self.dev.era,
             sensor: sensor_name,
             value,
             chain,
@@ -1081,24 +1259,24 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn atom_start(&mut self, region: RegionId) {
-        match &mut self.ctx {
+        match &mut self.dev.ctx {
             Ctx::Jit(_) => {
                 // Atom-Start-Outer: snapshot volatiles, eagerly log ω.
                 // The pooled log keeps its capacity across entries; the
                 // ω set is iterated in place with pre-resolved slots.
-                let mut log = std::mem::take(&mut self.spare_log);
+                let mut log = std::mem::take(&mut self.dev.spare_log);
                 let mut new_words = 0u64;
-                if let Some(entries) = self.region_omega.get(&region) {
+                if let Some(entries) = self.core.region_omega.get(&region) {
                     for e in entries {
                         let old = match e.resolved {
-                            OmegaSlot::Scalar(s) => self.nv.read_slot(s),
-                            OmegaSlot::Cell(s, i) => self.nv.read_idx_slot(s, i as i64),
+                            OmegaSlot::Scalar(s) => self.dev.nv.read_slot(s),
+                            OmegaSlot::Cell(s, i) => self.dev.nv.read_idx_slot(s, i as i64),
                             // Undeclared at construction: resolve by
                             // name, in case a runtime store allocated
                             // the slot since.
                             OmegaSlot::Missing => match &e.loc {
-                                NvLoc::Scalar(n) => self.nv.read(n),
-                                NvLoc::Cell(n, i) => self.nv.read_idx(n, *i as i64),
+                                NvLoc::Scalar(n) => self.dev.nv.read(n),
+                                NvLoc::Cell(n, i) => self.dev.nv.read_idx(n, *i as i64),
                             },
                         };
                         if log.save(e.loc.clone(), old) {
@@ -1106,12 +1284,12 @@ impl<'p> Machine<'p> {
                         }
                     }
                 }
-                self.stats.log_words += new_words;
-                let snap = Box::new(self.vol.clone());
-                self.stats.region_entries += 1;
-                self.stats.ckpt_words += self.vol.words() as u64;
-                self.obs.begin_region();
-                self.ctx = Ctx::Atom {
+                self.dev.stats.log_words += new_words;
+                let snap = Box::new(self.dev.vol.clone());
+                self.dev.stats.region_entries += 1;
+                self.dev.stats.ckpt_words += self.dev.vol.words() as u64;
+                self.dev.obs.begin_region();
+                self.dev.ctx = Ctx::Atom {
                     snap,
                     log,
                     natom: 0,
@@ -1126,7 +1304,7 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn atom_end(&mut self, _region: RegionId) {
-        let commit = match &mut self.ctx {
+        let commit = match &mut self.dev.ctx {
             Ctx::Atom { natom, region, .. } => {
                 if *natom > 0 {
                     // Atom-End-Inner.
@@ -1145,16 +1323,17 @@ impl<'p> Machine<'p> {
         if let Some(rid) = commit {
             // Atom-End-Outer: commit, and pool the log's capacity for
             // the next region entry.
-            self.obs.push(Obs::Commit {
+            self.dev.obs.push(Obs::Commit {
                 region: rid,
-                tau: self.tau,
+                tau: self.dev.tau,
             });
-            self.obs.commit_region();
-            self.stats.region_commits += 1;
-            self.consecutive_reexecs = 0;
-            if let Ctx::Atom { mut log, .. } = std::mem::replace(&mut self.ctx, Ctx::Jit(None)) {
+            self.dev.obs.commit_region();
+            self.dev.stats.region_commits += 1;
+            self.dev.consecutive_reexecs = 0;
+            if let Ctx::Atom { mut log, .. } = std::mem::replace(&mut self.dev.ctx, Ctx::Jit(None))
+            {
                 log.clear();
-                self.spare_log = log;
+                self.dev.spare_log = log;
             }
         }
     }
@@ -1166,9 +1345,9 @@ impl<'p> Machine<'p> {
         callee: FuncId,
         args: &[Arg],
     ) {
-        let caller_idx = self.vol.frames.len() - 1;
-        let caller_func = self.vol.frames[caller_idx].func;
-        let layouts = Arc::clone(&self.layouts);
+        let caller_idx = self.dev.vol.frames.len() - 1;
+        let caller_func = self.dev.vol.frames[caller_idx].func;
+        let layouts = Arc::clone(&self.core.layouts);
         let ret_dst = dst.map(|d| match layouts.slot(caller_func, d) {
             Some(s) => RetSlot::Slot(s),
             None => RetSlot::Spill(Arc::from(d)),
@@ -1205,7 +1384,7 @@ impl<'p> Machine<'p> {
         }
         // Resume point: after the call.
         self.advance();
-        self.vol.frames.push(frame);
+        self.dev.vol.frames.push(frame);
     }
 
     /// A fresh frame for a call, reusing a recycled frame's
@@ -1218,7 +1397,7 @@ impl<'p> Machine<'p> {
         ret_dst: Option<RetSlot>,
         call_site: InstrRef,
     ) -> Frame {
-        match self.frame_pool.pop() {
+        match self.dev.frame_pool.pop() {
             Some(mut f) => {
                 f.reuse(func, entry, nslots, ret_dst, call_site);
                 f
@@ -1229,15 +1408,15 @@ impl<'p> Machine<'p> {
 
     /// Returns a popped frame's allocations to the pool.
     pub(crate) fn recycle_frame(&mut self, frame: Frame) {
-        if self.frame_pool.len() < 32 {
-            self.frame_pool.push(frame);
+        if self.dev.frame_pool.len() < 32 {
+            self.dev.frame_pool.push(frame);
         }
     }
 
     pub(crate) fn exec_terminator(&mut self, term: &Terminator) -> bool {
         match term {
             Terminator::Jump(b) => {
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 top.block = *b;
                 top.index = 0;
                 false
@@ -1248,7 +1427,7 @@ impl<'p> Machine<'p> {
                 else_bb,
             } => {
                 let v = self.eval(cond);
-                let top = self.vol.top_mut().expect("frame exists");
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 top.block = if v.value != 0 { *then_bb } else { *else_bb };
                 top.index = 0;
                 false
@@ -1258,10 +1437,10 @@ impl<'p> Machine<'p> {
                     .as_ref()
                     .map(|e| self.eval(e))
                     .unwrap_or_else(|| Tainted::pure(0));
-                let done = self.vol.frames.pop().expect("frame exists");
+                let done = self.dev.vol.frames.pop().expect("frame exists");
                 let ret_dst = done.ret_dst.clone();
                 self.recycle_frame(done);
-                match self.vol.top_mut() {
+                match self.dev.vol.top_mut() {
                     Some(caller) => {
                         match ret_dst {
                             Some(RetSlot::Slot(s)) => caller.set_slot(s, v),
@@ -1277,7 +1456,7 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn advance(&mut self) {
-        let top = self.vol.top_mut().expect("frame exists");
+        let top = self.dev.vol.top_mut().expect("frame exists");
         top.index += 1;
     }
 
@@ -1286,10 +1465,10 @@ impl<'p> Machine<'p> {
     // ------------------------------------------------------------------
 
     pub(crate) fn is_local(&self, name: &str) -> bool {
-        let Some(f) = self.vol.top() else {
+        let Some(f) = self.dev.vol.top() else {
             return false;
         };
-        if let Some(slot) = self.layouts.slot(f.func, name) {
+        if let Some(slot) = self.core.layouts.slot(f.func, name) {
             if f.get_slot(slot).is_some() {
                 return true;
             }
@@ -1298,15 +1477,15 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn ref_target(&self, name: &str) -> Option<RefTarget> {
-        self.vol.top().and_then(|f| f.refs.get(name).cloned())
+        self.dev.vol.top().and_then(|f| f.refs.get(name).cloned())
     }
 
     pub(crate) fn resolve_ref(&self, caller_idx: usize, x: &str) -> RefTarget {
-        let caller = &self.vol.frames[caller_idx];
+        let caller = &self.dev.vol.frames[caller_idx];
         if let Some(t) = caller.refs.get(x) {
             return t.clone(); // forwarding an incoming reference
         }
-        if let Some(slot) = self.layouts.slot(caller.func, x) {
+        if let Some(slot) = self.core.layouts.slot(caller.func, x) {
             if caller.get_slot(slot).is_some() {
                 return RefTarget::Local {
                     frame: caller_idx,
@@ -1326,15 +1505,15 @@ impl<'p> Machine<'p> {
     /// The shared name of global `x` (its NV slot name when declared, a
     /// fresh allocation otherwise).
     pub(crate) fn global_name(&self, x: &str) -> Arc<str> {
-        match self.nv.scalar_slot(x) {
-            Some(s) => Arc::clone(self.nv.scalar_name(s)),
+        match self.dev.nv.scalar_slot(x) {
+            Some(s) => Arc::clone(self.dev.nv.scalar_name(s)),
             None => Arc::from(x),
         }
     }
 
     pub(crate) fn read_var(&self, name: &str) -> Tainted {
-        if let Some(top) = self.vol.top() {
-            if let Some(slot) = self.layouts.slot(top.func, name) {
+        if let Some(top) = self.dev.vol.top() {
+            if let Some(slot) = self.core.layouts.slot(top.func, name) {
                 if let Some(v) = top.get_slot(slot) {
                     return v.clone();
                 }
@@ -1346,30 +1525,30 @@ impl<'p> Machine<'p> {
                 return self.read_target(t);
             }
         }
-        self.nv.read(name)
+        self.dev.nv.read(name)
     }
 
     pub(crate) fn read_target(&self, t: &RefTarget) -> Tainted {
         match t {
-            RefTarget::Local { frame, slot } => self.vol.frames[*frame]
+            RefTarget::Local { frame, slot } => self.dev.vol.frames[*frame]
                 .get_slot(*slot)
                 .cloned()
                 .unwrap_or_default(),
-            RefTarget::Extra { frame, name } => self.vol.frames[*frame]
+            RefTarget::Extra { frame, name } => self.dev.vol.frames[*frame]
                 .get_extra(name)
                 .cloned()
                 .unwrap_or_default(),
-            RefTarget::Global(g) => self.nv.read(g),
+            RefTarget::Global(g) => self.dev.nv.read(g),
         }
     }
 
     pub(crate) fn write_target(&mut self, t: &RefTarget, v: Tainted) {
         match t {
             RefTarget::Local { frame, slot } => {
-                self.vol.frames[*frame].set_slot(*slot, v);
+                self.dev.vol.frames[*frame].set_slot(*slot, v);
             }
             RefTarget::Extra { frame, name } => {
-                self.vol.frames[*frame].set_extra(name, v);
+                self.dev.vol.frames[*frame].set_extra(name, v);
             }
             RefTarget::Global(g) => {
                 let g = Arc::clone(g);
@@ -1380,15 +1559,15 @@ impl<'p> Machine<'p> {
 
     /// Writes a non-volatile scalar, undo-logging inside atomic regions.
     pub(crate) fn nv_write_scalar(&mut self, name: &str, v: Tainted) {
-        let slot = self.nv.ensure_scalar(name);
-        let old = self.nv.write_slot(slot, v);
+        let slot = self.dev.nv.ensure_scalar(name);
+        let old = self.dev.nv.write_slot(slot, v);
         self.log_scalar_undo(slot, old);
     }
 
     /// Slot-resolved variant of [`Machine::nv_write_scalar`], used by
     /// the compiled backend for declared globals.
     pub(crate) fn nv_write_scalar_slot(&mut self, slot: usize, v: Tainted) {
-        let old = self.nv.write_slot(slot, v);
+        let old = self.dev.nv.write_slot(slot, v);
         self.log_scalar_undo(slot, old);
     }
 
@@ -1397,26 +1576,26 @@ impl<'p> Machine<'p> {
     /// entry. The single charging path behind both backends' scalar NV
     /// stores. The key reuses the slot's shared name — no allocation.
     fn log_scalar_undo(&mut self, slot: usize, old: Tainted) {
-        if let Ctx::Atom { log, .. } = &mut self.ctx {
-            let key = NvLoc::Scalar(Arc::clone(self.nv.scalar_name(slot)));
+        if let Ctx::Atom { log, .. } = &mut self.dev.ctx {
+            let key = NvLoc::Scalar(Arc::clone(self.dev.nv.scalar_name(slot)));
             if log.save(key, old) {
-                self.stats.log_words += 1;
-                let c = self.costs.log_word;
+                self.dev.stats.log_words += 1;
+                let c = self.core.costs.log_word;
                 // Dynamic log writes cost cycles too.
-                self.stats.on_cycles += c;
-                self.stats.breakdown.undo_log += c;
-                let us = self.costs.cycles_to_us(c);
-                self.now_us += us;
-                self.stats.on_time_us += us;
+                self.dev.stats.on_cycles += c;
+                self.dev.stats.breakdown.undo_log += c;
+                let us = self.core.costs.cycles_to_us(c);
+                self.dev.now_us += us;
+                self.dev.stats.on_time_us += us;
             }
         }
     }
 
     /// Undo-logs an array cell write (both backends' shared path).
     pub(crate) fn log_cell_undo(&mut self, name: Arc<str>, cell: usize, old: Tainted) {
-        if let Ctx::Atom { log, .. } = &mut self.ctx {
+        if let Ctx::Atom { log, .. } = &mut self.dev.ctx {
             if log.save(NvLoc::Cell(name, cell), old) {
-                self.stats.log_words += 1;
+                self.dev.stats.log_words += 1;
             }
         }
     }
@@ -1424,9 +1603,9 @@ impl<'p> Machine<'p> {
     pub(crate) fn write_place(&mut self, place: &Place, v: Tainted) {
         match place {
             Place::Var(x) => {
-                let func = self.vol.top().expect("frame exists").func;
-                let slot = self.layouts.slot(func, x);
-                let top = self.vol.top_mut().expect("frame exists");
+                let func = self.dev.vol.top().expect("frame exists").func;
+                let slot = self.core.layouts.slot(func, x);
+                let top = self.dev.vol.top_mut().expect("frame exists");
                 if let Some(s) = slot {
                     if top.get_slot(s).is_some() {
                         top.set_slot(s, v);
@@ -1443,14 +1622,14 @@ impl<'p> Machine<'p> {
             }
             Place::Index(a, i) => {
                 let idx = self.eval(i);
-                match self.nv.array_slot(a) {
+                match self.dev.nv.array_slot(a) {
                     Some(s) => {
-                        let (cell, old) = self.nv.write_idx_slot(s, idx.value, v);
-                        let name = Arc::clone(self.nv.array_name(s));
+                        let (cell, old) = self.dev.nv.write_idx_slot(s, idx.value, v);
+                        let name = Arc::clone(self.dev.nv.array_name(s));
                         self.log_cell_undo(name, cell, old);
                     }
                     None => {
-                        let (cell, old) = self.nv.write_idx(a, idx.value, v);
+                        let (cell, old) = self.dev.nv.write_idx(a, idx.value, v);
                         self.log_cell_undo(Arc::from(a.as_str()), cell, old);
                     }
                 }
@@ -1471,12 +1650,12 @@ impl<'p> Machine<'p> {
             Expr::Var(x) => self.read_var(x),
             Expr::Deref(x) => match self.ref_target(x) {
                 Some(t) => self.read_target(&t),
-                None => self.nv.read(x),
+                None => self.dev.nv.read(x),
             },
             Expr::Ref(_) => Tainted::pure(0), // only valid in call args
             Expr::Index(a, i) => {
                 let idx = self.eval(i);
-                let mut v = self.nv.read_idx(a, idx.value);
+                let mut v = self.dev.nv.read_idx(a, idx.value);
                 v.deps.extend(idx.deps);
                 v
             }
@@ -2052,19 +2231,19 @@ mod tests {
             Box::new(ScriptedPower::new(vec![4_500.0; 2000], 100_000)),
         );
         let mut m = m.with_expiry_window(10_000);
-        let before = m.chain_times.len();
+        let before = m.dev.chain_times.len();
         for _ in 0..8 {
             m.run_once(10_000_000);
         }
         assert!(m.stats().expiry_restarts >= 100, "restarts really thrashed");
         assert!(m.stats().expiry_giveups >= 1, "runs gave up at the cap");
         assert_eq!(
-            m.chain_times.len(),
+            m.dev.chain_times.len(),
             before,
             "timestamp table never grows past its construction size"
         );
-        let stamped = m.chain_times.iter().filter(|t| t.is_some()).count();
-        let timed = m.chain_rt.iter().filter(|rt| rt.timed).count();
+        let stamped = m.dev.chain_times.iter().filter(|t| t.is_some()).count();
+        let timed = m.core.chain_rt.iter().filter(|rt| rt.timed).count();
         assert!(
             stamped <= timed,
             "only freshness-checked chains are ever stamped ({stamped} > {timed})"
@@ -2094,7 +2273,11 @@ mod tests {
             CostModel::default(),
             Box::new(ContinuousPower),
         );
-        assert_eq!(m.static_chain_of.len(), 1, "the one input site is static");
+        assert_eq!(
+            m.core.static_chain_of.len(),
+            1,
+            "the one input site is static"
+        );
         m.run_once(100_000);
         m.run_once(100_000);
         let trace = m.take_trace();

@@ -378,6 +378,57 @@ impl NvMem {
         (i, old)
     }
 
+    /// Resets this memory to the state [`NvMem::init`] would produce
+    /// for `p`, reusing allocations where the declared layout matches.
+    ///
+    /// Runtime-allocated scalar slots (stores to undeclared names in
+    /// hand-built IR) are dropped — they always sit after the declared
+    /// prefix — so a pooled memory carries no state from one device to
+    /// the next. When the declared prefix does not match `p` (a pooled
+    /// memory crossing programs), the memory is rebuilt from scratch.
+    pub fn reset_from(&mut self, p: &Program) {
+        let (mut ns, mut na) = (0usize, 0usize);
+        let mut matches = true;
+        for g in &p.globals {
+            match g.array_len {
+                Some(n) => {
+                    matches &= self.array_names.get(na).map(|a| &**a) == Some(g.name.as_str())
+                        && self.arrays[na].len() == n;
+                    na += 1;
+                }
+                None => {
+                    matches &= self.scalar_names.get(ns).map(|a| &**a) == Some(g.name.as_str());
+                    ns += 1;
+                }
+            }
+            if !matches {
+                *self = NvMem::init(p);
+                return;
+            }
+        }
+        self.scalar_index.retain(|_, s| *s < ns);
+        self.scalar_names.truncate(ns);
+        self.scalars.truncate(ns);
+        self.array_index.retain(|_, s| *s < na);
+        self.array_names.truncate(na);
+        self.arrays.truncate(na);
+        let (mut ns, mut na) = (0usize, 0usize);
+        for g in &p.globals {
+            match g.array_len {
+                Some(_) => {
+                    for cell in self.arrays[na].iter_mut() {
+                        *cell = Tainted::pure(0);
+                    }
+                    na += 1;
+                }
+                None => {
+                    self.scalars[ns] = Tainted::pure(g.init);
+                    ns += 1;
+                }
+            }
+        }
+    }
+
     /// True when `name` is an array.
     pub fn is_array(&self, name: &str) -> bool {
         self.array_index.contains_key(name)
@@ -810,6 +861,24 @@ mod tests {
         assert_eq!(old.value, 1);
         assert_eq!(nv.read("a").value, 7, "slot and name views are one store");
         assert_eq!(nv.read("later").value, 9);
+    }
+
+    #[test]
+    fn reset_from_restores_the_init_state_exactly() {
+        let p = compile("nv g = 5; nv a[3]; nv h = -2; fn main() {}").unwrap();
+        let mut nv = NvMem::init(&p);
+        nv.write("g", Tainted::input(9, 4));
+        nv.write_idx("a", 1, Tainted::input(7, 8));
+        // A runtime-allocated slot for an undeclared name must vanish.
+        nv.write("ghost", Tainted::pure(1));
+        assert!(nv.scalar_slot("ghost").is_some());
+        nv.reset_from(&p);
+        assert_eq!(nv, NvMem::init(&p), "reset is exactly re-init");
+        assert_eq!(nv.scalar_slot("ghost"), None);
+        // A different program rebuilds from scratch.
+        let q = compile("nv other = 1; fn main() {}").unwrap();
+        nv.reset_from(&q);
+        assert_eq!(nv, NvMem::init(&q));
     }
 
     #[test]

@@ -162,6 +162,15 @@ impl ObsLog {
         &self.committed
     }
 
+    /// Clears the log for reuse, keeping the committed vector's
+    /// allocation and the configured capacity (unlike [`ObsLog::take`],
+    /// which surrenders the buffer to the caller).
+    pub fn reset(&mut self) {
+        self.committed.clear();
+        self.pending.clear();
+        self.buffering = false;
+    }
+
     /// Takes the committed trace, resetting the log.
     pub fn take(&mut self) -> Vec<Obs> {
         self.pending.clear();

@@ -33,6 +33,22 @@
 //!                               (uniform sweeps; composes with --replay)
 //!     --replay                  render from the persisted artifact
 //!                               without re-simulating
+//! ocelotc fleet [opts]          fleet-scale sweep: a million devices
+//!                               running one app across the scenario
+//!                               registry on one shared compiled
+//!                               program, aggregated per scenario
+//!     --app <name>              benchmark to deploy (default tire)
+//!     --devices <n>             fleet size (default 200000)
+//!     --runs <n>                program runs per device (default 5)
+//!     --seed <n>                seed-range start (default 1)
+//!     --jobs <n>                worker threads (default all cores)
+//!     --backend <interp|compiled> execution engine (default compiled)
+//!     --scenario <name[@seed]>  scenario distribution (repeatable;
+//!                               default: the whole registry)
+//!     --out <dir>               artifact directory
+//!     --fingerprint <path>      throughput fingerprint file
+//!                               (default BENCH_fleet.json);
+//!                               --no-fingerprint to skip
 //! ocelotc scenario <action>     the declarative scenario library
 //!     list                      enumerate the registered scenarios
 //!     describe <name[@seed]>    channels, supply, and workload binding
@@ -57,14 +73,18 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: ocelotc <compile|check|policies|run|bench|scenario> <file> [options]"
+                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario> <file> [options]"
             );
             return ExitCode::from(2);
         }
     };
-    // `bench` and `scenario` take registry names, not source files.
+    // `bench`, `fleet`, and `scenario` take registry names, not source
+    // files.
     if cmd == "bench" {
         return cmd_bench(rest);
+    }
+    if cmd == "fleet" {
+        return ocelot_bench::fleet::fleet_main(rest);
     }
     if cmd == "scenario" {
         return cmd_scenario(rest);
