@@ -32,7 +32,9 @@
 pub mod chains;
 pub mod dom;
 pub mod effects;
+pub mod flow;
 pub mod loops;
+pub mod ssa;
 pub mod summary;
 pub mod taint;
 pub mod war;
@@ -40,7 +42,9 @@ pub mod war;
 pub use chains::{static_input_chains, unique_contexts, ChainId, ChainTable};
 pub use dom::{dominance_frontier, point_dominates, point_post_dominates, DomTree, Point};
 pub use effects::{global_effects, GlobalEffects};
+pub use flow::ValueFlow;
 pub use loops::LoopForest;
+pub use ssa::{analyze_func, FuncSsa, ProgramSsa};
 pub use summary::{build_summaries, FuncSummary};
 pub use taint::{Prov, TaintAnalysis, TaintSet, TaintSource};
 pub use war::{region_effects, whole_function_effects, RegionEffects};

@@ -714,6 +714,12 @@ fn transfer_block(
                 }
             }
             Op::Output { .. } => {}
+            // Loop-bound markers name no variable; there is no taint
+            // to snapshot.
+            Op::Annot {
+                kind: ocelot_ir::AnnotKind::Bound(_),
+                ..
+            } => {}
             Op::Annot { var, .. } => {
                 if let Some(rec) = record.as_deref_mut() {
                     let t = taint_of(&state, &loc_of(p, f, var));

@@ -22,6 +22,7 @@ fn bench_fleet_spec(devices: u64, backend: ExecBackend) -> FleetSpec {
         seed0: 1,
         runs: 1,
         backend,
+        opt: ocelot_runtime::OptLevel::default(),
     }
 }
 

@@ -8,7 +8,7 @@ use ocelot_bench::harness::{bench_supply, build_for, calibrated_costs, MAX_STEPS
 use ocelot_hw::power::ContinuousPower;
 use ocelot_runtime::machine::Machine;
 use ocelot_runtime::model::ExecModel;
-use ocelot_runtime::ExecBackend;
+use ocelot_runtime::{ExecBackend, OptLevel};
 
 fn bench_continuous(c: &mut Criterion) {
     let mut g = c.benchmark_group("run_continuous");
@@ -132,9 +132,51 @@ fn bench_input(c: &mut Criterion) {
     g.finish();
 }
 
+/// The optimizing middle-end's bar: the compiled engine at `--opt 0`
+/// (straight from the lowered IR) vs `--opt 2` (SSA constant folding,
+/// dead-store shrink, check elision, pure-expression evaluation), on
+/// the compute-bound apps where folding bites (tire's filter math,
+/// cem's compression kernel) and the input apps where check elision
+/// does (fusion, radiolog). Acceptance bar: ≥1.5x on at least one
+/// compute app. Both levels are observationally identical — the
+/// differential suite holds that line — so this group measures pure
+/// host-side work removed.
+fn bench_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt");
+    let apps = ["tire", "cem", "fusion", "radiolog"];
+    for b in ocelot_apps::all_with_extensions()
+        .into_iter()
+        .filter(|b| apps.contains(&b.name))
+    {
+        let built = build_for(&b, ExecModel::Ocelot);
+        for opt in OptLevel::all() {
+            let id = BenchmarkId::new(format!("O{}", opt.name()), b.name);
+            g.bench_function(id, |bencher| {
+                let mut m = Machine::new(
+                    &built.program,
+                    &built.regions,
+                    built.policies.clone(),
+                    b.environment(1),
+                    calibrated_costs(&b),
+                    Box::new(ContinuousPower),
+                )
+                .with_backend(ExecBackend::Compiled)
+                .with_opt(opt);
+                m.run_once(MAX_STEPS);
+                bencher.iter(|| {
+                    for _ in 0..10 {
+                        m.run_once(MAX_STEPS);
+                    }
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_continuous, bench_intermittent, bench_backends, bench_input
+    targets = bench_continuous, bench_intermittent, bench_backends, bench_input, bench_opt
 }
 criterion_main!(benches);

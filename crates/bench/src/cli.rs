@@ -19,7 +19,7 @@
 use crate::artifact::Artifact;
 use crate::drivers::{self, Driver, DriverOpts};
 use crate::pool;
-use ocelot_runtime::ExecBackend;
+use ocelot_runtime::{ExecBackend, OptLevel};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +42,10 @@ pub struct BenchArgs {
     /// Execution backend for simulated cells (`--backend`, default
     /// `interp`).
     pub backend: ExecBackend,
+    /// Middle-end optimization level for the compiled backend
+    /// (`--opt 0|1|2`, default `2`; ignored by the interpreter, which
+    /// is always the unoptimized oracle).
+    pub opt: OptLevel,
     /// Persist (or, with `--replay`, re-render) raw observation traces.
     pub traces: bool,
     /// `--help` was requested.
@@ -57,6 +61,7 @@ impl Default for BenchArgs {
             runs: None,
             seed: None,
             backend: ExecBackend::Interp,
+            opt: OptLevel::default(),
             traces: false,
             help: false,
         }
@@ -102,6 +107,11 @@ impl BenchArgs {
                     out.backend = ExecBackend::parse(&v)
                         .ok_or_else(|| format!("bad --backend value `{v}` (interp|compiled)"))?;
                 }
+                "--opt" => {
+                    let v = it.next().ok_or("--opt needs `0`, `1` or `2`")?;
+                    out.opt = OptLevel::parse(&v)
+                        .ok_or_else(|| format!("bad --opt value `{v}` (0|1|2)"))?;
+                }
                 "--traces" => out.traces = true,
                 "--replay" => out.replay = true,
                 "--help" | "-h" => out.help = true,
@@ -116,7 +126,8 @@ fn usage(d: &Driver) -> String {
     format!(
         "{} — {}\n\n\
          usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N]\n\
-                     [--backend interp|compiled] [--traces] [--replay]\n\n\
+                     [--backend interp|compiled] [--opt 0|1|2]\n\
+                     [--traces] [--replay]\n\n\
          --jobs N    worker threads for the sweep (default: all cores)\n\
          --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
          --runs N    scale override: run count, or simulated seconds for\n\
@@ -129,6 +140,11 @@ fn usage(d: &Driver) -> String {
                      (default) or `compiled`; results are identical, the\n\
                      compiled engine is faster, and the artifact records\n\
                      which one produced it\n\
+         --opt L     middle-end optimization level for the compiled\n\
+                     engine: 0 (direct), 1 (const-prop + dead stores) or\n\
+                     2 (default; adds taint-free evaluation and check\n\
+                     elision); observable results are identical at every\n\
+                     level, so artifacts do not record it\n\
          --traces    also persist raw per-cell observation logs to\n\
                      <out>/{}_traces.json (uniform cell sweeps only) and\n\
                      append their summary; with --replay, re-render the\n\
@@ -196,6 +212,7 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
             runs: parsed.runs,
             seed: parsed.seed,
             backend: parsed.backend,
+            opt: parsed.opt,
         };
         let (a, t) = match (parsed.traces, d.collect_traced) {
             (true, Some(traced)) => {
@@ -297,6 +314,26 @@ mod tests {
         }
         assert!(BenchArgs::parse(strings(&["--backend"])).is_err());
         assert!(BenchArgs::parse(strings(&["--backend", "jit"])).is_err());
+    }
+
+    #[test]
+    fn opt_flag_parses_all_levels_and_rejects_junk() {
+        assert_eq!(
+            BenchArgs::parse(strings(&[])).unwrap().opt,
+            OptLevel::O2,
+            "full optimization is the default"
+        );
+        for (flag, want) in [
+            ("0", OptLevel::O0),
+            ("1", OptLevel::O1),
+            ("2", OptLevel::O2),
+        ] {
+            let a = BenchArgs::parse(strings(&["--opt", flag])).unwrap();
+            assert_eq!(a.opt, want);
+        }
+        assert!(BenchArgs::parse(strings(&["--opt"])).is_err());
+        assert!(BenchArgs::parse(strings(&["--opt", "3"])).is_err());
+        assert!(BenchArgs::parse(strings(&["--opt", "fast"])).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn plan(opts: &DriverOpts) -> FleetSpec {
         seed0: opts.seed_or(1),
         runs: crate::fleet::DEFAULT_FLEET_RUNS,
         backend: opts.backend,
+        opt: opts.opt,
     }
 }
 
@@ -73,6 +74,7 @@ mod tests {
             runs: Some(18),
             seed: Some(5),
             backend: ExecBackend::Compiled,
+            opt: ocelot_runtime::OptLevel::default(),
         }
     }
 
@@ -125,6 +127,7 @@ mod tests {
             runs: Some(9),
             seed: Some(1),
             backend: ExecBackend::Interp,
+            opt: ocelot_runtime::OptLevel::default(),
         });
         for cell in &a.cells {
             // Each scenario got exactly one device, whose stats must

@@ -29,7 +29,7 @@ use crate::harness::Workload;
 use crate::json::Json;
 use ocelot_runtime::model::ExecModel;
 use ocelot_runtime::stats::Stats;
-use ocelot_runtime::ExecBackend;
+use ocelot_runtime::{ExecBackend, OptLevel};
 
 /// Options shared by every driver's `collect`.
 #[derive(Debug, Clone)]
@@ -48,6 +48,12 @@ pub struct DriverOpts {
     /// per-bench jobs rather than [`crate::harness::CellSpec`] sweeps
     /// ignore this (documented in `docs/bench.md`).
     pub backend: ExecBackend,
+    /// Optimization level for the compiled backend (`--opt`; the
+    /// interpreter ignores it). Levels are observationally identical by
+    /// construction, so — unlike the backend — the level is *not*
+    /// recorded in artifacts: the same sweep at `--opt 0` and `--opt 2`
+    /// must produce byte-identical files.
+    pub opt: OptLevel,
 }
 
 impl Default for DriverOpts {
@@ -57,6 +63,7 @@ impl Default for DriverOpts {
             runs: None,
             seed: None,
             backend: ExecBackend::Interp,
+            opt: OptLevel::from_env(),
         }
     }
 }
@@ -193,7 +200,9 @@ pub(crate) fn collect_sim_traced(
 
 /// Binds the sweep's uniform backend onto every spec and records it
 /// once in the config for provenance: a replayed artifact says which
-/// engine simulated it.
+/// engine simulated it. The optimization level binds too but is
+/// deliberately NOT recorded — artifacts must be byte-identical across
+/// `--opt` levels.
 fn bind_backend(
     specs: &[crate::harness::CellSpec],
     config: &mut Vec<(String, Json)>,
@@ -202,7 +211,7 @@ fn bind_backend(
     config.push(("backend".into(), Json::str(opts.backend.name())));
     specs
         .iter()
-        .map(|s| s.clone().with_backend(opts.backend))
+        .map(|s| s.clone().with_backend(opts.backend).with_opt(opts.opt))
         .collect()
 }
 

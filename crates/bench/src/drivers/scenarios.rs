@@ -176,6 +176,7 @@ mod tests {
             runs: Some(1),
             seed: None,
             backend: ExecBackend::Interp,
+            opt: ocelot_runtime::OptLevel::default(),
         }
     }
 

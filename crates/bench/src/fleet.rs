@@ -30,7 +30,7 @@ use crate::report::Table;
 use ocelot_runtime::machine::{DeviceState, Machine, MachineCore};
 use ocelot_runtime::model::ExecModel;
 use ocelot_runtime::stats::Stats;
-use ocelot_runtime::ExecBackend;
+use ocelot_runtime::{ExecBackend, OptLevel};
 use ocelot_scenario::Scenario;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,6 +59,10 @@ pub struct FleetSpec {
     pub runs: u64,
     /// Execution engine every device runs on.
     pub backend: ExecBackend,
+    /// Compiled-engine optimization level — observationally inert
+    /// (every level produces identical aggregates; the oracle suite
+    /// holds that line) and never recorded in the artifact.
+    pub opt: OptLevel,
 }
 
 impl FleetSpec {
@@ -75,6 +79,7 @@ impl FleetSpec {
         )
         .with_scenario(scenario)
         .with_backend(self.backend)
+        .with_opt(self.opt)
     }
 
     /// Total device-runs (`devices × runs`) the sweep performs.
@@ -148,13 +153,17 @@ impl Histogram {
 
     /// Records one device's counter value.
     pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
+        let b = &mut self.buckets[Self::bucket_of(v)];
+        *b = b.saturating_add(1);
     }
 
-    /// Adds every bucket of `other` into `self`.
+    /// Adds every bucket of `other` into `self`. Bucket counts saturate
+    /// rather than wrap: a pinned count misstates only how far past
+    /// `u64::MAX` the fleet went, while a wrapped one would silently
+    /// reorder every percentile derived from it.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, v) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += v;
+            *b = b.saturating_add(*v);
         }
     }
 
@@ -462,6 +471,7 @@ struct FleetArgs {
     seed: u64,
     jobs: usize,
     backend: ExecBackend,
+    opt: OptLevel,
     scenarios: Vec<String>,
     out: PathBuf,
     fingerprint: Option<PathBuf>,
@@ -480,6 +490,7 @@ impl Default for FleetArgs {
             // throughput-bound, and the backends are observationally
             // identical (held by the oracle-equivalence suite).
             backend: ExecBackend::Compiled,
+            opt: OptLevel::from_env(),
             scenarios: Vec::new(),
             out: PathBuf::from(crate::cli::DEFAULT_OUT_DIR),
             fingerprint: Some(PathBuf::from(FINGERPRINT_PATH)),
@@ -492,7 +503,7 @@ const FLEET_USAGE: &str = "\
 fleet — million-device scenario sweep on one shared compiled program
 
 usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
-                     [--jobs N] [--backend interp|compiled]
+                     [--jobs N] [--backend interp|compiled] [--opt 0|1|2]
                      [--scenario NAME[@seed]]... [--out DIR]
                      [--fingerprint PATH | --no-fingerprint]
 
@@ -504,6 +515,9 @@ usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
   --jobs N          worker threads (default: all cores)
   --backend B       execution engine (default: compiled; interp is the
                     per-cell oracle and produces identical aggregates)
+  --opt L           compiled-engine optimization level (default: 2, or
+                    $OCELOT_OPT; every level produces identical
+                    aggregates and the artifact never records it)
   --scenario S      add one scenario to the distribution (repeatable;
                     default: the whole scenario registry)
   --out DIR         artifact directory for fleet.json (default:
@@ -547,6 +561,11 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
                 if out.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
+            }
+            "--opt" => {
+                let v = it.next().ok_or("--opt needs `0`, `1` or `2`")?;
+                out.opt =
+                    OptLevel::parse(v).ok_or_else(|| format!("bad --opt value `{v}` (0|1|2)"))?;
             }
             "--backend" => {
                 let v = it.next().ok_or("--backend needs `interp` or `compiled`")?;
@@ -667,6 +686,7 @@ pub fn fleet_main(args: &[String]) -> ExitCode {
         seed0: parsed.seed,
         runs: parsed.runs,
         backend: parsed.backend,
+        opt: parsed.opt,
     };
     eprintln!(
         "fleet: {} device-runs of `{}` across {} scenario(s) on {} worker(s), {} backend",
@@ -830,6 +850,51 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edges_are_exact_at_every_power_of_two() {
+        // Every bucket boundary: 2^(b-1) opens bucket b, 2^b - 1 closes
+        // it, and bucket_max names exactly that closing value.
+        for b in 1..=63usize {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(Histogram::bucket_of(lo), b, "2^{} opens bucket {b}", b - 1);
+            assert_eq!(Histogram::bucket_of(hi), b, "2^{b} - 1 closes bucket {b}");
+            assert_eq!(Histogram::bucket_max(b), hi);
+            if hi < u64::MAX {
+                assert_eq!(Histogram::bucket_of(hi + 1), b + 1);
+            }
+        }
+        // The top bucket holds [2^63, u64::MAX] and reports MAX as its
+        // ceiling — as does any out-of-range index asked of bucket_max.
+        assert_eq!(Histogram::bucket_of(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_max(64), u64::MAX);
+        assert_eq!(Histogram::bucket_max(65), u64::MAX);
+        assert_eq!(Histogram::bucket_max(HIST_BUCKETS), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_and_record_saturate_instead_of_wrapping() {
+        // Build a histogram whose zero-bucket already sits at the
+        // ceiling (via the JSON inverse — recording MAX devices one by
+        // one is not an option).
+        let mut full = vec![Json::u64(0); HIST_BUCKETS];
+        full[0] = Json::u64(u64::MAX);
+        let mut h = Histogram::from_json(&Json::Arr(full)).unwrap();
+        // One more device in the same bucket pins, not wraps.
+        h.record(0);
+        assert_eq!(h.buckets()[0], u64::MAX);
+        // Merging another saturated histogram pins too.
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.buckets()[0], u64::MAX);
+        // Untouched buckets merge exactly.
+        let mut a = Histogram::default();
+        a.record(5);
+        h.merge(&a);
+        assert_eq!(h.buckets()[Histogram::bucket_of(5)], 1);
+    }
+
+    #[test]
     fn histogram_merge_equals_pooled_recording() {
         let values = [0u64, 0, 1, 3, 3, 9, 130, 7, 64];
         let mut pooled = Histogram::default();
@@ -928,6 +993,7 @@ mod tests {
             seed0: 100,
             runs: 2,
             backend: ExecBackend::Compiled,
+            opt: OptLevel::default(),
         };
         let c0 = spec.device_spec(0);
         let c3 = spec.device_spec(3);
@@ -1000,6 +1066,7 @@ mod tests {
             seed0: 1,
             runs: 1,
             backend: ExecBackend::Compiled,
+            opt: OptLevel::default(),
         };
         let j = fingerprint_json(&spec, 4, 500);
         assert_eq!(j.get("device_runs").and_then(Json::as_u64), Some(2_000));

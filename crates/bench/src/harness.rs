@@ -19,7 +19,7 @@ use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
 use ocelot_runtime::model::{build, Built, ExecModel};
 use ocelot_runtime::obs::Obs;
 use ocelot_runtime::stats::Stats;
-use ocelot_runtime::ExecBackend;
+use ocelot_runtime::{ExecBackend, OptLevel};
 
 /// Step budget per program run — generous; runs are thousands of steps.
 pub const MAX_STEPS: u64 = 5_000_000;
@@ -256,6 +256,12 @@ pub struct CellSpec {
     /// the same stats), so this only changes how fast the cell
     /// simulates — but artifacts record it for provenance.
     pub backend: ExecBackend,
+    /// Optimization level of the compiled backend (ignored by the
+    /// interpreter). Levels are observationally identical by
+    /// construction, so artifacts deliberately do NOT record it: the
+    /// same sweep at `--opt 0` and `--opt 2` must produce byte-identical
+    /// artifacts.
+    pub opt: OptLevel,
     /// When set, the cell's environment and power supply come from this
     /// scenario (an [`ocelot_scenario::parse`] spec, reseeded with the
     /// cell seed) instead of the benchmark's default world and the
@@ -276,6 +282,7 @@ impl CellSpec {
             workload,
             expiry_window_us: None,
             backend: ExecBackend::Interp,
+            opt: OptLevel::from_env(),
             scenario: None,
         }
     }
@@ -283,6 +290,13 @@ impl CellSpec {
     /// Selects the execution backend (builder-style).
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the compiled backend's optimization level
+    /// (builder-style; the interpreter ignores it).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -350,7 +364,8 @@ pub fn run_cell_full(spec: &CellSpec) -> CellRun {
         calibrated_costs(&b),
         supply,
     )
-    .with_backend(spec.backend);
+    .with_backend(spec.backend)
+    .with_opt(spec.opt);
     if pathological {
         m = m.with_injector(pathological_targets(&built.policies));
     }

@@ -199,6 +199,9 @@ pub fn build_policies(p: &Program, taint: &TaintAnalysis) -> PolicySet {
                     inputs: decl_inputs,
                 });
             }
+            // Loop-bound declarations are forward-progress metadata,
+            // not timing policies.
+            AnnotKind::Bound(_) => {}
         }
     }
 

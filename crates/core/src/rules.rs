@@ -250,6 +250,8 @@ impl<'a> Walker<'a> {
                 let rule = match kind {
                     AnnotKind::Fresh => RuleId::LetFresh,
                     AnnotKind::Consistent(_) => RuleId::LetConsistent,
+                    // No typing rule applies to a loop-bound marker.
+                    AnnotKind::Bound(_) => return,
                 };
                 self.d.applications.push((rule, here));
                 // Premise: callChain(FS, ins) ⊆ PD(...).inputs.

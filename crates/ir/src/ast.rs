@@ -181,11 +181,14 @@ pub enum Stmt {
     If(Expr, Block, Option<Block>, Span),
     /// `repeat n { .. }` — bounded loop with a static trip count.
     Repeat(u64, Block, Span),
-    /// `while e { .. }` — unbounded loop. The paper's formal model
-    /// presents bounded loops only ("unbounded loops do not introduce
-    /// technical difficulties", §4.1); the toolchain supports them, and
-    /// the forward-progress analysis reports them as unbounded.
-    While(Expr, Block, Span),
+    /// `while e { .. }` — loop with a re-evaluated condition. The
+    /// paper's formal model presents bounded loops only ("unbounded
+    /// loops do not introduce technical difficulties", §4.1); the
+    /// toolchain supports them, and the forward-progress analysis
+    /// recovers a trip count from monotone-counter shapes or from an
+    /// explicit `while e @bound k { .. }` declaration (the `Option`
+    /// here), reporting everything else as unbounded.
+    While(Expr, Option<u64>, Block, Span),
     /// `atomic { .. }` — a manually-placed atomic region (§8).
     Atomic(Block, Span),
     /// `f(args);` — call for effect, result discarded.
@@ -213,7 +216,7 @@ impl Stmt {
             | Stmt::ConsistentAnnot(_, _, s)
             | Stmt::If(_, _, _, s)
             | Stmt::Repeat(_, _, s)
-            | Stmt::While(_, _, s)
+            | Stmt::While(_, _, _, s)
             | Stmt::Atomic(_, s)
             | Stmt::CallStmt(_, _, s)
             | Stmt::Out(_, _, s)

@@ -282,6 +282,25 @@ impl BodyBuilder {
         body(&mut bb);
         self.push(Stmt::While(
             cond.into_expr(),
+            None,
+            Block::new(bb.stmts),
+            Span::default(),
+        ))
+    }
+
+    /// `while cond @bound k { body }` — a loop with a declared trip
+    /// count for the forward-progress analysis.
+    pub fn while_bounded(
+        &mut self,
+        cond: impl IntoExpr,
+        bound: u64,
+        body: impl FnOnce(&mut BodyBuilder),
+    ) -> &mut Self {
+        let mut bb = BodyBuilder::default();
+        body(&mut bb);
+        self.push(Stmt::While(
+            cond.into_expr(),
+            Some(bound),
             Block::new(bb.stmts),
             Span::default(),
         ))

@@ -56,6 +56,13 @@ pub enum AnnotKind {
     /// `Consistent(x, id)` — §4.2 temporal-consistency constraint; all
     /// variables sharing an id form one consistent set.
     Consistent(u32),
+    /// `@bound k` on a `while` loop: a declared trip count for the
+    /// forward-progress analysis. Not a timing policy — it names no
+    /// variable (the carrier ident is a `$bound` placeholder), declares
+    /// nothing to the policy builder, and is skipped by every
+    /// taint/liveness consumer. It lives in the loop's header block so
+    /// the bound recovery can read it off the natural loop.
+    Bound(u64),
 }
 
 /// A storage destination for an assignment.

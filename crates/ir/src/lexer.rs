@@ -135,6 +135,7 @@ impl<'s> Lexer<'s> {
             b'*' => (TokenKind::Star, 1),
             b'/' => (TokenKind::Slash, 1),
             b'%' => (TokenKind::Percent, 1),
+            b'@' => (TokenKind::At, 1),
             b'=' if two(self) == Some(b'=') => (TokenKind::EqEq, 2),
             b'=' => (TokenKind::Eq, 1),
             b'!' if two(self) == Some(b'=') => (TokenKind::NotEq, 2),

@@ -442,13 +442,21 @@ impl<'a> FnLower<'a> {
                 });
                 self.seal_to(Terminator::Jump(head), after);
             }
-            Stmt::While(cond, body, _) => {
+            Stmt::While(cond, bound, body, _) => {
                 // head: if cond { body; jump head } after — the condition
                 // re-evaluates every iteration (unbounded loop, §4.1).
                 let head = alloc.fresh();
                 let body_id = alloc.fresh();
                 let after = alloc.fresh();
                 self.seal_to(Terminator::Jump(head), head);
+                if let Some(k) = bound {
+                    // The declared trip count rides in the header block
+                    // where the bound recovery looks for it.
+                    self.push(Op::Annot {
+                        kind: AnnotKind::Bound(*k),
+                        var: "$bound".into(),
+                    });
+                }
                 let cond = self.rename_expr(cond);
                 self.seal_to(
                     Terminator::Branch {

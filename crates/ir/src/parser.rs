@@ -305,8 +305,27 @@ impl Parser {
             TokenKind::While => {
                 self.bump();
                 let cond = self.expr()?;
+                // `while e @bound k { .. }` declares the loop's trip
+                // count for the forward-progress analysis; the runtime
+                // semantics are unchanged.
+                let bound = if self.eat(&TokenKind::At) {
+                    let word = self.ident()?;
+                    if word != "bound" {
+                        return Err(IrError::Parse {
+                            span: start,
+                            message: format!(
+                                "unknown loop annotation `@{word}` (only `@bound k` is supported)"
+                            ),
+                        });
+                    }
+                    // The lexer only produces non-negative literals, so
+                    // `@bound -1` fails in `int()` on the `-`.
+                    Some(self.int()? as u64)
+                } else {
+                    None
+                };
                 let body = self.block()?;
-                Ok(Stmt::While(cond, body, start))
+                Ok(Stmt::While(cond, bound, body, start))
             }
             TokenKind::Atomic => {
                 self.bump();
@@ -711,8 +730,9 @@ mod tests {
         let ast = parse(src).unwrap();
         let main = ast.func("main").unwrap();
         match &main.body.stmts[0] {
-            Stmt::While(cond, body, _) => {
+            Stmt::While(cond, bound, body, _) => {
                 assert!(matches!(cond, Expr::Binary(BinOp::Gt, _, _)));
+                assert_eq!(*bound, None);
                 assert_eq!(body.stmts.len(), 1);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -722,6 +742,33 @@ mod tests {
     #[test]
     fn while_requires_a_block() {
         assert!(parse("fn main() { while 1 skip; }").is_err());
+    }
+
+    #[test]
+    fn parses_while_with_bound_annotation() {
+        let src = "nv g = 3; fn main() { while g > 0 @bound 12 { g = g - 1; } }";
+        let ast = parse(src).unwrap();
+        let main = ast.func("main").unwrap();
+        match &main.body.stmts[0] {
+            Stmt::While(_, bound, body, _) => {
+                assert_eq!(*bound, Some(12));
+                assert_eq!(body.stmts.len(), 1);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_annotation_rejects_bad_forms() {
+        // A negative count is meaningless (literals are non-negative).
+        let err =
+            parse("nv g = 1; fn main() { while g > 0 @bound -1 { g = g - 1; } }").unwrap_err();
+        assert!(err.to_string().contains("integer literal"), "{err}");
+        // Only `bound` is a known loop annotation.
+        let err = parse("nv g = 1; fn main() { while g > 0 @fuel 3 { g = g - 1; } }").unwrap_err();
+        assert!(err.to_string().contains("unknown loop annotation"), "{err}");
+        // The count is mandatory.
+        assert!(parse("nv g = 1; fn main() { while g > 0 @bound { g = g - 1; } }").is_err());
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn fold_stmt(s: &Stmt) -> Stmt {
             Stmt::If(fold_expr(c), fold_block(t), e.as_ref().map(fold_block), *sp)
         }
         Stmt::Repeat(n, b, sp) => Stmt::Repeat(*n, fold_block(b), *sp),
-        Stmt::While(c, b, sp) => Stmt::While(fold_expr(c), fold_block(b), *sp),
+        Stmt::While(c, bound, b, sp) => Stmt::While(fold_expr(c), *bound, fold_block(b), *sp),
         Stmt::Atomic(b, sp) => Stmt::Atomic(fold_block(b), *sp),
         Stmt::Out(ch, args, sp) => Stmt::Out(ch.clone(), args.iter().map(fold_expr).collect(), *sp),
         Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(fold_expr), *sp),
@@ -245,7 +245,7 @@ mod tests {
         let folded = fold_constants(&ast);
         let main = folded.func("main").unwrap();
         match &main.body.stmts[0] {
-            Stmt::While(_, body, _) => match &body.stmts[0] {
+            Stmt::While(_, _, body, _) => match &body.stmts[0] {
                 Stmt::Assign(_, Expr::Int(3), _) => {}
                 other => panic!("not folded: {other:?}"),
             },

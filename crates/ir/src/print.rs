@@ -60,6 +60,7 @@ pub fn op_to_string(p: &Program, op: &Op) -> String {
         Op::Annot { kind, var } => match kind {
             crate::ir::AnnotKind::Fresh => format!("fresh({var})"),
             crate::ir::AnnotKind::Consistent(id) => format!("consistent({var}, {id})"),
+            crate::ir::AnnotKind::Bound(k) => format!("@bound({k})"),
         },
         Op::AtomStart { region } => format!("startatom(r{})", region.0),
         Op::AtomEnd { region } => format!("endatom(r{})", region.0),

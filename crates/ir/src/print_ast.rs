@@ -106,8 +106,15 @@ fn write_stmt(s: &mut String, st: &Stmt, depth: usize) {
             indent(s, depth);
             s.push_str("}\n");
         }
-        Stmt::While(c, b, _) => {
-            let _ = writeln!(s, "while {} {{", expr(c));
+        Stmt::While(c, bound, b, _) => {
+            match bound {
+                Some(k) => {
+                    let _ = writeln!(s, "while {} @bound {k} {{", expr(c));
+                }
+                None => {
+                    let _ = writeln!(s, "while {} {{", expr(c));
+                }
+            }
             write_block(s, b, depth + 1);
             indent(s, depth);
             s.push_str("}\n");
@@ -207,7 +214,7 @@ fn erase_block(b: &mut Block) {
                     erase_block(e);
                 }
             }
-            Stmt::Repeat(_, b, sp) | Stmt::While(_, b, sp) | Stmt::Atomic(b, sp) => {
+            Stmt::Repeat(_, b, sp) | Stmt::While(_, _, b, sp) | Stmt::Atomic(b, sp) => {
                 *sp = z;
                 erase_block(b);
             }

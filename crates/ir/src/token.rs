@@ -98,6 +98,8 @@ pub enum TokenKind {
     AmpAmp,
     /// `||`
     PipePipe,
+    /// `@` — introduces a loop annotation (`while e @bound k { .. }`).
+    At,
 
     /// End of input.
     Eof,
@@ -175,6 +177,7 @@ impl TokenKind {
             TokenKind::Amp => "`&`",
             TokenKind::AmpAmp => "`&&`",
             TokenKind::PipePipe => "`||`",
+            TokenKind::At => "`@`",
             TokenKind::Eof => "end of input",
         }
     }

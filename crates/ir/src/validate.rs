@@ -221,6 +221,12 @@ fn validate_function(p: &Program, f: &Function) -> Result<()> {
                         check_expr(e, "output argument")?;
                     }
                 }
+                // Bound annotations carry a placeholder ident, not a
+                // variable — there is nothing to resolve.
+                Op::Annot {
+                    kind: crate::ir::AnnotKind::Bound(_),
+                    ..
+                } => {}
                 Op::Annot { var, .. } => {
                     if !known(var) {
                         return Err(IrError::validate(format!(

@@ -40,12 +40,14 @@
 //! Accesses that cannot be proven fall back to [`Action::AssignDyn`] /
 //! [`CExpr::DynVar`], which run the interpreter's own resolution path.
 
-use crate::machine::{static_op_cost, static_term_cost, Machine};
+use super::OptLevel;
+use crate::machine::{eval_binop, static_op_cost, static_term_cost, Machine};
 use ocelot_analysis::chains::ChainId;
 use ocelot_analysis::dom::{point_dominates, DomTree, Point};
+use ocelot_analysis::FuncSsa;
 use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
 use ocelot_ir::cfg::Cfg;
-use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Op, Place, RegionId, Terminator};
+use ocelot_ir::{BlockId, FuncId, Function, InstrRef, Label, Op, Place, RegionId, Terminator};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -130,6 +132,12 @@ pub(crate) struct Step<'p> {
     /// True when detector checks, expiry checks, or fresh-use logging
     /// can fire at this site (pre-bound from the policy-derived maps).
     pub(crate) checked: bool,
+    /// True when this checked site's probe is provably redundant (every
+    /// required chain must-collected; see
+    /// `MachineCore::elidable_sites`) and the opt level elides it. The
+    /// runtime additionally gates on the per-run supply (bits must be
+    /// un-clearable mid-run).
+    pub(crate) elidable: bool,
     /// True when the pathological injector targets this site.
     pub(crate) inject: bool,
     /// What the step does.
@@ -252,6 +260,11 @@ pub(crate) enum Action<'p> {
         /// Name, for the (unreachable in lowered programs) unbound
         /// fallback.
         var: &'p str,
+        /// True for a reclassified always-bound local: the store binds
+        /// the slot when it is unbound instead of falling back to the
+        /// non-volatile cell (no read can observe the difference — every
+        /// read is dominated by a write).
+        bind: bool,
         /// Stored value.
         src: CExpr<'p>,
     },
@@ -376,6 +389,22 @@ pub(crate) enum CExpr<'p> {
     /// `&x` in expression position (only valid in call args; evaluates
     /// to untainted 0, as in the interpreter).
     RefArg,
+    /// Evaluate the inner expression *by value only* and return it with
+    /// an empty dependency set. Emitted at `O2` where the optimizer
+    /// proved the dependency set is empty anyway (value purity) or can
+    /// never reach an observation (dependency liveness) or is dropped
+    /// by the consumer (branch conditions, store indices) — the
+    /// taint-free fast path.
+    PureOf(Box<CExpr<'p>>),
+}
+
+/// Wraps an expression for taint-free evaluation (no-op for constants,
+/// which are already dependency-free).
+fn pure_of(e: CExpr<'_>) -> CExpr<'_> {
+    match e {
+        CExpr::Const(_) | CExpr::RefArg | CExpr::PureOf(_) => e,
+        e => CExpr::PureOf(Box::new(e)),
+    }
 }
 
 /// Compiles the machine's program against its detector configuration,
@@ -477,11 +506,15 @@ impl<'p> Cx<'_, 'p> {
         action: Action<'p>,
     ) -> Step<'p> {
         let iref = InstrRef { func: f.id, label };
+        let checked = self.m.core.use_rt.contains_key(&iref);
         Step {
             iref,
             cost,
             cat,
-            checked: self.m.core.use_rt.contains_key(&iref),
+            checked,
+            elidable: checked
+                && self.m.opt == OptLevel::O2
+                && self.m.core.elidable_sites.contains(&iref),
             inject: self.m.injector_targets.contains(&iref),
             action,
         }
@@ -492,6 +525,48 @@ impl<'p> Cx<'_, 'p> {
             cycles,
             us: self.m.core.costs.cycles_to_us(cycles),
         }
+    }
+
+    /// SSA facts for `f`.
+    fn facts(&self, f: &Function) -> &FuncSsa {
+        &self.m.core.ssa.funcs[f.id.0 as usize]
+    }
+
+    /// At `O2`, wraps `e` for taint-free evaluation when `justified`
+    /// holds (the two sound justifications are value purity and
+    /// dependency deadness; consumers that drop dependency sets pass
+    /// `|| true`).
+    fn wrap_o2(&self, e: CExpr<'p>, justified: impl FnOnce() -> bool) -> CExpr<'p> {
+        if self.m.opt == OptLevel::O2 && justified() {
+            pure_of(e)
+        } else {
+            e
+        }
+    }
+
+    /// The compiled source of a store to slot-guaranteed local `var`
+    /// (`Bind`, or `Assign` classified as `AssignLocal`): a dead
+    /// definition of an always-bound local shrinks to an untainted 0
+    /// (the slot write still happens, keeping binding state and
+    /// checkpoint word counts identical, but the unread value's
+    /// evaluation is gone); otherwise the source compiles normally and
+    /// is taint-free-wrapped when the value is pure or its dependency
+    /// set provably unobservable. Always-boundedness matters for the
+    /// shrink: a dead store to a *possibly-unbound* local would reach
+    /// the non-volatile fallback, which a later run could read.
+    fn store_src(&self, f: &'p Function, label: Label, var: &str, src: &'p Expr) -> CExpr<'p> {
+        let facts = self.facts(f);
+        if self.m.opt >= OptLevel::O1
+            && facts.dead_defs.contains(&label)
+            && facts.always_bound.contains(var)
+        {
+            return CExpr::Const(0);
+        }
+        let c = self.expr(f, label, src);
+        self.wrap_o2(c, || {
+            self.m.core.flow.expr_is_pure(f, src)
+                || (f.declares(var) && self.m.core.flow.var_deps_dead(f.id, var))
+        })
     }
 
     fn local_dst(&self, f: &Function, var: &'p str) -> LocalDst<'p> {
@@ -518,6 +593,7 @@ impl<'p> Cx<'_, 'p> {
     fn call_plan(
         &self,
         f: &'p Function,
+        label: Label,
         dst: Option<&'p str>,
         callee: FuncId,
         args: &'p [Arg],
@@ -533,7 +609,20 @@ impl<'p> Cx<'_, 'p> {
             .map(|(a, bind)| match (a, bind) {
                 (Arg::Value(e), ParamBind::Value(slot)) => ArgBind::Value {
                     slot: *slot,
-                    src: self.expr(f, e),
+                    src: {
+                        let c = self.expr(f, label, e);
+                        // The argument's taint only matters through the
+                        // callee parameter it binds; dead there, the
+                        // walk is unobservable.
+                        self.wrap_o2(c, || {
+                            self.m.core.flow.expr_is_pure(f, e)
+                                || self
+                                    .m
+                                    .core
+                                    .flow
+                                    .var_deps_dead(callee, callee_layout.name(*slot))
+                        })
+                    },
                 },
                 (Arg::Ref(x), ParamBind::Ref(name)) => ArgBind::Ref {
                     param: Arc::clone(name),
@@ -543,7 +632,7 @@ impl<'p> Cx<'_, 'p> {
                 // mirrored for hand-built IR.
                 (Arg::Value(e), ParamBind::Ref(name)) => ArgBind::ValueSpill {
                     name: Arc::clone(name),
-                    src: self.expr(f, e),
+                    src: self.expr(f, label, e),
                 },
                 (Arg::Ref(x), ParamBind::Value(slot)) => ArgBind::Ref {
                     param: Arc::clone(callee_layout.name(*slot)),
@@ -579,20 +668,23 @@ impl<'p> Cx<'_, 'p> {
                 Cat::Compute,
                 Action::Bind {
                     dst: self.local_dst(f, var),
-                    src: self.expr(f, src),
+                    src: self.store_src(f, label, var, src),
                 },
             ),
             Op::Assign { place, src } => {
-                let src_c = self.expr(f, src);
+                let flow = &self.m.core.flow;
                 match place {
                     // Static local classification needs a dominating
-                    // binding: an in-scope-but-unbound local (possible —
-                    // no block scoping) is stored non-volatile at NV
-                    // cost by the interpreter.
+                    // binding — or the reclassification proof that the
+                    // local is always bound before any read (then the
+                    // store itself binds the slot; the interpreter's NV
+                    // fallback for in-scope-but-unbound locals was
+                    // over-conservative and is fixed to match).
                     Place::Var(x)
                         if f.declares(x)
                             && !f.is_by_ref_param(x)
-                            && binds.surely_bound(f, x, at) =>
+                            && (binds.surely_bound(f, x, at)
+                                || self.m.core.reclass[f.id.0 as usize].contains(x.as_str())) =>
                     {
                         let slot = self
                             .m
@@ -606,51 +698,94 @@ impl<'p> Cx<'_, 'p> {
                             Action::AssignLocal {
                                 slot,
                                 var: x,
-                                src: src_c,
+                                bind: self.m.core.reclass[f.id.0 as usize].contains(x.as_str()),
+                                src: self.store_src(f, label, x, src),
                             },
                         )
                     }
-                    Place::Var(x) if f.declares(x) => (
-                        Cost::Dynamic,
-                        Cat::Compute,
-                        Action::AssignDyn { place, src: src_c },
-                    ),
-                    Place::Var(x) if !f.declares(x) => match self.m.dev.nv.scalar_slot(x) {
-                        Some(slot) => (
-                            self.fixed(c.nv_write),
-                            Cat::Compute,
-                            Action::AssignGlobal { slot, src: src_c },
-                        ),
-                        // Undeclared destination: keep the interpreter's
-                        // dynamic cost and store path.
-                        None => (
+                    Place::Var(x) if f.declares(x) => {
+                        let src_c = self.expr(f, label, src);
+                        (
                             Cost::Dynamic,
                             Cat::Compute,
-                            Action::AssignDyn { place, src: src_c },
-                        ),
+                            Action::AssignDyn {
+                                place,
+                                // The store may reach the NV fallback (a
+                                // later run could read the cell), so only
+                                // exact purity justifies the fast path.
+                                src: self.wrap_o2(src_c, || flow.expr_is_pure(f, src)),
+                            },
+                        )
+                    }
+                    Place::Var(x) if !f.declares(x) => match self.m.dev.nv.scalar_slot(x) {
+                        Some(slot) => {
+                            let src_c = self.expr(f, label, src);
+                            (
+                                self.fixed(c.nv_write),
+                                Cat::Compute,
+                                Action::AssignGlobal {
+                                    slot,
+                                    src: self.wrap_o2(src_c, || {
+                                        flow.expr_is_pure(f, src) || flow.global_deps_dead(x)
+                                    }),
+                                },
+                            )
+                        }
+                        // Undeclared destination: keep the interpreter's
+                        // dynamic cost and store path.
+                        None => {
+                            let src_c = self.expr(f, label, src);
+                            (
+                                Cost::Dynamic,
+                                Cat::Compute,
+                                Action::AssignDyn {
+                                    place,
+                                    src: self.wrap_o2(src_c, || flow.expr_is_pure(f, src)),
+                                },
+                            )
+                        }
                     },
                     // A by-ref parameter reassignment is invalid in
                     // validated programs; run it dynamically.
                     Place::Var(_) => (
                         Cost::Dynamic,
                         Cat::Compute,
-                        Action::AssignDyn { place, src: src_c },
-                    ),
-                    Place::Index(a, i) => (
-                        self.fixed(c.nv_write),
-                        Cat::Compute,
-                        Action::AssignIndex {
-                            name: a,
-                            slot: self.m.dev.nv.array_slot(a),
-                            idx: self.expr(f, i),
-                            src: src_c,
+                        Action::AssignDyn {
+                            place,
+                            src: self.expr(f, label, src),
                         },
                     ),
-                    Place::Deref(x) => (
-                        Cost::Dynamic,
-                        Cat::Compute,
-                        Action::AssignDeref { var: x, src: src_c },
-                    ),
+                    Place::Index(a, i) => {
+                        let src_c = self.expr(f, label, src);
+                        let idx_c = self.expr(f, label, i);
+                        (
+                            self.fixed(c.nv_write),
+                            Cat::Compute,
+                            Action::AssignIndex {
+                                name: a,
+                                slot: self.m.dev.nv.array_slot(a),
+                                // A store drops its index's dependency
+                                // set (only the value is consumed).
+                                idx: self.wrap_o2(idx_c, || true),
+                                src: self.wrap_o2(src_c, || {
+                                    flow.expr_is_pure(f, src) || flow.global_deps_dead(a)
+                                }),
+                            },
+                        )
+                    }
+                    Place::Deref(x) => {
+                        let src_c = self.expr(f, label, src);
+                        (
+                            Cost::Dynamic,
+                            Cat::Compute,
+                            Action::AssignDeref {
+                                var: x,
+                                src: self.wrap_o2(src_c, || {
+                                    flow.expr_is_pure(f, src) || flow.refout_deps_dead(f.id, x)
+                                }),
+                            },
+                        )
+                    }
                 }
             }
             Op::Input { var, sensor } => {
@@ -675,7 +810,7 @@ impl<'p> Cx<'_, 'p> {
                 fixed_op(),
                 Cat::Compute,
                 Action::Call {
-                    plan: self.call_plan(f, dst.as_deref(), *callee, args),
+                    plan: self.call_plan(f, label, dst.as_deref(), *callee, args),
                 },
             ),
             Op::Output { channel, args } => (
@@ -686,7 +821,16 @@ impl<'p> Cx<'_, 'p> {
                         Some(a) => Arc::clone(a),
                         None => Arc::from(channel.as_str()),
                     },
-                    args: args.iter().map(|e| self.expr(f, e)).collect(),
+                    // Output argument dependency sets are observed (they
+                    // feed the fresh-use trace), so only exact purity
+                    // justifies skipping the taint walk.
+                    args: args
+                        .iter()
+                        .map(|e| {
+                            let c = self.expr(f, label, e);
+                            self.wrap_o2(c, || self.m.core.flow.expr_is_pure(f, e))
+                        })
+                        .collect(),
                 },
             ),
             Op::AtomStart { region } => (
@@ -704,6 +848,9 @@ impl<'p> Cx<'_, 'p> {
     }
 
     fn terminator(&self, f: &'p Function, label: ocelot_ir::Label, t: &'p Terminator) -> Step<'p> {
+        // The cost is derived from the *original* terminator, so a
+        // folded constant branch still charges Branch cycles — only the
+        // host-side condition evaluation disappears.
         let cost = self.fixed(static_term_cost(&self.m.core.costs, t));
         let action = match t {
             Terminator::Jump(b) => Action::Jump(*b),
@@ -711,21 +858,43 @@ impl<'p> Cx<'_, 'p> {
                 cond,
                 then_bb,
                 else_bb,
-            } => Action::Branch {
-                cond: self.expr(f, cond),
-                then_bb: *then_bb,
-                else_bb: *else_bb,
-            },
-            Terminator::Ret(e) => Action::Ret(e.as_ref().map(|e| self.expr(f, e))),
+            } => {
+                let c = self.expr(f, label, cond);
+                if let (true, CExpr::Const(k)) = (self.m.opt >= OptLevel::O1, &c) {
+                    Action::Jump(if *k != 0 { *then_bb } else { *else_bb })
+                } else {
+                    Action::Branch {
+                        // Both backends branch on the value alone; the
+                        // condition's dependency set is never observed.
+                        cond: self.wrap_o2(c, || true),
+                        then_bb: *then_bb,
+                        else_bb: *else_bb,
+                    }
+                }
+            }
+            Terminator::Ret(e) => Action::Ret(e.as_ref().map(|e| {
+                let c = self.expr(f, label, e);
+                self.wrap_o2(c, || {
+                    self.m.core.flow.expr_is_pure(f, e) || self.m.core.flow.ret_deps_dead(f.id)
+                })
+            })),
         };
         self.step(f, label, cost, Cat::Compute, action)
     }
 
-    fn expr(&self, f: &'p Function, e: &'p Expr) -> CExpr<'p> {
+    fn expr(&self, f: &'p Function, label: Label, e: &'p Expr) -> CExpr<'p> {
         match e {
             Expr::Int(n) => CExpr::Const(*n),
             Expr::Bool(b) => CExpr::Const(*b as i64),
             Expr::Var(x) => {
+                // SSA constant propagation: a use reached only by one
+                // constant-valued def (whose taint is provably pure)
+                // reads the literal directly.
+                if self.m.opt >= OptLevel::O1 {
+                    if let Some(k) = self.facts(f).const_uses.get(&(label, x.clone())) {
+                        return CExpr::Const(*k);
+                    }
+                }
                 if f.is_by_ref_param(x) {
                     CExpr::RefParam(x)
                 } else if f.declares(x) {
@@ -744,12 +913,27 @@ impl<'p> Cx<'_, 'p> {
             Expr::Index(a, i) => CExpr::Index {
                 name: a,
                 slot: self.m.dev.nv.array_slot(a),
-                idx: Box::new(self.expr(f, i)),
+                idx: Box::new(self.expr(f, label, i)),
             },
             Expr::Binary(op, l, r) => {
-                CExpr::Binary(*op, Box::new(self.expr(f, l)), Box::new(self.expr(f, r)))
+                let (lc, rc) = (self.expr(f, label, l), self.expr(f, label, r));
+                if let (true, CExpr::Const(a), CExpr::Const(b)) =
+                    (self.m.opt >= OptLevel::O1, &lc, &rc)
+                {
+                    return CExpr::Const(eval_binop(*op, *a, *b));
+                }
+                CExpr::Binary(*op, Box::new(lc), Box::new(rc))
             }
-            Expr::Unary(op, x) => CExpr::Unary(*op, Box::new(self.expr(f, x))),
+            Expr::Unary(op, x) => {
+                let xc = self.expr(f, label, x);
+                if let (true, CExpr::Const(a)) = (self.m.opt >= OptLevel::O1, &xc) {
+                    return CExpr::Const(match op {
+                        UnOp::Neg => a.wrapping_neg(),
+                        UnOp::Not => (*a == 0) as i64,
+                    });
+                }
+                CExpr::Unary(*op, Box::new(xc))
+            }
         }
     }
 }
@@ -1040,7 +1224,7 @@ mod tests {
     #[test]
     fn globals_resolve_to_their_nv_slots() {
         let p = irc("nv a = 1; nv arr[2]; nv b = 2; fn main() { b = a + arr[0]; }").unwrap();
-        let m = machine_for(&p);
+        let m = machine_for(&p).with_opt(OptLevel::O0);
         let cp = compile(&m);
         let mut found = false;
         for f in &cp.funcs {
@@ -1138,5 +1322,243 @@ mod tests {
             }
         }
         assert!(saw_call);
+    }
+
+    // -----------------------------------------------------------------
+    // Optimizer passes
+    // -----------------------------------------------------------------
+
+    /// Every `main` step of `p` compiled at `opt`.
+    fn main_actions<'a>(cp: &'a CompiledProgram<'a>, p: &Program) -> Vec<&'a Action<'a>> {
+        cp.funcs[p.main.0 as usize]
+            .blocks
+            .iter()
+            .flat_map(|b| b.steps.iter().map(|s| &s.action))
+            .collect()
+    }
+
+    fn contains_pure_of(e: &CExpr<'_>) -> bool {
+        match e {
+            CExpr::PureOf(_) => true,
+            CExpr::Binary(_, l, r) => contains_pure_of(l) || contains_pure_of(r),
+            CExpr::Unary(_, x) | CExpr::Index { idx: x, .. } => contains_pure_of(x),
+            _ => false,
+        }
+    }
+
+    fn action_exprs<'a>(a: &'a Action<'a>) -> Vec<&'a CExpr<'a>> {
+        match a {
+            Action::Bind { src, .. }
+            | Action::AssignLocal { src, .. }
+            | Action::AssignGlobal { src, .. }
+            | Action::AssignDeref { src, .. }
+            | Action::AssignDyn { src, .. } => vec![src],
+            Action::AssignIndex { idx, src, .. } => vec![idx, src],
+            Action::Output { args, .. } => args.iter().collect(),
+            Action::Branch { cond, .. } => vec![cond],
+            Action::Ret(e) => e.iter().collect(),
+            Action::Call { plan } => plan
+                .binds
+                .iter()
+                .filter_map(|b| match b {
+                    ArgBind::Value { src, .. } | ArgBind::ValueSpill { src, .. } => Some(src),
+                    ArgBind::Ref { .. } => None,
+                })
+                .collect(),
+            _ => vec![],
+        }
+    }
+
+    #[test]
+    fn constants_propagate_and_fold_at_o1() {
+        let p = irc("fn main() { let a = 2; let b = a * 3 + 1; out(log, b); }").unwrap();
+        let m = machine_for(&p).with_opt(OptLevel::O1);
+        let cp = compile(&m);
+        // `b`'s definition folds to the literal 7, and the output reads
+        // it back as a propagated constant.
+        let folded = main_actions(&cp, &p).iter().any(|a| {
+            matches!(
+                a,
+                Action::Bind {
+                    src: CExpr::Const(7),
+                    ..
+                }
+            ) || matches!(
+                a,
+                Action::AssignLocal {
+                    src: CExpr::Const(7),
+                    ..
+                }
+            )
+        });
+        assert!(folded, "b = a * 3 + 1 folds to 7");
+        let out_const = main_actions(&cp, &p).iter().any(|a| {
+            matches!(a, Action::Output { args, .. }
+                if matches!(args.as_slice(), [CExpr::Const(7)]))
+        });
+        assert!(out_const, "out(log, b) reads the propagated constant");
+        // O0 keeps the expression trees intact.
+        let m0 = machine_for(&p).with_opt(OptLevel::O0);
+        let cp0 = compile(&m0);
+        assert!(
+            main_actions(&cp0, &p)
+                .iter()
+                .flat_map(|a| action_exprs(a))
+                .all(|e| !matches!(e, CExpr::Const(7))),
+            "O0 performs no folding"
+        );
+    }
+
+    #[test]
+    fn constant_branches_straighten_to_jumps_keeping_branch_cost() {
+        let p = irc("nv g = 0; fn main() { let a = 1; if a { g = 2; } else { g = 3; } }").unwrap();
+        let m = machine_for(&p).with_opt(OptLevel::O1);
+        let cp = compile(&m);
+        let m0 = machine_for(&p).with_opt(OptLevel::O0);
+        let cp0 = compile(&m0);
+        let mut saw_fold = false;
+        let main_o1 = &cp.funcs[p.main.0 as usize].blocks;
+        let main_o0 = &cp0.funcs[p.main.0 as usize].blocks;
+        for (b1, b0) in main_o1.iter().zip(main_o0) {
+            for (s1, s0) in b1.steps.iter().zip(&b0.steps) {
+                if let Action::Branch { .. } = s0.action {
+                    if let Action::Jump(t) = s1.action {
+                        saw_fold = true;
+                        // The fold picked the then-edge (a == 1) and the
+                        // step still charges the Branch's cycles.
+                        let Action::Branch { then_bb, .. } = &s0.action else {
+                            unreachable!()
+                        };
+                        assert_eq!(t, *then_bb);
+                        match (&s1.cost, &s0.cost) {
+                            (Cost::Static { cycles: c1, .. }, Cost::Static { cycles: c0, .. }) => {
+                                assert_eq!(c1, c0, "folding never changes simulated cost")
+                            }
+                            _ => panic!("branch costs are static"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_fold, "the constant branch became a jump");
+    }
+
+    #[test]
+    fn dead_stores_to_always_bound_locals_shrink_to_const_zero() {
+        // `a` is never read again: the stored value is unobservable, so
+        // O1 shrinks the source to a literal (the slot write itself is
+        // kept — binding state and checkpoint size must not change).
+        let p = irc("nv g = 5; fn main() { let a = g; out(log, 1); }").unwrap();
+        let zero_binds = |opt: OptLevel| {
+            let m = machine_for(&p).with_opt(opt);
+            let cp = compile(&m);
+            main_actions(&cp, &p)
+                .iter()
+                .filter(|a| {
+                    matches!(
+                        a,
+                        Action::Bind {
+                            src: CExpr::Const(0),
+                            ..
+                        }
+                    )
+                })
+                .count()
+        };
+        // The lowering's `let $ret = 0` is a literal zero bind at every
+        // level; the shrink adds `a`'s.
+        assert_eq!(zero_binds(OptLevel::O0), 1, "O0 keeps the full store");
+        assert_eq!(
+            zero_binds(OptLevel::O1),
+            2,
+            "the dead read of g was dropped"
+        );
+    }
+
+    #[test]
+    fn pure_of_wraps_only_at_o2_and_never_observed_deps() {
+        // g's dependency set is never observed (no output or fresh use
+        // reads it), so stores to it may skip the taint walk at O2.
+        let p = irc("sensor s; nv g = 0; fn main() { let v = in(s); g = g + v; }").unwrap();
+        for opt in [OptLevel::O0, OptLevel::O1] {
+            let m = machine_for(&p).with_opt(opt);
+            let cp = compile(&m);
+            assert!(
+                main_actions(&cp, &p)
+                    .iter()
+                    .flat_map(|a| action_exprs(a))
+                    .all(|e| !contains_pure_of(e)),
+                "PureOf is an O2-only rewrite"
+            );
+        }
+        let m2 = machine_for(&p).with_opt(OptLevel::O2);
+        let cp2 = compile(&m2);
+        assert!(
+            main_actions(&cp2, &p)
+                .iter()
+                .flat_map(|a| action_exprs(a))
+                .any(contains_pure_of),
+            "the dep-dead global store is evaluated taint-free at O2"
+        );
+        // An output argument's deps ARE observed: its expression must
+        // keep the taint walk unless provably pure.
+        let p2 = irc("sensor s; fn main() { let v = in(s); out(log, v); }").unwrap();
+        let m = machine_for(&p2).with_opt(OptLevel::O2);
+        let cp = compile(&m);
+        for a in main_actions(&cp, &p2) {
+            if let Action::Output { args, .. } = a {
+                assert!(
+                    args.iter().all(|e| !contains_pure_of(e)),
+                    "input-derived output args keep their taint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_use_checks_are_elidable_only_at_o2() {
+        // Straight-line collect-then-use in one function: the input
+        // dominates the use, so the freshness probe's outcome is
+        // statically known under monotone detector bits.
+        let p = irc("sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }").unwrap();
+        let count_elidable = |opt: OptLevel| {
+            let m = machine_for(&p).with_opt(opt);
+            let cp = compile(&m);
+            let mut checked = 0;
+            let mut elidable = 0;
+            for f in &cp.funcs {
+                for b in &f.blocks {
+                    for s in &b.steps {
+                        checked += s.checked as usize;
+                        elidable += s.elidable as usize;
+                    }
+                }
+            }
+            (checked, elidable)
+        };
+        let (checked, elidable) = count_elidable(OptLevel::O2);
+        assert!(checked > 0, "the fresh use is a check site");
+        assert_eq!(elidable, checked, "the dominated probe is elidable");
+        assert_eq!(count_elidable(OptLevel::O0), (checked, 0));
+        assert_eq!(count_elidable(OptLevel::O1), (checked, 0));
+    }
+
+    #[test]
+    fn reclassified_locals_compile_to_binding_slot_stores() {
+        // `a` is declared on one branch only, then assigned and read on
+        // the join path: in-scope-but-unbound at the assignment, but
+        // provably dead-on-reboot (every read is preceded by the store),
+        // so it is reclassified as a volatile slot store that binds.
+        let p = irc("nv g = 0; fn main() { if g { let a = 1; out(log, a); } a = 2; out(log, a); }")
+            .unwrap();
+        let m = machine_for(&p);
+        let cp = compile(&m);
+        let bound = main_actions(&cp, &p)
+            .iter()
+            .any(|a| matches!(a, Action::AssignLocal { bind: true, .. }));
+        assert!(
+            bound,
+            "the unbound-on-entry store compiles to a binding slot write"
+        );
     }
 }

@@ -76,6 +76,72 @@ impl ExecBackend {
     }
 }
 
+/// How aggressively the compile pass optimizes. Every level produces
+/// byte-identical [`crate::stats::Stats`], observation traces, and
+/// [`crate::machine::RunOutcome`] sequences — optimization only removes
+/// host-side work (taint bookkeeping, expression walking, check probes
+/// whose outcome is statically known), never simulated cycles, time, or
+/// observations. The interpreter ignores the level entirely: it is the
+/// unoptimized oracle every level is differentially tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// Direct 1:1 compilation of the lowered IR (the PR 3 backend).
+    O0,
+    /// SSA-driven constant propagation and folding, constant-branch
+    /// straightening, and dead-store shrinking.
+    O1,
+    /// Everything in `O1`, plus taint-free evaluation of expressions
+    /// whose dependency sets are provably empty or unobservable, and
+    /// elision of dynamic check probes that are dominated by the
+    /// collections they require.
+    #[default]
+    O2,
+}
+
+impl OptLevel {
+    /// Stable numeric name (`"0"`/`"1"`/`"2"`), used by `--opt` and
+    /// persisted nowhere (artifacts are opt-level independent by
+    /// construction).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptLevel::O0 => "0",
+            OptLevel::O1 => "1",
+            OptLevel::O2 => "2",
+        }
+    }
+
+    /// Inverse of [`OptLevel::name`].
+    pub fn parse(name: &str) -> Option<OptLevel> {
+        match name {
+            "0" => Some(OptLevel::O0),
+            "1" => Some(OptLevel::O1),
+            "2" => Some(OptLevel::O2),
+            _ => None,
+        }
+    }
+
+    /// All levels, unoptimized first.
+    pub fn all() -> [OptLevel; 3] {
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2]
+    }
+
+    /// Dense index for per-level caches.
+    pub(crate) fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// The CI knob: reads `OCELOT_OPT` and falls back to the default
+    /// level when the variable is unset or not `0`/`1`/`2`. Test suites
+    /// that exercise the compiled backend at "whatever level CI asked
+    /// for" construct their machines with this.
+    pub fn from_env() -> OptLevel {
+        std::env::var("OCELOT_OPT")
+            .ok()
+            .and_then(|v| OptLevel::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +153,15 @@ mod tests {
         }
         assert_eq!(ExecBackend::parse("jit"), None);
         assert_eq!(ExecBackend::default(), ExecBackend::Interp);
+    }
+
+    #[test]
+    fn opt_level_names_round_trip() {
+        for (i, o) in OptLevel::all().into_iter().enumerate() {
+            assert_eq!(OptLevel::parse(o.name()), Some(o));
+            assert_eq!(o.index(), i);
+        }
+        assert_eq!(OptLevel::parse("3"), None);
+        assert_eq!(OptLevel::default(), OptLevel::O2);
     }
 }

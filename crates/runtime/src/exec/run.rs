@@ -35,8 +35,7 @@ impl<'p> Machine<'p> {
             // machines compile privately.
             let cp = if self.injector_targets.is_empty() {
                 Arc::clone(
-                    self.core
-                        .shared_compiled
+                    self.core.shared_compiled[self.opt.index()]
                         .get_or_init(|| Arc::new(compile::compile(self))),
                 )
             } else {
@@ -49,6 +48,12 @@ impl<'p> Machine<'p> {
         // Batched draws are exact only when the comparator cannot trip
         // mid-run (see `PowerSupply::consume_batch`).
         let batching = self.supply.is_continuous();
+        // Check elision leans on bit monotonicity: bits are only cleared
+        // by power failure, so a supply that can fail mid-run (or an
+        // injector that forces failures, or a TICS window whose expiry
+        // probe elision would also skip) keeps every probe dynamic.
+        self.elide_checks =
+            batching && self.injector_targets.is_empty() && self.expiry_window.is_none();
         let mut steps = 0u64;
         loop {
             if batching {
@@ -168,10 +173,18 @@ impl<'p> Machine<'p> {
             return false;
         }
 
-        // 3. Detector / expiry checks, only at pre-bound sites.
-        if step.checked && self.run_checks(here) {
-            self.mitigation_restart();
-            return false;
+        // 3. Detector / expiry checks, only at pre-bound sites. Probes
+        //    the optimizer proved redundant (see
+        //    `MachineCore::elidable_sites`) are skipped when this run's
+        //    supply cannot clear bits mid-run; the fresh-use trace
+        //    observations are still recorded identically.
+        if step.checked {
+            if step.elidable && self.elide_checks {
+                self.log_fresh_uses(here);
+            } else if self.run_checks(here) {
+                self.mitigation_restart();
+                return false;
+            }
         }
 
         // 4. Execute.
@@ -217,10 +230,17 @@ impl<'p> Machine<'p> {
                 }
                 self.advance();
             }
-            Action::AssignLocal { slot, var, src } => {
+            Action::AssignLocal {
+                slot,
+                var,
+                bind,
+                src,
+            } => {
                 let v = self.ceval(src);
                 let top = self.dev.vol.top_mut().expect("frame exists");
-                if top.get_slot(*slot).is_some() {
+                if *bind || top.get_slot(*slot).is_some() {
+                    // A reclassified always-bound local binds its slot
+                    // on first store (dead-on-reboot by SSA liveness).
                     top.set_slot(*slot, v);
                 } else if let Some(t) = top.refs.get(*var).cloned() {
                     // Unreachable in validated programs (classification
@@ -492,6 +512,53 @@ impl<'p> Machine<'p> {
                 }
             }
             CExpr::RefArg => Tainted::pure(0),
+            // The optimizer proved this subtree's dependency set empty
+            // or unobservable at this consumption site: evaluate by
+            // value only, skipping every taint-set clone and merge.
+            CExpr::PureOf(e) => Tainted::pure(self.ceval_value(e)),
+        }
+    }
+
+    /// Value-only twin of [`Runner::ceval`]: computes the same `i64`
+    /// without touching dependency sets. Only reachable under
+    /// [`CExpr::PureOf`], i.e. when the O2 flow analysis justified
+    /// dropping the taint.
+    fn ceval_value(&self, e: &CExpr<'p>) -> i64 {
+        match e {
+            CExpr::Const(n) => *n,
+            CExpr::Local { slot, name } => {
+                match self.dev.vol.top().and_then(|t| t.get_slot(*slot)) {
+                    Some(v) => v.value,
+                    None => self.read_var(name).value,
+                }
+            }
+            CExpr::RefParam(x) => match self.ref_target(x) {
+                Some(t) => self.read_target(&t).value,
+                None => self.read_var(x).value,
+            },
+            CExpr::Global(slot) => self.dev.nv.read_slot_value(*slot),
+            CExpr::DynVar(x) => self.read_var(x).value,
+            CExpr::Deref(x) => match self.ref_target(x) {
+                Some(t) => self.read_target(&t).value,
+                None => self.dev.nv.read(x).value,
+            },
+            CExpr::Index { name, slot, idx } => {
+                let i = self.ceval_value(idx);
+                match slot {
+                    Some(s) => self.dev.nv.read_idx_slot_value(*s, i),
+                    None => self.dev.nv.read_idx_value(name, i),
+                }
+            }
+            CExpr::Binary(op, l, r) => eval_binop(*op, self.ceval_value(l), self.ceval_value(r)),
+            CExpr::Unary(op, x) => {
+                let a = self.ceval_value(x);
+                match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => (a == 0) as i64,
+                }
+            }
+            CExpr::RefArg => 0,
+            CExpr::PureOf(e) => self.ceval_value(e),
         }
     }
 }

@@ -46,7 +46,7 @@ pub mod samoyed;
 pub mod stats;
 
 pub use detect::{check_trace, BitVector, DetectorConfig, ViolationEvent, ViolationKind};
-pub use exec::ExecBackend;
+pub use exec::{ExecBackend, OptLevel};
 pub use expiry::{evaluate_expiry, ExpiryReport};
 pub use machine::{pathological_targets, DeviceState, Machine, MachineCore, RunOutcome};
 pub use model::{build, Built, ExecModel};

@@ -31,19 +31,22 @@
 //! name-keyed maps used to conclude, one allocation later).
 
 use crate::detect::{BitVector, DetectorConfig, ResolvedCheck, ViolationKind};
-use crate::exec::{CompiledProgram, ExecBackend};
+use crate::exec::{CompiledProgram, ExecBackend, OptLevel};
 use crate::memory::{
     Frame, FrameLayouts, NvLoc, NvMem, ParamBind, RefTarget, RetSlot, Tainted, UndoLog, VolState,
 };
 use crate::obs::{Obs, ObsLog};
 use crate::stats::Stats;
 use ocelot_analysis::chains::{ChainId, ChainTable};
+use ocelot_analysis::dom::{point_dominates, DomTree, Point};
 use ocelot_analysis::taint::Prov;
+use ocelot_analysis::{ProgramSsa, ValueFlow};
 use ocelot_core::{PolicyKind, PolicySet, RegionInfo};
 use ocelot_hw::energy::{CostModel, PowerEvent};
 use ocelot_hw::power::PowerSupply;
 use ocelot_hw::sensors::Environment;
 use ocelot_ir::ast::{Arg, BinOp, Expr, UnOp};
+use ocelot_ir::cfg::Cfg;
 use ocelot_ir::{FuncId, InstrRef, Op, Place, Program, RegionId, Terminator};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
@@ -231,11 +234,27 @@ pub struct MachineCore<'p> {
     /// environments against it, because [`SensorRt::chan`] bakes these
     /// indexes into the input path.
     pub(crate) channels: Vec<(String, usize)>,
-    /// The compiled program shared by every injector-free device on
-    /// this core, built once on the first compiled run. Machines with
-    /// injector targets compile privately (injection sites are baked
-    /// into steps).
-    pub(crate) shared_compiled: OnceLock<Arc<CompiledProgram<'p>>>,
+    /// Whole-program SSA facts (constant uses, dead defs, always-bound
+    /// locals) the optimizing compile passes consume, indexed by
+    /// [`ocelot_ir::ir::FuncId`].
+    pub(crate) ssa: ProgramSsa,
+    /// Data-only value-flow facts: which values provably carry empty
+    /// dependency sets and which dependency sets are never observed.
+    pub(crate) flow: ValueFlow,
+    /// Per-function always-bound locals (declared, never address-taken,
+    /// every read dominated by a write): stores to these never reach
+    /// non-volatile memory, so both backends bind the volatile slot
+    /// instead of falling back to an NV cell. Indexed by function id.
+    pub(crate) reclass: Vec<BTreeSet<String>>,
+    /// Check sites whose every required chain is provably collected on
+    /// all paths before the use (the §7.3 bit is already set), making
+    /// the dynamic probe redundant under batching-compatible runs.
+    pub(crate) elidable_sites: BTreeSet<InstrRef>,
+    /// The compiled programs shared by every injector-free device on
+    /// this core, one per [`OptLevel`], each built once on the first
+    /// compiled run at that level. Machines with injector targets
+    /// compile privately (injection sites are baked into steps).
+    pub(crate) shared_compiled: [OnceLock<Arc<CompiledProgram<'p>>>; 3],
 }
 
 /// The per-device mutable half of a [`Machine`]: non-volatile memory,
@@ -273,6 +292,16 @@ pub struct DeviceState {
     /// Pooled undo log: region entry takes it, commit returns it, so
     /// the log's capacity is reused instead of re-allocated per entry.
     pub(crate) spare_log: UndoLog,
+    /// Dynamic consistency-check probes actually executed (detector
+    /// check sites reached and resolved against the bit vector). Not
+    /// part of [`Stats`]: the optimizing backend elides provably
+    /// redundant probes, and this counter is how the reduction is
+    /// measured against the interpreter oracle.
+    pub(crate) checks_probed: u64,
+    /// Scalar writes that reached non-volatile memory through the
+    /// unbound-local fallback or a global store. Not part of [`Stats`];
+    /// measures the store-reclassification fix.
+    pub(crate) nv_scalar_writes: u64,
 }
 
 impl Default for DeviceState {
@@ -293,6 +322,8 @@ impl Default for DeviceState {
             chain_times: Vec::new(),
             expiry_restarts_this_run: 0,
             spare_log: UndoLog::default(),
+            checks_probed: 0,
+            nv_scalar_writes: 0,
         }
     }
 }
@@ -324,6 +355,8 @@ impl DeviceState {
         self.chain_times.resize(core.chains.len(), None);
         self.expiry_restarts_this_run = 0;
         self.spare_log.clear();
+        self.checks_probed = 0;
+        self.nv_scalar_writes = 0;
     }
 }
 
@@ -351,6 +384,14 @@ pub struct Machine<'p> {
     pub(crate) expiry_window: Option<u64>,
     /// Which engine `run_once` drives.
     pub(crate) backend: ExecBackend,
+    /// How aggressively the compiled backend optimizes. Ignored by the
+    /// interpreter (the unoptimized oracle).
+    pub(crate) opt: OptLevel,
+    /// Per-run latch: true while the current compiled run may skip
+    /// elidable check probes. Requires a continuous supply (detector
+    /// bits are only cleared by power failure), no injector, and no
+    /// TICS expiry window (elision skips the expiry probe too).
+    pub(crate) elide_checks: bool,
     /// The pre-resolved program, built lazily on the first compiled
     /// run and invalidated by builders that change what compilation
     /// bakes in (the injector target set). Injector-free machines
@@ -551,6 +592,21 @@ impl<'p> MachineCore<'p> {
                 (ch.to_string(), idx)
             })
             .collect();
+
+        let ssa = ProgramSsa::analyze(p);
+        // Fresh-use logging observes each fresh variable's dependency
+        // set at its use sites ([`Obs::Use`]); the region transforms may
+        // strip the annotation from the instruction stream, so the flow
+        // analysis is told about those observation points explicitly.
+        let observed: Vec<(FuncId, String)> = use_rt
+            .iter()
+            .flat_map(|(site, rt)| rt.fresh_vars.iter().map(|v| (site.func, v.clone())))
+            .collect();
+        let flow = ValueFlow::analyze_observing(p, &observed);
+        let reclass: Vec<BTreeSet<String>> =
+            ssa.funcs.iter().map(|fs| fs.always_bound.clone()).collect();
+        let elidable_sites = elidable_check_sites(p, &det_cfg, use_rt.keys().copied());
+
         MachineCore {
             p,
             policies,
@@ -564,9 +620,119 @@ impl<'p> MachineCore<'p> {
             sensor_rt,
             channel_names,
             channels,
-            shared_compiled: OnceLock::new(),
+            ssa,
+            flow,
+            reclass,
+            elidable_sites,
+            shared_compiled: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
         }
     }
+}
+
+/// Check sites whose dynamic probe is provably redundant: every chain a
+/// site's checks require is *must-collected* — on every path of every
+/// run that reaches the site, the chain's input has already executed
+/// under exactly that call stack, so its §7.3 bit is set and
+/// [`BitVector::run_resolved`] cannot report a violation.
+///
+/// Bits are only cleared by power failure, so the proof transfers to
+/// execution only when the supply cannot fail mid-run — the runtime
+/// gates elision on a continuous supply (and on no injector / no TICS
+/// window); see [`Machine::run_once`]'s compiled path.
+///
+/// The proof obligation, for a site `S` (unique calling context `sctx`)
+/// and a required chain `ch = [c0 .. c(n-1)]` (call sites descending
+/// from `main`, ending at the input instruction):
+///
+/// * every function along `sctx` has a unique context (so dominance in
+///   one function's CFG translates into execution order of the whole
+///   interleaving);
+/// * with `k` the common prefix length of `ch`'s call-site part and
+///   `sctx`, the chain's divergence instruction `ch[k]` dominates the
+///   point where S's context continues (`sctx[k]`, or `S` itself when
+///   `k == sctx.len()`): every entry into that shared frame executes
+///   `ch[k]` before it can proceed toward `S`;
+/// * every deeper chain element `ch[k+1..]` dominates its function's
+///   exit: once the divergence call fires, the descent to the input is
+///   unavoidable before the callee can return.
+fn elidable_check_sites(
+    p: &Program,
+    det_cfg: &DetectorConfig,
+    sites: impl Iterator<Item = InstrRef>,
+) -> BTreeSet<InstrRef> {
+    let uc = ocelot_analysis::chains::unique_contexts(p);
+    let doms: Vec<DomTree> = p
+        .funcs
+        .iter()
+        .map(|f| DomTree::dominators(f, &Cfg::new(f)))
+        .collect();
+    let point_of = |iref: InstrRef| -> Option<Point> {
+        p.func(iref.func)
+            .find_label(iref.label)
+            .map(|(b, i)| Point::new(b, i))
+    };
+    let exit_point = |f: FuncId| -> Point {
+        let func = p.func(f);
+        Point::new(func.exit, func.block(func.exit).instrs.len())
+    };
+
+    let must_collected = |site: InstrRef, sctx: &Prov, ch: &Prov| -> Option<()> {
+        let n = ch.len();
+        if n == 0 {
+            return None;
+        }
+        let calls = &ch[..n - 1];
+        let k = calls
+            .iter()
+            .zip(sctx.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        // Where S's side of the interleaving continues inside the
+        // deepest shared frame.
+        let (next_func, next) = if k < sctx.len() {
+            (sctx[k].func, point_of(sctx[k])?)
+        } else {
+            (site.func, point_of(site)?)
+        };
+        if ch[k].func != next_func {
+            return None; // malformed chain (hand-built IR): stay dynamic
+        }
+        let at = point_of(ch[k])?;
+        if at == next || !point_dominates(&doms[next_func.0 as usize], at, next) {
+            return None;
+        }
+        for el in &ch[k + 1..] {
+            let at = point_of(*el)?;
+            if !point_dominates(&doms[el.func.0 as usize], at, exit_point(el.func)) {
+                return None;
+            }
+        }
+        Some(())
+    };
+
+    let mut out = BTreeSet::new();
+    'site: for site in sites {
+        // Uniqueness along S's own context: `unique_contexts` already
+        // requires every prefix function to have a unique context.
+        let Some(sctx) = uc[site.func.0 as usize].as_ref() else {
+            continue;
+        };
+        for check in det_cfg.use_checks.get(&site).into_iter().flatten() {
+            for ch in &check.requires {
+                // Chains without a bit (or without a reporting op) are
+                // dropped by `DetectorConfig::resolve` and can never
+                // report stale.
+                if !det_cfg.bit_of.contains_key(ch) || ch.last().is_none() {
+                    continue;
+                }
+                if must_collected(site, sctx, ch).is_none() {
+                    continue 'site;
+                }
+            }
+        }
+        out.insert(site);
+    }
+    out
 }
 
 impl<'p> Machine<'p> {
@@ -629,6 +795,8 @@ impl<'p> Machine<'p> {
             reexec_limit: None,
             expiry_window: None,
             backend: ExecBackend::Interp,
+            opt: OptLevel::default(),
+            elide_checks: false,
             compiled: None,
         }
     }
@@ -665,6 +833,37 @@ impl<'p> Machine<'p> {
     /// The engine this machine runs on.
     pub fn backend(&self) -> ExecBackend {
         self.backend
+    }
+
+    /// Selects the compiled backend's optimization level. Every level
+    /// is observably identical (same [`Stats`], traces, and
+    /// [`RunOutcome`]s); higher levels only remove host-side work. The
+    /// interpreter ignores the level.
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        if opt != self.opt {
+            // Optimization decisions are baked into compiled steps.
+            self.compiled = None;
+        }
+        self.opt = opt;
+        self
+    }
+
+    /// The optimization level the compiled backend runs at.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// Dynamic consistency-check probes executed so far (not part of
+    /// [`Stats`]: check elision is *supposed* to change this, and only
+    /// this).
+    pub fn checks_probed(&self) -> u64 {
+        self.dev.checks_probed
+    }
+
+    /// Scalar stores that reached non-volatile memory so far (globals
+    /// plus any unbound-local fallback writes). Not part of [`Stats`].
+    pub fn nv_scalar_writes(&self) -> u64 {
+        self.dev.nv_scalar_writes
     }
 
     /// Reports [`RunOutcome::Livelock`] once a region rolls back `limit`
@@ -856,7 +1055,18 @@ impl<'p> Machine<'p> {
     /// pays the NV write. Shared by both backends' dynamic-cost paths.
     pub(crate) fn assign_place_cost(&self, place: &Place) -> u64 {
         match place {
-            Place::Var(x) if !self.is_local(x) => self.core.costs.nv_write,
+            Place::Var(x) if !self.is_local(x) => {
+                // Always-bound locals (every read dominated by a write)
+                // bind their volatile slot on first store instead of
+                // leaking to NV — the store-reclassification fix. This
+                // is also what the WCET analysis already assumes when
+                // it charges declared-local stores at ALU cost.
+                if self.reclassified_local(x) {
+                    self.core.costs.alu
+                } else {
+                    self.core.costs.nv_write
+                }
+            }
             Place::Index(..) => self.core.costs.nv_write,
             Place::Deref(x) => self.deref_write_cost(x),
             _ => self.core.costs.alu,
@@ -927,6 +1137,7 @@ impl<'p> Machine<'p> {
             return false;
         };
         let rt = Arc::clone(rt);
+        self.dev.checks_probed += 1;
         // TICS expiry check precedes the use: a tripped check prevents
         // the stale use (no violation) at the cost of a handler run.
         if self.expiry_check_trips(&rt) {
@@ -946,8 +1157,24 @@ impl<'p> Machine<'p> {
                 .run_resolved(&rt.checks, here, self.dev.tau, self.dev.era);
             self.record_violations(events);
         }
-        // Record a Use observation (with dynamic taint) for the formal
-        // trace checker.
+        self.log_fresh_uses_rt(&rt, here);
+        false
+    }
+
+    /// Records a [`Obs::Use`] observation (with dynamic taint) for each
+    /// fresh-annotated variable at this site, for the formal trace
+    /// checker. Split from [`Machine::run_checks`] so an elided check
+    /// site — one whose probe the optimizer proved redundant — still
+    /// produces the identical observation trace.
+    pub(crate) fn log_fresh_uses(&mut self, here: InstrRef) {
+        let Some(rt) = self.core.use_rt.get(&here) else {
+            return;
+        };
+        let rt = Arc::clone(rt);
+        self.log_fresh_uses_rt(&rt, here);
+    }
+
+    fn log_fresh_uses_rt(&mut self, rt: &UseSiteRt, here: InstrRef) {
         for var in &rt.fresh_vars {
             let deps = self.read_var(var).deps;
             self.dev.obs.push(Obs::Use {
@@ -958,7 +1185,6 @@ impl<'p> Machine<'p> {
                 deps,
             });
         }
-        false
     }
 
     /// True when TICS mode is on and any input collection this site
@@ -1464,6 +1690,20 @@ impl<'p> Machine<'p> {
     // Values and memory
     // ------------------------------------------------------------------
 
+    /// True when `name` is an always-bound local of the current frame's
+    /// function (declared, never address-taken, no read can observe its
+    /// uninitialized entry value). Stores to these bind the volatile
+    /// slot even when it is not yet bound on this path — they can never
+    /// be read before a write, so the non-volatile fallback the
+    /// unbound-store path used to take was pure overhead (and leaked
+    /// the value into a same-named global's NV cell).
+    pub(crate) fn reclassified_local(&self, name: &str) -> bool {
+        match self.dev.vol.top() {
+            Some(f) => self.core.reclass[f.func.0 as usize].contains(name),
+            None => false,
+        }
+    }
+
     pub(crate) fn is_local(&self, name: &str) -> bool {
         let Some(f) = self.dev.vol.top() else {
             return false;
@@ -1559,6 +1799,7 @@ impl<'p> Machine<'p> {
 
     /// Writes a non-volatile scalar, undo-logging inside atomic regions.
     pub(crate) fn nv_write_scalar(&mut self, name: &str, v: Tainted) {
+        self.dev.nv_scalar_writes += 1;
         let slot = self.dev.nv.ensure_scalar(name);
         let old = self.dev.nv.write_slot(slot, v);
         self.log_scalar_undo(slot, old);
@@ -1567,6 +1808,7 @@ impl<'p> Machine<'p> {
     /// Slot-resolved variant of [`Machine::nv_write_scalar`], used by
     /// the compiled backend for declared globals.
     pub(crate) fn nv_write_scalar_slot(&mut self, slot: usize, v: Tainted) {
+        self.dev.nv_scalar_writes += 1;
         let old = self.dev.nv.write_slot(slot, v);
         self.log_scalar_undo(slot, old);
     }
@@ -1616,6 +1858,12 @@ impl<'p> Machine<'p> {
                     top.set_extra(x, v);
                 } else if let Some(t) = top.refs.get(x.as_str()).cloned() {
                     self.write_target(&t, v);
+                } else if let Some(s) =
+                    slot.filter(|_| self.core.reclass[func.0 as usize].contains(x.as_str()))
+                {
+                    // Always-bound local: bind the slot (see
+                    // [`Machine::reclassified_local`]); never NV.
+                    self.dev.vol.top_mut().expect("frame exists").set_slot(s, v);
                 } else {
                     self.nv_write_scalar(x, v);
                 }

@@ -314,6 +314,17 @@ impl NvMem {
         self.scalars[slot].clone()
     }
 
+    /// Value-only read of the scalar at a pre-resolved slot — no
+    /// dependency-set clone. Used by the optimizer's taint-free
+    /// expression path, which has proven the deps unobservable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::scalar_slot`].
+    pub fn read_slot_value(&self, slot: usize) -> i64 {
+        self.scalars[slot].value
+    }
+
     /// Writes a scalar global, returning the previous value for undo
     /// logging. Unknown names are allocated a fresh slot.
     pub fn write(&mut self, name: &str, v: Tainted) -> Tainted {
@@ -352,6 +363,29 @@ impl NvMem {
         }
         let i = (idx.max(0) as usize).min(a.len() - 1);
         a[i].clone()
+    }
+
+    /// Value-only variant of [`NvMem::read_idx`].
+    pub fn read_idx_value(&self, name: &str, idx: i64) -> i64 {
+        match self.array_index.get(name) {
+            Some(&s) => self.read_idx_slot_value(s, idx),
+            None => 0,
+        }
+    }
+
+    /// Value-only variant of [`NvMem::read_idx_slot`] — no
+    /// dependency-set clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not obtained from [`NvMem::array_slot`].
+    pub fn read_idx_slot_value(&self, slot: usize, idx: i64) -> i64 {
+        let a = &self.arrays[slot];
+        if a.is_empty() {
+            return 0;
+        }
+        let i = (idx.max(0) as usize).min(a.len() - 1);
+        a[i].value
     }
 
     /// Writes `name[idx]` (clamped), returning `(clamped_index, old)`.

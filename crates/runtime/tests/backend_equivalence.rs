@@ -495,3 +495,81 @@ fn deep_call_stack_failures_at_every_offset_agree() {
     assert_eq!(interp.trace, compiled.trace);
     assert!(interp.stats.violations > 0, "the injection really bites");
 }
+
+#[test]
+fn repeated_multi_path_stacks_rebuild_dynamic_chains_identically() {
+    // The chain-table dynamic-miss path, hammered: `probe` is reachable
+    // through two different call paths, so its input site has no fixed
+    // stack and every collection rebuilds its provenance chain at run
+    // time. Each path loops, producing the *same* dynamic chain many
+    // times over — the rebuild must be deterministic, distinct per
+    // path, and agree byte-for-byte between backends. A separate
+    // statically-chained input keeps the interned table non-empty so
+    // the misses probe a real table, not a vacuous one.
+    let src = r#"
+        sensor s;
+        fn probe() { let v = in(s); return v; }
+        fn via_a() { let acc = 0; repeat 3 { let v = probe(); acc = acc + v; } return acc; }
+        fn via_b() { let acc = 0; repeat 2 { let v = probe(); acc = acc + v; } return acc; }
+        fn main() {
+            let tracked = in(s);
+            fresh(tracked);
+            out(alarm, tracked);
+            let a = via_a();
+            let b = via_b();
+            out(log, a + b);
+        }
+    "#;
+    let (p, policies, regions) = build(src);
+    let env = Environment::new().with(
+        "s",
+        Signal::Ramp {
+            start: 1,
+            end: 500,
+            t0_us: 0,
+            t1_us: 5_000,
+        },
+    );
+    let mk = |backend| {
+        run(
+            &p,
+            &policies,
+            &regions,
+            env.clone(),
+            Box::new(ContinuousPower),
+            backend,
+            3,
+            false,
+        )
+    };
+    let interp = mk(ExecBackend::Interp);
+    let compiled = mk(ExecBackend::Compiled);
+    assert_eq!(interp.outcome, compiled.outcome);
+    assert_eq!(interp.stats, compiled.stats);
+    assert_eq!(interp.trace, compiled.trace);
+
+    // Group the collected chains: per run, 1 static + 3 via_a + 2 via_b.
+    let chains: Vec<_> = interp
+        .trace
+        .iter()
+        .filter_map(|o| match o {
+            Obs::Input { chain, .. } => Some(chain.as_slice().to_vec()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(chains.len(), 18, "3 runs x 6 collections");
+    let distinct: BTreeSet<_> = chains.iter().cloned().collect();
+    // Exactly three shapes: main's direct input, main→via_a→probe→in,
+    // main→via_b→probe→in. Every rebuild of the same stack must
+    // reproduce the same chain, or this set would grow past three.
+    assert_eq!(distinct.len(), 3, "{distinct:?}");
+    let mut lens: Vec<usize> = distinct.iter().map(|c| c.len()).collect();
+    lens.sort_unstable();
+    assert_eq!(lens, vec![1, 3, 3], "one direct site, two 2-deep paths");
+    // The two loop paths end at the same input instruction but run
+    // through different call sites — context sensitivity, observed
+    // dynamically.
+    let deep: Vec<_> = distinct.iter().filter(|c| c.len() == 3).collect();
+    assert_eq!(deep[0][2], deep[1][2], "same input op at the bottom");
+    assert_ne!(deep[0][..2], deep[1][..2], "different call paths");
+}

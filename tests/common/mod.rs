@@ -30,8 +30,8 @@ pub enum GenStmt {
     /// `repeat <n> { let t = in(s<i>); acc = acc + t; }` — loop input.
     LoopInput(usize, u64),
     /// `let wK = <n>; while wK > 0 { let t = in(s<i>); acc = acc + t;
-    /// wK = wK - 1; }` — an *unbounded-form* loop (terminating by
-    /// construction, but with no static trip count).
+    /// wK = wK - 1; }` — a monotone-counter `while` whose trip count
+    /// the bound recovery reads off the init/step constants.
     WhileInput(usize, u64),
     /// The drain-monitor shape: a `while` whose condition is tainted by
     /// an input collected *before* the loop, with a fresh constraint on
@@ -49,10 +49,14 @@ pub struct GenProgram {
     /// Rendered modeling-language source.
     pub source: String,
     /// True when the program contains a `while` loop (skipped by
-    /// properties that need static bounds or unrolling; not every test
-    /// target reads it).
+    /// properties that need unrolling; not every test target reads it).
     #[allow(dead_code)]
     pub has_while: bool,
+    /// True when some `while` loop defeats static bound recovery (the
+    /// tainted-condition shape, whose `&&` header is not a counter
+    /// check). Monotone-counter `while`s are bounded and excluded.
+    #[allow(dead_code)]
+    pub has_unbounded_while: bool,
 }
 
 pub const NUM_SENSORS: usize = 3;
@@ -181,10 +185,14 @@ pub fn arb_program() -> impl Strategy<Value = GenProgram> {
         let has_while = stmts
             .iter()
             .any(|s| matches!(s, GenStmt::WhileInput(..) | GenStmt::WhileTaintedCond(..)));
+        let has_unbounded_while = stmts
+            .iter()
+            .any(|s| matches!(s, GenStmt::WhileTaintedCond(..)));
         GenProgram {
             stmts,
             source,
             has_while,
+            has_unbounded_while,
         }
     })
 }
