@@ -33,6 +33,7 @@ pub mod chains;
 pub mod dom;
 pub mod effects;
 pub mod flow;
+pub mod incremental;
 pub mod loops;
 pub mod ssa;
 pub mod summary;
@@ -43,6 +44,7 @@ pub use chains::{static_input_chains, unique_contexts, ChainId, ChainTable};
 pub use dom::{dominance_frontier, point_dominates, point_post_dominates, DomTree, Point};
 pub use effects::{global_effects, GlobalEffects};
 pub use flow::ValueFlow;
+pub use incremental::{input_fingerprints, FlowCache, FuncCache, IncrementalStats};
 pub use loops::LoopForest;
 pub use ssa::{analyze_func, FuncSsa, ProgramSsa};
 pub use summary::{build_summaries, FuncSummary};

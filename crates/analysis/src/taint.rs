@@ -60,7 +60,7 @@ type State = BTreeMap<Loc, TaintSet>;
 
 /// Per-function taint-flow summary (the information content of the
 /// paper's Figure 5 function summaries).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FuncFlow {
     /// Taint of the returned value.
     pub ret: TaintSet,
@@ -87,7 +87,7 @@ pub struct FuncFlow {
 }
 
 /// The whole-program analysis result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaintAnalysis {
     /// Per-function flow summaries, indexed by [`FuncId`].
     pub flows: Vec<FuncFlow>,
@@ -117,8 +117,23 @@ impl TaintAnalysis {
             flows[f.0 as usize] = flow;
         }
 
-        let contexts = enumerate_contexts(p, &cg);
+        Self::from_flows(p, flows)
+    }
 
+    /// Assembles the whole-program result from already-computed
+    /// per-function flows: context enumeration plus the global-taint
+    /// fixpoint. This is the non-incremental tail of [`TaintAnalysis::run`];
+    /// [`crate::incremental::FlowCache`] feeds it a mix of cached and
+    /// freshly-analyzed flows and gets an identical result.
+    ///
+    /// # Panics
+    ///
+    /// Panics on recursive programs (context enumeration requires an
+    /// acyclic call graph) or when `flows.len() != p.funcs.len()`.
+    pub fn from_flows(p: &Program, flows: Vec<FuncFlow>) -> Self {
+        assert_eq!(flows.len(), p.funcs.len(), "one flow per function");
+        let cg = CallGraph::new(p);
+        let contexts = enumerate_contexts(p, &cg);
         let mut analysis = TaintAnalysis {
             flows,
             contexts,
@@ -265,7 +280,7 @@ fn enumerate_contexts(p: &Program, cg: &CallGraph) -> Vec<Vec<Prov>> {
 // Per-function flow analysis
 // ---------------------------------------------------------------------
 
-fn analyze_function(p: &Program, f: &Function, flows: &[FuncFlow]) -> FuncFlow {
+pub(crate) fn analyze_function(p: &Program, f: &Function, flows: &[FuncFlow]) -> FuncFlow {
     let cfg = Cfg::new(f);
     let pdom = DomTree::post_dominators(f, &cfg);
     let ctrl_parents = control_dependence(f, &cfg, &pdom);

@@ -74,6 +74,24 @@ impl fmt::Display for ArtifactError {
 
 impl std::error::Error for ArtifactError {}
 
+impl ArtifactError {
+    /// Prefixes the on-disk path onto a parse/validation error, so a
+    /// replay diagnostic for a truncated file or an unknown schema
+    /// version names the file it came from. I/O errors already carry
+    /// their path.
+    pub fn in_file(self, path: &Path) -> ArtifactError {
+        match self {
+            ArtifactError::Io(..) => self,
+            ArtifactError::Json(e) => {
+                ArtifactError::Schema(format!("{}: malformed JSON: {e}", path.display()))
+            }
+            ArtifactError::Schema(msg) => {
+                ArtifactError::Schema(format!("{}: {msg}", path.display()))
+            }
+        }
+    }
+}
+
 impl From<JsonError> for ArtifactError {
     fn from(e: JsonError) -> Self {
         ArtifactError::Json(e)
@@ -202,7 +220,7 @@ impl Artifact {
         let path = Self::path_in(dir, driver);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| ArtifactError::Io(path.display().to_string(), e))?;
-        let a = Self::from_text(&text)?;
+        let a = Self::from_text(&text).map_err(|e| e.in_file(&path))?;
         if a.driver != driver {
             return Err(ArtifactError::Schema(format!(
                 "artifact at {} claims driver `{}`, expected `{driver}`",

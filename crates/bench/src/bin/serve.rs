@@ -1,0 +1,13 @@
+//! Serve latency — incremental re-verification over a recorded
+//! edit-trace workload, reported as p50/p99 latency.
+//!
+//! Thin wrapper over the `serve` driver in `ocelot_bench::drivers`:
+//! supports `--out`, `--runs` (edit count), `--seed`, `--replay` (see
+//! `--help` or `docs/serve.md`). The long-running enforcement server
+//! this measures is `ocelotc serve`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ocelot_bench::cli::main_for("serve")
+}

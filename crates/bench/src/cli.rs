@@ -18,6 +18,7 @@
 
 use crate::artifact::Artifact;
 use crate::drivers::{self, Driver, DriverOpts};
+use crate::json::Json;
 use crate::pool;
 use ocelot_runtime::{ExecBackend, OptLevel};
 use std::path::PathBuf;
@@ -50,6 +51,29 @@ pub struct BenchArgs {
     pub traces: bool,
     /// `--help` was requested.
     pub help: bool,
+    /// Which simulation-shaping flags were passed explicitly — replay
+    /// cross-checks these against the artifact's recorded config instead
+    /// of silently ignoring them.
+    pub given: GivenFlags,
+}
+
+/// Tracks which simulation-shaping flags appeared on the command line
+/// (as opposed to taking their defaults). `--replay` renders recorded
+/// results without simulating, so an explicitly-passed flag either has
+/// to agree with what the artifact records or is an error — never a
+/// silent override.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GivenFlags {
+    /// `--jobs` appeared.
+    pub jobs: bool,
+    /// `--runs` appeared.
+    pub runs: bool,
+    /// `--seed` appeared.
+    pub seed: bool,
+    /// `--backend` appeared.
+    pub backend: bool,
+    /// `--opt` appeared.
+    pub opt: bool,
 }
 
 impl Default for BenchArgs {
@@ -64,6 +88,7 @@ impl Default for BenchArgs {
             opt: OptLevel::default(),
             traces: false,
             help: false,
+            given: GivenFlags::default(),
         }
     }
 }
@@ -86,6 +111,7 @@ impl BenchArgs {
                         return Err("--jobs must be at least 1".into());
                     }
                     out.jobs = n;
+                    out.given.jobs = true;
                 }
                 "--out" => {
                     out.out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
@@ -97,20 +123,24 @@ impl BenchArgs {
                         return Err("--runs must be at least 1".into());
                     }
                     out.runs = Some(n);
+                    out.given.runs = true;
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
                     out.seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
+                    out.given.seed = true;
                 }
                 "--backend" => {
                     let v = it.next().ok_or("--backend needs `interp` or `compiled`")?;
                     out.backend = ExecBackend::parse(&v)
                         .ok_or_else(|| format!("bad --backend value `{v}` (interp|compiled)"))?;
+                    out.given.backend = true;
                 }
                 "--opt" => {
                     let v = it.next().ok_or("--opt needs `0`, `1` or `2`")?;
                     out.opt = OptLevel::parse(&v)
                         .ok_or_else(|| format!("bad --opt value `{v}` (0|1|2)"))?;
+                    out.given.opt = true;
                 }
                 "--traces" => out.traces = true,
                 "--replay" => out.replay = true,
@@ -154,6 +184,85 @@ fn usage(d: &Driver) -> String {
     )
 }
 
+/// Cross-checks explicitly-passed simulation flags against a replayed
+/// artifact's recorded config. Replay renders recorded results without
+/// simulating, so a flag that conflicts with the recording (or that the
+/// artifact deliberately does not record, like `--opt` and `--jobs`)
+/// is a hard error with a one-line diagnostic naming the file — never
+/// a silent override of what is on disk.
+///
+/// # Errors
+///
+/// The diagnostic line, ready for `error:` prefixing.
+pub fn replay_flag_conflicts(
+    parsed: &BenchArgs,
+    artifact: &Artifact,
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let path = path.display();
+    if parsed.given.backend {
+        match artifact.config_get("backend").and_then(Json::as_str) {
+            Some(recorded) if recorded != parsed.backend.name() => {
+                return Err(format!(
+                    "replay of {path}: artifact records backend={recorded} but \
+                     --backend {} was given",
+                    parsed.backend.name()
+                ));
+            }
+            Some(_) => {}
+            None => {
+                return Err(format!(
+                    "replay of {path}: --backend was given but the artifact does \
+                     not record a backend (drop the flag; replay re-renders \
+                     recorded results)"
+                ));
+            }
+        }
+    }
+    if parsed.given.opt {
+        return Err(format!(
+            "replay of {path}: --opt has no effect on replay (artifacts are \
+             opt-level independent by design; drop the flag)"
+        ));
+    }
+    if parsed.given.jobs {
+        return Err(format!(
+            "replay of {path}: --jobs has no effect on replay (nothing is \
+             simulated; drop the flag)"
+        ));
+    }
+    for (flag, given, value) in [
+        ("--runs", parsed.given.runs, parsed.runs),
+        ("--seed", parsed.given.seed, parsed.seed),
+    ] {
+        if !given {
+            continue;
+        }
+        let value = value.expect("explicit flag carries a value");
+        match artifact
+            .config_get(flag.trim_start_matches("--"))
+            .and_then(Json::as_u64)
+        {
+            Some(recorded) if recorded != value => {
+                return Err(format!(
+                    "replay of {path}: artifact records {}={recorded} but \
+                     {flag} {value} was given",
+                    flag.trim_start_matches("--")
+                ));
+            }
+            Some(_) => {}
+            None => {
+                return Err(format!(
+                    "replay of {path}: {flag} was given but the artifact does \
+                     not record one (drop the flag; replay re-renders recorded \
+                     results)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Entry point used by each `src/bin/` wrapper: parses
 /// `std::env::args()` and drives `driver_name`.
 pub fn main_for(driver_name: &str) -> ExitCode {
@@ -194,6 +303,11 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
                 return ExitCode::FAILURE;
             }
         };
+        let path = Artifact::path_in(&parsed.out, d.name);
+        if let Err(msg) = replay_flag_conflicts(&parsed, &a, &path) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
         let t = if parsed.traces {
             match Artifact::load(&parsed.out, &traces_name) {
                 Ok(t) => Some(t),

@@ -21,6 +21,7 @@ mod figures;
 mod fleet;
 mod runtime_tables;
 mod scenarios;
+mod serve;
 mod tables;
 mod tics;
 
@@ -105,7 +106,7 @@ pub struct Driver {
 
 /// Every driver, in the order the paper presents its artifacts (the
 /// extension sweeps follow).
-pub fn all() -> [&'static Driver; 15] {
+pub fn all() -> [&'static Driver; 16] {
     [
         &tables::TABLE1,
         &figures::FIG7,
@@ -122,6 +123,7 @@ pub fn all() -> [&'static Driver; 15] {
         &figures::ENERGY_BREAKDOWN,
         &scenarios::SCENARIO_SWEEP,
         &fleet::FLEET,
+        &serve::SERVE,
     ]
 }
 
@@ -364,7 +366,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let names: Vec<&str> = all().iter().map(|d| d.name).collect();
-        assert_eq!(names.len(), 15, "all fifteen drivers registered");
+        assert_eq!(names.len(), 16, "all sixteen drivers registered");
         for n in &names {
             assert!(by_name(n).is_some());
             assert_eq!(

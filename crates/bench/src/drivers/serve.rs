@@ -1,0 +1,189 @@
+//! Extension — the `serve` driver: incremental re-verification latency
+//! over a recorded edit-trace workload.
+//!
+//! Replays a deterministic stream of one-line single-function edits
+//! (see [`crate::verify`]) through an incremental verification
+//! [`crate::verify::Session`], timing each incremental re-verify
+//! against a from-scratch verify of the same source, and persists the
+//! per-edit measurements as a standard versioned artifact. `render`
+//! reports p50/p99 latencies and the speedup purely from the artifact
+//! (`--replay` works as for every driver). Like the fleet throughput
+//! fingerprint, the recorded wall times are machine-dependent data:
+//! this artifact is excluded from byte-identity comparisons, and the
+//! verdict hashes inside it are the machine-independent part.
+
+use super::{cell_u64, Driver, DriverOpts};
+use crate::artifact::{Artifact, ArtifactError};
+use crate::json::Json;
+use crate::verify::{percentile, replay_trace, EditTrace, Verdict, DEFAULT_TRACE};
+
+/// The edit-trace latency driver.
+pub static SERVE: Driver = Driver {
+    name: "serve",
+    about: "extension: incremental re-verification latency over a recorded edit trace",
+    collect,
+    render,
+    collect_traced: None,
+};
+
+/// The trace this driver replays: the default workload shape with
+/// `--runs` scaling the edit count and `--seed` reseeding the trace.
+fn plan(opts: &DriverOpts) -> EditTrace {
+    EditTrace {
+        funcs: DEFAULT_TRACE.funcs,
+        edits: opts.runs_or(DEFAULT_TRACE.edits as u64) as usize,
+        seed: opts.seed_or(DEFAULT_TRACE.seed),
+    }
+}
+
+fn collect(opts: &DriverOpts) -> Artifact {
+    collect_trace(&plan(opts))
+}
+
+fn collect_trace(trace: &EditTrace) -> Artifact {
+    let measurements = replay_trace(trace);
+    let mut a = Artifact::new(
+        "serve",
+        vec![
+            ("funcs".into(), Json::u64(trace.funcs as u64)),
+            ("edits".into(), Json::u64(trace.edits as u64)),
+            ("seed".into(), Json::u64(trace.seed)),
+        ],
+    );
+    for m in &measurements {
+        a.cells.push(Json::obj(vec![
+            ("edit", Json::u64(m.edit as u64)),
+            ("target", Json::u64(m.target as u64)),
+            ("funcs", Json::u64(m.stats.funcs as u64)),
+            ("analyzed", Json::u64(m.stats.analyzed as u64)),
+            ("reused", Json::u64(m.stats.reused as u64)),
+            ("verdict", m.verdict.to_json()),
+            ("incr_ns", Json::u64(m.incr_ns)),
+            ("full_ns", Json::u64(m.full_ns)),
+        ]));
+    }
+    a
+}
+
+/// Sorted samples of one latency column.
+fn column(a: &Artifact, key: &str) -> Result<Vec<u64>, ArtifactError> {
+    let mut xs = a
+        .cells
+        .iter()
+        .map(|c| cell_u64(c, key))
+        .collect::<Result<Vec<_>, _>>()?;
+    if xs.is_empty() {
+        return Err(ArtifactError::Schema("serve artifact has no cells".into()));
+    }
+    xs.sort_unstable();
+    Ok(xs)
+}
+
+fn render(a: &Artifact) -> Result<String, ArtifactError> {
+    let incr = column(a, "incr_ns")?;
+    let full = column(a, "full_ns")?;
+    let p = |xs: &[u64], q: f64| percentile(xs, q) as f64 / 1.0e6;
+    let mut out = String::new();
+    out.push_str("Incremental re-verification latency (recorded edit trace)\n");
+    out.push_str(&format!(
+        "workload: {} functions, {} one-line single-function edits, seed {}\n\n",
+        a.config_u64("funcs")?,
+        a.config_u64("edits")?,
+        a.config_u64("seed")?,
+    ));
+    out.push_str("              p50 (ms)   p99 (ms)\n");
+    out.push_str(&format!(
+        "incremental   {:>8.3}   {:>8.3}\n",
+        p(&incr, 50.0),
+        p(&incr, 99.0)
+    ));
+    out.push_str(&format!(
+        "full          {:>8.3}   {:>8.3}\n",
+        p(&full, 50.0),
+        p(&full, 99.0)
+    ));
+    let speedup = percentile(&full, 50.0) as f64 / percentile(&incr, 50.0).max(1) as f64;
+    out.push_str(&format!("\np50 speedup: {speedup:.1}x\n"));
+    let mut analyzed = 0u64;
+    let mut reused = 0u64;
+    for c in &a.cells {
+        analyzed += cell_u64(c, "analyzed")?;
+        reused += cell_u64(c, "reused")?;
+        let v = c
+            .get("verdict")
+            .and_then(Verdict::from_json)
+            .ok_or_else(|| ArtifactError::Schema("cell verdict missing or malformed".into()))?;
+        if !v.passes {
+            return Err(ArtifactError::Schema(format!(
+                "edit {} recorded a failing verdict",
+                cell_u64(c, "edit")?
+            )));
+        }
+    }
+    out.push_str(&format!(
+        "functions re-analyzed: {analyzed} of {} ({reused} reused from cache)\n",
+        analyzed + reused
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelot_runtime::{ExecBackend, OptLevel};
+
+    #[test]
+    fn plan_scales_edits_and_reseeds() {
+        let opts = DriverOpts {
+            jobs: 1,
+            runs: Some(5),
+            seed: Some(4),
+            backend: ExecBackend::Interp,
+            opt: OptLevel::default(),
+        };
+        let t = plan(&opts);
+        assert_eq!(t.funcs, DEFAULT_TRACE.funcs);
+        assert_eq!(t.edits, 5);
+        assert_eq!(t.seed, 4);
+        let defaults = DriverOpts {
+            runs: None,
+            seed: None,
+            ..opts
+        };
+        assert_eq!(plan(&defaults).edits, DEFAULT_TRACE.edits);
+        assert_eq!(plan(&defaults).seed, DEFAULT_TRACE.seed);
+    }
+
+    #[test]
+    fn collect_records_one_cell_per_edit_and_replays() {
+        // A scaled-down trace: the full DEFAULT_TRACE workload is sized
+        // for release-mode latency measurement, not for unit tests.
+        let a = collect_trace(&EditTrace {
+            funcs: 6,
+            edits: 5,
+            seed: 4,
+        });
+        assert_eq!(a.driver, "serve");
+        assert_eq!(a.cells.len(), 5);
+        for c in &a.cells {
+            // The one-line edit re-analyzes the edited worker + main.
+            assert!(cell_u64(c, "analyzed").unwrap() <= 2);
+            let v = Verdict::from_json(c.get("verdict").unwrap()).unwrap();
+            assert!(v.passes);
+        }
+        // The --replay path: render from a round-tripped artifact.
+        let reloaded = Artifact::from_text(&a.render().unwrap()).unwrap();
+        let text = render(&reloaded).unwrap();
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+    }
+
+    #[test]
+    fn render_rejects_malformed_cells() {
+        let mut a = Artifact::new("serve", vec![("funcs".into(), Json::u64(1))]);
+        a.cells.push(Json::obj(vec![("edit", Json::u64(1))]));
+        assert!(render(&a).is_err());
+        let empty = Artifact::new("serve", vec![]);
+        assert!(render(&empty).is_err(), "no cells is a schema error");
+    }
+}

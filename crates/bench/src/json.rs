@@ -159,6 +159,48 @@ impl Json {
         Ok(out)
     }
 
+    /// Serializes to one line with no indentation and no trailing
+    /// newline — the wire format for line-delimited protocols (newlines
+    /// inside strings are escaped, so the line framing always holds).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError::NonFiniteFloat`] if any float is NaN or infinite.
+    pub fn render_compact(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write_compact(&mut out)?;
+        Ok(out)
+    }
+
+    fn write_compact(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_compact(out)?;
+                }
+                out.push('}');
+            }
+            leaf => leaf.write(out, 0)?,
+        }
+        Ok(())
+    }
+
     fn write(&self, out: &mut String, indent: usize) -> Result<(), JsonError> {
         match self {
             Json::Null => out.push_str("null"),
@@ -588,6 +630,29 @@ mod tests {
         assert_eq!(
             v.render().unwrap(),
             "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn compact_rendering_is_one_reparsable_line() {
+        let v = Json::obj(vec![
+            ("a", Json::Int(1)),
+            (
+                "b",
+                Json::Arr(vec![Json::Str("x\ny".into()), Json::Obj(vec![])]),
+            ),
+            ("c", Json::obj(vec![("n", Json::Null)])),
+        ]);
+        let line = v.render_compact().unwrap();
+        assert_eq!(
+            line,
+            "{\"a\": 1, \"b\": [\"x\\ny\", {}], \"c\": {\"n\": null}}"
+        );
+        assert!(!line.contains('\n'), "framing: one physical line");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(
+            Json::Float(f64::NAN).render_compact(),
+            Err(JsonError::NonFiniteFloat)
         );
     }
 

@@ -21,6 +21,7 @@
 //! | `energy_breakdown` | per-category cycle accounting behind Figures 7/8 |
 //! | `scenario_sweep` | extension — app × scenario × seed grid over the `ocelot-scenario` library |
 //! | `fleet` | extension — fleet-scale device sweep on one shared compiled program |
+//! | `serve` | extension — incremental re-verification latency over a recorded edit trace |
 //!
 //! Run them with `cargo run -p ocelot-bench --bin <name> --release`.
 //! Every binary accepts `--jobs N` (shard the sweep across a
@@ -44,3 +45,4 @@ pub mod json;
 pub mod pool;
 pub mod report;
 pub mod traces;
+pub mod verify;

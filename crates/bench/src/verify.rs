@@ -1,0 +1,412 @@
+//! Incremental re-verification sessions and the recorded edit-trace
+//! workload behind the `serve` driver and `ocelotc serve`.
+//!
+//! A [`Session`] holds one logical *document*: an
+//! [`ocelot_analysis::incremental::FlowCache`] of per-function taint
+//! flows keyed by function-body fingerprints. Each [`Session::verify`]
+//! call compiles the submitted source, reuses every flow whose
+//! fingerprint is unchanged, recomputes the rest, and runs the full
+//! Ocelot transform + self-check on the assembled analysis — producing
+//! a [`Verdict`] guaranteed identical to a from-scratch
+//! [`full_verify`] (the incremental assembly equals
+//! `TaintAnalysis::run` exactly; held by tests here and byte-identity
+//! tests in `crates/serve`).
+//!
+//! The module also generates the *edit-trace workload* the `serve`
+//! driver replays: a large program of branch-heavy worker functions
+//! plus a handful of annotated sensor functions, and a deterministic
+//! stream of one-line single-function edits. On this shape the
+//! analysis dominates parsing by a wide margin, so incremental
+//! re-verification (edited function + its callers) beats full
+//! re-analysis by well over the 10× the artifact reports.
+
+use crate::json::Json;
+use ocelot_analysis::incremental::{FlowCache, IncrementalStats};
+use ocelot_analysis::taint::TaintAnalysis;
+use ocelot_core::{ocelot_transform_with, Compiled};
+use ocelot_ir::print::program_to_string;
+use ocelot_ir::Program;
+
+/// FNV-1a 64 over a program's canonical printed form — the program
+/// hash `crates/serve` keys its caches by, and the hash verdicts embed
+/// so byte-identity checks are one integer compare away.
+pub fn program_hash(p: &Program) -> u64 {
+    ocelot_analysis::incremental::fnv1a(program_to_string(p).as_bytes())
+}
+
+/// The outcome of verifying (transforming + self-checking) one program
+/// version. Deliberately timing-free: verdicts for the same source must
+/// be byte-identical whether they came from a cold compile, a warm
+/// cache, or any `--jobs` level — latency lives in the driver artifact,
+/// not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Hash of the *submitted* program (cache key).
+    pub source_hash: u64,
+    /// Hash of the transformed program (regions inserted, annotations
+    /// erased) — the byte-identity witness.
+    pub transformed_hash: u64,
+    /// Functions in the program.
+    pub funcs: usize,
+    /// Derived policies (the paper's `PD`).
+    pub policies: usize,
+    /// Atomic regions in the transformed program.
+    pub regions: usize,
+    /// Whether the post-transform self-check passes (always true for a
+    /// successful transform — Theorem 1).
+    pub passes: bool,
+}
+
+impl Verdict {
+    /// The verdict as a deterministic JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("source_hash", Json::u64(self.source_hash)),
+            ("transformed_hash", Json::u64(self.transformed_hash)),
+            ("funcs", Json::u64(self.funcs as u64)),
+            ("policies", Json::u64(self.policies as u64)),
+            ("regions", Json::u64(self.regions as u64)),
+            ("passes", Json::Bool(self.passes)),
+        ])
+    }
+
+    /// Reads a verdict back from its [`Verdict::to_json`] form.
+    pub fn from_json(v: &Json) -> Option<Verdict> {
+        Some(Verdict {
+            source_hash: v.get("source_hash")?.as_u64()?,
+            transformed_hash: v.get("transformed_hash")?.as_u64()?,
+            funcs: v.get("funcs")?.as_u64()? as usize,
+            policies: v.get("policies")?.as_u64()? as usize,
+            regions: v.get("regions")?.as_u64()? as usize,
+            passes: v.get("passes")?.as_bool()?,
+        })
+    }
+}
+
+fn verdict_of(source_hash: u64, funcs: usize, compiled: &Compiled) -> Verdict {
+    Verdict {
+        source_hash,
+        transformed_hash: program_hash(&compiled.program),
+        funcs,
+        policies: compiled.policies.len(),
+        regions: compiled.regions.len(),
+        passes: compiled.check.passes(),
+    }
+}
+
+/// One verification document: a flow cache that survives across edits
+/// of the same program so re-verification is incremental.
+#[derive(Debug, Default)]
+pub struct Session {
+    cache: FlowCache,
+}
+
+impl Session {
+    /// A fresh session with a cold cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles and verifies `src` incrementally against this session's
+    /// cache. Returns the transform output, its verdict, and how much
+    /// analysis the cache saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for compile/validation/transform
+    /// failures (the serve layer forwards it verbatim to the client).
+    pub fn verify(&mut self, src: &str) -> Result<(Compiled, Verdict, IncrementalStats), String> {
+        let p = compile(src)?;
+        let (taint, stats) = self.cache.run(&p);
+        let (source_hash, funcs) = (program_hash(&p), p.funcs.len());
+        let compiled = ocelot_transform_with(p, &taint).map_err(|e| format!("transform: {e}"))?;
+        let verdict = verdict_of(source_hash, funcs, &compiled);
+        Ok((compiled, verdict, stats))
+    }
+
+    /// Functions currently cached (for `stats` surfaces).
+    pub fn cached_funcs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// From-scratch verification of `src`: no cache, plain
+/// [`TaintAnalysis::run`]. The baseline incremental verdicts must match
+/// exactly, and the baseline full re-analysis latency is measured
+/// against.
+///
+/// # Errors
+///
+/// Same contract as [`Session::verify`].
+pub fn full_verify(src: &str) -> Result<(Compiled, Verdict), String> {
+    let p = compile(src)?;
+    let taint = TaintAnalysis::run(&p);
+    let (source_hash, funcs) = (program_hash(&p), p.funcs.len());
+    let compiled = ocelot_transform_with(p, &taint).map_err(|e| format!("transform: {e}"))?;
+    let verdict = verdict_of(source_hash, funcs, &compiled);
+    Ok((compiled, verdict))
+}
+
+fn compile(src: &str) -> Result<Program, String> {
+    let p = ocelot_ir::compile(src).map_err(|e| format!("compile: {e}"))?;
+    ocelot_ir::validate(&p).map_err(|e| format!("validate: {e}"))?;
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------
+// The edit-trace workload
+// ---------------------------------------------------------------------
+
+/// A deterministic edit-trace workload: one base program of `funcs`
+/// worker functions and a stream of one-line single-function edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditTrace {
+    /// Worker functions in the base program (besides the fixed sensor
+    /// functions and `main`).
+    pub funcs: usize,
+    /// Edits in the recorded trace.
+    pub edits: usize,
+    /// Seed driving which function each edit touches and the edited
+    /// constant.
+    pub seed: u64,
+}
+
+/// The driver-default workload shape.
+pub const DEFAULT_TRACE: EditTrace = EditTrace {
+    funcs: 36,
+    edits: 24,
+    seed: 11,
+};
+
+/// SplitMix64 — the workspace's standard cheap deterministic stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One branch-heavy, loop-heavy worker function. The bodies are big on
+/// purpose: per-function analysis cost grows with blocks × locals while
+/// parsing stays linear, which is exactly the regime where incremental
+/// re-verification pays.
+fn worker(i: usize, k: u64) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("fn work{i}(v) {{\n"));
+    s.push_str(&format!("    let acc = v + {k};\n"));
+    for j in 0..12 {
+        s.push_str(&format!("    let s{j} = in(sense{j});\n"));
+    }
+    s.push_str("    let t0 = acc + s0;\n");
+    for j in 1..20 {
+        s.push_str(&format!(
+            "    let t{j} = t{} * {} + s{};\n",
+            j - 1,
+            j + 2,
+            j % 12
+        ));
+    }
+    s.push_str("    repeat 6 {\n    repeat 5 {\n");
+    for j in 0..20 {
+        s.push_str(&format!(
+            "        if t{j} > acc {{ acc = acc + t{j}; }} else {{ t{j} = t{j} + s{}; acc = acc - {}; }}\n",
+            (j + 1) % 12,
+            j + 1
+        ));
+    }
+    s.push_str("        if acc % 2 == 0 { acc = acc / 2; } else { acc = acc * 3 + 1; }\n");
+    s.push_str("    }\n    }\n");
+    s.push_str("    repeat 4 {\n");
+    s.push_str("        if acc > 1000 { acc = acc - 997; }\n");
+    s.push_str(&format!("        acc = acc % {};\n", 2048 + i));
+    s.push_str("    }\n");
+    s.push_str("    return acc;\n}\n");
+    s
+}
+
+/// The base program for `trace`: `funcs` workers, two annotated sensor
+/// readers, and a `main` that feeds sensor data through every worker.
+pub fn workload_source(trace: &EditTrace) -> String {
+    let mut rng = trace.seed;
+    let mut s = String::from("sensor temp;\nsensor pres;\nnv total = 0;\n");
+    for j in 0..12 {
+        s.push_str(&format!("sensor sense{j};\n"));
+    }
+    s.push_str("fn read_temp() { let t = in(temp); return t; }\n");
+    s.push_str("fn read_pres() { let q = in(pres); return q; }\n");
+    for i in 0..trace.funcs {
+        s.push_str(&worker(i, splitmix(&mut rng) % 1000));
+    }
+    s.push_str("fn main() {\n");
+    s.push_str("    let a = read_temp();\n    fresh(a);\n");
+    s.push_str("    let b = read_pres();\n    consistent(b, 2);\n");
+    s.push_str("    let x = a + b;\n");
+    for i in 0..trace.funcs {
+        s.push_str(&format!("    let r{i} = work{i}(x);\n"));
+        s.push_str(&format!("    out(log, r{i});\n"));
+    }
+    s.push_str("    total = total + a;\n    out(log, a, b, x);\n}\n");
+    s
+}
+
+/// The source after edit `n` (1-based; edit 0 is the base program).
+/// Each edit rewrites the seeded constant on the first line of one
+/// worker — a one-line, single-function change.
+pub fn edited_source(trace: &EditTrace, n: usize) -> String {
+    let mut src = workload_source(trace);
+    let mut rng = trace.seed ^ 0xed17;
+    for _ in 1..=n {
+        let f = (splitmix(&mut rng) as usize) % trace.funcs;
+        let k = splitmix(&mut rng) % 1000;
+        let open = format!("fn work{f}(v) {{\n");
+        let start = src.find(&open).expect("worker present") + open.len();
+        let end = start + src[start..].find('\n').expect("line end");
+        src.replace_range(start..end, &format!("    let acc = v + {k};"));
+    }
+    src
+}
+
+/// The worker each edit in `1..=edits` touches, in order (for artifact
+/// provenance).
+pub fn edit_targets(trace: &EditTrace) -> Vec<usize> {
+    let mut rng = trace.seed ^ 0xed17;
+    (0..trace.edits)
+        .map(|_| {
+            let f = (splitmix(&mut rng) as usize) % trace.funcs;
+            let _ = splitmix(&mut rng);
+            f
+        })
+        .collect()
+}
+
+/// One measured edit replay: what changed, how much analysis the cache
+/// saved, the verdict hash, and the incremental vs full wall times.
+#[derive(Debug, Clone)]
+pub struct EditMeasurement {
+    /// 1-based edit index.
+    pub edit: usize,
+    /// Worker index the edit touched.
+    pub target: usize,
+    /// Cache statistics for the incremental pass.
+    pub stats: IncrementalStats,
+    /// The incremental verdict (always equal to the full one).
+    pub verdict: Verdict,
+    /// Incremental re-verification wall time.
+    pub incr_ns: u64,
+    /// From-scratch re-verification wall time.
+    pub full_ns: u64,
+}
+
+/// Replays `trace` through a fresh [`Session`], measuring each edit's
+/// incremental re-verify against a from-scratch verify and asserting
+/// verdict equality along the way.
+///
+/// # Panics
+///
+/// Panics if any generated program fails to verify or an incremental
+/// verdict ever diverges from the from-scratch one — either is a bug,
+/// not a measurement.
+pub fn replay_trace(trace: &EditTrace) -> Vec<EditMeasurement> {
+    let mut session = Session::new();
+    let base = workload_source(trace);
+    session.verify(&base).expect("base program verifies");
+    let targets = edit_targets(trace);
+    let mut out = Vec::with_capacity(trace.edits);
+    for n in 1..=trace.edits {
+        let src = edited_source(trace, n);
+        let t0 = std::time::Instant::now();
+        let (_, verdict, stats) = session.verify(&src).expect("edited program verifies");
+        let incr_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = std::time::Instant::now();
+        let (_, full) = full_verify(&src).expect("full verify");
+        let full_ns = t1.elapsed().as_nanos() as u64;
+        assert_eq!(verdict, full, "incremental verdict diverged at edit {n}");
+        out.push(EditMeasurement {
+            edit: n,
+            target: targets[n - 1],
+            stats,
+            verdict,
+            incr_ns,
+            full_ns,
+        });
+    }
+    out
+}
+
+/// The p-th percentile (nearest-rank) of a non-empty sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: EditTrace = EditTrace {
+        funcs: 6,
+        edits: 4,
+        seed: 3,
+    };
+
+    #[test]
+    fn incremental_verdicts_match_full_verify_across_a_trace() {
+        let mut session = Session::new();
+        let (_, v0, s0) = session.verify(&workload_source(&SMALL)).unwrap();
+        assert_eq!(s0.analyzed, s0.funcs, "cold cache analyzes everything");
+        assert_eq!(v0, full_verify(&workload_source(&SMALL)).unwrap().1);
+        for n in 1..=SMALL.edits {
+            let src = edited_source(&SMALL, n);
+            let (_, v, stats) = session.verify(&src).unwrap();
+            assert_eq!(v, full_verify(&src).unwrap().1, "edit {n}");
+            // One worker + main recompute; everything else is reused.
+            assert!(
+                stats.analyzed <= 2,
+                "edit {n} re-analyzed {} functions",
+                stats.analyzed
+            );
+            assert!(stats.reused >= stats.funcs - 2);
+        }
+    }
+
+    #[test]
+    fn edits_are_one_line_single_function_changes() {
+        let base = workload_source(&SMALL);
+        let e1 = edited_source(&SMALL, 1);
+        let differing: Vec<_> = base
+            .lines()
+            .zip(e1.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert!(differing.len() <= 1, "edit touches at most one line");
+        assert_eq!(base.lines().count(), e1.lines().count());
+        // Deterministic: same trace, same text.
+        assert_eq!(e1, edited_source(&SMALL, 1));
+        assert_eq!(edit_targets(&SMALL).len(), SMALL.edits);
+    }
+
+    #[test]
+    fn verdict_json_round_trips() {
+        let (_, v) = full_verify(&workload_source(&SMALL)).unwrap();
+        assert!(v.passes);
+        assert!(v.policies >= 2, "fresh + consistent derive policies");
+        assert_eq!(Verdict::from_json(&v.to_json()), Some(v));
+    }
+
+    #[test]
+    fn verify_reports_compile_errors_as_one_line_strings() {
+        let err = Session::new().verify("fn main( {").unwrap_err();
+        assert!(err.starts_with("compile:"), "{err}");
+        assert_eq!(err.lines().count(), 1, "{err:?}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [10, 20, 30, 40];
+        assert_eq!(percentile(&xs, 50.0), 20);
+        assert_eq!(percentile(&xs, 99.0), 40);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+}

@@ -1,0 +1,58 @@
+//! The incremental re-verification acceptance criterion: after a
+//! one-line single-function edit to the standard edit-trace workload,
+//! the p50 incremental re-verify must be at least 10x faster than a
+//! from-scratch verify of the same source, with byte-identical
+//! verdicts. This is a wall-clock measurement, so the trace is kept
+//! short; the `serve` driver records the full-length version as an
+//! artifact.
+
+use ocelot_bench::verify::{
+    edited_source, full_verify, percentile, replay_trace, EditTrace, DEFAULT_TRACE,
+};
+
+#[test]
+fn one_line_edit_reverifies_at_least_10x_faster_than_full() {
+    let trace = EditTrace {
+        funcs: DEFAULT_TRACE.funcs,
+        edits: 2,
+        seed: DEFAULT_TRACE.seed,
+    };
+    let measurements = replay_trace(&trace);
+    assert_eq!(measurements.len(), trace.edits);
+
+    let mut incr: Vec<u64> = measurements.iter().map(|m| m.incr_ns).collect();
+    let mut full: Vec<u64> = measurements.iter().map(|m| m.full_ns).collect();
+    incr.sort_unstable();
+    full.sort_unstable();
+    let p50_incr = percentile(&incr, 50.0).max(1);
+    let p50_full = percentile(&full, 50.0);
+    let speedup = p50_full as f64 / p50_incr as f64;
+    assert!(
+        speedup >= 10.0,
+        "p50 incremental {p50_incr} ns vs full {p50_full} ns: {speedup:.1}x < 10x"
+    );
+
+    for m in &measurements {
+        assert!(m.verdict.passes, "edit {} verdict failed", m.edit);
+        // One-line single-function edit: only the edited worker and its
+        // caller (main) are re-analyzed.
+        assert!(
+            m.stats.analyzed <= 2,
+            "edit {} re-analyzed {} of {} functions",
+            m.edit,
+            m.stats.analyzed,
+            m.stats.funcs
+        );
+    }
+
+    // Byte-identity against a from-scratch verify of the same source
+    // (replay_trace asserts structural equality per edit; this pins the
+    // rendered JSON bytes the serve protocol ships to clients).
+    let m = &measurements[0];
+    let (_, from_scratch) = full_verify(&edited_source(&trace, m.edit)).expect("full verify");
+    assert_eq!(
+        m.verdict.to_json().render().unwrap(),
+        from_scratch.to_json().render().unwrap(),
+        "incremental verdict bytes differ from from-scratch verdict"
+    );
+}

@@ -47,10 +47,30 @@ impl Compiled {
 /// self-check finds a policy that the inserted regions do not enforce
 /// (which would indicate a bug in inference — Theorem 1 says inferred
 /// programs pass).
-pub fn ocelot_transform(mut program: Program) -> Result<Compiled, CoreError> {
+pub fn ocelot_transform(program: Program) -> Result<Compiled, CoreError> {
     ocelot_ir::validate(&program)?;
     let taint = TaintAnalysis::run(&program);
-    let policies = build_policies(&program, &taint);
+    ocelot_transform_with(program, &taint)
+}
+
+/// [`ocelot_transform`] with a caller-supplied taint analysis, for
+/// callers that maintain the analysis incrementally across edits
+/// (`ocelot_analysis::incremental::FlowCache`). The analysis must have
+/// been computed for exactly this `program` — feeding a stale analysis
+/// produces garbage policies; an incrementally-assembled one is
+/// guaranteed identical to `TaintAnalysis::run`, so the output here is
+/// identical to [`ocelot_transform`].
+///
+/// # Errors
+///
+/// Same as [`ocelot_transform`], minus the up-front validation errors
+/// (this entry still validates, so malformed programs are caught).
+pub fn ocelot_transform_with(
+    mut program: Program,
+    taint: &TaintAnalysis,
+) -> Result<Compiled, CoreError> {
+    ocelot_ir::validate(&program)?;
+    let policies = build_policies(&program, taint);
     let Inference { policy_map, .. } = infer_atomics(&mut program, &policies)?;
     program.erase_annotations();
     ocelot_ir::validate(&program)?;
@@ -86,7 +106,22 @@ pub fn ocelot_transform(mut program: Program) -> Result<Compiled, CoreError> {
 pub fn ocelot_check(program: &Program) -> Result<CheckReport, CoreError> {
     ocelot_ir::validate(program)?;
     let taint = TaintAnalysis::run(program);
-    let policies = build_policies(program, &taint);
+    ocelot_check_with(program, &taint)
+}
+
+/// [`ocelot_check`] with a caller-supplied taint analysis (see
+/// [`ocelot_transform_with`] for the contract).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on structural problems (validation, malformed
+/// regions).
+pub fn ocelot_check_with(
+    program: &Program,
+    taint: &TaintAnalysis,
+) -> Result<CheckReport, CoreError> {
+    ocelot_ir::validate(program)?;
+    let policies = build_policies(program, taint);
     check_regions(program, &policies)
 }
 

@@ -130,15 +130,38 @@ impl OptLevel {
         *self as usize
     }
 
-    /// The CI knob: reads `OCELOT_OPT` and falls back to the default
-    /// level when the variable is unset or not `0`/`1`/`2`. Test suites
-    /// that exercise the compiled backend at "whatever level CI asked
-    /// for" construct their machines with this.
+    /// The CI knob: reads `OCELOT_OPT`. Unset (or set to the empty
+    /// string) means the default level; a non-empty value must be
+    /// `0`/`1`/`2`. Test suites that exercise the compiled backend at
+    /// "whatever level CI asked for" construct their machines with this.
+    ///
+    /// An invalid non-empty value **aborts the process** (exit code 2)
+    /// with a message naming the accepted values: silently falling back
+    /// to the default would make a CI matrix typo like `OCELOT_OPT=O2`
+    /// vacuously test the default level instead of the requested one.
     pub fn from_env() -> OptLevel {
-        std::env::var("OCELOT_OPT")
-            .ok()
-            .and_then(|v| OptLevel::parse(&v))
-            .unwrap_or_default()
+        match Self::level_from_env_value(std::env::var("OCELOT_OPT").ok().as_deref()) {
+            Ok(level) => level,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The decision behind [`OptLevel::from_env`], factored over the
+    /// raw variable value so the rejection is testable without racing
+    /// other threads on the process environment.
+    pub fn level_from_env_value(value: Option<&str>) -> Result<OptLevel, String> {
+        match value {
+            None | Some("") => Ok(OptLevel::default()),
+            Some(v) => OptLevel::parse(v).ok_or_else(|| {
+                format!(
+                    "invalid OCELOT_OPT value `{v}`: accepted values are \
+                     `0`, `1` or `2` (or unset for the default level)"
+                )
+            }),
+        }
     }
 }
 
@@ -163,5 +186,27 @@ mod tests {
         }
         assert_eq!(OptLevel::parse("3"), None);
         assert_eq!(OptLevel::default(), OptLevel::O2);
+    }
+
+    #[test]
+    fn env_level_accepts_unset_empty_and_valid_values() {
+        assert_eq!(OptLevel::level_from_env_value(None), Ok(OptLevel::O2));
+        assert_eq!(OptLevel::level_from_env_value(Some("")), Ok(OptLevel::O2));
+        for o in OptLevel::all() {
+            assert_eq!(OptLevel::level_from_env_value(Some(o.name())), Ok(o));
+        }
+    }
+
+    #[test]
+    fn env_level_rejects_unparsable_values_naming_the_accepted_ones() {
+        for bad in ["O2", "3", "fast", " 2", "two"] {
+            let err = OptLevel::level_from_env_value(Some(bad))
+                .expect_err("an invalid non-empty OCELOT_OPT must not fall back silently");
+            assert!(err.contains(bad), "names the offending value: {err}");
+            assert!(
+                err.contains("`0`, `1` or `2`"),
+                "names the accepted values: {err}"
+            );
+        }
     }
 }

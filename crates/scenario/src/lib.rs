@@ -293,23 +293,41 @@ pub use registry::{all, by_name};
 /// Resolves a scenario spec: a registry `name`, or `name@seed` to
 /// reseed it (e.g. `rf-noisy@99`).
 ///
+/// Every rejection echoes the full offending spec: an empty seed
+/// (`"name@"`), trailing garbage (`"name@7x"`, `"name@7@8"`), and
+/// seed literals overflowing `u64` all return `Err` — the seed is
+/// parsed exactly, never truncated or clamped.
+///
 /// # Errors
 ///
-/// A message naming the unknown scenario (and the known names) or the
-/// malformed seed.
+/// A message echoing `spec` and naming the unknown scenario (and the
+/// known names) or the malformed seed.
 pub fn parse(spec: &str) -> Result<Scenario, String> {
     let (name, seed) = match spec.split_once('@') {
         None => (spec, None),
+        Some((n, "")) => {
+            return Err(format!(
+                "empty seed in scenario spec `{spec}` (use `{n}@N`)"
+            ));
+        }
         Some((n, s)) => {
             let seed: u64 = s
                 .parse()
-                .map_err(|_| format!("bad seed `{s}` in scenario spec `{spec}`"))?;
+                .map_err(|e: std::num::ParseIntError| match e.kind() {
+                    std::num::IntErrorKind::PosOverflow => {
+                        format!("seed `{s}` overflows u64 in scenario spec `{spec}`")
+                    }
+                    _ => format!("bad seed `{s}` in scenario spec `{spec}`"),
+                })?;
             (n, Some(seed))
         }
     };
     let sc = by_name(name).ok_or_else(|| {
         let names: Vec<&str> = all().iter().map(|s| s.name).collect();
-        format!("unknown scenario `{name}` (known: {})", names.join(", "))
+        format!(
+            "unknown scenario `{name}` in spec `{spec}` (known: {})",
+            names.join(", ")
+        )
     })?;
     Ok(match seed {
         Some(s) => sc.reseeded(s),
@@ -346,6 +364,32 @@ mod tests {
         let err = parse("does-not-exist").unwrap_err();
         assert!(err.contains("rf-noisy"), "lists known names: {err}");
         assert!(parse("rf-noisy@x").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_edge_case_seeds_echoing_the_spec() {
+        // Empty seed.
+        let err = parse("rf-noisy@").unwrap_err();
+        assert!(err.contains("`rf-noisy@`"), "echoes the spec: {err}");
+        assert!(err.contains("empty seed"), "{err}");
+        // Trailing garbage after a valid prefix must not truncate.
+        for spec in ["rf-noisy@7x", "rf-noisy@7@8", "rf-noisy@ 7", "rf-noisy@-1"] {
+            let err = parse(spec).unwrap_err();
+            assert!(err.contains(&format!("`{spec}`")), "echoes the spec: {err}");
+        }
+        // Overflowing literals are rejected, not clamped.
+        let big = format!("rf-noisy@{}0", u64::MAX);
+        let err = parse(&big).unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        assert!(err.contains(&big), "echoes the spec: {err}");
+        // u64::MAX itself is a valid seed.
+        assert_eq!(
+            parse(&format!("rf-noisy@{}", u64::MAX)).unwrap().seed,
+            u64::MAX
+        );
+        // Unknown name with a seed suffix echoes the whole spec.
+        let err = parse("nope@5").unwrap_err();
+        assert!(err.contains("`nope@5`"), "echoes the spec: {err}");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Property tests for the scenario-spec parser: every spec the registry
+//! can describe round-trips through `parse`, and every malformed seed
+//! suffix is rejected with the offending spec echoed — never a panic,
+//! never a silently truncated or clamped seed.
+
+use ocelot_scenario::{all, by_name, parse};
+use proptest::prelude::*;
+
+/// A registry scenario name, drawn uniformly.
+fn arb_name() -> impl Strategy<Value = &'static str> {
+    let n = all().len();
+    (0..n).prop_map(|i| all()[i].name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `name@seed` round-trips for every registry name and the full
+    /// seed range: the parsed scenario keeps the registry entry's
+    /// described shape (about, suggested app, supply description) and
+    /// carries exactly the requested seed.
+    #[test]
+    fn registry_describe_output_round_trips(name in arb_name(), seed in any::<u64>()) {
+        let spec = format!("{name}@{seed}");
+        let sc = parse(&spec).unwrap_or_else(|e| panic!("`{spec}` must parse: {e}"));
+        let registry = by_name(name).expect("registry entry");
+        prop_assert_eq!(sc.name, registry.name);
+        prop_assert_eq!(sc.seed, seed);
+        prop_assert_eq!(sc.about, registry.about);
+        prop_assert_eq!(sc.suggested_app, registry.suggested_app);
+        // Reseeding must not change the described supply shape.
+        prop_assert_eq!(sc.supply.describe(), registry.supply.describe());
+    }
+
+    /// Bare names parse to the registry entry unchanged.
+    #[test]
+    fn bare_names_keep_the_registry_seed(name in arb_name()) {
+        let sc = parse(name).unwrap();
+        let registry = by_name(name).expect("registry entry");
+        prop_assert_eq!(sc.seed, registry.seed);
+    }
+
+    /// A valid seed with trailing garbage is rejected (no prefix
+    /// truncation), and the error echoes the whole offending spec.
+    #[test]
+    fn trailing_garbage_is_rejected_with_the_spec_echoed(
+        name in arb_name(),
+        seed in any::<u64>(),
+        junk in prop_oneof![
+            Just("x"), Just("@7"), Just(" "), Just("."), Just("-"), Just("_9"),
+        ],
+    ) {
+        let spec = format!("{name}@{seed}{junk}");
+        match parse(&spec) {
+            Ok(sc) => {
+                return Err(TestCaseError::fail(format!(
+                    "`{spec}` must not parse (got seed {})", sc.seed
+                )));
+            }
+            Err(e) => prop_assert!(
+                e.contains(&format!("`{spec}`")),
+                "error must echo the spec `{spec}`: {e}"
+            ),
+        }
+    }
+
+    /// Seed literals past `u64::MAX` are overflow errors, not clamps.
+    #[test]
+    fn overflowing_seeds_are_rejected(name in arb_name(), extra in 0u64..10) {
+        let spec = format!("{name}@{}{extra}", u64::MAX);
+        match parse(&spec) {
+            Ok(sc) => {
+                return Err(TestCaseError::fail(format!(
+                    "`{spec}` must overflow (got seed {})", sc.seed
+                )));
+            }
+            Err(e) => {
+                prop_assert!(e.contains("overflows"), "{e}");
+                prop_assert!(e.contains(&format!("`{spec}`")), "echoes the spec: {e}");
+            }
+        }
+    }
+
+    /// The empty-seed form `name@` is rejected with the spec echoed.
+    #[test]
+    fn empty_seed_is_rejected(name in arb_name()) {
+        let spec = format!("{name}@");
+        let e = parse(&spec).expect_err("empty seed must not parse");
+        prop_assert!(e.contains(&format!("`{spec}`")), "echoes the spec: {e}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The server's compiled-artifact caches, keyed by program hash.
+//!
+//! A submitted program is compiled and transformed once; the resulting
+//! [`Built`] (transformed program, policies, region ω sets) is leaked
+//! to `'static` and every later request against the same source hash
+//! reuses it. Per-scenario [`MachineCore`]s — the unit of sharing the
+//! fleet sweep established: compiled blocks, interned chain table,
+//! frame layouts, detector tables — hang off the program entry keyed by
+//! scenario name, so a sweep of 10 000 devices against one program
+//! builds each core exactly once.
+//!
+//! The leak is deliberate and bounded: entries are never evicted (a
+//! `&'static Built` handed to a running simulation cannot be reclaimed
+//! safely without reference-counting every machine), so the cache
+//! instead *refuses* new submissions past its capacity — the client
+//! gets a one-line error instead of the server growing without bound.
+
+use ocelot_bench::verify::{program_hash, Verdict};
+use ocelot_core::ocelot_transform;
+use ocelot_hw::energy::CostModel;
+use ocelot_runtime::machine::MachineCore;
+use ocelot_runtime::model::{Built, ExecModel};
+use ocelot_scenario::Scenario;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached program: its leaked build and per-scenario cores.
+pub struct ProgramEntry {
+    /// The transformed program and its runtime metadata.
+    pub built: &'static Built,
+    /// The verdict recorded at submission time.
+    pub verdict: Verdict,
+    /// Shared read-only cores, one per scenario name.
+    cores: HashMap<&'static str, Arc<MachineCore<'static>>>,
+}
+
+/// All cached programs, keyed by the hash of their *submitted* source
+/// program (pre-transform — the hash a client can compute itself).
+pub struct ProgramCache {
+    max: usize,
+    entries: HashMap<u64, ProgramEntry>,
+}
+
+impl ProgramCache {
+    /// A cache refusing submissions past `max` distinct programs.
+    pub fn new(max: usize) -> Self {
+        ProgramCache {
+            max: max.max(1),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Compiles, verifies, and caches `src`, or reuses the entry if the
+    /// same program was submitted before. Returns the program hash and
+    /// whether the entry was already cached.
+    ///
+    /// # Errors
+    ///
+    /// One-line messages for compile/validation/transform failures and
+    /// for a full cache.
+    pub fn submit(&mut self, src: &str) -> Result<(u64, bool), String> {
+        let p = ocelot_ir::compile(src).map_err(|e| format!("compile: {e}"))?;
+        ocelot_ir::validate(&p).map_err(|e| format!("validate: {e}"))?;
+        let hash = program_hash(&p);
+        if self.entries.contains_key(&hash) {
+            return Ok((hash, true));
+        }
+        if self.entries.len() >= self.max {
+            return Err(format!(
+                "program cache full ({} programs): restart the server or raise --max-programs",
+                self.max
+            ));
+        }
+        let c = ocelot_transform(p.clone()).map_err(|e| format!("transform: {e}"))?;
+        let verdict = Verdict {
+            source_hash: hash,
+            transformed_hash: program_hash(&c.program),
+            funcs: p.funcs.len(),
+            policies: c.policies.len(),
+            regions: c.regions.len(),
+            passes: c.check.passes(),
+        };
+        let built: &'static Built = Box::leak(Box::new(Built {
+            model: ExecModel::Ocelot,
+            program: c.program,
+            policies: c.policies,
+            regions: c.regions,
+        }));
+        self.entries.insert(
+            hash,
+            ProgramEntry {
+                built,
+                verdict,
+                cores: HashMap::new(),
+            },
+        );
+        Ok((hash, false))
+    }
+
+    /// The cached entry for `hash`, if any.
+    pub fn entry(&self, hash: u64) -> Option<&ProgramEntry> {
+        self.entries.get(&hash)
+    }
+
+    /// The shared core for (`hash`, `sc`'s scenario), building and
+    /// memoizing it on first use. Cores are keyed by scenario *name*:
+    /// the channel layout a core records is a pure function of the
+    /// scenario shape (seeds only perturb signal values), so one core
+    /// serves every reseeding of the scenario — and, because levels and
+    /// backends are observationally identical, every `--opt` level and
+    /// both backends too.
+    ///
+    /// # Errors
+    ///
+    /// `unknown program` when `hash` was never submitted.
+    pub fn core(&mut self, hash: u64, sc: &Scenario) -> Result<Arc<MachineCore<'static>>, String> {
+        let entry = self
+            .entries
+            .get_mut(&hash)
+            .ok_or_else(|| format!("unknown program {hash} (submit it first)"))?;
+        let built = entry.built;
+        let core = entry.cores.entry(sc.name).or_insert_with(|| {
+            Arc::new(MachineCore::build(
+                &built.program,
+                &built.regions,
+                built.policies.clone(),
+                &sc.environment(),
+                CostModel::default(),
+            ))
+        });
+        Ok(Arc::clone(core))
+    }
+
+    /// (cached programs, built cores) — for the `stats` op.
+    pub fn counts(&self) -> (usize, usize) {
+        (
+            self.entries.len(),
+            self.entries.values().map(|e| e.cores.len()).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        sensor s;
+        fn main() { let x = in(s); fresh(x); out(log, x); }
+    "#;
+
+    #[test]
+    fn resubmission_hits_the_cache() {
+        let mut c = ProgramCache::new(4);
+        let (h1, cached1) = c.submit(SRC).unwrap();
+        let (h2, cached2) = c.submit(SRC).unwrap();
+        assert_eq!(h1, h2);
+        assert!(!cached1);
+        assert!(cached2);
+        assert_eq!(c.counts(), (1, 0));
+        let v = &c.entry(h1).unwrap().verdict;
+        assert!(v.passes);
+        assert_eq!(v.source_hash, h1);
+    }
+
+    #[test]
+    fn full_cache_refuses_new_programs_but_keeps_serving_cached_ones() {
+        let mut c = ProgramCache::new(1);
+        let (h, _) = c.submit(SRC).unwrap();
+        let other = SRC.replace("log", "uart");
+        let err = c.submit(&other).unwrap_err();
+        assert!(err.contains("cache full"), "{err}");
+        assert!(err.contains("--max-programs"), "{err}");
+        assert!(c.submit(SRC).unwrap().1, "cached entry still served");
+        assert!(c.entry(h).is_some());
+    }
+
+    #[test]
+    fn cores_are_shared_per_scenario_name_across_seeds() {
+        let mut c = ProgramCache::new(4);
+        let (h, _) = c.submit(SRC).unwrap();
+        let sc = ocelot_scenario::parse("rf-lab").unwrap();
+        let a = c.core(h, &sc).unwrap();
+        let b = c.core(h, &sc.reseeded(99)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one core per scenario name");
+        assert_eq!(c.counts(), (1, 1));
+        let err = c.core(12345, &sc).err().expect("unknown hash errors");
+        assert!(err.contains("unknown program"), "{err}");
+    }
+
+    #[test]
+    fn invalid_programs_report_one_line_errors() {
+        let mut c = ProgramCache::new(4);
+        let err = c.submit("fn main( {").unwrap_err();
+        assert!(err.starts_with("compile:"), "{err}");
+        assert_eq!(err.lines().count(), 1);
+    }
+}

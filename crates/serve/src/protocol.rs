@@ -1,0 +1,452 @@
+//! The request protocol: line-delimited JSON objects in, line-delimited
+//! JSON objects out.
+//!
+//! Every request is one object with an `"op"` member; every response is
+//! one object with `"ok"` (and the request's `"id"` echoed verbatim
+//! when present). Responses are **timing-free by design**: the same
+//! request against the same server state serializes to identical bytes
+//! whatever the worker count, whether the answer came from a cold
+//! compile or a warm cache, and on either execution backend — latency
+//! is the *client's* observation (the edit-trace driver measures it),
+//! never part of the payload.
+//!
+//! | op | request members | response members |
+//! |---|---|---|
+//! | `ping` | — | `pong` |
+//! | `submit` | `source` | `program`, `cached`, `verdict` |
+//! | `verify` | `source`, `doc`? | `verdict`, `funcs`, `analyzed`, `reused` |
+//! | `run` | `program`, `scenario`, `runs`?, `seed`?, `backend`?, `opt`? | `scenario`, `stats` |
+//! | `sweep` | `program`, `scenarios`, `runs`?, `backend`?, `opt`? | `cells` |
+//! | `stats` | — | `programs`, `cores`, `docs`, `cached_funcs`, `requests` |
+//! | `shutdown` | — | `stopping` |
+//!
+//! `verify` with a `doc` name re-verifies incrementally against that
+//! document's per-function flow cache (see
+//! `ocelot_analysis::incremental`); without one it verifies from
+//! scratch. `run`/`sweep` accept scenario specs (`name` or `name@seed`)
+//! and report the machine's violation/mitigation statistics.
+
+use crate::cache::ProgramCache;
+use ocelot_bench::artifact::stats_to_json;
+use ocelot_bench::harness::MAX_STEPS;
+use ocelot_bench::json::Json;
+use ocelot_bench::pool::{run_jobs, Job};
+use ocelot_bench::verify::{full_verify, Session};
+use ocelot_runtime::machine::{DeviceState, Machine, MachineCore};
+use ocelot_runtime::{ExecBackend, OptLevel};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default complete-run count for `run`/`sweep` cells.
+const DEFAULT_RUNS: u64 = 3;
+
+/// Mutable server state shared by every connection.
+pub struct ServerState {
+    /// Worker threads `sweep` shards onto.
+    pub jobs: usize,
+    /// The program-hash-keyed artifact cache.
+    pub cache: ProgramCache,
+    /// Incremental verification documents, by client-chosen name.
+    pub docs: HashMap<String, Session>,
+    /// Requests handled so far (any op, including failed ones).
+    pub requests: u64,
+}
+
+impl ServerState {
+    /// Fresh state for a server with `jobs` workers and a program cache
+    /// capped at `max_programs`.
+    pub fn new(jobs: usize, max_programs: usize) -> Self {
+        ServerState {
+            jobs: jobs.max(1),
+            cache: ProgramCache::new(max_programs),
+            docs: HashMap::new(),
+            requests: 0,
+        }
+    }
+}
+
+/// What the connection loop should do after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep the connection (and server) going.
+    Continue,
+    /// The client asked the whole server to stop.
+    Shutdown,
+}
+
+/// Handles one parsed request line against the shared state, returning
+/// the response object and whether to shut the server down.
+pub fn handle_request(state: &mut ServerState, req: &Json) -> (Json, Outcome) {
+    state.requests += 1;
+    let mut outcome = Outcome::Continue;
+    let result = match req.get("op").and_then(Json::as_str) {
+        None => Err("request has no `op` member".to_string()),
+        Some("ping") => Ok(vec![("pong", Json::Bool(true))]),
+        Some("submit") => op_submit(state, req),
+        Some("verify") => op_verify(state, req),
+        Some("run") => op_run(state, req),
+        Some("sweep") => op_sweep(state, req),
+        Some("stats") => op_stats(state),
+        Some("shutdown") => {
+            outcome = Outcome::Shutdown;
+            Ok(vec![("stopping", Json::Bool(true))])
+        }
+        Some(op) => Err(format!(
+            "unknown op `{op}` (known: ping, submit, verify, run, sweep, stats, shutdown)"
+        )),
+    };
+    let mut pairs = Vec::new();
+    if let Some(id) = req.get("id") {
+        pairs.push(("id", id.clone()));
+    }
+    match result {
+        Ok(mut members) => {
+            pairs.push(("ok", Json::Bool(true)));
+            pairs.append(&mut members);
+        }
+        Err(e) => {
+            pairs.push(("ok", Json::Bool(false)));
+            pairs.push(("error", Json::str(&e)));
+        }
+    }
+    (Json::obj(pairs), outcome)
+}
+
+type OpResult = Result<Vec<(&'static str, Json)>, String>;
+
+fn req_str<'a>(req: &'a Json, key: &str) -> Result<&'a str, String> {
+    req.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("request needs a string `{key}` member"))
+}
+
+fn op_submit(state: &mut ServerState, req: &Json) -> OpResult {
+    let src = req_str(req, "source")?;
+    let (hash, cached) = state.cache.submit(src)?;
+    let verdict = state
+        .cache
+        .entry(hash)
+        .expect("just inserted")
+        .verdict
+        .clone();
+    Ok(vec![
+        ("program", Json::u64(hash)),
+        ("cached", Json::Bool(cached)),
+        ("verdict", verdict.to_json()),
+    ])
+}
+
+fn op_verify(state: &mut ServerState, req: &Json) -> OpResult {
+    let src = req_str(req, "source")?;
+    let (verdict, funcs, analyzed, reused) = match req.get("doc").and_then(Json::as_str) {
+        Some(doc) => {
+            let session = state.docs.entry(doc.to_string()).or_default();
+            let (_, v, stats) = session.verify(src)?;
+            (v, stats.funcs, stats.analyzed, stats.reused)
+        }
+        None => {
+            let (_, v) = full_verify(src)?;
+            let funcs = v.funcs;
+            (v, funcs, funcs, 0)
+        }
+    };
+    Ok(vec![
+        ("verdict", verdict.to_json()),
+        ("funcs", Json::u64(funcs as u64)),
+        ("analyzed", Json::u64(analyzed as u64)),
+        ("reused", Json::u64(reused as u64)),
+    ])
+}
+
+/// Resolves the run-shaping members shared by `run` and `sweep`.
+fn run_shape(req: &Json) -> Result<(u64, ExecBackend, OptLevel), String> {
+    let runs = req
+        .get("runs")
+        .and_then(Json::as_u64)
+        .unwrap_or(DEFAULT_RUNS);
+    let backend = match req.get("backend").and_then(Json::as_str) {
+        None => ExecBackend::Interp,
+        Some("interp") => ExecBackend::Interp,
+        Some("compiled") => ExecBackend::Compiled,
+        Some(b) => return Err(format!("unknown backend `{b}` (known: interp, compiled)")),
+    };
+    let opt = match req.get("opt") {
+        None => OptLevel::default(),
+        Some(v) => {
+            let n = v.as_u64().ok_or("`opt` must be an integer")?;
+            OptLevel::parse(&n.to_string())
+                .ok_or_else(|| format!("invalid opt level {n} (accepted: 0, 1, 2)"))?
+        }
+    };
+    Ok((runs, backend, opt))
+}
+
+/// Simulates one scenario cell on a shared core and packs its cell
+/// object. Violation/mitigation statistics come from the machine's
+/// detectors — the enforcement half of the server's answer.
+fn simulate_cell(
+    core: Arc<MachineCore<'static>>,
+    spec: &str,
+    seed: Option<u64>,
+    runs: u64,
+    backend: ExecBackend,
+    opt: OptLevel,
+) -> Result<Json, String> {
+    let mut sc = ocelot_scenario::parse(spec)?;
+    if let Some(s) = seed {
+        sc = sc.reseeded(s);
+    }
+    let mut m = Machine::from_core(core, DeviceState::default(), sc.environment(), sc.supply())
+        .with_backend(backend)
+        .with_opt(opt);
+    for _ in 0..runs {
+        // Harsh regimes may starve a run; no completion assertion, the
+        // same rule the per-cell harness and fleet use.
+        m.run_once(MAX_STEPS);
+    }
+    Ok(Json::obj(vec![
+        ("scenario", Json::str(spec)),
+        ("runs", Json::u64(runs)),
+        ("stats", stats_to_json(m.stats())),
+    ]))
+}
+
+fn op_run(state: &mut ServerState, req: &Json) -> OpResult {
+    let hash = req
+        .get("program")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a `program` hash member (from submit)")?;
+    let spec = req_str(req, "scenario")?;
+    let seed = req.get("seed").and_then(Json::as_u64);
+    let (runs, backend, opt) = run_shape(req)?;
+    let sc = ocelot_scenario::parse(spec)?;
+    let core = state.cache.core(hash, &sc)?;
+    let cell = simulate_cell(core, spec, seed, runs, backend, opt)?;
+    let stats = cell.get("stats").expect("cell has stats").clone();
+    Ok(vec![("scenario", Json::str(spec)), ("stats", stats)])
+}
+
+fn op_sweep(state: &mut ServerState, req: &Json) -> OpResult {
+    let hash = req
+        .get("program")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a `program` hash member (from submit)")?;
+    let specs: Vec<String> = req
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("request needs a `scenarios` array member")?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "scenario specs must be strings".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    if specs.is_empty() {
+        return Err("a sweep needs at least one scenario".to_string());
+    }
+    let (runs, backend, opt) = run_shape(req)?;
+    // Resolve every core up front (serially — cores memoize in the
+    // cache), then shard the simulations onto the pool. `run_jobs`
+    // returns results in job order, so the response is deterministic at
+    // any worker count.
+    let mut prepared = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let sc = ocelot_scenario::parse(spec)?;
+        prepared.push((spec.as_str(), state.cache.core(hash, &sc)?));
+    }
+    let work: Vec<Job<'_, Result<Json, String>>> = prepared
+        .into_iter()
+        .map(|(spec, core)| {
+            Box::new(move || simulate_cell(core, spec, None, runs, backend, opt))
+                as Job<'_, Result<Json, String>>
+        })
+        .collect();
+    let cells = run_jobs(work, state.jobs)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(vec![("cells", Json::Arr(cells))])
+}
+
+fn op_stats(state: &ServerState) -> OpResult {
+    let (programs, cores) = state.cache.counts();
+    let cached_funcs: usize = state.docs.values().map(Session::cached_funcs).sum();
+    Ok(vec![
+        ("programs", Json::u64(programs as u64)),
+        ("cores", Json::u64(cores as u64)),
+        ("docs", Json::u64(state.docs.len() as u64)),
+        ("cached_funcs", Json::u64(cached_funcs as u64)),
+        ("requests", Json::u64(state.requests)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); }";
+
+    fn state() -> ServerState {
+        ServerState::new(2, 8)
+    }
+
+    fn ok(resp: &Json) -> bool {
+        resp.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    #[test]
+    fn ping_echoes_the_request_id() {
+        let mut s = state();
+        let (resp, out) = handle_request(
+            &mut s,
+            &Json::obj(vec![("op", Json::str("ping")), ("id", Json::u64(7))]),
+        );
+        assert_eq!(out, Outcome::Continue);
+        assert!(ok(&resp));
+        assert_eq!(resp.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(resp.get("pong").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn submit_then_run_uses_the_cached_core() {
+        let mut s = state();
+        let (resp, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("source", Json::str(SRC)),
+            ]),
+        );
+        assert!(ok(&resp), "{resp:?}");
+        let hash = resp.get("program").and_then(Json::as_u64).unwrap();
+        let (run1, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("run")),
+                ("program", Json::u64(hash)),
+                ("scenario", Json::str("rf-lab")),
+                ("runs", Json::u64(2)),
+            ]),
+        );
+        assert!(ok(&run1), "{run1:?}");
+        assert!(run1.get("stats").is_some());
+        // Second run reuses the memoized core and answers identically.
+        let (run2, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("run")),
+                ("program", Json::u64(hash)),
+                ("scenario", Json::str("rf-lab")),
+                ("runs", Json::u64(2)),
+            ]),
+        );
+        assert_eq!(run1.render().unwrap(), run2.render().unwrap());
+        let (st, _) = handle_request(&mut s, &Json::obj(vec![("op", Json::str("stats"))]));
+        assert_eq!(st.get("programs").and_then(Json::as_u64), Some(1));
+        assert_eq!(st.get("cores").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn verify_with_a_doc_is_incremental_across_requests() {
+        let mut s = state();
+        let req = |src: &str| {
+            Json::obj(vec![
+                ("op", Json::str("verify")),
+                ("doc", Json::str("d1")),
+                ("source", Json::str(src)),
+            ])
+        };
+        let (r1, _) = handle_request(&mut s, &req(SRC));
+        assert!(ok(&r1), "{r1:?}");
+        assert_eq!(r1.get("reused").and_then(Json::as_u64), Some(0));
+        let (r2, _) = handle_request(&mut s, &req(SRC));
+        assert_eq!(r2.get("analyzed").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            r1.get("verdict").unwrap().render().unwrap(),
+            r2.get("verdict").unwrap().render().unwrap(),
+            "cached verdict byte-identical"
+        );
+        // Doc-less verify of the same source: same verdict bytes.
+        let (r3, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("verify")),
+                ("source", Json::str(SRC)),
+            ]),
+        );
+        assert_eq!(
+            r1.get("verdict").unwrap().render().unwrap(),
+            r3.get("verdict").unwrap().render().unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_request_order() {
+        let mut s = state();
+        let (resp, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("submit")),
+                ("source", Json::str(SRC)),
+            ]),
+        );
+        let hash = resp.get("program").and_then(Json::as_u64).unwrap();
+        let sweep = Json::obj(vec![
+            ("op", Json::str("sweep")),
+            ("program", Json::u64(hash)),
+            (
+                "scenarios",
+                Json::Arr(vec![
+                    Json::str("rf-lab"),
+                    Json::str("office-day"),
+                    Json::str("rf-lab@9"),
+                ]),
+            ),
+            ("runs", Json::u64(1)),
+        ]);
+        let (a, _) = handle_request(&mut s, &sweep);
+        assert!(ok(&a), "{a:?}");
+        let cells = a.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(
+            cells[1].get("scenario").and_then(Json::as_str),
+            Some("office-day")
+        );
+        // Same sweep at a different worker count: identical bytes.
+        s.jobs = 8;
+        let (b, _) = handle_request(&mut s, &sweep);
+        assert_eq!(a.render().unwrap(), b.render().unwrap());
+    }
+
+    #[test]
+    fn errors_are_flagged_not_panics() {
+        let mut s = state();
+        for req in [
+            Json::obj(vec![("op", Json::str("nope"))]),
+            Json::obj(vec![
+                ("op", Json::str("verify")),
+                ("source", Json::str("fn (")),
+            ]),
+            Json::obj(vec![
+                ("op", Json::str("run")),
+                ("program", Json::u64(1)),
+                ("scenario", Json::str("rf-lab")),
+            ]),
+            Json::obj(vec![("op", Json::str("submit"))]),
+            Json::Null,
+        ] {
+            let (resp, out) = handle_request(&mut s, &req);
+            assert_eq!(out, Outcome::Continue);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(resp.get("error").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn shutdown_reports_and_stops() {
+        let mut s = state();
+        let (resp, out) = handle_request(&mut s, &Json::obj(vec![("op", Json::str("shutdown"))]));
+        assert_eq!(out, Outcome::Shutdown);
+        assert!(ok(&resp));
+    }
+}

@@ -1,0 +1,269 @@
+//! The TCP server and its in-process client.
+//!
+//! Hand-rolled on `std::net` only: a nonblocking accept loop on its own
+//! thread, one handler thread per connection, and one
+//! `Mutex<ServerState>` guarding the caches — request *handling* is
+//! serialized (which is what makes responses deterministic), while a
+//! `sweep`'s simulations still fan out over the work-stealing pool
+//! inside the handler. Backpressure is a bounded in-flight counter:
+//! past the bound a request is answered `server busy` immediately
+//! instead of queueing without limit.
+
+use crate::protocol::{handle_request, Outcome, ServerState};
+use ocelot_bench::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration (CLI flags of `ocelotc serve`).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads for `sweep` fan-out.
+    pub jobs: usize,
+    /// Program-cache capacity (submissions past it are refused).
+    pub max_programs: usize,
+    /// Requests processed concurrently before `server busy` replies.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7433".into(),
+            jobs: ocelot_bench::pool::default_jobs(),
+            max_programs: 64,
+            max_inflight: 32,
+        }
+    }
+}
+
+/// A running server: its bound address and shutdown handle.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to stop and waits for it (connection
+    /// handlers exit when their streams close).
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+    }
+
+    /// Blocks until the server stops (a client sent `shutdown`).
+    pub fn wait(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Binds and starts a server in background threads, returning once the
+/// listener is accepting.
+///
+/// # Errors
+///
+/// I/O errors from binding the listener.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(Mutex::new(ServerState::new(
+        config.jobs,
+        config.max_programs,
+    )));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let max_inflight = config.max_inflight.max(1);
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&state);
+                    let stop = Arc::clone(&accept_stop);
+                    let inflight = Arc::clone(&inflight);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &state, &stop, &inflight, max_inflight);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread,
+    })
+}
+
+/// One connection: read request lines, write response lines, until EOF
+/// or server shutdown.
+///
+/// Reads carry a short timeout so an idle connection re-checks the stop
+/// flag instead of blocking forever — without it, `ServerHandle::stop`
+/// would deadlock joining a handler that is parked in a read on a
+/// still-open client.
+fn handle_connection(
+    stream: TcpStream,
+    state: &Mutex<ServerState>,
+    stop: &AtomicBool,
+    inflight: &AtomicUsize,
+    max_inflight: usize,
+) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // The partial line accumulated so far: a timeout can fire mid-line,
+    // and `read_line` keeps whatever it already consumed in the buffer.
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,                          // EOF
+            Ok(_) if !line.ends_with('\n') => break, // EOF without newline: drop the fragment
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = std::mem::take(&mut line);
+        if request.trim().is_empty() {
+            continue;
+        }
+        let resp = respond(&request, state, stop, inflight, max_inflight);
+        let text = resp.render_compact().unwrap_or_else(|e| {
+            // Unreachable for the timing-free integer/string payloads
+            // the protocol emits, but never kill the connection over it.
+            format!("{{\"ok\": false, \"error\": \"render: {e}\"}}")
+        });
+        if writer.write_all(text.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Parses and dispatches one request line under the in-flight bound.
+fn respond(
+    line: &str,
+    state: &Mutex<ServerState>,
+    stop: &AtomicBool,
+    inflight: &AtomicUsize,
+    max_inflight: usize,
+) -> Json {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(&format!("bad request line: {e}"))),
+            ]);
+        }
+    };
+    if inflight.fetch_add(1, Ordering::SeqCst) >= max_inflight {
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        let mut pairs = Vec::new();
+        if let Some(id) = req.get("id") {
+            pairs.push(("id", id.clone()));
+        }
+        pairs.push(("ok", Json::Bool(false)));
+        pairs.push((
+            "error",
+            Json::str(&format!(
+                "server busy ({max_inflight} requests in flight): retry"
+            )),
+        ));
+        return Json::obj(pairs);
+    }
+    let (resp, outcome) = {
+        let mut guard = state.lock().expect("server state poisoned");
+        handle_request(&mut guard, &req)
+    };
+    inflight.fetch_sub(1, Ordering::SeqCst);
+    if outcome == Outcome::Shutdown {
+        stop.store(true, Ordering::SeqCst);
+    }
+    resp
+}
+
+/// A line-delimited JSON client for one server connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from connecting.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request object and returns the raw response line —
+    /// the bytes the byte-identity suites compare.
+    ///
+    /// # Errors
+    ///
+    /// One-line messages for I/O failures or a closed connection.
+    pub fn request_line(&mut self, req: &Json) -> Result<String, String> {
+        let text = req.render_compact().map_err(|e| format!("render: {e}"))?;
+        self.writer
+            .write_all(text.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".to_string()),
+            Ok(_) => Ok(line.trim_end_matches('\n').to_string()),
+            Err(e) => Err(format!("receive: {e}")),
+        }
+    }
+
+    /// Sends one request and parses the response object.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a response that is not valid JSON.
+    pub fn request(&mut self, req: &Json) -> Result<Json, String> {
+        let line = self.request_line(req)?;
+        json::parse(&line).map_err(|e| format!("bad response: {e}"))
+    }
+}

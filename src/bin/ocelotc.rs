@@ -52,6 +52,23 @@
 //!     --fingerprint <path>      throughput fingerprint file
 //!                               (default BENCH_fleet.json);
 //!                               --no-fingerprint to skip
+//! ocelotc serve [opts]          always-on enforcement server: clients
+//!                               speak line-delimited JSON over TCP
+//!                               (submit / verify / run / sweep, see
+//!                               docs/serve.md); programs, analysis
+//!                               results, and per-scenario machine
+//!                               cores stay cached between requests
+//!     --addr <host:port>        bind address (default 127.0.0.1:7433;
+//!                               port 0 picks an ephemeral port)
+//!     --jobs <n>                worker threads for sweep fan-out
+//!                               (default all cores)
+//!     --max-programs <n>        program-cache capacity; submissions
+//!                               past it are refused (default 64)
+//!     --max-inflight <n>        concurrent requests before `server
+//!                               busy` replies (default 32)
+//!     --self-test               boot on an ephemeral port, replay an
+//!                               edit-trace workload through a real
+//!                               client, report, and exit
 //! ocelotc scenario <action>     the declarative scenario library
 //!     list                      enumerate the registered scenarios
 //!     describe <name[@seed]>    channels, supply, and workload binding
@@ -76,7 +93,8 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario> <file> [options]"
+                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario|serve> \
+                 <file> [options]"
             );
             return ExitCode::from(2);
         }
@@ -91,6 +109,9 @@ fn main() -> ExitCode {
     }
     if cmd == "scenario" {
         return cmd_scenario(rest);
+    }
+    if cmd == "serve" {
+        return cmd_serve(rest);
     }
     let Some(path) = rest.first() else {
         eprintln!("error: missing input file");
@@ -136,6 +157,62 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Some((driver, flags)) => ocelot_bench::cli::run_driver(driver, flags.iter().cloned()),
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let mut config = ocelot_serve::ServeConfig::default();
+    let mut self_test = false;
+    let mut it = rest.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => config.addr = a.clone(),
+                None => return usage_err("--addr needs host:port"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.jobs = v,
+                _ => return usage_err("--jobs needs a number >= 1"),
+            },
+            "--max-programs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.max_programs = v,
+                _ => return usage_err("--max-programs needs a number >= 1"),
+            },
+            "--max-inflight" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.max_inflight = v,
+                _ => return usage_err("--max-inflight needs a number >= 1"),
+            },
+            "--self-test" => self_test = true,
+            other => return usage_err(&format!("unknown option `{other}`")),
+        }
+    }
+    if self_test {
+        return match ocelot_serve::self_test() {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: serve self-test failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match ocelot_serve::serve(config.clone()) {
+        Ok(handle) => {
+            eprintln!(
+                "ocelot serve: listening on {} ({} worker(s), {} program slot(s)); \
+                 send {{\"op\": \"shutdown\"}} to stop",
+                handle.addr, config.jobs, config.max_programs
+            );
+            handle.wait();
+            eprintln!("ocelot serve: stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -30,7 +30,10 @@
 //!   extension workloads (multi-sensor fusion, duty-cycled radio,
 //!   ML-inference window);
 //! * [`scenario`] — the named environment/power scenario library the
-//!   evaluation sweeps (`ocelotc scenario`, `scenario_sweep`).
+//!   evaluation sweeps (`ocelotc scenario`, `scenario_sweep`);
+//! * [`serve`] — the always-on enforcement server (`ocelotc serve`):
+//!   line-delimited JSON over TCP with program-hash caching and
+//!   incremental re-verification.
 //!
 //! ## Quickstart
 //!
@@ -77,6 +80,7 @@ pub use ocelot_ir as ir;
 pub use ocelot_progress as progress;
 pub use ocelot_runtime as runtime;
 pub use ocelot_scenario as scenario;
+pub use ocelot_serve as serve;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
