@@ -132,6 +132,7 @@ pub fn unique_contexts(p: &Program) -> Vec<Option<Prov>> {
 /// mapped to its full provenance chain (the unique context of the
 /// enclosing function, then the input instruction itself).
 pub fn static_input_chains(p: &Program) -> BTreeMap<InstrRef, Prov> {
+    let _span = ocelot_telemetry::span!("chains");
     let unique = unique_contexts(p);
     let mut out = BTreeMap::new();
     for f in &p.funcs {

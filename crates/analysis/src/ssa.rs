@@ -99,6 +99,7 @@ pub struct ProgramSsa {
 impl ProgramSsa {
     /// Analyzes every function of `p`.
     pub fn analyze(p: &Program) -> Self {
+        let _span = ocelot_telemetry::span!("opt");
         ProgramSsa {
             funcs: p.funcs.iter().map(analyze_func).collect(),
         }

@@ -106,6 +106,7 @@ impl TaintAnalysis {
     ///
     /// Panics on recursive programs; run [`ocelot_ir::validate()`] first.
     pub fn run(p: &Program) -> Self {
+        let _span = ocelot_telemetry::span!("analysis");
         let cg = CallGraph::new(p);
         let order = cg
             .topo_callees_first(p)

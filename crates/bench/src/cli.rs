@@ -49,6 +49,12 @@ pub struct BenchArgs {
     pub opt: OptLevel,
     /// Persist (or, with `--replay`, re-render) raw observation traces.
     pub traces: bool,
+    /// Record telemetry spans and write a Chrome `trace_event` JSON
+    /// file here (`--trace-out`). Never touches the artifact.
+    pub trace_out: Option<PathBuf>,
+    /// Count telemetry metrics and print the sorted snapshot after the
+    /// rendered output (`--metrics`). Never touches the artifact.
+    pub metrics: bool,
     /// `--help` was requested.
     pub help: bool,
     /// Which simulation-shaping flags were passed explicitly — replay
@@ -87,6 +93,8 @@ impl Default for BenchArgs {
             backend: ExecBackend::Interp,
             opt: OptLevel::default(),
             traces: false,
+            trace_out: None,
+            metrics: false,
             help: false,
             given: GivenFlags::default(),
         }
@@ -143,6 +151,11 @@ impl BenchArgs {
                     out.given.opt = true;
                 }
                 "--traces" => out.traces = true,
+                "--trace-out" => {
+                    out.trace_out =
+                        Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
+                }
+                "--metrics" => out.metrics = true,
                 "--replay" => out.replay = true,
                 "--help" | "-h" => out.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -157,7 +170,7 @@ fn usage(d: &Driver) -> String {
         "{} — {}\n\n\
          usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N]\n\
                      [--backend interp|compiled] [--opt 0|1|2]\n\
-                     [--traces] [--replay]\n\n\
+                     [--traces] [--replay] [--trace-out PATH] [--metrics]\n\n\
          --jobs N    worker threads for the sweep (default: all cores)\n\
          --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
          --runs N    scale override: run count, or simulated seconds for\n\
@@ -179,7 +192,12 @@ fn usage(d: &Driver) -> String {
                      <out>/{}_traces.json (uniform cell sweeps only) and\n\
                      append their summary; with --replay, re-render the\n\
                      persisted traces instead of re-simulating\n\
-         --replay    render from <out>/{}.json without re-simulating\n",
+         --replay    render from <out>/{}.json without re-simulating\n\
+         --trace-out P  record pipeline/pool telemetry spans and write them\n\
+                     to P as Chrome trace_event JSON (Perfetto-loadable);\n\
+                     never touches the artifact\n\
+         --metrics   count telemetry metrics and print the sorted snapshot\n\
+                     after the rendered output; never touches the artifact\n",
         d.name, d.about, d.name, d.name, d.name
     )
 }
@@ -286,6 +304,8 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
         print!("{}", usage(d));
         return ExitCode::SUCCESS;
     }
+    ocelot_telemetry::set_tracing(parsed.trace_out.is_some());
+    ocelot_telemetry::set_metrics(parsed.metrics);
     if parsed.traces && !parsed.replay && d.collect_traced.is_none() {
         eprintln!(
             "error: driver `{}` does not support --traces (its cells are \
@@ -358,6 +378,21 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
             Ok(text) => print!("{text}"),
             Err(e) => {
                 eprintln!("error: cannot render traces: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if parsed.metrics {
+        print!(
+            "\nmetrics:\n{}",
+            ocelot_telemetry::metrics::render_snapshot()
+        );
+    }
+    if let Some(tp) = &parsed.trace_out {
+        match crate::telem::write_trace(tp) {
+            Ok(n) => eprintln!("wrote {} ({n} spans)", tp.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace: {e}");
                 return ExitCode::FAILURE;
             }
         }

@@ -15,7 +15,8 @@
 use super::{cell_u64, Driver, DriverOpts};
 use crate::artifact::{Artifact, ArtifactError};
 use crate::json::Json;
-use crate::verify::{percentile, replay_trace, EditTrace, Verdict, DEFAULT_TRACE};
+use crate::verify::{replay_trace, EditTrace, Verdict, DEFAULT_TRACE};
+use ocelot_telemetry::percentile;
 
 /// The edit-trace latency driver.
 pub static SERVE: Driver = Driver {

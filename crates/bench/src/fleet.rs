@@ -109,105 +109,31 @@ impl Default for FleetOpts {
     }
 }
 
-/// Number of buckets in a [`Histogram`]: bucket 0 holds zeros, bucket
-/// `b ≥ 1` holds values in `[2^(b-1), 2^b)`.
-pub const HIST_BUCKETS: usize = 65;
+pub use ocelot_telemetry::{Histogram, HIST_BUCKETS};
 
-/// A log₂-bucket histogram of per-device counters (reboots, freshness
-/// failures). Exact-merge friendly: bucket counts are plain `u64` sums,
-/// so merging partial histograms in any grouping gives identical
-/// results.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: vec![0; HIST_BUCKETS],
-        }
-    }
-}
-
-impl Histogram {
-    /// The bucket index `v` lands in.
-    pub fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            64 - v.leading_zeros() as usize
-        }
-    }
-
-    /// The largest value bucket `b` can hold (`0` for bucket 0).
-    pub fn bucket_max(b: usize) -> u64 {
-        if b == 0 {
-            0
-        } else if b >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << b) - 1
-        }
-    }
-
-    /// Records one device's counter value.
-    pub fn record(&mut self, v: u64) {
-        let b = &mut self.buckets[Self::bucket_of(v)];
-        *b = b.saturating_add(1);
-    }
-
-    /// Adds every bucket of `other` into `self`. Bucket counts saturate
-    /// rather than wrap: a pinned count misstates only how far past
-    /// `u64::MAX` the fleet went, while a wrapped one would silently
-    /// reorder every percentile derived from it.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (b, v) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b = b.saturating_add(*v);
-        }
-    }
-
-    /// Total recorded devices.
-    pub fn total(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The bucket counts, zeros first then doubling ranges.
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
-    }
-
-    /// The upper bound of the bucket containing the `p`-th percentile
-    /// (`p` in `[0, 100]`) of recorded values, or 0 for an empty
-    /// histogram. Bucketed percentiles are what the fleet table renders:
-    /// exact enough for tail shapes, mergeable without per-device state.
-    pub fn percentile(&self, p: f64) -> u64 {
-        let total = self.total();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (b, n) in self.buckets.iter().enumerate() {
-            cum += n;
-            if cum >= rank {
-                return Self::bucket_max(b);
-            }
-        }
-        Self::bucket_max(HIST_BUCKETS - 1)
-    }
-
+/// Artifact (de)serialization for the shared telemetry [`Histogram`].
+/// The histogram itself was generalized into `ocelot-telemetry` (a
+/// dependency leaf with no JSON layer), so its schema-v1 encoding —
+/// the raw 65-bucket array, unchanged since the fleet driver introduced
+/// it — lives here with the rest of the artifact schema.
+pub trait HistogramJson: Sized {
     /// The histogram as a JSON array of bucket counts.
-    pub fn to_json(&self) -> Json {
-        Json::Arr(self.buckets.iter().map(|&v| Json::u64(v)).collect())
-    }
+    fn to_json(&self) -> Json;
 
-    /// Strict inverse of [`Histogram::to_json`].
+    /// Strict inverse of [`HistogramJson::to_json`].
     ///
     /// # Errors
     ///
     /// [`ArtifactError::Schema`] on wrong length or non-`u64` entries.
-    pub fn from_json(v: &Json) -> Result<Histogram, ArtifactError> {
+    fn from_json(v: &Json) -> Result<Self, ArtifactError>;
+}
+
+impl HistogramJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.buckets().iter().map(|&v| Json::u64(v)).collect())
+    }
+
+    fn from_json(v: &Json) -> Result<Histogram, ArtifactError> {
         let arr = v
             .as_arr()
             .ok_or_else(|| ArtifactError::Schema("histogram is not an array".into()))?;
@@ -224,7 +150,7 @@ impl Histogram {
                     ArtifactError::Schema("histogram bucket is not a u64".into())
                 })?);
         }
-        Ok(Histogram { buckets })
+        Ok(Histogram::from_buckets(buckets))
     }
 }
 
@@ -395,6 +321,7 @@ pub fn run_fleet(spec: &FleetSpec, opts: FleetOpts) -> Vec<FleetAggregate> {
         let shared = &shared_cores;
         let build_cores = &build_cores;
         work.push(Box::new(move || {
+            let _span = ocelot_telemetry::span!("fleet.chunk", "fleet");
             let local;
             let cores: &[Arc<MachineCore<'_>>] = if opts.share_core {
                 shared
@@ -434,6 +361,7 @@ pub fn run_fleet(spec: &FleetSpec, opts: FleetOpts) -> Vec<FleetAggregate> {
 
     // Deterministic index-ordered reduction over chunk aggregates.
     let partials = pool::run_jobs(work, opts.jobs);
+    let _reduce = ocelot_telemetry::span!("fleet.reduce", "fleet");
     let mut totals: Vec<FleetAggregate> = spec
         .scenarios
         .iter()
@@ -475,6 +403,10 @@ struct FleetArgs {
     scenarios: Vec<String>,
     out: PathBuf,
     fingerprint: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics: bool,
+    overhead_check: bool,
+    overhead_limit: Option<f64>,
     help: bool,
 }
 
@@ -494,6 +426,10 @@ impl Default for FleetArgs {
             scenarios: Vec::new(),
             out: PathBuf::from(crate::cli::DEFAULT_OUT_DIR),
             fingerprint: Some(PathBuf::from(FINGERPRINT_PATH)),
+            trace_out: None,
+            metrics: false,
+            overhead_check: false,
+            overhead_limit: None,
             help: false,
         }
     }
@@ -506,6 +442,8 @@ usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
                      [--jobs N] [--backend interp|compiled] [--opt 0|1|2]
                      [--scenario NAME[@seed]]... [--out DIR]
                      [--fingerprint PATH | --no-fingerprint]
+                     [--trace-out PATH] [--metrics] [--overhead-check]
+                     [--overhead-limit PCT]
 
   --app NAME        benchmark to deploy (default: tire)
   --devices N       fleet size (default: 200000)
@@ -527,6 +465,18 @@ usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
                     (default: BENCH_fleet.json; kept out of the artifact
                     so artifact bytes stay machine-independent)
   --no-fingerprint  skip the fingerprint file
+  --trace-out P     record pipeline/pool/fleet spans and write them to P
+                    as Chrome trace_event JSON (load in Perfetto or
+                    chrome://tracing); never touches the artifact
+  --metrics         count runtime/pool telemetry metrics and print the
+                    sorted snapshot after the table; never touches the
+                    artifact
+  --overhead-check  run the sweep a second time with full telemetry on
+                    and record the throughput overhead in the
+                    fingerprint (telemetry_overhead_pct)
+  --overhead-limit P fail (exit 1) when the telemetry-on overhead stays
+                    above P percent after retries (implies
+                    --overhead-check; CI pins 5)
 ";
 
 fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
@@ -582,6 +532,22 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
                 ));
             }
             "--no-fingerprint" => out.fingerprint = None,
+            "--trace-out" => {
+                out.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
+            }
+            "--metrics" => out.metrics = true,
+            "--overhead-check" => out.overhead_check = true,
+            "--overhead-limit" => {
+                let v = it.next().ok_or("--overhead-limit needs a percentage")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --overhead-limit value `{v}`"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--overhead-limit must be a non-negative percentage".into());
+                }
+                out.overhead_limit = Some(pct);
+                out.overhead_check = true;
+            }
             "--help" | "-h" => out.help = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -618,13 +584,43 @@ pub fn fleet_artifact(spec: &FleetSpec, aggs: &[FleetAggregate]) -> Artifact {
 /// of the result artifact: elapsed time varies by machine, and the
 /// artifact must stay byte-identical across `--jobs` widths.
 pub fn fingerprint_json(spec: &FleetSpec, jobs: usize, elapsed_ms: u64) -> Json {
+    fingerprint_json_with(spec, jobs, elapsed_ms, None)
+}
+
+/// The elapsed time of a second, telemetry-enabled pass over the same
+/// sweep (`--overhead-check`), for the fingerprint's overhead fields.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryOverhead {
+    /// Wall-clock of the telemetry-on pass, milliseconds.
+    pub on_elapsed_ms: u64,
+}
+
+impl TelemetryOverhead {
+    /// Throughput overhead of telemetry-on vs telemetry-off, percent
+    /// (negative when the on-pass happened to run faster).
+    pub fn overhead_pct(&self, off_elapsed_ms: u64) -> f64 {
+        if off_elapsed_ms == 0 {
+            return 0.0;
+        }
+        (self.on_elapsed_ms as f64 / off_elapsed_ms as f64 - 1.0) * 100.0
+    }
+}
+
+/// [`fingerprint_json`] plus the `--overhead-check` fields when a
+/// telemetry-on pass was timed.
+pub fn fingerprint_json_with(
+    spec: &FleetSpec,
+    jobs: usize,
+    elapsed_ms: u64,
+    overhead: Option<TelemetryOverhead>,
+) -> Json {
     let device_runs = spec.device_runs();
     let per_sec = if elapsed_ms == 0 {
         0.0
     } else {
         device_runs as f64 * 1000.0 / elapsed_ms as f64
     };
-    Json::obj(vec![
+    let mut pairs = vec![
         ("schema_version", Json::Int(crate::artifact::SCHEMA_VERSION)),
         ("driver", Json::str("fleet_fingerprint")),
         ("bench", Json::str(&spec.bench)),
@@ -635,7 +631,15 @@ pub fn fingerprint_json(spec: &FleetSpec, jobs: usize, elapsed_ms: u64) -> Json 
         ("device_runs", Json::u64(device_runs)),
         ("elapsed_ms", Json::u64(elapsed_ms)),
         ("device_runs_per_sec", Json::Float(per_sec)),
-    ])
+    ];
+    if let Some(o) = overhead {
+        pairs.push(("telemetry_on_elapsed_ms", Json::u64(o.on_elapsed_ms)));
+        pairs.push((
+            "telemetry_overhead_pct",
+            Json::Float(o.overhead_pct(elapsed_ms)),
+        ));
+    }
+    Json::obj(pairs)
 }
 
 /// `ocelotc fleet` entry point: run the sweep, persist and render the
@@ -696,6 +700,8 @@ pub fn fleet_main(args: &[String]) -> ExitCode {
         parsed.jobs,
         spec.backend.name()
     );
+    ocelot_telemetry::set_tracing(parsed.trace_out.is_some());
+    ocelot_telemetry::set_metrics(parsed.metrics);
     let start = Instant::now();
     let aggs = run_fleet(
         &spec,
@@ -705,6 +711,69 @@ pub fn fleet_main(args: &[String]) -> ExitCode {
         },
     );
     let elapsed_ms = start.elapsed().as_millis() as u64;
+    let overhead = if parsed.overhead_check {
+        // Same sweep again with both telemetry pillars on: the timing
+        // gives the fingerprint's overhead fields, and the aggregates
+        // double as an end-to-end telemetry-inertness check. With an
+        // --overhead-limit, the on-pass is retried (min-of-3) before
+        // concluding the budget is blown, so one scheduler hiccup on a
+        // loaded machine does not fail the run.
+        ocelot_telemetry::set_tracing(true);
+        ocelot_telemetry::set_metrics(true);
+        let attempts = if parsed.overhead_limit.is_some() {
+            3
+        } else {
+            1
+        };
+        let mut on_elapsed_ms = u64::MAX;
+        for attempt in 0..attempts {
+            let on_start = Instant::now();
+            let on_aggs = run_fleet(
+                &spec,
+                FleetOpts {
+                    jobs: parsed.jobs,
+                    share_core: true,
+                },
+            );
+            let this_ms = on_start.elapsed().as_millis() as u64;
+            on_elapsed_ms = on_elapsed_ms.min(this_ms);
+            if on_aggs != aggs {
+                ocelot_telemetry::set_tracing(parsed.trace_out.is_some());
+                ocelot_telemetry::set_metrics(parsed.metrics);
+                eprintln!("error: telemetry-on sweep changed the fleet aggregates");
+                return ExitCode::FAILURE;
+            }
+            let o = TelemetryOverhead { on_elapsed_ms };
+            let over = matches!(parsed.overhead_limit,
+                Some(limit) if o.overhead_pct(elapsed_ms) > limit);
+            if !over {
+                break;
+            }
+            if attempt + 1 < attempts {
+                eprintln!(
+                    "fleet: telemetry-on pass {attempt} over the overhead limit \
+                     ({:+.2}%), retrying",
+                    o.overhead_pct(elapsed_ms)
+                );
+            }
+        }
+        ocelot_telemetry::set_tracing(parsed.trace_out.is_some());
+        ocelot_telemetry::set_metrics(parsed.metrics);
+        let o = TelemetryOverhead { on_elapsed_ms };
+        if let Some(limit) = parsed.overhead_limit {
+            if o.overhead_pct(elapsed_ms) > limit {
+                eprintln!(
+                    "error: telemetry overhead {:+.2}% exceeds the {limit}% limit \
+                     (off {elapsed_ms} ms, best on {on_elapsed_ms} ms)",
+                    o.overhead_pct(elapsed_ms)
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(o)
+    } else {
+        None
+    };
     let artifact = fleet_artifact(&spec, &aggs);
     match artifact.save(&parsed.out) {
         Ok(path) => eprintln!("wrote {}", path.display()),
@@ -730,8 +799,30 @@ pub fn fleet_main(args: &[String]) -> ExitCode {
             spec.device_runs() as f64 * 1000.0 / elapsed_ms as f64
         }
     );
+    if let Some(o) = overhead {
+        eprintln!(
+            "fleet: telemetry-on pass {:.1} s ({:+.2}% overhead)",
+            o.on_elapsed_ms as f64 / 1000.0,
+            o.overhead_pct(elapsed_ms)
+        );
+    }
+    if parsed.metrics {
+        print!(
+            "\nmetrics:\n{}",
+            ocelot_telemetry::metrics::render_snapshot()
+        );
+    }
+    if let Some(tp) = &parsed.trace_out {
+        match crate::telem::write_trace(tp) {
+            Ok(n) => eprintln!("wrote {} ({n} spans)", tp.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(fp) = &parsed.fingerprint {
-        match write_fingerprint(fp, &spec, parsed.jobs, elapsed_ms) {
+        match write_fingerprint(fp, &spec, parsed.jobs, elapsed_ms, overhead) {
             Ok(()) => eprintln!("wrote {}", fp.display()),
             Err(e) => {
                 eprintln!("error: cannot write fingerprint: {e}");
@@ -752,8 +843,9 @@ pub fn write_fingerprint(
     spec: &FleetSpec,
     jobs: usize,
     elapsed_ms: u64,
+    overhead: Option<TelemetryOverhead>,
 ) -> Result<(), String> {
-    let text = fingerprint_json(spec, jobs, elapsed_ms)
+    let text = fingerprint_json_with(spec, jobs, elapsed_ms, overhead)
         .render()
         .map_err(|e| e.to_string())?;
     std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))

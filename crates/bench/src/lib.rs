@@ -44,5 +44,6 @@ pub mod harness;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod telem;
 pub mod traces;
 pub mod verify;

@@ -63,7 +63,13 @@ pub fn run_jobs_counting<'a, T: Send>(
     let n_jobs = jobs.len();
     let workers = workers.min(n_jobs);
     if workers <= 1 {
-        let results = jobs.into_iter().map(|j| j()).collect();
+        let results = jobs
+            .into_iter()
+            .map(|j| {
+                let _span = ocelot_telemetry::span!("pool.task", "pool");
+                j()
+            })
+            .collect();
         return (results, PoolStats::default());
     }
 
@@ -75,6 +81,9 @@ pub fn run_jobs_counting<'a, T: Send>(
     }
     for (i, job) in jobs.into_iter().enumerate() {
         queues[i % workers].lock().unwrap().push_back((i, job));
+    }
+    for q in &queues {
+        ocelot_telemetry::metrics::POOL_QUEUE_DEPTH.observe(q.lock().unwrap().len() as u64);
     }
     let queues = &queues;
     let steals = AtomicU64::new(0);
@@ -89,6 +98,7 @@ pub fn run_jobs_counting<'a, T: Send>(
                         // Own work first, front to back.
                         let next = queues[me].lock().unwrap().pop_front();
                         if let Some((idx, job)) = next {
+                            let _span = ocelot_telemetry::span!("pool.task", "pool");
                             out.push((idx, job()));
                             continue;
                         }
@@ -96,7 +106,10 @@ pub fn run_jobs_counting<'a, T: Send>(
                         match steal_half(queues, me) {
                             Some(batch) => {
                                 steals_ref.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                                ocelot_telemetry::metrics::POOL_STEALS.add(batch.len() as u64);
                                 let mut q = queues[me].lock().unwrap();
+                                let depth = q.len() + batch.len();
+                                ocelot_telemetry::metrics::POOL_QUEUE_DEPTH.observe(depth as u64);
                                 q.extend(batch);
                             }
                             // Nothing anywhere; jobs never spawn jobs,

@@ -116,6 +116,7 @@ impl Session {
     /// Returns a one-line message for compile/validation/transform
     /// failures (the serve layer forwards it verbatim to the client).
     pub fn verify(&mut self, src: &str) -> Result<(Compiled, Verdict, IncrementalStats), String> {
+        ocelot_telemetry::metrics::VERIFY_INCREMENTAL.incr();
         let p = compile(src)?;
         let (taint, stats) = self.cache.run(&p);
         let (source_hash, funcs) = (program_hash(&p), p.funcs.len());
@@ -139,6 +140,7 @@ impl Session {
 ///
 /// Same contract as [`Session::verify`].
 pub fn full_verify(src: &str) -> Result<(Compiled, Verdict), String> {
+    ocelot_telemetry::metrics::VERIFY_FULL.incr();
     let p = compile(src)?;
     let taint = TaintAnalysis::run(&p);
     let (source_hash, funcs) = (program_hash(&p), p.funcs.len());
@@ -334,12 +336,11 @@ pub fn replay_trace(trace: &EditTrace) -> Vec<EditMeasurement> {
     out
 }
 
-/// The p-th percentile (nearest-rank) of a non-empty sample.
-pub fn percentile(sorted: &[u64], p: f64) -> u64 {
-    assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+/// The shared nearest-rank percentile accessor — generalized into
+/// `ocelot-telemetry` alongside the log₂ [`crate::fleet::Histogram`];
+/// re-exported here because this module's callers (the serve driver,
+/// the incremental-speedup suite) historically found it here.
+pub use ocelot_telemetry::percentile;
 
 #[cfg(test)]
 mod tests {

@@ -69,9 +69,13 @@ pub fn ocelot_transform_with(
     mut program: Program,
     taint: &TaintAnalysis,
 ) -> Result<Compiled, CoreError> {
+    let _span = ocelot_telemetry::span!("transform");
     ocelot_ir::validate(&program)?;
     let policies = build_policies(&program, taint);
-    let Inference { policy_map, .. } = infer_atomics(&mut program, &policies)?;
+    let Inference { policy_map, .. } = {
+        let _infer = ocelot_telemetry::span!("infer");
+        infer_atomics(&mut program, &policies)?
+    };
     program.erase_annotations();
     ocelot_ir::validate(&program)?;
     let regions = collect_regions(&program)?;

@@ -79,6 +79,7 @@ pub fn lower(ast: &AstProgram) -> Result<Program> {
 ///
 /// Propagates lexer, parser, and lowering errors.
 pub fn compile(src: &str) -> Result<Program> {
+    let _span = ocelot_telemetry::span!("parse");
     lower(&crate::parser::parse(src)?)
 }
 

@@ -411,6 +411,7 @@ fn pure_of(e: CExpr<'_>) -> CExpr<'_> {
 /// check-site map, injector target set, non-volatile slot layout,
 /// frame layouts, chain table, and sensor interner.
 pub(crate) fn compile<'p>(m: &Machine<'p>) -> CompiledProgram<'p> {
+    let _span = ocelot_telemetry::span!("compile");
     let cx = Cx { m };
     CompiledProgram {
         funcs: m

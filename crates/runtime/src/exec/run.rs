@@ -180,6 +180,7 @@ impl<'p> Machine<'p> {
         //    observations are still recorded identically.
         if step.checked {
             if step.elidable && self.elide_checks {
+                ocelot_telemetry::metrics::CHECKS_ELIDED.incr();
                 self.log_fresh_uses(here);
             } else if self.run_checks(here) {
                 self.mitigation_restart();

@@ -908,6 +908,7 @@ impl<'p> Machine<'p> {
 
     /// Runs `main` once to completion (or until `max_steps`).
     pub fn run_once(&mut self, max_steps: u64) -> RunOutcome {
+        let _span = ocelot_telemetry::span!("execute", "device");
         self.reset_run();
         if self.backend == ExecBackend::Compiled {
             return self.run_once_compiled(max_steps);
@@ -1138,6 +1139,7 @@ impl<'p> Machine<'p> {
         };
         let rt = Arc::clone(rt);
         self.dev.checks_probed += 1;
+        ocelot_telemetry::metrics::CHECKS_EXECUTED.incr();
         // TICS expiry check precedes the use: a tripped check prevents
         // the stale use (no violation) at the cost of a handler run.
         if self.expiry_check_trips(&rt) {
@@ -1211,6 +1213,7 @@ impl<'p> Machine<'p> {
     /// cannot strand entries for dead dynamic chains — the re-collected
     /// inputs simply overwrite their slots.
     pub(crate) fn mitigation_restart(&mut self) {
+        ocelot_telemetry::metrics::MITIGATION_RESTARTS.incr();
         self.dev.stats.expiry_restarts += 1;
         self.dev.expiry_restarts_this_run += 1;
         match std::mem::replace(&mut self.dev.ctx, Ctx::Jit(None)) {
@@ -1230,6 +1233,7 @@ impl<'p> Machine<'p> {
     /// The dynamic provenance chain ending at `input_ref`: the call
     /// sites of every frame above `main`, then the input instruction.
     pub(crate) fn dynamic_chain(&self, input_ref: InstrRef) -> Prov {
+        ocelot_telemetry::metrics::CHAIN_REBUILDS.incr();
         let mut chain: Vec<InstrRef> = self
             .dev
             .vol
@@ -1269,6 +1273,7 @@ impl<'p> Machine<'p> {
         self.dev.now_us += off;
         self.dev.stats.off_time_us += off;
         self.dev.stats.reboots += 1;
+        ocelot_telemetry::metrics::REBOOTS.incr();
         self.dev.bitvec.clear();
         self.dev.obs.push_unbuffered(Obs::Reboot {
             off_us: off,

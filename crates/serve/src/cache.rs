@@ -21,8 +21,29 @@ use ocelot_hw::energy::CostModel;
 use ocelot_runtime::machine::MachineCore;
 use ocelot_runtime::model::{Built, ExecModel};
 use ocelot_scenario::Scenario;
+use ocelot_telemetry::metrics;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-instance cache hit/miss counters, one pair per caching layer.
+///
+/// These are plain fields owned by the cache instance — *not* the
+/// process-wide telemetry counters — so the `stats` op answers the same
+/// bytes whether one server or ten share the process, and whether
+/// telemetry is enabled at all. Every event is additionally mirrored to
+/// the global `ocelot_telemetry` registry (where it is subject to the
+/// metrics on/off gate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Submissions answered from the program cache.
+    pub programs_hits: u64,
+    /// Submissions that compiled, verified, and cached a fresh program.
+    pub programs_misses: u64,
+    /// Per-scenario cores served from the memo table.
+    pub cores_hits: u64,
+    /// Per-scenario cores built fresh.
+    pub cores_misses: u64,
+}
 
 /// One cached program: its leaked build and per-scenario cores.
 pub struct ProgramEntry {
@@ -39,6 +60,7 @@ pub struct ProgramEntry {
 pub struct ProgramCache {
     max: usize,
     entries: HashMap<u64, ProgramEntry>,
+    counters: CacheCounters,
 }
 
 impl ProgramCache {
@@ -47,6 +69,7 @@ impl ProgramCache {
         ProgramCache {
             max: max.max(1),
             entries: HashMap::new(),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -63,6 +86,8 @@ impl ProgramCache {
         ocelot_ir::validate(&p).map_err(|e| format!("validate: {e}"))?;
         let hash = program_hash(&p);
         if self.entries.contains_key(&hash) {
+            self.counters.programs_hits += 1;
+            metrics::SERVE_PROGRAMS_HIT.incr();
             return Ok((hash, true));
         }
         if self.entries.len() >= self.max {
@@ -94,6 +119,11 @@ impl ProgramCache {
                 cores: HashMap::new(),
             },
         );
+        // A miss is only counted once the fresh entry actually lands:
+        // rejected submissions (compile error, full cache) are neither
+        // hits nor misses.
+        self.counters.programs_misses += 1;
+        metrics::SERVE_PROGRAMS_MISS.incr();
         Ok((hash, false))
     }
 
@@ -118,6 +148,13 @@ impl ProgramCache {
             .entries
             .get_mut(&hash)
             .ok_or_else(|| format!("unknown program {hash} (submit it first)"))?;
+        if entry.cores.contains_key(sc.name) {
+            self.counters.cores_hits += 1;
+            metrics::SERVE_CORES_HIT.incr();
+        } else {
+            self.counters.cores_misses += 1;
+            metrics::SERVE_CORES_MISS.incr();
+        }
         let built = entry.built;
         let core = entry.cores.entry(sc.name).or_insert_with(|| {
             Arc::new(MachineCore::build(
@@ -129,6 +166,11 @@ impl ProgramCache {
             ))
         });
         Ok(Arc::clone(core))
+    }
+
+    /// This instance's hit/miss counters — for the `stats` op.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
     }
 
     /// (cached programs, built cores) — for the `stats` op.
@@ -186,6 +228,40 @@ mod tests {
         assert_eq!(c.counts(), (1, 1));
         let err = c.core(12345, &sc).err().expect("unknown hash errors");
         assert!(err.contains("unknown program"), "{err}");
+    }
+
+    #[test]
+    fn hit_miss_counters_are_per_instance_and_telemetry_independent() {
+        // Two caches in one process: counters must not bleed between
+        // them (they are instance fields, not the global registry), and
+        // they count with telemetry off.
+        let mut a = ProgramCache::new(4);
+        let mut b = ProgramCache::new(4);
+        a.submit(SRC).unwrap();
+        a.submit(SRC).unwrap();
+        let sc = ocelot_scenario::parse("rf-lab").unwrap();
+        let h = a.submit(SRC).unwrap().0;
+        a.core(h, &sc).unwrap();
+        a.core(h, &sc).unwrap();
+        assert_eq!(
+            a.counters(),
+            CacheCounters {
+                programs_hits: 2,
+                programs_misses: 1,
+                cores_hits: 1,
+                cores_misses: 1,
+            }
+        );
+        b.submit(SRC).unwrap();
+        assert_eq!(b.counters().programs_misses, 1);
+        assert_eq!(b.counters().programs_hits, 0, "instances do not share");
+        // Rejected submissions count neither way.
+        let mut full = ProgramCache::new(1);
+        full.submit(SRC).unwrap();
+        let _ = full.submit(&SRC.replace("log", "uart"));
+        let _ = full.submit("fn main( {");
+        assert_eq!(full.counters().programs_misses, 1);
+        assert_eq!(full.counters().programs_hits, 0);
     }
 
     #[test]

@@ -140,6 +140,20 @@ fn self_test_against(addr: std::net::SocketAddr) -> Result<String, String> {
     expect_ok(&sweep, "sweep")?;
     let stats = client.request(&Json::obj(vec![("op", Json::str("stats"))]))?;
     expect_ok(&stats, "stats")?;
+    for key in ["programs_hits", "cores_hits", "docs_hits"] {
+        if stats.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("stats response lacks `{key}`: {stats:?}"));
+        }
+    }
+    let metrics = client.request(&Json::obj(vec![("op", Json::str("metrics"))]))?;
+    expect_ok(&metrics, "metrics")?;
+    if metrics
+        .get("metrics")
+        .and_then(|m| m.get("serve.requests"))
+        .is_none()
+    {
+        return Err(format!("metrics response lacks the snapshot: {metrics:?}"));
+    }
     let down = client.request(&Json::obj(vec![("op", Json::str("shutdown"))]))?;
     expect_ok(&down, "shutdown")?;
 

@@ -17,8 +17,15 @@
 //! | `verify` | `source`, `doc`? | `verdict`, `funcs`, `analyzed`, `reused` |
 //! | `run` | `program`, `scenario`, `runs`?, `seed`?, `backend`?, `opt`? | `scenario`, `stats` |
 //! | `sweep` | `program`, `scenarios`, `runs`?, `backend`?, `opt`? | `cells` |
-//! | `stats` | — | `programs`, `cores`, `docs`, `cached_funcs`, `requests` |
+//! | `stats` | — | `programs`, `cores`, `docs`, `cached_funcs`, `requests`, then per-cache hit/miss counters in pinned order |
+//! | `metrics` | — | `metrics` (the process-wide telemetry snapshot) |
 //! | `shutdown` | — | `stopping` |
+//!
+//! `stats` counters are **per-server-instance** plain integers
+//! (deterministic, counted whether or not telemetry is enabled);
+//! `metrics` exposes the process-wide [`ocelot_telemetry`] registry,
+//! whose counters only advance while `--metrics` is on and which is
+//! shared by every server in the process.
 //!
 //! `verify` with a `doc` name re-verifies incrementally against that
 //! document's per-function flow cache (see
@@ -50,6 +57,10 @@ pub struct ServerState {
     pub docs: HashMap<String, Session>,
     /// Requests handled so far (any op, including failed ones).
     pub requests: u64,
+    /// `verify` requests that named an already-open document.
+    pub docs_hits: u64,
+    /// `verify` requests that opened a fresh document.
+    pub docs_misses: u64,
 }
 
 impl ServerState {
@@ -61,6 +72,8 @@ impl ServerState {
             cache: ProgramCache::new(max_programs),
             docs: HashMap::new(),
             requests: 0,
+            docs_hits: 0,
+            docs_misses: 0,
         }
     }
 }
@@ -77,6 +90,11 @@ pub enum Outcome {
 /// Handles one parsed request line against the shared state, returning
 /// the response object and whether to shut the server down.
 pub fn handle_request(state: &mut ServerState, req: &Json) -> (Json, Outcome) {
+    let _span = ocelot_telemetry::span!("serve.request", "serve");
+    ocelot_telemetry::metrics::SERVE_REQUESTS.incr();
+    // Latency lands only in the telemetry histogram (never the
+    // response), so the clock itself is gated with the metrics bit.
+    let t0 = ocelot_telemetry::metrics_on().then(std::time::Instant::now);
     state.requests += 1;
     let mut outcome = Outcome::Continue;
     let result = match req.get("op").and_then(Json::as_str) {
@@ -87,14 +105,18 @@ pub fn handle_request(state: &mut ServerState, req: &Json) -> (Json, Outcome) {
         Some("run") => op_run(state, req),
         Some("sweep") => op_sweep(state, req),
         Some("stats") => op_stats(state),
+        Some("metrics") => op_metrics(),
         Some("shutdown") => {
             outcome = Outcome::Shutdown;
             Ok(vec![("stopping", Json::Bool(true))])
         }
         Some(op) => Err(format!(
-            "unknown op `{op}` (known: ping, submit, verify, run, sweep, stats, shutdown)"
+            "unknown op `{op}` (known: ping, submit, verify, run, sweep, stats, metrics, shutdown)"
         )),
     };
+    if let Some(t0) = t0 {
+        ocelot_telemetry::metrics::SERVE_REQUEST_NS.record(t0.elapsed().as_nanos() as u64);
+    }
     let mut pairs = Vec::new();
     if let Some(id) = req.get("id") {
         pairs.push(("id", id.clone()));
@@ -140,6 +162,13 @@ fn op_verify(state: &mut ServerState, req: &Json) -> OpResult {
     let src = req_str(req, "source")?;
     let (verdict, funcs, analyzed, reused) = match req.get("doc").and_then(Json::as_str) {
         Some(doc) => {
+            if state.docs.contains_key(doc) {
+                state.docs_hits += 1;
+                ocelot_telemetry::metrics::SERVE_DOCS_HIT.incr();
+            } else {
+                state.docs_misses += 1;
+                ocelot_telemetry::metrics::SERVE_DOCS_MISS.incr();
+            }
             let session = state.docs.entry(doc.to_string()).or_default();
             let (_, v, stats) = session.verify(src)?;
             (v, stats.funcs, stats.analyzed, stats.reused)
@@ -268,16 +297,40 @@ fn op_sweep(state: &mut ServerState, req: &Json) -> OpResult {
     Ok(vec![("cells", Json::Arr(cells))])
 }
 
+/// The `stats` response. Field order is part of the wire contract
+/// (pinned by `stats_field_order_is_pinned`): size counters first, then
+/// the per-instance hit/miss pairs per caching layer, hits before
+/// misses. All values are plain per-instance integers — byte-stable
+/// across server instances and telemetry modes.
 fn op_stats(state: &ServerState) -> OpResult {
     let (programs, cores) = state.cache.counts();
     let cached_funcs: usize = state.docs.values().map(Session::cached_funcs).sum();
+    let c = state.cache.counters();
     Ok(vec![
         ("programs", Json::u64(programs as u64)),
         ("cores", Json::u64(cores as u64)),
         ("docs", Json::u64(state.docs.len() as u64)),
         ("cached_funcs", Json::u64(cached_funcs as u64)),
         ("requests", Json::u64(state.requests)),
+        ("programs_hits", Json::u64(c.programs_hits)),
+        ("programs_misses", Json::u64(c.programs_misses)),
+        ("cores_hits", Json::u64(c.cores_hits)),
+        ("cores_misses", Json::u64(c.cores_misses)),
+        ("docs_hits", Json::u64(state.docs_hits)),
+        ("docs_misses", Json::u64(state.docs_misses)),
     ])
+}
+
+/// The `metrics` response: the process-wide telemetry snapshot as one
+/// object, keys in the registry's sorted order. Unlike `stats`, this is
+/// shared by every server in the process and advances only while
+/// metrics collection is enabled.
+fn op_metrics() -> OpResult {
+    let rows = ocelot_telemetry::metrics::snapshot()
+        .into_iter()
+        .map(|(name, v)| (name, Json::u64(v)))
+        .collect();
+    Ok(vec![("metrics", Json::obj(rows))])
 }
 
 #[cfg(test)]
@@ -416,6 +469,100 @@ mod tests {
         s.jobs = 8;
         let (b, _) = handle_request(&mut s, &sweep);
         assert_eq!(a.render().unwrap(), b.render().unwrap());
+    }
+
+    #[test]
+    fn stats_field_order_is_pinned_and_byte_stable_across_instances() {
+        // Two servers, same request sequence: the stats line must be
+        // byte-identical (per-instance counters, no process globals),
+        // and the field order is part of the wire contract.
+        let script = |s: &mut ServerState| {
+            let (sub, _) = handle_request(
+                s,
+                &Json::obj(vec![
+                    ("op", Json::str("submit")),
+                    ("source", Json::str(SRC)),
+                ]),
+            );
+            let hash = sub.get("program").and_then(Json::as_u64).unwrap();
+            for _ in 0..2 {
+                handle_request(
+                    s,
+                    &Json::obj(vec![
+                        ("op", Json::str("run")),
+                        ("program", Json::u64(hash)),
+                        ("scenario", Json::str("rf-lab")),
+                        ("runs", Json::u64(1)),
+                    ]),
+                );
+                handle_request(
+                    s,
+                    &Json::obj(vec![
+                        ("op", Json::str("verify")),
+                        ("doc", Json::str("d")),
+                        ("source", Json::str(SRC)),
+                    ]),
+                );
+            }
+            let (st, _) = handle_request(s, &Json::obj(vec![("op", Json::str("stats"))]));
+            st.render_compact().unwrap()
+        };
+        let a = script(&mut state());
+        let b = script(&mut state());
+        assert_eq!(a, b, "stats bytes differ across instances");
+        // Pin the exact field order (and the counter values the script
+        // implies: 1 program miss, 1 core miss + 1 hit, 1 doc miss + 1
+        // hit).
+        let order = [
+            "programs",
+            "cores",
+            "docs",
+            "cached_funcs",
+            "requests",
+            "programs_hits",
+            "programs_misses",
+            "cores_hits",
+            "cores_misses",
+            "docs_hits",
+            "docs_misses",
+        ];
+        let mut last = 0;
+        for key in order {
+            let at = a
+                .find(&format!("\"{key}\""))
+                .unwrap_or_else(|| panic!("stats response lacks `{key}`: {a}"));
+            assert!(at > last, "`{key}` out of order in {a}");
+            last = at;
+        }
+        let st = ocelot_bench::json::parse(&a).unwrap();
+        let field = |k: &str| st.get(k).and_then(Json::as_u64).unwrap();
+        assert_eq!(field("programs_hits"), 0);
+        assert_eq!(field("programs_misses"), 1);
+        assert_eq!(field("cores_hits"), 1);
+        assert_eq!(field("cores_misses"), 1);
+        assert_eq!(field("docs_hits"), 1);
+        assert_eq!(field("docs_misses"), 1);
+        assert_eq!(field("requests"), 6, "stats itself is the 6th request");
+    }
+
+    #[test]
+    fn metrics_op_returns_the_sorted_global_snapshot() {
+        let mut s = state();
+        let (resp, out) = handle_request(&mut s, &Json::obj(vec![("op", Json::str("metrics"))]));
+        assert_eq!(out, Outcome::Continue);
+        assert!(ok(&resp), "{resp:?}");
+        let snap = resp.get("metrics").expect("metrics object");
+        // Every registry row is present, in sorted key order.
+        let Json::Obj(pairs) = snap else {
+            panic!("metrics member is not an object: {snap:?}")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "snapshot keys not sorted");
+        assert!(keys.contains(&"serve.requests"), "{keys:?}");
+        assert!(keys.contains(&"serve.cache.programs.hits"), "{keys:?}");
+        assert!(keys.contains(&"serve.request_ns.p99"), "{keys:?}");
     }
 
     #[test]

@@ -115,6 +115,23 @@ fn same_requests_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn same_requests_byte_identical_with_telemetry_enabled() {
+    // The full transcript — including the stats op with its per-cache
+    // hit/miss counters — must serialize to the same bytes whether the
+    // process-global telemetry pillars are hot or cold: responses carry
+    // instance counters, never telemetry readings.
+    let off = transcript(2);
+    ocelot_telemetry::set_tracing(true);
+    ocelot_telemetry::set_metrics(true);
+    let on = transcript(2);
+    ocelot_telemetry::set_tracing(false);
+    ocelot_telemetry::set_metrics(false);
+    ocelot_telemetry::drain_spans();
+    ocelot_telemetry::metrics::reset_metrics();
+    assert_eq!(off, on, "telemetry leaked into response bytes");
+}
+
+#[test]
 fn warm_cache_answers_byte_identical_to_cold_compile_on_both_backends() {
     // Server A: cold compile, then warm repeats on both backends.
     let a = boot(2);

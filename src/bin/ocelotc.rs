@@ -23,6 +23,11 @@
 //!     --runs <n>                complete program runs (default 10)
 //!     --seed <n>                environment/harvester seed (default 1)
 //!     --sensor <name>=<value>   constant sensor value (repeatable)
+//!     --trace-out <path>        write a Chrome trace_event JSON of the
+//!                               pipeline + execution spans (load it at
+//!                               ui.perfetto.dev)
+//!     --metrics                 print the telemetry counter snapshot
+//!                               after the runs
 //! ocelotc bench <driver> [opts] run one evaluation driver (Table 2(a),
 //!                               Figure 7, ...) through the parallel
 //!                               harness, or re-render it from its
@@ -69,6 +74,18 @@
 //!     --self-test               boot on an ephemeral port, replay an
 //!                               edit-trace workload through a real
 //!                               client, report, and exit
+//!     --trace-out <path>        record per-request `serve.request`
+//!                               spans and write the Chrome trace when
+//!                               the server stops
+//!     --metrics                 print the telemetry counter snapshot
+//!                               when the server stops (clients can
+//!                               also poll the `metrics` op live)
+//! ocelotc trace-check <file> [span...]
+//!                               validate a --trace-out file: parse it
+//!                               with the strict JSON reader, list the
+//!                               distinct span names, and fail unless
+//!                               every named span is present (the CI
+//!                               trace-smoke step)
 //! ocelotc scenario <action>     the declarative scenario library
 //!     list                      enumerate the registered scenarios
 //!     describe <name[@seed]>    channels, supply, and workload binding
@@ -93,8 +110,8 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario|serve> \
-                 <file> [options]"
+                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario|serve\
+                 |trace-check> <file> [options]"
             );
             return ExitCode::from(2);
         }
@@ -113,10 +130,18 @@ fn main() -> ExitCode {
     if cmd == "serve" {
         return cmd_serve(rest);
     }
+    if cmd == "trace-check" {
+        return cmd_trace_check(rest);
+    }
     let Some(path) = rest.first() else {
         eprintln!("error: missing input file");
         return ExitCode::from(2);
     };
+    // Telemetry must be live before the front-end runs, or the `parse`
+    // span (recorded inside `compile` below) is lost; `cmd_run` parses
+    // the flags properly afterwards.
+    ocelot_telemetry::set_tracing(rest.iter().any(|a| a == "--trace-out"));
+    ocelot_telemetry::set_metrics(rest.iter().any(|a| a == "--metrics"));
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -163,6 +188,8 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
 fn cmd_serve(rest: &[String]) -> ExitCode {
     let mut config = ocelot_serve::ServeConfig::default();
     let mut self_test = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics = false;
     let mut it = rest.iter();
     while let Some(o) = it.next() {
         match o.as_str() {
@@ -183,14 +210,20 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
                 _ => return usage_err("--max-inflight needs a number >= 1"),
             },
             "--self-test" => self_test = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(std::path::PathBuf::from(p)),
+                None => return usage_err("--trace-out needs a file path"),
+            },
+            "--metrics" => metrics = true,
             other => return usage_err(&format!("unknown option `{other}`")),
         }
     }
+    telemetry_start(trace_out.as_deref(), metrics);
     if self_test {
         return match ocelot_serve::self_test() {
             Ok(report) => {
                 print!("{report}");
-                ExitCode::SUCCESS
+                exit_ok(telemetry_finish(trace_out.as_deref(), metrics))
             }
             Err(e) => {
                 eprintln!("error: serve self-test failed: {e}");
@@ -207,13 +240,41 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
             );
             handle.wait();
             eprintln!("ocelot serve: stopped");
-            ExitCode::SUCCESS
+            exit_ok(telemetry_finish(trace_out.as_deref(), metrics))
         }
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", config.addr);
             ExitCode::FAILURE
         }
     }
+}
+
+/// Enables the telemetry pillars a command's flags request.
+fn telemetry_start(trace_out: Option<&std::path::Path>, metrics: bool) {
+    ocelot_telemetry::set_tracing(trace_out.is_some());
+    ocelot_telemetry::set_metrics(metrics);
+}
+
+/// Emits the telemetry outputs the flags requested — the sorted counter
+/// snapshot to stdout, the Chrome trace to `trace_out` — and reports
+/// whether everything landed.
+fn telemetry_finish(trace_out: Option<&std::path::Path>, metrics: bool) -> bool {
+    if metrics {
+        print!(
+            "\nmetrics:\n{}",
+            ocelot_telemetry::metrics::render_snapshot()
+        );
+    }
+    if let Some(p) = trace_out {
+        match ocelot_bench::telem::write_trace(p) {
+            Ok(n) => eprintln!("wrote {} ({n} spans)", p.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn cmd_scenario(rest: &[String]) -> ExitCode {
@@ -616,6 +677,8 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
     let mut tics: Option<u64> = None;
     let mut env = Environment::new();
     let mut have_sensor = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics = false;
     let mut it = opts.iter();
     while let Some(o) = it.next() {
         match o.as_str() {
@@ -657,9 +720,15 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
                 env = env.with(name, Signal::Constant(v));
                 have_sensor = true;
             }
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(std::path::PathBuf::from(p)),
+                None => return usage_err("--trace-out needs a file path"),
+            },
+            "--metrics" => metrics = true,
             other => return usage_err(&format!("unknown option `{other}`")),
         }
     }
+    telemetry_start(trace_out.as_deref(), metrics);
     if !have_sensor {
         // Default: a gently varying signal per declared sensor.
         for (i, s) in program.sensors.iter().enumerate() {
@@ -747,10 +816,70 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
             s.expiry_trips, s.expiry_restarts, s.expiry_giveups
         );
     }
+    if !telemetry_finish(trace_out.as_deref(), metrics) {
+        return ExitCode::FAILURE;
+    }
     if s.violations > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `ocelotc trace-check <file> [span...]`: the CI trace-smoke entry.
+/// Round-trips a `--trace-out` file through the harness's strict JSON
+/// reader and asserts every named span occurs in it.
+fn cmd_trace_check(rest: &[String]) -> ExitCode {
+    let Some((path, expected)) = rest.split_first() else {
+        return usage_err("trace-check needs a trace file path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match ocelot_bench::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path} is not strict JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names = match ocelot_bench::telem::span_names(&doc) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} distinct span name(s): {}",
+        names.len(),
+        names.join(" ")
+    );
+    let missing: Vec<&str> = expected
+        .iter()
+        .map(String::as_str)
+        .filter(|want| !names.iter().any(|n| n == want))
+        .collect();
+    if missing.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: {path} lacks expected span(s): {}",
+            missing.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn exit_ok(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

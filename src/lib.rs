@@ -81,6 +81,7 @@ pub use ocelot_progress as progress;
 pub use ocelot_runtime as runtime;
 pub use ocelot_scenario as scenario;
 pub use ocelot_serve as serve;
+pub use ocelot_telemetry as telemetry;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
