@@ -128,6 +128,44 @@ pub fn unique_contexts(p: &Program) -> Vec<Option<Prov>> {
     unique
 }
 
+/// Every calling context of every function: for each
+/// [`ocelot_ir::FuncId`] index,
+/// the chains of call sites from `main` that reach it (empty chain for
+/// `main` itself; no chains for unreachable functions).
+///
+/// Diamond-shaped call graphs make this set exponential in the worst
+/// case, so enumeration stops once more than `cap` contexts exist for
+/// any one function and returns `None` — callers (the static linter)
+/// degrade to context-insensitive answers. A cyclic call graph also
+/// yields `None`.
+pub fn all_contexts(p: &Program, cap: usize) -> Option<Vec<Vec<Prov>>> {
+    let cg = CallGraph::new(p);
+    let mut order = cg.topo_callees_first(p).ok()?;
+    // Callers before callees.
+    order.reverse();
+    let mut ctxs: Vec<Vec<Prov>> = vec![Vec::new(); p.funcs.len()];
+    ctxs[p.main.0 as usize].push(Vec::new());
+    for f in order {
+        let f_ctxs = ctxs[f.0 as usize].clone();
+        for edge in cg.callees(f) {
+            for ctx in &f_ctxs {
+                let mut child = ctx.clone();
+                child.push(edge.site);
+                let dst = &mut ctxs[edge.callee.0 as usize];
+                dst.push(child);
+                if dst.len() > cap {
+                    return None;
+                }
+            }
+        }
+    }
+    for c in &mut ctxs {
+        c.sort();
+        c.dedup();
+    }
+    Some(ctxs)
+}
+
 /// Every input site whose enclosing call stack is statically fixed,
 /// mapped to its full provenance chain (the unique context of the
 /// enclosing function, then the input instruction itself).

@@ -55,6 +55,10 @@ pub struct BenchArgs {
     /// Count telemetry metrics and print the sorted snapshot after the
     /// rendered output (`--metrics`). Never touches the artifact.
     pub metrics: bool,
+    /// Collect even when the static lint pre-flight proves the driver's
+    /// program infeasible under its scenario distribution (`--force`;
+    /// fleet driver only — other drivers have no pre-flight).
+    pub force: bool,
     /// `--help` was requested.
     pub help: bool,
     /// Which simulation-shaping flags were passed explicitly — replay
@@ -95,6 +99,7 @@ impl Default for BenchArgs {
             traces: false,
             trace_out: None,
             metrics: false,
+            force: false,
             help: false,
             given: GivenFlags::default(),
         }
@@ -156,6 +161,7 @@ impl BenchArgs {
                         Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
                 }
                 "--metrics" => out.metrics = true,
+                "--force" => out.force = true,
                 "--replay" => out.replay = true,
                 "--help" | "-h" => out.help = true,
                 other => return Err(format!("unknown flag `{other}`")),
@@ -170,7 +176,8 @@ fn usage(d: &Driver) -> String {
         "{} — {}\n\n\
          usage: {} [--jobs N] [--out DIR] [--runs N] [--seed N]\n\
                      [--backend interp|compiled] [--opt 0|1|2]\n\
-                     [--traces] [--replay] [--trace-out PATH] [--metrics]\n\n\
+                     [--traces] [--replay] [--trace-out PATH] [--metrics]\n\
+                     [--force]\n\n\
          --jobs N    worker threads for the sweep (default: all cores)\n\
          --out DIR   artifact directory (default: {DEFAULT_OUT_DIR})\n\
          --runs N    scale override: run count, or simulated seconds for\n\
@@ -197,7 +204,10 @@ fn usage(d: &Driver) -> String {
                      to P as Chrome trace_event JSON (Perfetto-loadable);\n\
                      never touches the artifact\n\
          --metrics   count telemetry metrics and print the sorted snapshot\n\
-                     after the rendered output; never touches the artifact\n",
+                     after the rendered output; never touches the artifact\n\
+         --force     collect even when the static lint pre-flight proves\n\
+                     the program infeasible under the scenario distribution\n\
+                     (fleet driver only; see docs/lint.md)\n",
         d.name, d.about, d.name, d.name, d.name
     )
 }
@@ -341,6 +351,23 @@ pub fn run_driver(driver_name: &str, args: impl IntoIterator<Item = String>) -> 
         };
         (a, t)
     } else {
+        // The fleet driver sweeps a fixed app across the whole scenario
+        // registry, so it is the one driver whose program can be proven
+        // statically infeasible before spending any simulation time.
+        if d.name == "fleet" {
+            let scenarios: Vec<String> = ocelot_scenario::all()
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect();
+            if let Err(msg) = crate::fleet::lint_preflight("tire", &scenarios) {
+                eprintln!("{msg}");
+                if parsed.force {
+                    eprintln!("fleet: --force: sweeping despite lint errors");
+                } else {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         let opts = DriverOpts {
             jobs: parsed.jobs,
             runs: parsed.runs,

@@ -407,6 +407,7 @@ struct FleetArgs {
     metrics: bool,
     overhead_check: bool,
     overhead_limit: Option<f64>,
+    force: bool,
     help: bool,
 }
 
@@ -430,9 +431,52 @@ impl Default for FleetArgs {
             metrics: false,
             overhead_check: false,
             overhead_limit: None,
+            force: false,
             help: false,
         }
     }
+}
+
+/// Static pre-flight for a fleet deployment: lint `app`'s annotated
+/// source against the tightest harvested bank in the scenario
+/// distribution before any device-run is burned on it. A program the
+/// linter proves statically infeasible (a region that can never fit the
+/// smallest bank, a window no path can meet) would fail or livelock on
+/// *every* device — a million times over — so the sweep refuses it
+/// unless the caller forces through.
+///
+/// # Errors
+///
+/// The rendered lint report (spanned, human-readable) followed by a
+/// one-line verdict naming `--force`. Unknown app names are `Ok` here —
+/// the callers validate them with their own messages.
+pub fn lint_preflight(app: &str, scenarios: &[String]) -> Result<(), String> {
+    let Some(b) = ocelot_apps::by_name(app) else {
+        return Ok(());
+    };
+    let capacity = scenarios
+        .iter()
+        .filter_map(|s| ocelot_scenario::parse(s).ok())
+        .filter_map(|sc| match sc.supply {
+            ocelot_scenario::SupplySpec::Harvested { capacity_nj, .. } => Some(capacity_nj),
+            ocelot_scenario::SupplySpec::Continuous => None,
+        })
+        .fold(None::<f64>, |acc, c| Some(acc.map_or(c, |a| a.min(c))));
+    let opts = ocelot_lint::LintOptions {
+        capacity_nj: capacity,
+        ..ocelot_lint::LintOptions::default()
+    };
+    let report = ocelot_lint::lint_source(b.annotated_src, &opts)
+        .map_err(|e| format!("error: `{app}` failed to lint: {e}"))?;
+    if report.is_error_free() {
+        return Ok(());
+    }
+    Err(format!(
+        "{}error: `{app}` is statically infeasible under this scenario distribution \
+         ({} lint error(s) above); rerun with --force to sweep anyway",
+        report.render_text(app, Some(b.annotated_src)),
+        report.error_count()
+    ))
 }
 
 const FLEET_USAGE: &str = "\
@@ -443,7 +487,7 @@ usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
                      [--scenario NAME[@seed]]... [--out DIR]
                      [--fingerprint PATH | --no-fingerprint]
                      [--trace-out PATH] [--metrics] [--overhead-check]
-                     [--overhead-limit PCT]
+                     [--overhead-limit PCT] [--force]
 
   --app NAME        benchmark to deploy (default: tire)
   --devices N       fleet size (default: 200000)
@@ -477,6 +521,9 @@ usage: ocelotc fleet [--app NAME] [--devices N] [--runs N] [--seed N]
   --overhead-limit P fail (exit 1) when the telemetry-on overhead stays
                     above P percent after retries (implies
                     --overhead-check; CI pins 5)
+  --force           sweep even when the static lint pre-flight proves
+                    the app infeasible under the scenario distribution
+                    (see docs/lint.md; by default the sweep refuses)
 ";
 
 fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
@@ -548,6 +595,7 @@ fn parse_fleet_args(args: &[String]) -> Result<FleetArgs, String> {
                 out.overhead_limit = Some(pct);
                 out.overhead_check = true;
             }
+            "--force" => out.force = true,
             "--help" | "-h" => out.help = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -680,6 +728,14 @@ pub fn fleet_main(args: &[String]) -> ExitCode {
         if let Err(e) = ocelot_scenario::parse(s) {
             eprintln!("error: {e}");
             return ExitCode::from(2);
+        }
+    }
+    if let Err(msg) = lint_preflight(&parsed.app, &scenarios) {
+        eprintln!("{msg}");
+        if parsed.force {
+            eprintln!("fleet: --force: sweeping despite lint errors");
+        } else {
+            return ExitCode::FAILURE;
         }
     }
     let spec = FleetSpec {
@@ -1172,5 +1228,34 @@ mod tests {
             z.get("device_runs_per_sec").and_then(Json::as_f64),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn lint_preflight_clears_shipped_apps_across_the_registry() {
+        // The shipped benchmarks must never be refused by their own
+        // pre-flight: the whole registry's harvested capacities are
+        // ample for every Table-1 app.
+        let scenarios: Vec<String> = ocelot_scenario::all()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect();
+        for b in ocelot_apps::all_with_extensions() {
+            assert_eq!(
+                lint_preflight(b.name, &scenarios),
+                Ok(()),
+                "`{}` refused by its own pre-flight",
+                b.name
+            );
+        }
+        // An unknown app is fleet_main's problem, not the linter's.
+        assert_eq!(lint_preflight("no-such-app", &scenarios), Ok(()));
+    }
+
+    #[test]
+    fn force_flag_parses_and_defaults_off() {
+        let none = parse_fleet_args(&[]).unwrap();
+        assert!(!none.force);
+        let forced = parse_fleet_args(&["--force".to_string()]).unwrap();
+        assert!(forced.force);
     }
 }

@@ -40,8 +40,10 @@ pub mod cli;
 pub mod drivers;
 pub mod effort;
 pub mod fleet;
+pub mod genprog;
 pub mod harness;
 pub mod json;
+pub mod lintfmt;
 pub mod pool;
 pub mod report;
 pub mod telem;

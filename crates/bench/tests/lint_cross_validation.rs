@@ -1,0 +1,107 @@
+//! Cross-validates the linter's OC004 (statically redundant dynamic
+//! check) report against the runtime's own elision decisions: the set
+//! of sites `ocelot lint` reports must equal the set `MachineCore`
+//! elides under `--opt 2`, restricted to sites that actually carry a
+//! dynamic check (the machine's elidable set also contains
+//! logging-only fresh-use sites, which have no check to report on).
+//!
+//! Both sides derive from [`ocelot_runtime::elision_witnesses`] /
+//! [`ocelot_runtime::MachineCore::elidable_sites`], so agreement is by
+//! construction — this suite exists to keep it that way when either
+//! side evolves independently.
+
+use ocelot_bench::genprog::SourceGen;
+use ocelot_hw::sensors::Environment;
+use ocelot_hw::CostModel;
+use ocelot_ir::span::Span;
+use ocelot_ir::InstrRef;
+use ocelot_lint::{lint_compiled, Code, LintOptions};
+use ocelot_runtime::detect::DetectorConfig;
+use ocelot_runtime::MachineCore;
+use std::collections::BTreeSet;
+
+/// The span the linter would label `r` with: the transformed program's
+/// span when non-empty, else the pre-erasure program's (annotation
+/// sites only survive there).
+fn span_of(p: &ocelot_ir::Program, p0: &ocelot_ir::Program, r: InstrRef) -> Span {
+    p.span_of(r)
+        .filter(|s| !s.is_empty())
+        .or_else(|| p0.span_of(r))
+        .unwrap_or_default()
+}
+
+/// Byte-offset spans, the only currency the lint report speaks.
+type SpanSet = BTreeSet<(usize, usize)>;
+
+/// Lints `src` and independently rebuilds the machine's elision set,
+/// returning both as span sets.
+fn both_sides(src: &str) -> (SpanSet, SpanSet) {
+    let p0 = ocelot_ir::compile(src).expect("source compiles");
+    let compiled = ocelot_core::ocelot_transform(p0.clone()).expect("transform succeeds");
+    let report = lint_compiled(&p0, &compiled, src, &LintOptions::default()).expect("lint runs");
+    let lint_spans: BTreeSet<(usize, usize)> = report
+        .findings
+        .iter()
+        .filter(|f| f.code == Code::RedundantCheck)
+        .map(|f| (f.primary.span.start, f.primary.span.end))
+        .collect();
+
+    let det = DetectorConfig::from_policies(&compiled.policies);
+    let core = MachineCore::build(
+        &compiled.program,
+        &compiled.regions,
+        compiled.policies.clone(),
+        &Environment::new(),
+        CostModel::default(),
+    );
+    let machine_spans: BTreeSet<(usize, usize)> = core
+        .elidable_sites()
+        .iter()
+        .filter(|site| det.use_checks.get(site).is_some_and(|cs| !cs.is_empty()))
+        .map(|site| {
+            let s = span_of(&compiled.program, &p0, *site);
+            (s.start, s.end)
+        })
+        .collect();
+    (lint_spans, machine_spans)
+}
+
+/// On every shipped benchmark, OC004 is exactly the `--opt 2` elision
+/// set: no check the machine elides goes unreported, and no reported
+/// check survives to run time.
+#[test]
+fn oc004_equals_the_elision_set_on_every_app() {
+    for b in ocelot_apps::all_with_extensions() {
+        let (lint, machine) = both_sides(b.annotated_src);
+        assert_eq!(
+            lint, machine,
+            "`{}`: lint OC004 and the machine elision set diverged",
+            b.name
+        );
+    }
+}
+
+/// The same equality over randomly generated programs — the generator
+/// reaches shapes (deep call stacks, dynamic-chain fallbacks, repeated
+/// collection) that no hand-written app exercises.
+#[test]
+fn oc004_equals_the_elision_set_on_generated_programs() {
+    let mut nonempty = 0usize;
+    for seed in 0..120u64 {
+        let src = SourceGen::generate(seed);
+        let (lint, machine) = both_sides(&src);
+        assert_eq!(
+            lint, machine,
+            "seed {seed}: lint OC004 and the machine elision set diverged \
+             for program:\n{src}"
+        );
+        nonempty += usize::from(!lint.is_empty());
+    }
+    // The property must not hold vacuously: a healthy share of seeds
+    // actually produces elidable checks to compare.
+    assert!(
+        nonempty >= 10,
+        "only {nonempty}/120 seeds produced a non-empty elision set; \
+         the cross-validation is not exercising anything"
+    );
+}

@@ -201,21 +201,34 @@ fn infer_one(p: &mut Program, pol: &crate::policy::Policy) -> Result<RegionId, C
     // --- 6. insert ---------------------------------------------------------
     let region = p.fresh_region();
     let f = p.func_mut(goal);
+    // Synthesized markers adopt the span of the statement they wrap, so
+    // diagnostics can point at real source even for inferred regions.
+    let span_near = |f: &ocelot_ir::Function, bb: ocelot_ir::BlockId, i: usize| {
+        let blk = f.block(bb);
+        blk.instrs
+            .get(i)
+            .or_else(|| i.checked_sub(1).and_then(|j| blk.instrs.get(j)))
+            .map_or(blk.term_span, |inst| inst.span)
+    };
     // Insert the end first so the start insertion cannot shift it.
     let end_label = f.fresh_label();
+    let end_span = span_near(f, end_dom, end_index);
     f.block_mut(end_dom).instrs.insert(
         end_index,
         Inst {
             label: end_label,
             op: Op::AtomEnd { region },
+            span: end_span,
         },
     );
     let start_label = f.fresh_label();
+    let start_span = span_near(f, start_dom, start_index);
     f.block_mut(start_dom).instrs.insert(
         start_index,
         Inst {
             label: start_label,
             op: Op::AtomStart { region },
+            span: start_span,
         },
     );
     Ok(region)

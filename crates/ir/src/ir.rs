@@ -10,6 +10,7 @@
 //! Rust's ownership discipline.
 
 use crate::ast::{Arg, Expr, Ident};
+use crate::span::Span;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -175,6 +176,25 @@ pub struct Inst {
     pub label: Label,
     /// The operation.
     pub op: Op,
+    /// Source span of the statement this instruction was lowered from.
+    /// Synthesized instructions (return-slot init, loop counters,
+    /// inferred region markers) carry the span of the construct that
+    /// caused them. Programs lowered from parsed source never have an
+    /// empty span (see [`crate::validate::validate_spans`]); programs
+    /// assembled by [`crate::builder::ProgramBuilder`] or by hand may
+    /// use the empty default.
+    pub span: Span,
+}
+
+impl Inst {
+    /// An instruction with no source span (builder/test construction).
+    pub fn new(label: Label, op: Op) -> Self {
+        Inst {
+            label,
+            op,
+            span: Span::default(),
+        }
+    }
 }
 
 /// A basic-block terminator.
@@ -222,6 +242,11 @@ pub struct Block {
     /// Label of the terminator (terminators use variables, so policies
     /// may reference them).
     pub term_label: Label,
+    /// Source span of the terminator (the `if`/`while` statement for
+    /// branches, the enclosing statement for fall-through jumps, the
+    /// function declaration for the landing-pad return). Empty for
+    /// builder-made programs, like [`Inst::span`].
+    pub term_span: Span,
 }
 
 /// A function parameter in the IR.
@@ -302,6 +327,16 @@ impl Function {
     pub fn inst(&self, l: Label) -> Option<&Inst> {
         let (b, i) = self.find_label(l)?;
         self.block(b).instrs.get(i)
+    }
+
+    /// The source span of the instruction *or terminator* labeled `l`.
+    pub fn span_of(&self, l: Label) -> Option<Span> {
+        let (b, i) = self.find_label(l)?;
+        let blk = self.block(b);
+        Some(match blk.instrs.get(i) {
+            Some(inst) => inst.span,
+            None => blk.term_span,
+        })
     }
 
     /// Iterates over every instruction in the function (excluding
@@ -458,6 +493,12 @@ impl Program {
         self.funcs.get(r.func.0 as usize)?.inst(r.label)
     }
 
+    /// The source span behind a global instruction reference (works for
+    /// terminator labels too).
+    pub fn span_of(&self, r: InstrRef) -> Option<Span> {
+        self.funcs.get(r.func.0 as usize)?.span_of(r.label)
+    }
+
     /// All annotation instructions in the program, as
     /// `(instr-ref, kind, variable)`.
     pub fn annotations(&self) -> Vec<(InstrRef, AnnotKind, Ident)> {
@@ -531,21 +572,23 @@ mod tests {
             blocks: vec![
                 Block {
                     id: BlockId(0),
-                    instrs: vec![Inst {
-                        label: Label(0),
-                        op: Op::Bind {
+                    instrs: vec![Inst::new(
+                        Label(0),
+                        Op::Bind {
                             var: "x".into(),
                             src: Expr::Int(1),
                         },
-                    }],
+                    )],
                     term: Terminator::Jump(BlockId(1)),
                     term_label: Label(1),
+                    term_span: Span::default(),
                 },
                 Block {
                     id: BlockId(1),
                     instrs: vec![],
                     term: Terminator::Ret(Some(Expr::Var("x".into()))),
                     term_label: Label(2),
+                    term_span: Span::default(),
                 },
             ],
             entry: BlockId(0),
@@ -668,13 +711,13 @@ mod tests {
     fn erase_annotations_removes_only_annots() {
         let mut f = mini_function();
         let l = f.fresh_label();
-        f.block_mut(BlockId(0)).instrs.push(Inst {
-            label: l,
-            op: Op::Annot {
+        f.block_mut(BlockId(0)).instrs.push(Inst::new(
+            l,
+            Op::Annot {
                 kind: AnnotKind::Fresh,
                 var: "x".into(),
             },
-        });
+        ));
         let mut p = Program::from_parts(vec![f], vec![], vec![], FuncId(0), 0);
         assert_eq!(p.annotations().len(), 1);
         p.erase_annotations();

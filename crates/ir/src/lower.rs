@@ -16,6 +16,7 @@
 use crate::ast::{self, Arg, AstProgram, Block as AstBlock, Expr, Ident, Stmt};
 use crate::error::{IrError, Result};
 use crate::ir::*;
+use crate::span::Span;
 use std::collections::HashMap;
 
 /// Name of the synthetic return slot. User identifiers cannot contain `$`.
@@ -80,7 +81,17 @@ pub fn lower(ast: &AstProgram) -> Result<Program> {
 /// Propagates lexer, parser, and lowering errors.
 pub fn compile(src: &str) -> Result<Program> {
     let _span = ocelot_telemetry::span!("parse");
-    lower(&crate::parser::parse(src)?)
+    let p = lower(&crate::parser::parse(src)?)?;
+    // Parsed statements always carry real spans, and lowering threads
+    // them onto every instruction — the diagnostics layer depends on
+    // this, so enforce it on the parse path (builder-made programs are
+    // exempt: their AST legitimately has empty spans).
+    debug_assert!(
+        crate::validate::validate_spans(&p).is_ok(),
+        "lowering dropped a source span: {:?}",
+        crate::validate::validate_spans(&p)
+    );
+    Ok(p)
 }
 
 struct FnLower<'a> {
@@ -97,6 +108,10 @@ struct FnLower<'a> {
     scopes: Vec<HashMap<Ident, Ident>>,
     rename_counts: HashMap<Ident, u32>,
     locals: Vec<Ident>,
+    /// Span of the statement currently being lowered; every emitted
+    /// instruction and terminator inherits it. Starts at the function
+    /// declaration header (covers the synthetic `$ret` init).
+    cur_span: Span,
 }
 
 impl<'a> FnLower<'a> {
@@ -118,6 +133,7 @@ impl<'a> FnLower<'a> {
             scopes: vec![HashMap::new()],
             rename_counts: HashMap::new(),
             locals: Vec::new(),
+            cur_span: decl.span,
         }
     }
 
@@ -136,7 +152,7 @@ impl<'a> FnLower<'a> {
             self.scopes[0].insert(p.name.clone(), p.name.clone());
             self.rename_counts.insert(p.name.clone(), 0);
         }
-        // Synthetic return slot.
+        // Synthetic return slot (carries the declaration-header span).
         let ret_label = self.fresh_label();
         self.cur.push(Inst {
             label: ret_label,
@@ -144,6 +160,7 @@ impl<'a> FnLower<'a> {
                 var: RET_SLOT.into(),
                 src: Expr::Int(0),
             },
+            span: self.decl.span,
         });
         self.locals.push(RET_SLOT.into());
         self.scopes[0].insert(RET_SLOT.into(), RET_SLOT.into());
@@ -178,7 +195,8 @@ impl<'a> FnLower<'a> {
         self.lower_stmts(&body.stmts, alloc, exit)?;
         // Fall off the end: jump to the landing pad.
         self.seal(Terminator::Jump(exit), alloc);
-        // Emit the landing pad itself.
+        // Emit the landing pad itself (spanned to the declaration: the
+        // synthetic return belongs to the function as a whole).
         self.cur_id = exit;
         let term_label = self.fresh_label();
         self.blocks.push(Block {
@@ -186,6 +204,7 @@ impl<'a> FnLower<'a> {
             instrs: Vec::new(),
             term: Terminator::Ret(Some(Expr::Var(RET_SLOT.into()))),
             term_label,
+            term_span: self.decl.span,
         });
         Ok(exit)
     }
@@ -198,13 +217,18 @@ impl<'a> FnLower<'a> {
             instrs: std::mem::take(&mut self.cur),
             term,
             term_label,
+            term_span: self.cur_span,
         });
         self.cur_id = alloc.fresh();
     }
 
     fn push(&mut self, op: Op) {
         let label = self.fresh_label();
-        self.cur.push(Inst { label, op });
+        self.cur.push(Inst {
+            label,
+            op,
+            span: self.cur_span,
+        });
     }
 
     // ---- naming --------------------------------------------------------
@@ -269,6 +293,7 @@ impl<'a> FnLower<'a> {
     }
 
     fn lower_stmt(&mut self, s: &Stmt, alloc: &mut BlockAlloc, exit: BlockId) -> Result<()> {
+        self.cur_span = s.span();
         match s {
             Stmt::Skip(_) => self.push(Op::Skip),
             Stmt::Let(x, e, _) => {
@@ -495,6 +520,7 @@ impl<'a> FnLower<'a> {
             instrs: std::mem::take(&mut self.cur),
             term,
             term_label,
+            term_span: self.cur_span,
         });
         self.cur_id = next;
     }

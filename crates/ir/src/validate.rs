@@ -33,6 +33,40 @@ pub fn validate(p: &Program) -> Result<()> {
     Ok(())
 }
 
+/// Checks that every instruction and terminator in `p` carries a real
+/// (non-empty) source [`Span`](crate::span::Span).
+///
+/// Lowering threads statement spans onto everything it emits, so any
+/// program produced by [`compile`](crate::lower::compile) satisfies
+/// this; the diagnostics layer relies on it to anchor findings at
+/// source locations. Builder-made programs are exempt (their AST has no
+/// source text) and must not be passed here.
+///
+/// # Errors
+///
+/// [`IrError::Validate`] naming the first unspanned instruction.
+pub fn validate_spans(p: &Program) -> Result<()> {
+    for f in &p.funcs {
+        for b in &f.blocks {
+            for inst in &b.instrs {
+                if inst.span.is_empty() {
+                    return Err(IrError::validate(format!(
+                        "instruction {:?} ({:?}) in `{}` has no source span",
+                        inst.label, inst.op, f.name
+                    )));
+                }
+            }
+            if b.term_span.is_empty() {
+                return Err(IrError::validate(format!(
+                    "terminator of block {:?} in `{}` has no source span",
+                    b.id, f.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn validate_function(p: &Program, f: &Function) -> Result<()> {
     let locals: HashSet<&String> = f.locals.iter().collect();
     let params: HashMap<&String, bool> = f.params.iter().map(|q| (&q.name, q.by_ref)).collect();

@@ -1,0 +1,100 @@
+//! Differential validation of OC001 against the runtime: a program the
+//! linter proves *infeasible* for a freshness window W must actually
+//! misbehave when executed under a TICS-style expiry of the same W —
+//! the expiry check trips on every attempt, the mitigation handler
+//! restarts until its cap, and the run gives up on a stale value. A
+//! program the linter passes at W must run trip-free. Together these
+//! pin OC001 to an operational meaning instead of a plausible-looking
+//! cost inequality.
+
+use ocelot_hw::power::ContinuousPower;
+use ocelot_hw::sensors::{Environment, Signal};
+use ocelot_hw::CostModel;
+use ocelot_lint::{lint_source, Code, LintOptions};
+use ocelot_runtime::{Machine, RunOutcome};
+
+/// Figure-2-shaped program whose fastest collect→use path is one
+/// 100 µs output long: statically infeasible for any window below
+/// that, comfortably feasible above it.
+const SRC: &str = "sensor s;\n\
+                   fn main() {\n\
+                       let x = in(s);\n\
+                       fresh(x);\n\
+                       out(log, x);\n\
+                       out(alarm, x);\n\
+                   }\n";
+
+fn run_under_window(window_us: u64) -> ocelot_runtime::Stats {
+    let p0 = ocelot_ir::compile(SRC).expect("source compiles");
+    let compiled = ocelot_core::ocelot_transform(p0).expect("transform succeeds");
+    let mut m = Machine::new(
+        &compiled.program,
+        &compiled.regions,
+        compiled.policies.clone(),
+        Environment::new().with("s", Signal::Constant(5)),
+        CostModel::default(),
+        Box::new(ContinuousPower),
+    )
+    .with_expiry_window(window_us);
+    let out = m.run_once(1_000_000);
+    assert!(
+        matches!(out, RunOutcome::Completed { .. }),
+        "expiry runs terminate (give-up path): {out:?}"
+    );
+    m.stats().clone()
+}
+
+fn lint_at(window_us: u64) -> ocelot_lint::Report {
+    let opts = LintOptions {
+        window_us: Some(window_us),
+        ..LintOptions::default()
+    };
+    lint_source(SRC, &opts).expect("lints")
+}
+
+/// The window the linter rejects (OC001: even the *cheapest* path
+/// overshoots) really is unachievable: the machine trips the expiry on
+/// the first attempt and on every handler-driven retry, then gives up
+/// on a stale value — the dynamic shadow of the static verdict.
+#[test]
+fn lint_infeasible_window_trips_and_gives_up_at_runtime() {
+    let report = lint_at(10);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == Code::InfeasibleWindow),
+        "precondition: the linter flags OC001 at 10 µs:\n{}",
+        report.render_text("expiry_differential", Some(SRC))
+    );
+
+    let stats = run_under_window(10);
+    assert!(
+        stats.expiry_trips > 0,
+        "statically infeasible window never tripped at runtime: {stats:?}"
+    );
+    assert!(
+        stats.expiry_giveups > 0,
+        "every retry re-trips, so the handler must eventually give up: {stats:?}"
+    );
+}
+
+/// The converse direction: a window the linter accepts runs clean — no
+/// trips, no handler restarts, no give-ups. OC001's absence is as
+/// meaningful as its presence.
+#[test]
+fn lint_feasible_window_runs_trip_free() {
+    let report = lint_at(1_000);
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| matches!(f.code, Code::InfeasibleWindow | Code::BestCaseWindow)),
+        "precondition: 1 ms clears both window passes:\n{}",
+        report.render_text("expiry_differential", Some(SRC))
+    );
+
+    let stats = run_under_window(1_000);
+    assert_eq!(stats.expiry_trips, 0, "feasible window tripped: {stats:?}");
+    assert_eq!(stats.expiry_giveups, 0);
+}

@@ -45,12 +45,14 @@
 
 pub mod bounds;
 pub mod error;
+pub mod feas;
 pub mod report;
 pub mod stack;
 pub mod wcet;
 
 pub use bounds::{loop_bound, LoopBound};
 pub use error::ProgressError;
+pub use feas::{EdgeSet, FeasAnalysis};
 pub use report::{ProgressReport, RegionBudget, Verdict};
 pub use stack::StackModel;
 pub use wcet::WcetAnalysis;

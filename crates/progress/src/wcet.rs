@@ -82,6 +82,11 @@ impl<'p> WcetAnalysis<'p> {
         &self.stack
     }
 
+    /// The analyzed program.
+    pub fn program(&self) -> &'p Program {
+        self.p
+    }
+
     /// Worst-case cycles for one complete execution of `func` (entry
     /// through the returning terminator), including all callees.
     ///
@@ -130,6 +135,29 @@ impl<'p> WcetAnalysis<'p> {
         // From after the start marker, through the end marker inclusive
         // (the commit itself costs one ALU op).
         self.path_cost(&ctx, Point::new(sb, si + 1), Point::new(eb, ei + 1))
+    }
+
+    /// Worst-case cycles along any single-attempt path from `from`
+    /// (inclusive) to `to` (exclusive) within `func`; `to.index` may be
+    /// `instrs.len() + 1` to include the terminator. The public face of
+    /// the internal path query, for callers (the linter) that need
+    /// upper bounds on segments other than whole regions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unbounded loops, irreducible flow, or endpoints in
+    /// different loop nests (no single-attempt forward path).
+    pub fn between(&mut self, func: FuncId, from: Point, to: Point) -> Result<u64, ProgressError> {
+        let f = self.p.func(func);
+        let ctx = FuncCtx::new(f);
+        self.path_cost(&ctx, from, to)
+    }
+
+    /// The exit point of `func`: past the terminator of its landing-pad
+    /// block, suitable as the `to` of [`Self::between`].
+    pub fn exit_point(&self, func: FuncId) -> Point {
+        let f = self.p.func(func);
+        Point::new(f.exit, f.block(f.exit).instrs.len() + 1)
     }
 
     /// Cycles to enter a region: checkpoint the worst-case volatile
@@ -716,17 +744,12 @@ mod tests {
             .map(|b| b.id)
             .expect("loop body exists");
         let (entry, l1, l2) = (f.entry, f.fresh_label(), f.fresh_label());
-        f.block_mut(entry).instrs.insert(
-            0,
-            Inst {
-                label: l1,
-                op: Op::AtomStart { region },
-            },
-        );
-        f.block_mut(body_block).instrs.push(Inst {
-            label: l2,
-            op: Op::AtomEnd { region },
-        });
+        f.block_mut(entry)
+            .instrs
+            .insert(0, Inst::new(l1, Op::AtomStart { region }));
+        f.block_mut(body_block)
+            .instrs
+            .push(Inst::new(l2, Op::AtomEnd { region }));
         let info = ocelot_core::RegionInfo {
             id: RegionId(region.0),
             func: main,

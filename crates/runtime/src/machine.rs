@@ -405,6 +405,15 @@ pub struct Machine<'p> {
 const EXPIRY_RESTART_CAP: u32 = 25;
 
 impl<'p> MachineCore<'p> {
+    /// The check sites whose dynamic probe this core elides under
+    /// batching-compatible runs (continuous supply, no injector, no
+    /// TICS window) — the set `--opt 2` removes. Exposed so the linter's
+    /// OC004 report can be cross-validated against the machine's own
+    /// elision decisions.
+    pub fn elidable_sites(&self) -> &BTreeSet<InstrRef> {
+        &self.elidable_sites
+    }
+
     /// Pre-resolves everything shareable about a program: region ω
     /// sets, the interned chain table, per-chain and per-site detector
     /// data, sensor channels, and interned names.
@@ -655,11 +664,19 @@ impl<'p> MachineCore<'p> {
 /// * every deeper chain element `ch[k+1..]` dominates its function's
 ///   exit: once the divergence call fires, the descent to the input is
 ///   unavoidable before the callee can return.
-fn elidable_check_sites(
+///
+/// Per-site elision witnesses: for every provably redundant site, the
+/// *divergence instruction* of each required chain — the `ch[k]` whose
+/// dominance carries the proof, i.e. the statically-earlier site whose
+/// execution guarantees the chain is collected. This is what the O2
+/// middle-end elides and what the static linter reports (OC004 names
+/// the dominating site); both consume this one function, so the lint
+/// report and the elision set cannot drift apart.
+pub fn elision_witnesses(
     p: &Program,
     det_cfg: &DetectorConfig,
     sites: impl Iterator<Item = InstrRef>,
-) -> BTreeSet<InstrRef> {
+) -> BTreeMap<InstrRef, Vec<InstrRef>> {
     let uc = ocelot_analysis::chains::unique_contexts(p);
     let doms: Vec<DomTree> = p
         .funcs
@@ -676,7 +693,8 @@ fn elidable_check_sites(
         Point::new(func.exit, func.block(func.exit).instrs.len())
     };
 
-    let must_collected = |site: InstrRef, sctx: &Prov, ch: &Prov| -> Option<()> {
+    // On success, hands back the divergence instruction `ch[k]`.
+    let must_collected = |site: InstrRef, sctx: &Prov, ch: &Prov| -> Option<InstrRef> {
         let n = ch.len();
         if n == 0 {
             return None;
@@ -707,16 +725,17 @@ fn elidable_check_sites(
                 return None;
             }
         }
-        Some(())
+        Some(ch[k])
     };
 
-    let mut out = BTreeSet::new();
+    let mut out = BTreeMap::new();
     'site: for site in sites {
         // Uniqueness along S's own context: `unique_contexts` already
         // requires every prefix function to have a unique context.
         let Some(sctx) = uc[site.func.0 as usize].as_ref() else {
             continue;
         };
+        let mut witnesses: Vec<InstrRef> = Vec::new();
         for check in det_cfg.use_checks.get(&site).into_iter().flatten() {
             for ch in &check.requires {
                 // Chains without a bit (or without a reporting op) are
@@ -725,14 +744,25 @@ fn elidable_check_sites(
                 if !det_cfg.bit_of.contains_key(ch) || ch.last().is_none() {
                     continue;
                 }
-                if must_collected(site, sctx, ch).is_none() {
-                    continue 'site;
+                match must_collected(site, sctx, ch) {
+                    Some(w) => witnesses.push(w),
+                    None => continue 'site,
                 }
             }
         }
-        out.insert(site);
+        witnesses.sort();
+        witnesses.dedup();
+        out.insert(site, witnesses);
     }
     out
+}
+
+fn elidable_check_sites(
+    p: &Program,
+    det_cfg: &DetectorConfig,
+    sites: impl Iterator<Item = InstrRef>,
+) -> BTreeSet<InstrRef> {
+    elision_witnesses(p, det_cfg, sites).into_keys().collect()
 }
 
 impl<'p> Machine<'p> {

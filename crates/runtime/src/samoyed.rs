@@ -58,16 +58,30 @@ pub fn samoyed_transform(mut p: Program, atomic_fns: &[&str]) -> Result<Built, C
         let end_label = f.fresh_label();
         let entry = f.entry;
         let exit = f.exit;
+        // Markers adopt a neighboring instruction's span (or the block
+        // terminator's) so spanned diagnostics keep working here too.
+        let entry_span = f
+            .block(entry)
+            .instrs
+            .first()
+            .map_or(f.block(entry).term_span, |i| i.span);
+        let exit_span = f
+            .block(exit)
+            .instrs
+            .last()
+            .map_or(f.block(exit).term_span, |i| i.span);
         f.block_mut(entry).instrs.insert(
             0,
             ocelot_ir::Inst {
                 label: start_label,
                 op: Op::AtomStart { region },
+                span: entry_span,
             },
         );
         f.block_mut(exit).instrs.push(ocelot_ir::Inst {
             label: end_label,
             op: Op::AtomEnd { region },
+            span: exit_span,
         });
     }
     build(p, ExecModel::AtomicsOnly)

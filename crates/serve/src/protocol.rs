@@ -17,6 +17,7 @@
 //! | `verify` | `source`, `doc`? | `verdict`, `funcs`, `analyzed`, `reused` |
 //! | `run` | `program`, `scenario`, `runs`?, `seed`?, `backend`?, `opt`? | `scenario`, `stats` |
 //! | `sweep` | `program`, `scenarios`, `runs`?, `backend`?, `opt`? | `cells` |
+//! | `lint` | `source`, `window_us`?, `capacity_nj`? | `program`, `cached`, `report` (`ocelot-lint-report` JSON, see `docs/lint.md`) |
 //! | `stats` | — | `programs`, `cores`, `docs`, `cached_funcs`, `requests`, then per-cache hit/miss counters in pinned order |
 //! | `metrics` | — | `metrics` (the process-wide telemetry snapshot) |
 //! | `shutdown` | — | `stopping` |
@@ -38,7 +39,7 @@ use ocelot_bench::artifact::stats_to_json;
 use ocelot_bench::harness::MAX_STEPS;
 use ocelot_bench::json::Json;
 use ocelot_bench::pool::{run_jobs, Job};
-use ocelot_bench::verify::{full_verify, Session};
+use ocelot_bench::verify::{full_verify, program_hash, Session};
 use ocelot_runtime::machine::{DeviceState, Machine, MachineCore};
 use ocelot_runtime::{ExecBackend, OptLevel};
 use std::collections::HashMap;
@@ -55,12 +56,20 @@ pub struct ServerState {
     pub cache: ProgramCache,
     /// Incremental verification documents, by client-chosen name.
     pub docs: HashMap<String, Session>,
+    /// Cached lint reports, keyed by (program hash, window, capacity
+    /// bits) — a report is a pure function of those three, so a repeat
+    /// request with the same knobs answers without re-analysis.
+    pub lints: HashMap<(u64, Option<u64>, Option<u64>), Json>,
     /// Requests handled so far (any op, including failed ones).
     pub requests: u64,
     /// `verify` requests that named an already-open document.
     pub docs_hits: u64,
     /// `verify` requests that opened a fresh document.
     pub docs_misses: u64,
+    /// `lint` requests answered from the report cache.
+    pub lints_hits: u64,
+    /// `lint` requests that ran the passes fresh.
+    pub lints_misses: u64,
 }
 
 impl ServerState {
@@ -71,9 +80,12 @@ impl ServerState {
             jobs: jobs.max(1),
             cache: ProgramCache::new(max_programs),
             docs: HashMap::new(),
+            lints: HashMap::new(),
             requests: 0,
             docs_hits: 0,
             docs_misses: 0,
+            lints_hits: 0,
+            lints_misses: 0,
         }
     }
 }
@@ -104,6 +116,7 @@ pub fn handle_request(state: &mut ServerState, req: &Json) -> (Json, Outcome) {
         Some("verify") => op_verify(state, req),
         Some("run") => op_run(state, req),
         Some("sweep") => op_sweep(state, req),
+        Some("lint") => op_lint(state, req),
         Some("stats") => op_stats(state),
         Some("metrics") => op_metrics(),
         Some("shutdown") => {
@@ -111,7 +124,8 @@ pub fn handle_request(state: &mut ServerState, req: &Json) -> (Json, Outcome) {
             Ok(vec![("stopping", Json::Bool(true))])
         }
         Some(op) => Err(format!(
-            "unknown op `{op}` (known: ping, submit, verify, run, sweep, stats, metrics, shutdown)"
+            "unknown op `{op}` (known: ping, submit, verify, run, sweep, lint, stats, metrics, \
+             shutdown)"
         )),
     };
     if let Some(t0) = t0 {
@@ -297,6 +311,57 @@ fn op_sweep(state: &mut ServerState, req: &Json) -> OpResult {
     Ok(vec![("cells", Json::Arr(cells))])
 }
 
+/// The `lint` op: run the static feasibility passes over `source` and
+/// answer the `ocelot-lint-report` document (`docs/lint.md`). Reports
+/// are cached by (program hash, `window_us`, `capacity_nj`): the report
+/// is a pure function of program and knobs, and normalization makes it
+/// byte-stable, so the cached answer is indistinguishable from a fresh
+/// one — the same timing-free contract every other op keeps.
+fn op_lint(state: &mut ServerState, req: &Json) -> OpResult {
+    let src = req_str(req, "source")?;
+    let window = match req.get("window_us") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`window_us` must be a non-negative integer")?,
+        ),
+    };
+    let capacity = match req.get("capacity_nj") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_f64() {
+            Some(c) if c > 0.0 => Some(c),
+            _ => return Err("`capacity_nj` must be a positive number".to_string()),
+        },
+    };
+    let p = ocelot_ir::compile(src).map_err(|e| format!("compile: {e}"))?;
+    let hash = program_hash(&p);
+    let key = (hash, window, capacity.map(f64::to_bits));
+    if let Some(report) = state.lints.get(&key) {
+        state.lints_hits += 1;
+        ocelot_telemetry::metrics::SERVE_LINTS_HIT.incr();
+        return Ok(vec![
+            ("program", Json::u64(hash)),
+            ("cached", Json::Bool(true)),
+            ("report", report.clone()),
+        ]);
+    }
+    let opts = ocelot_lint::LintOptions {
+        window_us: window,
+        capacity_nj: capacity,
+        ..ocelot_lint::LintOptions::default()
+    };
+    let report = ocelot_lint::lint_source(src, &opts).map_err(|e| format!("lint: {e}"))?;
+    let json = ocelot_bench::lintfmt::to_json(&report);
+    state.lints.insert(key, json.clone());
+    state.lints_misses += 1;
+    ocelot_telemetry::metrics::SERVE_LINTS_MISS.incr();
+    Ok(vec![
+        ("program", Json::u64(hash)),
+        ("cached", Json::Bool(false)),
+        ("report", json),
+    ])
+}
+
 /// The `stats` response. Field order is part of the wire contract
 /// (pinned by `stats_field_order_is_pinned`): size counters first, then
 /// the per-instance hit/miss pairs per caching layer, hits before
@@ -318,6 +383,8 @@ fn op_stats(state: &ServerState) -> OpResult {
         ("cores_misses", Json::u64(c.cores_misses)),
         ("docs_hits", Json::u64(state.docs_hits)),
         ("docs_misses", Json::u64(state.docs_misses)),
+        ("lints_hits", Json::u64(state.lints_hits)),
+        ("lints_misses", Json::u64(state.lints_misses)),
     ])
 }
 
@@ -397,6 +464,64 @@ mod tests {
         let (st, _) = handle_request(&mut s, &Json::obj(vec![("op", Json::str("stats"))]));
         assert_eq!(st.get("programs").and_then(Json::as_u64), Some(1));
         assert_eq!(st.get("cores").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn lint_answers_a_cached_byte_stable_report() {
+        let mut s = state();
+        // A window no path can meet: the report must carry an OC001
+        // error with spans.
+        let src = "sensor s; fn main() { let x = in(s); fresh(x); out(log, x); out(alarm, x); }";
+        let req = Json::obj(vec![
+            ("op", Json::str("lint")),
+            ("source", Json::str(src)),
+            ("window_us", Json::u64(10)),
+        ]);
+        let (r1, _) = handle_request(&mut s, &req);
+        assert!(ok(&r1), "{r1:?}");
+        assert_eq!(r1.get("cached").and_then(Json::as_bool), Some(false));
+        let report = r1.get("report").expect("report member");
+        assert_eq!(
+            report.get("schema").and_then(Json::as_str),
+            Some("ocelot-lint-report")
+        );
+        assert_eq!(report.get("errors").and_then(Json::as_u64), Some(1));
+        // Second identical request: answered from the cache, byte-stable.
+        let (r2, _) = handle_request(&mut s, &req);
+        assert_eq!(r2.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            r1.get("report").unwrap().render().unwrap(),
+            r2.get("report").unwrap().render().unwrap()
+        );
+        // Different knobs are a different cache key — and a generous
+        // window drops the error.
+        let (r3, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("lint")),
+                ("source", Json::str(src)),
+                ("window_us", Json::u64(1_000_000)),
+            ]),
+        );
+        assert_eq!(r3.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            r3.get("report")
+                .and_then(|r| r.get("errors"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        let (st, _) = handle_request(&mut s, &Json::obj(vec![("op", Json::str("stats"))]));
+        assert_eq!(st.get("lints_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(st.get("lints_misses").and_then(Json::as_u64), Some(2));
+        // A compile failure is an op error, not a report.
+        let (bad, _) = handle_request(
+            &mut s,
+            &Json::obj(vec![
+                ("op", Json::str("lint")),
+                ("source", Json::str("fn main( {")),
+            ]),
+        );
+        assert!(!ok(&bad));
     }
 
     #[test]

@@ -195,6 +195,10 @@ pub static SERVE_CORES_MISS: Counter = Counter::new("serve.cache.cores.misses");
 pub static SERVE_DOCS_HIT: Counter = Counter::new("serve.cache.docs.hits");
 /// Serve verify-session documents analyzed fresh.
 pub static SERVE_DOCS_MISS: Counter = Counter::new("serve.cache.docs.misses");
+/// Serve lint reports answered from the report cache.
+pub static SERVE_LINTS_HIT: Counter = Counter::new("serve.cache.lints.hits");
+/// Serve lint reports computed fresh.
+pub static SERVE_LINTS_MISS: Counter = Counter::new("serve.cache.lints.misses");
 /// Requests the serve protocol dispatched.
 pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
 /// Incremental (session/cache-backed) verifications performed.
@@ -217,6 +221,8 @@ static COUNTERS: &[&Counter] = &[
     &SERVE_CORES_MISS,
     &SERVE_DOCS_HIT,
     &SERVE_DOCS_MISS,
+    &SERVE_LINTS_HIT,
+    &SERVE_LINTS_MISS,
     &SERVE_REQUESTS,
     &VERIFY_INCREMENTAL,
     &VERIFY_FULL,

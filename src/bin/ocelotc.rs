@@ -3,6 +3,18 @@
 //! ```text
 //! ocelotc compile <file>        infer regions, print the transformed program
 //! ocelotc check   <file>        checker mode: validate existing regions (§8)
+//! ocelotc lint    <file> [opts] static policy-feasibility and
+//!                               check-placement analysis (docs/lint.md):
+//!                               infeasible freshness windows, dead
+//!                               policies, statically redundant checks,
+//!                               regions that cannot fit the buffer,
+//!                               obligations blocked by unbounded loops
+//!     --window-us <µs>          freshness expiry window to check
+//!                               (enables OC001/OC002)
+//!     --capacity-nj <nj>        energy buffer to check regions against
+//!                               (enables OC006/OC007)
+//!     --format <text|json>      output format (default text)
+//!     --deny-warnings           exit nonzero on warnings, not just errors
 //! ocelotc policies <file>       print the derived policy declarations
 //! ocelotc summaries <file>      print Figure-5 function summaries (FS)
 //! ocelotc progress <file> [opts] forward-progress report: worst-case
@@ -110,7 +122,7 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!(
-                "usage: ocelotc <compile|check|policies|run|bench|fleet|scenario|serve\
+                "usage: ocelotc <compile|check|lint|policies|run|bench|fleet|scenario|serve\
                  |trace-check> <file> [options]"
             );
             return ExitCode::from(2);
@@ -132,6 +144,12 @@ fn main() -> ExitCode {
     }
     if cmd == "trace-check" {
         return cmd_trace_check(rest);
+    }
+    // `lint` wants the raw source (its diagnostics carry source spans),
+    // so it reads the file itself instead of going through the shared
+    // compile-then-dispatch path below.
+    if cmd == "lint" {
+        return cmd_lint(rest);
     }
     let Some(path) = rest.first() else {
         eprintln!("error: missing input file");
@@ -829,6 +847,60 @@ fn cmd_run(program: Program, opts: &[String]) -> ExitCode {
 /// `ocelotc trace-check <file> [span...]`: the CI trace-smoke entry.
 /// Round-trips a `--trace-out` file through the harness's strict JSON
 /// reader and asserts every named span occurs in it.
+/// `ocelotc lint <file>`: run the static feasibility passes and render
+/// the report. Exit 0 when nothing reaches the failing severity
+/// (errors, or warnings too under `--deny-warnings`), 1 when something
+/// does or the source fails to compile, 2 on usage/IO problems.
+fn cmd_lint(rest: &[String]) -> ExitCode {
+    let Some((path, flags)) = rest.split_first() else {
+        return usage_err("lint needs an input file");
+    };
+    let mut opts = ocelot_lint::LintOptions::default();
+    let mut format_json = false;
+    let mut deny_warnings = false;
+    let mut it = flags.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--window-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.window_us = Some(v),
+                None => return usage_err("--window-us needs a number of microseconds"),
+            },
+            "--capacity-nj" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => opts.capacity_nj = Some(v),
+                _ => return usage_err("--capacity-nj needs a positive number of nanojoules"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format_json = false,
+                Some("json") => format_json = true,
+                _ => return usage_err("--format needs `text` or `json`"),
+            },
+            "--deny-warnings" => deny_warnings = true,
+            other => return usage_err(&format!("unknown option `{other}`")),
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match ocelot_lint::lint_source(&src, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if format_json {
+        print!("{}", ocelot_bench::lintfmt::render_json(&report));
+    } else {
+        print!("{}", report.render_text(path, Some(&src)));
+    }
+    let failing = report.error_count() > 0 || (deny_warnings && report.warning_count() > 0);
+    exit_ok(!failing)
+}
+
 fn cmd_trace_check(rest: &[String]) -> ExitCode {
     let Some((path, expected)) = rest.split_first() else {
         return usage_err("trace-check needs a trace file path");

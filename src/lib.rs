@@ -77,6 +77,7 @@ pub use ocelot_apps as apps;
 pub use ocelot_core as core;
 pub use ocelot_hw as hw;
 pub use ocelot_ir as ir;
+pub use ocelot_lint as lint;
 pub use ocelot_progress as progress;
 pub use ocelot_runtime as runtime;
 pub use ocelot_scenario as scenario;
@@ -91,6 +92,7 @@ pub mod prelude {
     pub use ocelot_hw::power::{ContinuousPower, HarvestedPower, PowerSupply};
     pub use ocelot_hw::sensors::{Environment, Signal};
     pub use ocelot_ir::{compile, validate, Program};
+    pub use ocelot_lint::{lint_source, LintOptions};
     pub use ocelot_progress::{ProgressReport, Verdict};
     pub use ocelot_runtime::machine::{pathological_targets, Machine, RunOutcome};
     pub use ocelot_runtime::model::{build, ExecModel};
